@@ -1,0 +1,147 @@
+// Ablation: allocation algorithm — fixed-path (k-shortest candidates,
+// then slots) versus joint space-time search (UMARS-style, path and slots
+// together). The paper leverages the "standard Æthereal tools" for
+// dimensioning; this bench quantifies how much the allocator itself
+// contributes to admissible load on the same hardware.
+
+#include <iostream>
+
+#include "alloc/allocator.hpp"
+#include "alloc/joint_alloc.hpp"
+#include "analysis/report.hpp"
+#include "sim/random.hpp"
+#include "topology/generators.hpp"
+
+using namespace daelite;
+using analysis::TextTable;
+using analysis::pct;
+
+namespace {
+
+struct Demand {
+  topo::NodeId src, dst;
+  std::uint32_t slots;
+};
+
+std::vector<Demand> demands(const topo::Mesh& m, std::uint64_t seed, std::size_t n) {
+  sim::Xoshiro256 rng(seed);
+  const auto nis = m.all_nis();
+  std::vector<Demand> out;
+  while (out.size() < n) {
+    const auto s = nis[rng.below(nis.size())];
+    const auto d = nis[rng.below(nis.size())];
+    if (s == d) continue;
+    out.push_back({s, d, static_cast<std::uint32_t>(rng.range(2, 6))});
+  }
+  return out;
+}
+
+} // namespace
+
+int main() {
+  constexpr std::uint32_t kWheel = 16;
+  const auto mesh = topo::make_mesh(4, 4);
+
+  TextTable t("Admission under random load: fixed-path vs joint space-time allocation");
+  t.set_header({"seed", "fixed k=2", "fixed k=8", "joint", "joint vs fixed k=8"});
+
+  double gain = 0;
+  int n = 0;
+  for (std::uint64_t seed : {2ull, 9ull, 21ull, 77ull, 154ull, 300ull}) {
+    const auto ds = demands(mesh, seed, 80);
+
+    auto run_fixed = [&](std::size_t k) {
+      alloc::AllocatorOptions opt;
+      opt.path_candidates = k;
+      alloc::SlotAllocator a(mesh.topo, tdm::daelite_params(kWheel), opt);
+      std::uint64_t admitted = 0;
+      for (const Demand& d : ds) {
+        alloc::ChannelSpec spec;
+        spec.src_ni = d.src;
+        spec.dst_nis = {d.dst};
+        spec.slots_required = d.slots;
+        if (a.allocate(spec)) admitted += d.slots;
+      }
+      return admitted;
+    };
+    const auto f2 = run_fixed(2);
+    const auto f8 = run_fixed(8);
+
+    alloc::SlotAllocator ja(mesh.topo, tdm::daelite_params(kWheel));
+    std::uint64_t j = 0;
+    for (const Demand& d : ds) {
+      alloc::ChannelSpec spec;
+      spec.src_ni = d.src;
+      spec.dst_nis = {d.dst};
+      spec.slots_required = d.slots;
+      if (alloc::allocate_joint(ja, spec)) j += d.slots;
+    }
+
+    gain += static_cast<double>(j) / static_cast<double>(f8) - 1.0;
+    ++n;
+    t.add_row({std::to_string(seed), std::to_string(f2), std::to_string(f8), std::to_string(j),
+               pct(static_cast<double>(j) / static_cast<double>(f8) - 1.0)});
+  }
+  t.print(std::cout);
+  std::cout << "Average joint-search gain over 8-candidate fixed-path allocation: "
+            << pct(gain / n)
+            << " - in *sequential greedy* admission the exact search is a wash: it\n"
+               "admits marginal demands over long detours, consuming capacity that\n"
+               "later demands then miss. Exactness matters per request:\n\n";
+
+  // Per-request admissibility on a fragmented schedule: can each demand be
+  // admitted *individually* (allocate, then release)?
+  TextTable u("Per-request admissibility on a 55%-fragmented schedule (higher is better)");
+  u.set_header({"seed", "fixed k=2", "fixed k=8", "joint (exact)"});
+  for (std::uint64_t seed : {2ull, 9ull, 21ull, 77ull}) {
+    auto fragment = [&](alloc::SlotAllocator& a) {
+      sim::Xoshiro256 rng(seed * 1000);
+      for (topo::LinkId l = 0; l < mesh.topo.link_count(); ++l)
+        for (tdm::Slot s2 = 0; s2 < kWheel; ++s2)
+          if (rng.chance(0.55)) a.reserve_raw(l, s2, 888);
+    };
+    const auto ds = demands(mesh, seed, 100);
+
+    auto count_fixed = [&](std::size_t k) {
+      alloc::AllocatorOptions opt;
+      opt.path_candidates = k;
+      alloc::SlotAllocator a(mesh.topo, tdm::daelite_params(kWheel), opt);
+      fragment(a);
+      int ok = 0;
+      for (const Demand& d : ds) {
+        alloc::ChannelSpec spec;
+        spec.src_ni = d.src;
+        spec.dst_nis = {d.dst};
+        spec.slots_required = std::max(1u, d.slots / 2);
+        if (auto r = a.allocate(spec)) {
+          ++ok;
+          a.release(*r);
+        }
+      }
+      return ok;
+    };
+
+    alloc::SlotAllocator ja(mesh.topo, tdm::daelite_params(kWheel));
+    fragment(ja);
+    int jok = 0;
+    for (const Demand& d : ds) {
+      alloc::ChannelSpec spec;
+      spec.src_ni = d.src;
+      spec.dst_nis = {d.dst};
+      spec.slots_required = std::max(1u, d.slots / 2);
+      if (auto r = alloc::allocate_joint(ja, spec)) {
+        ++jok;
+        ja.release(*r);
+      }
+    }
+    u.add_row({std::to_string(seed), std::to_string(count_fixed(2)) + "/100",
+               std::to_string(count_fixed(8)) + "/100", std::to_string(jok) + "/100"});
+  }
+  u.print(std::cout);
+  std::cout << "The joint search admits a request whenever ANY loopless path (within the\n"
+               "depth bound) has enough aligned free slots - strictly dominating the\n"
+               "fixed-path allocators per request. Both program identical daelite\n"
+               "hardware: this is purely a design-time tool choice, and a use-case\n"
+               "compiler should pair the joint search with admission ordering.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Ablation: configuration word width (analytic).
+//
+// The paper picks 7-bit configuration words: "sufficient to encode a
+// network element ID, a pair of input and output port IDs or the value
+// of a credit counter" for networks of up to 64 elements, arity 7 and
+// 63-word buffers. This sweep shows what other widths would cost: wider
+// words shorten packets (fewer mask words) but widen every configuration
+// link and register in every router and NI; narrower words cannot encode
+// a port pair in one word.
+
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "area/primitives.hpp"
+
+using namespace daelite;
+using analysis::TextTable;
+using analysis::fmt;
+
+namespace {
+
+/// Path-packet words for a p-element segment with S slots at word width w.
+std::uint32_t packet_words(std::uint32_t elements, std::uint32_t s, std::uint32_t w) {
+  const std::uint32_t mask_words = (s + w - 1) / w;
+  return 1 + mask_words + 2 * elements + 1;
+}
+
+/// Config wiring+register GE per network element at width w:
+/// 4 pipeline registers of w bits plus the w-bit mask datapath share.
+double cfg_ge_per_element(std::uint32_t w) {
+  const area::GeCosts c{};
+  return area::regs_ge(c, 4 * w) + 2.0 * w; // registers + mux/valid glue
+}
+
+} // namespace
+
+int main() {
+  constexpr std::uint32_t kSlots = 16;
+  constexpr std::uint32_t kElements = 6; // a 5-hop path segment
+
+  TextTable t("Configuration word width ablation (S=16, 6-element path segment, analytic)");
+  t.set_header({"width (bits)", "max elements", "max arity", "mask words", "packet words",
+                "cfg GE/element"});
+  for (std::uint32_t w : {5u, 6u, 7u, 8u, 10u, 14u}) {
+    const std::uint32_t max_ids = (1u << w) - 2;         // 0 = nop, all-ones = end
+    const std::uint32_t arity = 1u << (w / 2);           // in/out port fields
+    t.add_row({std::to_string(w), std::to_string(max_ids), std::to_string(arity),
+               std::to_string((kSlots + w - 1) / w),
+               std::to_string(packet_words(kElements, kSlots, w)),
+               fmt(cfg_ge_per_element(w), 0)});
+  }
+  t.print(std::cout);
+  std::cout << "7 bits is the knee: one fewer bit halves the addressable elements (62)\n"
+               "and cannot hold a 3+3-bit port pair plus margin; wider words save at\n"
+               "most 1-2 packet words while growing every element's config registers\n"
+               "and the tree wiring linearly. The paper's choice is on the Pareto front.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation: slot-table size S.
+//
+// S trades off bandwidth allocation granularity (1/S of a link per slot)
+// against scheduling latency (a wheel is S*2 cycles), router area (S
+// table entries per output) and set-up cost (ceil(S/7) mask words per
+// path packet — but NOT per-slot writes, daelite's key property).
+
+#include <iostream>
+
+#include "analysis/formulas.hpp"
+#include "analysis/report.hpp"
+#include "analysis/setup_time.hpp"
+#include "area/models.hpp"
+#include "common.hpp"
+
+using namespace daelite;
+using namespace daelite::bench;
+using analysis::TextTable;
+using analysis::fmt;
+using analysis::pct;
+
+int main() {
+  TextTable t("Slot-table size ablation (4x4 mesh, 5-hop connection, 25% of link bandwidth)");
+  t.set_header({"S", "granularity", "wheel (cycles)", "avg sched. latency", "router kGE",
+                "setup measured (cycles)"});
+
+  for (std::uint32_t s : {8u, 16u, 32u, 64u}) {
+    DaeliteRig rig(4, 4, s);
+    const std::uint32_t slots = std::max(1u, s / 4); // 25% of the wheel
+    const auto conn = rig.connect(rig.mesh.ni(0, 1), {rig.mesh.ni(2, 2)}, slots, 1);
+    (void)rig.net->open_connection(conn);
+    const sim::Cycle setup = rig.net->run_config();
+
+    const auto sched =
+        analysis::scheduling_latency(conn.request.inject_slots, tdm::daelite_params(s));
+
+    area::DaeliteRouterParams rp;
+    rp.slots = s;
+    const double ge = area::daelite_router_ge(area::GeCosts{}, rp);
+
+    t.add_row({std::to_string(s), pct(1.0 / s), std::to_string(tdm::daelite_params(s).wheel_cycles()),
+               fmt(sched.average_cycles, 1) + " cyc", fmt(ge / 1000.0, 1),
+               std::to_string(setup)});
+  }
+  t.print(std::cout);
+  std::cout << "Set-up cost grows only via ceil(S/7) mask words (+1 word per +7 slots),\n"
+               "not per slot used; area grows linearly in S; finer granularity costs\n"
+               "scheduling latency at equal bandwidth share. The paper's experiments use\n"
+               "S=8..32 — this sweep shows why.\n";
+  return 0;
+}

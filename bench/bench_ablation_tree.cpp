@@ -1,0 +1,69 @@
+// Ablation: configuration-tree root placement and cool-down length.
+//
+// The paper chooses the config tree "to minimize the distance from the
+// host to any of the network nodes" and enforces a cool-down after each
+// path packet. This bench quantifies both choices: set-up time vs host
+// placement (corner vs centre), and vs cool-down length.
+
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "common.hpp"
+#include "topology/spanning_tree.hpp"
+
+using namespace daelite;
+using namespace daelite::bench;
+using analysis::TextTable;
+
+namespace {
+
+sim::Cycle measure_setup(int root_x, int root_y, std::uint32_t cool_down) {
+  topo::Mesh mesh = topo::make_mesh(5, 5);
+  sim::Kernel kernel;
+  hw::DaeliteNetwork::Options opt;
+  opt.tdm = tdm::daelite_params(16);
+  opt.cfg_root = mesh.ni(root_x, root_y);
+  opt.cool_down_cycles = cool_down;
+  hw::DaeliteNetwork net(kernel, mesh.topo, opt);
+  alloc::SlotAllocator alloc(mesh.topo, opt.tdm);
+
+  alloc::UseCase uc;
+  uc.connections.push_back({"c", mesh.ni(4, 0), {mesh.ni(0, 4)}, 2, 2});
+  auto a = alloc::allocate_use_case(alloc, uc);
+  if (!a) std::abort();
+  (void)net.open_connection(a->connections[0]);
+  return net.run_config();
+}
+
+std::uint32_t tree_depth(int root_x, int root_y) {
+  const topo::Mesh mesh = topo::make_mesh(5, 5);
+  return topo::build_config_tree(mesh.topo, mesh.ni(root_x, root_y)).max_depth();
+}
+
+} // namespace
+
+int main() {
+  TextTable t("Config-tree root placement (5x5 mesh, far corner-to-corner connection)");
+  t.set_header({"host position", "tree max depth", "setup (cycles)"});
+  t.add_row({"corner (0,0)", std::to_string(tree_depth(0, 0)),
+             std::to_string(measure_setup(0, 0, 4))});
+  t.add_row({"edge (2,0)", std::to_string(tree_depth(2, 0)),
+             std::to_string(measure_setup(2, 0, 4))});
+  t.add_row({"centre (2,2)", std::to_string(tree_depth(2, 2)),
+             std::to_string(measure_setup(2, 2, 4))});
+  t.print(std::cout);
+  std::cout << "The broadcast reaches every element regardless of placement; a central\n"
+               "host only shortens the final drain (2 cycles per tree level), matching\n"
+               "the paper's min-depth tree construction.\n\n";
+
+  TextTable c("Cool-down length (centre host)");
+  c.set_header({"cool-down (cycles)", "setup (cycles)"});
+  for (std::uint32_t cd : {0u, 2u, 4u, 8u, 16u}) {
+    c.add_row({std::to_string(cd), std::to_string(measure_setup(2, 2, cd))});
+  }
+  c.print(std::cout);
+  std::cout << "Each path packet pays the cool-down once; a connection has 2 path\n"
+               "packets, so set-up time grows by 2 cycles per cool-down cycle. The\n"
+               "cool-down only needs to cover the slot-table write (a few cycles).\n";
+  return 0;
+}

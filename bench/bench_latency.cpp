@@ -1,0 +1,63 @@
+// C-1 / F-2: network traversal latency — daelite's 2-cycle hops vs
+// aelite's 3-cycle hops (paper §V: "a reduction in the network traversal
+// latency of 33%"), measured in cycle-accurate simulation and
+// cross-checked against the analytic formula. Also reports the
+// scheduling-latency benefit of daelite's smaller slots.
+
+#include <iostream>
+
+#include "analysis/formulas.hpp"
+#include "analysis/report.hpp"
+#include "common.hpp"
+
+using namespace daelite;
+using namespace daelite::bench;
+using analysis::TextTable;
+using analysis::fmt;
+using analysis::pct;
+
+int main() {
+  constexpr std::uint32_t kSlots = 16;
+
+  TextTable t("Network traversal latency (flit, source NI output to destination NI input)");
+  t.set_header({"hops", "daelite sim", "daelite analytic", "aelite sim", "aelite analytic",
+                "reduction"});
+
+  struct Pair {
+    int sx, sy, dx, dy;
+  };
+  for (const Pair c : {Pair{0, 0, 1, 0}, Pair{0, 0, 2, 1}, Pair{0, 1, 3, 2}, Pair{0, 0, 3, 3}}) {
+    DaeliteRig drig(4, 4, kSlots);
+    const auto dconn = drig.connect(drig.mesh.ni(c.sx, c.sy), {drig.mesh.ni(c.dx, c.dy)}, 2);
+    const auto dh = drig.net->open_connection(dconn);
+    drig.net->run_config();
+    drig.stream(dh, 50);
+    const auto& dlat = drig.net->ni(dconn.request.dst_nis[0]).stats().latency;
+
+    AeliteRig arig(4, 4, kSlots);
+    const auto aconn = arig.connect(arig.mesh.ni(c.sx, c.sy), arig.mesh.ni(c.dx, c.dy), 2);
+    const auto ah = arig.net->open_connection(aconn);
+    arig.stream(ah, 50);
+    const auto& alat = arig.net->ni(aconn.request.dst_nis[0]).stats().latency;
+
+    const std::size_t hops = dconn.request.edges.size();
+    const auto d_an = analysis::traversal_latency_cycles(hops, tdm::daelite_params(kSlots));
+    const auto a_an = analysis::traversal_latency_cycles(hops, tdm::aelite_params(kSlots));
+    t.add_row({std::to_string(hops), fmt(dlat.min(), 0), std::to_string(d_an), fmt(alat.min(), 0),
+               std::to_string(a_an), pct(1.0 - dlat.min() / alat.min())});
+  }
+  t.print(std::cout);
+
+  // Scheduling latency: daelite's 2-word slots halve the wait for a slot
+  // compared to aelite's 3-word slots at the same wheel size.
+  TextTable s("\nScheduling latency at the source NI (1 owned slot, wheel of 16 slots)");
+  s.set_header({"network", "slot size", "avg wait (cycles)", "worst wait (cycles)"});
+  const auto d = analysis::scheduling_latency({0}, tdm::daelite_params(kSlots));
+  const auto a = analysis::scheduling_latency({0}, tdm::aelite_params(kSlots));
+  s.add_row({"daelite", "2 words", fmt(d.average_cycles, 1), std::to_string(d.worst_cycles)});
+  s.add_row({"aelite", "3 words", fmt(a.average_cycles, 1), std::to_string(a.worst_cycles)});
+  s.print(std::cout);
+  std::cout << "Per-hop latency: daelite 2 cycles (link + crossbar) vs aelite 3 -> 33%\n"
+               "lower traversal latency, with zero jitter on both (contention-free).\n";
+  return 0;
+}

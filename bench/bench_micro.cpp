@@ -1,0 +1,121 @@
+// Micro-benchmarks (google-benchmark): simulator throughput and allocator
+// cost. These are engineering benchmarks for the model itself, not paper
+// artifacts — they document that the cycle-accurate model is fast enough
+// for the experiments above.
+
+#include <benchmark/benchmark.h>
+
+#include "alloc/allocator.hpp"
+#include "alloc/joint_alloc.hpp"
+#include "alloc/usecase.hpp"
+#include "daelite/network.hpp"
+#include "sim/random.hpp"
+#include "topology/generators.hpp"
+#include "topology/path.hpp"
+
+using namespace daelite;
+
+namespace {
+
+void BM_KernelCyclesIdle4x4(benchmark::State& state) {
+  const auto mesh = topo::make_mesh(4, 4);
+  sim::Kernel k;
+  hw::DaeliteNetwork::Options opt;
+  opt.tdm = tdm::daelite_params(16);
+  opt.cfg_root = mesh.ni(0, 0);
+  hw::DaeliteNetwork net(k, mesh.topo, opt);
+  for (auto _ : state) k.step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KernelCyclesIdle4x4);
+
+void BM_KernelCyclesLoaded4x4(benchmark::State& state) {
+  const auto mesh = topo::make_mesh(4, 4);
+  sim::Kernel k;
+  hw::DaeliteNetwork::Options opt;
+  opt.tdm = tdm::daelite_params(16);
+  opt.cfg_root = mesh.ni(0, 0);
+  hw::DaeliteNetwork net(k, mesh.topo, opt);
+  alloc::SlotAllocator alloc(mesh.topo, opt.tdm);
+
+  std::vector<hw::ConnectionHandle> handles;
+  sim::Xoshiro256 rng(5);
+  const auto nis = mesh.all_nis();
+  while (handles.size() < 10) {
+    const auto s = nis[rng.below(nis.size())];
+    const auto d = nis[rng.below(nis.size())];
+    if (s == d) continue;
+    alloc::UseCase uc;
+    uc.connections.push_back({"c", s, {d}, 1, 1});
+    auto a = alloc::allocate_use_case(alloc, uc);
+    if (!a) continue;
+    handles.push_back(net.open_connection(a->connections[0]));
+  }
+  net.run_config();
+
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto& h = handles[i++ % handles.size()];
+    net.ni(h.conn.request.src_ni).tx_push(h.src_tx_q, 1);
+    k.step();
+    net.ni(h.conn.request.dst_nis[0]).rx_pop(h.dst_rx_qs[0]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KernelCyclesLoaded4x4);
+
+void BM_ShortestPath8x8(benchmark::State& state) {
+  const auto mesh = topo::make_mesh(8, 8);
+  topo::PathFinder f(mesh.topo);
+  for (auto _ : state) benchmark::DoNotOptimize(f.shortest(mesh.ni(0, 0), mesh.ni(7, 7)));
+}
+BENCHMARK(BM_ShortestPath8x8);
+
+void BM_AllocateRelease4x4(benchmark::State& state) {
+  const auto mesh = topo::make_mesh(4, 4);
+  alloc::SlotAllocator a(mesh.topo, tdm::daelite_params(16));
+  alloc::ChannelSpec spec;
+  spec.src_ni = mesh.ni(0, 0);
+  spec.dst_nis = {mesh.ni(3, 3)};
+  spec.slots_required = 2;
+  for (auto _ : state) {
+    auto r = a.allocate(spec);
+    benchmark::DoNotOptimize(r);
+    a.release(*r);
+  }
+}
+BENCHMARK(BM_AllocateRelease4x4);
+
+void BM_MulticastAllocate4x4(benchmark::State& state) {
+  const auto mesh = topo::make_mesh(4, 4);
+  alloc::SlotAllocator a(mesh.topo, tdm::daelite_params(16));
+  alloc::ChannelSpec spec;
+  spec.src_ni = mesh.ni(0, 0);
+  spec.dst_nis = {mesh.ni(3, 0), mesh.ni(0, 3), mesh.ni(3, 3)};
+  spec.slots_required = 2;
+  for (auto _ : state) {
+    auto r = a.allocate(spec);
+    benchmark::DoNotOptimize(r);
+    a.release(*r);
+  }
+}
+BENCHMARK(BM_MulticastAllocate4x4);
+
+void BM_JointAllocate4x4(benchmark::State& state) {
+  const auto mesh = topo::make_mesh(4, 4);
+  alloc::SlotAllocator a(mesh.topo, tdm::daelite_params(16));
+  alloc::ChannelSpec spec;
+  spec.src_ni = mesh.ni(0, 0);
+  spec.dst_nis = {mesh.ni(3, 3)};
+  spec.slots_required = 2;
+  for (auto _ : state) {
+    auto r = alloc::allocate_joint(a, spec);
+    benchmark::DoNotOptimize(r);
+    a.release(*r);
+  }
+}
+BENCHMARK(BM_JointAllocate4x4);
+
+} // namespace
+
+BENCHMARK_MAIN();

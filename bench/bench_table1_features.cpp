@@ -1,0 +1,23 @@
+// T-I: regenerate the paper's Table I — comparison with network
+// implementations using similar concepts.
+
+#include <iostream>
+
+#include "analysis/features.hpp"
+#include "analysis/report.hpp"
+
+int main() {
+  using namespace daelite::analysis;
+  TextTable t("Table I: comparison with network implementations using similar concepts");
+  t.set_header({"Network", "Link sharing", "Routing", "Connection setup", "E2E flow control",
+                "Connection types"});
+  for (const auto& row : table1())
+    t.add_row({row.name, row.link_sharing, row.routing, row.connection_setup, row.flow_control,
+               row.connection_types});
+  t.print(std::cout);
+
+  std::cout << "\ndaelite's differentiators (paper &I/&II): guaranteed bandwidth+latency per\n"
+               "connection, native multicast via router slot tables, and set-up via a\n"
+               "dedicated broadcast tree an order of magnitude faster than aelite.\n";
+  return 0;
+}

@@ -1,0 +1,128 @@
+// T-III / C-5: regenerate the paper's Table III — connection set-up time
+// (request and response paths of one connection), daelite vs aelite,
+// ideal and measured — plus the two scaling behaviours the paper calls
+// out: daelite's set-up time depends on path length but NOT on the number
+// of slots used; aelite's grows with the slots used.
+//
+// daelite measured: cycle-accurate simulation of the broadcast
+// configuration tree (host writes -> 7-bit words -> slot-table updates,
+// cool-down included). aelite measured: cycle-stepped model of MMIO
+// configuration over the data network's reserved slots (see
+// src/aelite/config_model.hpp).
+
+#include <algorithm>
+#include <iostream>
+
+#include "aelite/be_config_model.hpp"
+#include "aelite/config_model.hpp"
+#include "analysis/report.hpp"
+#include "analysis/setup_time.hpp"
+#include "common.hpp"
+
+using namespace daelite;
+using namespace daelite::bench;
+using analysis::TextTable;
+using analysis::fmt;
+
+namespace {
+
+struct Case {
+  const char* label;
+  int sx, sy, dx, dy;
+};
+
+sim::Cycle daelite_measured(DaeliteRig& rig, const alloc::AllocatedConnection& conn) {
+  (void)rig.net->open_connection(conn);
+  return rig.net->run_config();
+}
+
+} // namespace
+
+int main() {
+  constexpr std::uint32_t kSlots = 16;
+  const Case cases[] = {
+      {"adjacent (3 hops)", 1, 0, 2, 0},
+      {"medium   (5 hops)", 0, 1, 2, 2},
+      {"corner   (8 hops)", 0, 0, 3, 3},
+  };
+
+  TextTable t("Table III: connection set-up time in cycles (request + response path)");
+  t.set_header({"Path", "daelite ideal", "daelite measured", "aelite ideal", "aelite measured",
+                "speed-up"});
+
+  for (const Case& c : cases) {
+    DaeliteRig rig(4, 4, kSlots);
+    const auto conn = rig.connect(rig.mesh.ni(c.sx, c.sy), {rig.mesh.ni(c.dx, c.dy)}, 2, 2);
+    const auto ideal = analysis::daelite_ideal_connection_setup_cycles(
+        rig.mesh.topo, rig.net->options().tdm, conn, rig.net->options().cool_down_cycles);
+    const auto measured = daelite_measured(rig, conn);
+
+    sim::Kernel ak;
+    const auto amesh = topo::make_mesh(4, 4);
+    aelite::AeliteConfigHost ahost(ak, "cfg", amesh.topo, amesh.ni(0, 0),
+                                   {tdm::aelite_params(kSlots), 0});
+    aelite::AeliteConfigHost::SetupRequest req{amesh.ni(c.sx, c.sy), amesh.ni(c.dx, c.dy), 2, 2,
+                                               true};
+    const auto a_ideal = ahost.ideal_setup_cycles(req);
+    const auto id = ahost.post_setup(req);
+    ak.run_until([&] { return ahost.idle(); }, 1000000);
+    const auto a_measured = ahost.completion_cycle(id);
+
+    t.add_row({c.label, std::to_string(ideal), std::to_string(measured), std::to_string(a_ideal),
+               std::to_string(a_measured),
+               fmt(static_cast<double>(a_measured) / static_cast<double>(measured), 1) + "x"});
+  }
+  t.print(std::cout);
+
+  // --- C-5: scaling with the number of slots used -----------------------------
+  TextTable s("\nSet-up time vs slots used by the connection (path fixed, 5 hops, S=16)");
+  s.set_header({"slots used", "daelite measured", "aelite measured"});
+  for (std::uint32_t slots : {1u, 2u, 4u, 8u}) {
+    DaeliteRig rig(4, 4, kSlots);
+    const auto conn = rig.connect(rig.mesh.ni(0, 1), {rig.mesh.ni(2, 2)}, slots, slots);
+    const auto measured = daelite_measured(rig, conn);
+
+    sim::Kernel ak;
+    const auto amesh = topo::make_mesh(4, 4);
+    aelite::AeliteConfigHost ahost(ak, "cfg", amesh.topo, amesh.ni(0, 0),
+                                   {tdm::aelite_params(kSlots), 0});
+    const auto id = ahost.post_setup({amesh.ni(0, 1), amesh.ni(2, 2), slots, slots, true});
+    ak.run_until([&] { return ahost.idle(); }, 1000000);
+
+    s.add_row({std::to_string(slots), std::to_string(measured),
+               std::to_string(ahost.completion_cycle(id))});
+  }
+  s.print(std::cout);
+
+  // --- The third mechanism of &III: BE-configured distributed Aethereal ------
+  TextTable b("\nBE-configured set-up (distributed Aethereal style): no guarantee possible");
+  b.set_header({"background load", "min (cycles)", "mean (cycles)", "max (cycles)"});
+  for (double load : {0.1, 0.3, 0.5}) {
+    const auto amesh = topo::make_mesh(4, 4);
+    sim::Cycle lo = ~0ull, hi = 0;
+    double sum = 0;
+    constexpr int kTrials = 200;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      aelite::BeConfigModel be(amesh.topo, amesh.ni(0, 0),
+                               {tdm::aelite_params(kSlots), load,
+                                static_cast<std::uint64_t>(trial + 1)});
+      const sim::Cycle c = be.setup_cycles(amesh.ni(0, 1), amesh.ni(2, 2), 2, 2);
+      lo = std::min(lo, c);
+      hi = std::max(hi, c);
+      sum += static_cast<double>(c);
+    }
+    b.add_row({fmt(load, 1), std::to_string(lo), fmt(sum / kTrials, 0), std::to_string(hi)});
+  }
+  b.print(std::cout);
+  std::cout << "BE set-up contends with data traffic at every hop: the mean degrades\n"
+               "with load and the tail is unbounded - \"does not deliver guarantees\n"
+               "regarding the set-up time\" (paper &III). daelite's dedicated tree makes\n"
+               "set-up time an exact constant for a given path.\n\n";
+
+  std::cout << "daelite set-up time is flat in the slot count (the slot mask travels in\n"
+               "ceil(S/7) fixed words) and grows only with path length; aelite writes one\n"
+               "register per slot-table entry over the NoC, so its time grows with both.\n"
+               "Paper claim: \"daelite configuration is roughly one order of magnitude\n"
+               "faster than aelite\".\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Use-case switch cost: the system-level payoff of fast connection
+// set-up (paper §I: the interconnect should "provide fast
+// (re)configuration to adapt to dynamic use case switches"; [12] measures
+// aelite's cost per use-case). A switch tears down the departing
+// connections and sets up the arriving ones; shared connections keep
+// streaming. We measure the full switch in cycles on daelite's broadcast
+// tree versus the aelite MMIO-over-NoC model, for growing churn.
+
+#include <iostream>
+
+#include "aelite/config_model.hpp"
+#include "alloc/switching.hpp"
+#include "analysis/report.hpp"
+#include "common.hpp"
+
+using namespace daelite;
+using namespace daelite::bench;
+using analysis::TextTable;
+using analysis::fmt;
+
+namespace {
+
+/// Build a use-case of n connections around the mesh perimeter.
+alloc::UseCase make_uc(const topo::Mesh& m, const char* name, int n, int offset) {
+  alloc::UseCase uc;
+  uc.name = name;
+  const auto nis = m.all_nis();
+  for (int i = 0; i < n; ++i) {
+    const auto src = nis[static_cast<std::size_t>((i * 3 + offset) % nis.size())];
+    const auto dst = nis[static_cast<std::size_t>((i * 3 + offset + 7) % nis.size())];
+    uc.connections.push_back({"c" + std::to_string(i + offset * 100), src, {dst}, 2, 1});
+  }
+  return uc;
+}
+
+} // namespace
+
+int main() {
+  TextTable t("Full use-case switch cost (4x4 mesh, S=16, tear down N + set up N)");
+  t.set_header({"churn (connections)", "daelite (cycles)", "aelite model (cycles)", "speed-up"});
+
+  for (int n : {1, 2, 4, 6}) {
+    // --- daelite: measured on the simulated configuration tree ------------
+    DaeliteRig rig(4, 4, 16);
+    const auto uc_a = make_uc(rig.mesh, "A", n, 0);
+    const auto uc_b = make_uc(rig.mesh, "B", n, 1); // disjoint: full churn
+    auto alloc_a = alloc::allocate_use_case(*rig.alloc, uc_a);
+    if (!alloc_a) return 1;
+    std::vector<hw::ConnectionHandle> handles;
+    for (const auto& c : alloc_a->connections) handles.push_back(rig.net->open_connection(c));
+    rig.net->run_config();
+
+    const sim::Cycle t0 = rig.kernel.now();
+    for (const auto& h : handles) rig.net->close_connection(h);
+    alloc::SwitchPlan plan;
+    auto alloc_b = alloc::execute_use_case_switch(*rig.alloc, *alloc_a, uc_b, &plan);
+    if (!alloc_b) return 1;
+    for (const auto& c : alloc_b->connections) (void)rig.net->open_connection(c);
+    rig.net->run_config();
+    const sim::Cycle daelite_cycles = rig.kernel.now() - t0;
+
+    // --- aelite: config-message model --------------------------------------
+    sim::Kernel ak;
+    const auto amesh = topo::make_mesh(4, 4);
+    aelite::AeliteConfigHost ahost(ak, "cfg", amesh.topo, amesh.ni(0, 0),
+                                   {tdm::aelite_params(16), 0});
+    // Tear-down costs the same message sequence as set-up in aelite
+    // (regs are rewritten); model as 2n setups.
+    const auto nis = amesh.all_nis();
+    for (int i = 0; i < 2 * n; ++i) {
+      const auto src = nis[static_cast<std::size_t>((i * 3) % nis.size())];
+      const auto dst = nis[static_cast<std::size_t>((i * 3 + 7) % nis.size())];
+      ahost.post_setup({src, dst, 2, 1, true});
+    }
+    ak.run_until([&] { return ahost.idle(); }, 10'000'000);
+    const sim::Cycle aelite_cycles = ak.now();
+
+    t.add_row({std::to_string(n) + " + " + std::to_string(n),
+               std::to_string(daelite_cycles), std::to_string(aelite_cycles),
+               fmt(static_cast<double>(aelite_cycles) / static_cast<double>(daelite_cycles), 1) +
+                   "x"});
+  }
+  t.print(std::cout);
+  std::cout << "daelite's advantage compounds at the use-case level: every connection\n"
+               "of the switch pays the ~10x faster set-up, so whole application phase\n"
+               "changes complete in hundreds rather than thousands of cycles, while\n"
+               "unaffected connections keep their guarantees (see\n"
+               "bench_reconfig_under_traffic).\n";
+  return 0;
+}

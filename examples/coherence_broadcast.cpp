@@ -1,0 +1,72 @@
+// Coherence-style broadcast over the platform API.
+//
+// The paper motivates multicast with "cache coherence or synchronization
+// primitives" (§I). This example models a directory node broadcasting
+// updates to three cache replicas: one posted-write multicast connection
+// carries every update to all replicas simultaneously, the source link is
+// charged once, and after the stream the replicas are bit-identical.
+
+#include <cstdio>
+
+#include "analysis/network_report.hpp"
+#include "soc/platform.hpp"
+#include "topology/generators.hpp"
+
+#include <iostream>
+
+using namespace daelite;
+
+int main() {
+  const topo::Mesh mesh = topo::make_mesh(3, 3);
+  sim::Kernel kernel;
+  soc::Platform::Options opt;
+  opt.net.tdm = tdm::daelite_params(16);
+  opt.net.cfg_root = mesh.ni(1, 1);
+  soc::Platform plat(kernel, mesh.topo, opt);
+
+  const topo::NodeId directory = mesh.ni(1, 1);
+  const std::vector<topo::NodeId> replicas = {mesh.ni(0, 0), mesh.ni(2, 0), mesh.ni(2, 2)};
+  for (auto r : replicas) plat.add_memory(r);
+
+  auto port = plat.connect_multicast(directory, replicas, /*slots=*/4, 0x0000, 0x10000);
+  const sim::Cycle cfg = plat.configure();
+  std::printf("multicast tree to %zu replicas configured in %llu cycles\n\n", replicas.size(),
+              static_cast<unsigned long long>(cfg));
+
+  // Broadcast 64 directory updates (addr, value) as posted writes.
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    soc::Transaction t;
+    t.is_write = true;
+    t.addr = 0x100 + i * 2;
+    t.wdata = {i, ~i};
+    t.burst_len = 2;
+    port.port->submit(t);
+  }
+  kernel.run_until(
+      [&] {
+        for (auto r : replicas)
+          if (plat.memory(r).writes() < 128) return false;
+        return true;
+      },
+      200000);
+
+  // Verify the replicas are identical.
+  bool identical = true;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    for (auto r : replicas) {
+      identical = identical && plat.memory(r).read(0x100 + i * 2) == i &&
+                  plat.memory(r).read(0x100 + i * 2 + 1) == ~i;
+    }
+  }
+  std::printf("replica contents identical: %s (3 x %llu words written)\n",
+              identical ? "yes" : "NO",
+              static_cast<unsigned long long>(plat.memory(replicas[0]).writes()));
+  std::printf("network drops: %llu\n\n",
+              static_cast<unsigned long long>(plat.total_network_drops()));
+
+  analysis::print_link_usage(std::cout, mesh.topo, plat.allocator().schedule(), 6);
+  std::printf("\nThe directory's NI link carries the stream once (4 of 16 slots); the\n"
+              "tree fans out inside routers — no per-replica source bandwidth, no\n"
+              "per-replica connections, exactly the paper's multicast argument.\n");
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+// Fig. 7 demo: multicast in daelite.
+//
+// One source NI streams to three destinations through a multicast tree:
+// branch routers have two (or more) outputs reading the same input in the
+// same slot, the tree is configured with partial-path packets, and flow
+// control is disabled at the source (paper §IV: the single credit counter
+// cannot track multiple destinations). Every destination receives the
+// identical stream while the source link carries it exactly once.
+
+#include <cstdio>
+
+#include "alloc/allocator.hpp"
+#include "alloc/usecase.hpp"
+#include "daelite/network.hpp"
+#include "topology/generators.hpp"
+
+using namespace daelite;
+
+int main() {
+  const topo::Mesh mesh = topo::make_mesh(3, 3);
+  sim::Kernel kernel;
+  hw::DaeliteNetwork::Options opt;
+  opt.tdm = tdm::daelite_params(16);
+  opt.cfg_root = mesh.ni(0, 0);
+  hw::DaeliteNetwork net(kernel, mesh.topo, opt);
+  alloc::SlotAllocator alloc(mesh.topo, opt.tdm);
+
+  // Multicast connection: NI(0,0) -> { NI(2,0), NI(2,2), NI(0,2) }.
+  alloc::UseCase uc;
+  uc.connections.push_back({"mc", mesh.ni(0, 0),
+                            {mesh.ni(2, 0), mesh.ni(2, 2), mesh.ni(0, 2)},
+                            /*request_slots=*/4, /*response_slots=*/0});
+  auto allocation = alloc::allocate_use_case(alloc, uc);
+  if (!allocation) {
+    std::printf("allocation failed\n");
+    return 1;
+  }
+  const alloc::AllocatedConnection& conn = allocation->connections[0];
+
+  std::printf("Multicast tree (%zu links for 3 destinations):\n", conn.request.edges.size());
+  for (const auto& e : conn.request.edges) {
+    const topo::Link& l = mesh.topo.link(e.link);
+    std::printf("  depth %u: %s -> %s\n", e.depth, mesh.topo.node(l.src).name.c_str(),
+                mesh.topo.node(l.dst).name.c_str());
+  }
+
+  const auto segments =
+      alloc::make_cfg_segments(mesh.topo, opt.tdm, conn.request, 0, {0, 0, 0});
+  std::printf("\nConfigured with %zu path packets (branch segments first, trunk last);\n"
+              "branch segments start at their branch router — the paper's partial paths.\n",
+              segments.size());
+
+  const auto h = net.open_connection(conn);
+  const sim::Cycle cfg = net.run_config();
+  std::printf("set-up through the broadcast tree: %llu cycles\n\n",
+              static_cast<unsigned long long>(cfg));
+
+  // Stream 100 words.
+  hw::Ni& src = net.ni(mesh.ni(0, 0));
+  std::size_t pushed = 0;
+  std::vector<std::size_t> got(3, 0);
+  for (int guard = 0; guard < 100000; ++guard) {
+    if (pushed < 100 && src.tx_push(h.src_tx_q, static_cast<std::uint32_t>(0xA000 + pushed)))
+      ++pushed;
+    kernel.step();
+    bool done = pushed == 100;
+    for (std::size_t i = 0; i < 3; ++i) {
+      while (net.ni(conn.request.dst_nis[i]).rx_pop(h.dst_rx_qs[i])) ++got[i];
+      done = done && got[i] == 100;
+    }
+    if (done) break;
+  }
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto& ni = net.ni(conn.request.dst_nis[i]);
+    std::printf("%s received %zu/100 words, flit latency %0.f cycles (= 2 x %0.f hops)\n",
+                mesh.topo.node(conn.request.dst_nis[i]).name.c_str(), got[i],
+                ni.stats().latency.min(), ni.stats().latency.min() / 2);
+  }
+  std::printf("\nsource link slots used: %zu of 16 (once for all destinations);\n"
+              "router drops: %llu, NI drops: %llu\n",
+              conn.request.inject_slots.size(),
+              static_cast<unsigned long long>(net.total_router_drops()),
+              static_cast<unsigned long long>(net.total_ni_drops()));
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: the paper's Fig. 3 platform in ~60 lines.
+//
+// Build a 2x2 mesh daelite network, attach a memory behind one NI and an
+// IP bus in front of another, open a guaranteed-service connection
+// through the configuration broadcast tree, and perform memory-mapped
+// writes and reads across the NoC.
+
+#include <cstdio>
+
+#include "soc/platform.hpp"
+#include "topology/generators.hpp"
+
+using namespace daelite;
+
+int main() {
+  // 1. Topology: a 2x2 mesh of routers, one NI per router.
+  const topo::Mesh mesh = topo::make_mesh(2, 2);
+
+  // 2. Platform: daelite network (8-slot TDM wheel) + allocator. The host
+  //    configuration module attaches at NI(0,0).
+  sim::Kernel kernel;
+  soc::Platform::Options opt;
+  opt.net.tdm = tdm::daelite_params(8);
+  opt.net.cfg_root = mesh.ni(0, 0);
+  soc::Platform plat(kernel, mesh.topo, opt);
+
+  // 3. A memory behind NI(1,1); the IP will live at NI(0,0).
+  soc::Memory& mem = plat.add_memory(mesh.ni(1, 1));
+
+  // 4. Open a connection: 2 request slots, 1 response slot per wheel, and
+  //    map it at address 0 on the IP's local bus. This allocates the
+  //    contention-free schedule and streams the set-up packets through
+  //    the 7-bit configuration tree.
+  auto port = plat.connect(mesh.ni(0, 0), mesh.ni(1, 1), 2, 1, /*addr=*/0x0000, /*size=*/0x1000);
+  const sim::Cycle setup_cycles = plat.configure();
+  std::printf("connection configured in %llu cycles\n",
+              static_cast<unsigned long long>(setup_cycles));
+
+  // 5. Write a burst, then read it back, through the NoC.
+  soc::Transaction wr;
+  wr.is_write = true;
+  wr.addr = 0x10;
+  wr.wdata = {0xDEAD, 0xBEEF, 0xCAFE};
+  wr.burst_len = 3;
+  port.port->submit(wr);
+
+  kernel.run_until([&] { return mem.writes() >= 3; }, 10000);
+  std::printf("memory now holds 0x%X 0x%X 0x%X at 0x10\n", mem.read(0x10), mem.read(0x11),
+              mem.read(0x12));
+
+  soc::Transaction rd;
+  rd.is_write = false;
+  rd.addr = 0x10;
+  rd.burst_len = 3;
+  port.port->submit(rd);
+
+  std::optional<soc::Response> resp;
+  kernel.run_until(
+      [&] {
+        if (!resp) resp = port.port->take_response(); // drains the write ack first
+        if (resp && resp->is_write) resp = port.port->take_response();
+        return resp && !resp->is_write;
+      },
+      20000);
+  if (!resp || resp->rdata.size() != 3) {
+    std::printf("read failed!\n");
+    return 1;
+  }
+  std::printf("read back      0x%X 0x%X 0x%X (over %zu-hop guaranteed-service path)\n",
+              resp->rdata[0], resp->rdata[1], resp->rdata[2],
+              port.handle.conn.request.edges.size());
+  std::printf("network drops: %llu (contention-free by construction)\n",
+              static_cast<unsigned long long>(plat.total_network_drops()));
+  return 0;
+}

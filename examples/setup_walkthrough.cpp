@@ -1,0 +1,92 @@
+// Fig. 6 walkthrough: the paper's worked path set-up example, byte for
+// byte.
+//
+// Path NI10 - R10 - R11 - NI11 on a 2x2 mesh, slot-table size 8,
+// destination slots {4,7}. The example shows the configuration packet
+// (header, two slot-mask words, four (id, ports) pairs), then streams it
+// through the broadcast tree and prints each element's slot-table state:
+// NI11 receives in {4,7}, R11 forwards in {3,6}, R10 in {2,5}, and NI10
+// injects in {1,4} — the rotate-by-one-per-pair mask encoding in action.
+
+#include <cstdio>
+
+#include "alloc/route.hpp"
+#include "daelite/network.hpp"
+#include "topology/generators.hpp"
+#include "topology/path.hpp"
+
+using namespace daelite;
+
+int main() {
+  const topo::Mesh mesh = topo::make_mesh(2, 2);
+  const tdm::TdmParams params = tdm::daelite_params(8);
+
+  sim::Kernel kernel;
+  hw::DaeliteNetwork::Options opt;
+  opt.tdm = params;
+  opt.cfg_root = mesh.ni(0, 0);
+  hw::DaeliteNetwork net(kernel, mesh.topo, opt);
+
+  // The paper's path: NI10 -> R10 -> R11 -> NI11, injection slots {1,4}
+  // so the destination slots are {4,7}.
+  topo::PathFinder finder(mesh.topo);
+  const topo::Path path = finder.shortest(mesh.ni(1, 0), mesh.ni(1, 1));
+  alloc::RouteTree route = alloc::RouteTree::from_path(mesh.topo, path, {1, 4}, /*channel=*/0);
+
+  const auto segments = alloc::make_cfg_segments(mesh.topo, params, route, /*tx_q=*/0, {/*rx_q=*/0});
+  std::printf("Path: NI10 -> R10 -> R11 -> NI11, destination slots {4,7}\n\n");
+
+  std::printf("Configuration packet (7-bit words):\n");
+  const auto words = hw::encode_path_packet(segments[0], params, net.cfg_ids(), /*setup=*/true);
+  const char* annot[] = {"header: SETUP_PATH",
+                         "slot mask, bits 6..0",
+                         "slot mask, bit 7",
+                         "element id: NI11 (destination first)",
+                         "NI port word: rx queue 0",
+                         "element id: R11",
+                         "router ports: in 1 -> out 2 style pair",
+                         "element id: R10",
+                         "router ports pair",
+                         "element id: NI10 (source last)",
+                         "NI port word: tx queue 0",
+                         "end-of-packet marker"};
+  for (std::size_t i = 0; i < words.size(); ++i)
+    std::printf("  word %2zu: 0x%02X  (%s)\n", i, words[i],
+                i < sizeof(annot) / sizeof(annot[0]) ? annot[i] : "");
+
+  std::printf("\nStreaming the packet through the broadcast tree...\n");
+  net.post_route_setup(route, 0, {0});
+  const sim::Cycle cycles = net.run_config();
+  std::printf("done in %llu cycles (words + cool-down + tree propagation)\n\n",
+              static_cast<unsigned long long>(cycles));
+
+  auto show_router = [&](const char* name, topo::NodeId id) {
+    std::printf("%s slot table:", name);
+    const auto& t = net.router(id).table();
+    for (tdm::Slot s = 0; s < 8; ++s)
+      for (std::size_t o = 0; o < t.num_outputs(); ++o)
+        if (t.input_for(o, s) != tdm::kUnusedPort)
+          std::printf("  slot %u: in %u -> out %zu", s, t.input_for(o, s), o);
+    std::printf("\n");
+  };
+  auto show_ni = [&](const char* name, topo::NodeId id) {
+    std::printf("%s slot table: ", name);
+    const auto& t = net.ni(id).table();
+    for (tdm::Slot s = 0; s < 8; ++s) {
+      if (t.tx_channel(s) != tdm::kNoChannel) std::printf(" tx@%u", s);
+      if (t.rx_channel(s) != tdm::kNoChannel) std::printf(" rx@%u", s);
+    }
+    std::printf("\n");
+  };
+
+  show_ni("NI10 (source)     ", mesh.ni(1, 0));
+  show_router("R10               ", mesh.router(1, 0));
+  show_router("R11               ", mesh.router(1, 1));
+  show_ni("NI11 (destination)", mesh.ni(1, 1));
+
+  std::printf("\nExpected per the paper: NI10 tx {1,4}; R10 {2,5}; R11 {3,6}; NI11 rx {4,7}.\n"
+              "Each element rotated the broadcast slot mask once per (id, ports) pair,\n"
+              "so the per-hop slot shift of contention-free routing never travels\n"
+              "explicitly -- that is daelite's compact set-up encoding.\n");
+  return 0;
+}

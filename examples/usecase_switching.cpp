@@ -1,0 +1,122 @@
+// Use-case switching: the paper's motivating scenario (§I, §IV).
+//
+// Applications run in changing combinations ("use-cases"); before each
+// execution phase the required connections are set up, and torn down when
+// no longer needed — dynamically, while other connections keep running.
+// This example runs two phases:
+//   phase A: camera -> codec   +   cpu -> memory
+//   phase B: codec -> display  +   cpu -> memory (kept alive!)
+// and shows the cpu connection streaming undisturbed across the switch,
+// with the fast set-up time making the switch cheap.
+
+#include <cstdio>
+
+#include "alloc/allocator.hpp"
+#include "alloc/usecase.hpp"
+#include "daelite/network.hpp"
+#include "topology/generators.hpp"
+
+using namespace daelite;
+
+namespace {
+
+struct Streamer {
+  hw::DaeliteNetwork* net;
+  hw::ConnectionHandle h;
+  std::size_t pushed = 0;
+  std::size_t received = 0;
+
+  void pump() {
+    hw::Ni& src = net->ni(h.conn.request.src_ni);
+    if (src.tx_push(h.src_tx_q, static_cast<std::uint32_t>(pushed))) ++pushed;
+    hw::Ni& dst = net->ni(h.conn.request.dst_nis[0]);
+    while (dst.rx_pop(h.dst_rx_qs[0])) ++received;
+  }
+};
+
+} // namespace
+
+int main() {
+  const topo::Mesh mesh = topo::make_mesh(3, 3);
+  sim::Kernel kernel;
+  hw::DaeliteNetwork::Options opt;
+  opt.tdm = tdm::daelite_params(16);
+  opt.cfg_root = mesh.ni(1, 1); // host in the centre: min-depth config tree
+  hw::DaeliteNetwork net(kernel, mesh.topo, opt);
+  alloc::SlotAllocator alloc(mesh.topo, opt.tdm);
+
+  const topo::NodeId cpu = mesh.ni(0, 0), memory = mesh.ni(2, 2);
+  const topo::NodeId camera = mesh.ni(0, 2), codec = mesh.ni(2, 0), display = mesh.ni(1, 0);
+
+  auto open = [&](const char* name, topo::NodeId s, topo::NodeId d,
+                  std::uint32_t bw) -> std::pair<alloc::AllocatedConnection, hw::ConnectionHandle> {
+    alloc::UseCase uc;
+    uc.connections.push_back({name, s, {d}, bw, 1});
+    auto a = alloc::allocate_use_case(alloc, uc);
+    if (!a) {
+      std::printf("allocation of %s failed\n", name);
+      std::exit(1);
+    }
+    auto h = net.open_connection(a->connections[0]);
+    return {a->connections[0], h};
+  };
+  auto close = [&](std::pair<alloc::AllocatedConnection, hw::ConnectionHandle>& c) {
+    net.close_connection(c.second);
+    alloc.release(c.first.request);
+    if (c.first.has_response) alloc.release(c.first.response);
+  };
+
+  // The cpu->memory connection lives across both phases.
+  auto cpu_conn = open("cpu->mem", cpu, memory, 4);
+  auto cam_conn = open("camera->codec", camera, codec, 6);
+  const sim::Cycle t0 = kernel.now();
+  net.run_config();
+  std::printf("phase A configured in %llu cycles (2 connections)\n",
+              static_cast<unsigned long long>(kernel.now() - t0));
+
+  Streamer cpu_stream{&net, cpu_conn.second};
+  Streamer cam_stream{&net, cam_conn.second};
+  for (int i = 0; i < 2000; ++i) {
+    cpu_stream.pump();
+    cam_stream.pump();
+    kernel.step();
+  }
+  std::printf("phase A: cpu streamed %zu words, camera streamed %zu words\n",
+              cpu_stream.received, cam_stream.received);
+
+  // --- Use-case switch: tear down camera->codec, bring up codec->display,
+  // while the cpu connection keeps streaming. -------------------------------
+  const std::size_t cpu_before_switch = cpu_stream.received;
+  close(cam_conn);
+  auto disp_conn = open("codec->display", codec, display, 6);
+  const sim::Cycle s0 = kernel.now();
+  std::size_t cpu_during_switch = 0;
+  while (!net.config_idle()) {
+    cpu_stream.pump();
+    ++cpu_during_switch;
+    kernel.step();
+  }
+  std::printf("\nuse-case switch took %llu cycles; cpu connection kept streaming "
+              "(+%zu words during the switch)\n",
+              static_cast<unsigned long long>(kernel.now() - s0),
+              cpu_stream.received - cpu_before_switch);
+
+  Streamer disp_stream{&net, disp_conn.second};
+  for (int i = 0; i < 2000; ++i) {
+    cpu_stream.pump();
+    disp_stream.pump();
+    kernel.step();
+  }
+  std::printf("phase B: cpu streamed %zu words total, display streamed %zu words\n",
+              cpu_stream.received, disp_stream.received);
+
+  const auto& lat = net.ni(memory).stats().latency;
+  std::printf("\ncpu->mem latency across all phases: min %0.f = max %0.f cycles "
+              "(zero jitter through the switch)\n",
+              lat.min(), lat.max());
+  std::printf("router drops: %llu, NI drops: %llu, rx overflow: %llu\n",
+              static_cast<unsigned long long>(net.total_router_drops()),
+              static_cast<unsigned long long>(net.total_ni_drops()),
+              static_cast<unsigned long long>(net.total_rx_overflow()));
+  return lat.min() == lat.max() ? 0 : 1;
+}

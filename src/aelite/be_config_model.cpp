@@ -1,0 +1,47 @@
+#include "aelite/be_config_model.hpp"
+
+#include <cassert>
+
+namespace daelite::aelite {
+
+BeConfigModel::BeConfigModel(const topo::Topology& topo, topo::NodeId host_ni, Params params)
+    : topo_(&topo), host_ni_(host_ni), params_(params), rng_(params.seed) {
+  assert(params_.background_load >= 0.0 && params_.background_load < 1.0);
+}
+
+std::uint32_t BeConfigModel::distance(topo::NodeId ni) const {
+  topo::PathFinder finder(*topo_);
+  return static_cast<std::uint32_t>(finder.shortest(host_ni_, ni).hop_count());
+}
+
+sim::Cycle BeConfigModel::message_cycles(topo::NodeId target_ni) {
+  const std::uint32_t hops = distance(target_ni);
+  sim::Cycle cycles = 0;
+  for (std::uint32_t h = 0; h < hops; ++h) {
+    cycles += params_.tdm.hop_cycles;
+    // Geometric queueing: each blocked attempt costs a slot of waiting.
+    while (rng_.chance(params_.background_load))
+      cycles += params_.tdm.words_per_slot * 1; // wait one slot, retry
+  }
+  return cycles;
+}
+
+sim::Cycle BeConfigModel::setup_cycles(topo::NodeId src_ni, topo::NodeId dst_ni,
+                                       std::uint32_t request_slots,
+                                       std::uint32_t response_slots) {
+  // Same register sequence as the GS-configured variant: path + one write
+  // per slot entry + credit + enable, per NI; plus a confirmation read
+  // round trip per NI. BE messages serialize at the host (one outstanding
+  // at a time — BE gives no ordering guarantees otherwise).
+  sim::Cycle total = 0;
+  const std::uint32_t src_writes = 1 + request_slots + 1 + 1;
+  const std::uint32_t dst_writes = 1 + response_slots + 1 + 1;
+  for (std::uint32_t i = 0; i < dst_writes; ++i) total += message_cycles(dst_ni);
+  for (std::uint32_t i = 0; i < src_writes; ++i) total += message_cycles(src_ni);
+  // Read-backs: request + response flight each.
+  total += 2 * message_cycles(dst_ni);
+  total += 2 * message_cycles(src_ni);
+  return total;
+}
+
+} // namespace daelite::aelite

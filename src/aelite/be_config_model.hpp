@@ -1,0 +1,53 @@
+#pragma once
+// Best-effort configuration timing model — the third set-up mechanism in
+// the paper's landscape (§III): "Existing distributed models [10] rely on
+// the Best-Effort (BE) infrastructure for connection set-up which is both
+// expensive and does not deliver guarantees regarding the set-up time".
+//
+// In the BE Æthereal variants, configuration messages are ordinary BE
+// packets that arbitrate against background traffic at every router. We
+// model each hop as the 3-cycle GS hop plus a geometrically-distributed
+// queueing delay whose parameter reflects the background load. The model
+// exists to reproduce the *qualitative* claim: the mean is worse than
+// reserved-slot configuration, and the tail is unbounded in principle —
+// no guarantee can be given — whereas daelite's set-up time is an exact
+// constant for a given path.
+
+#include <cstdint>
+
+#include "sim/random.hpp"
+#include "tdm/params.hpp"
+#include "topology/graph.hpp"
+#include "topology/path.hpp"
+
+namespace daelite::aelite {
+
+class BeConfigModel {
+ public:
+  struct Params {
+    tdm::TdmParams tdm = tdm::aelite_params(16);
+    double background_load = 0.3; ///< probability a hop is blocked per attempt
+    std::uint64_t seed = 1;
+  };
+
+  BeConfigModel(const topo::Topology& topo, topo::NodeId host_ni, Params params);
+
+  /// One BE message host -> target: per hop, 3 cycles plus queueing.
+  sim::Cycle message_cycles(topo::NodeId target_ni);
+
+  /// A full connection set-up: the same register-write sequence as the
+  /// GS-configured aelite (writes grow with slots used), but every write
+  /// is a BE round over the congested network. Returns total cycles.
+  sim::Cycle setup_cycles(topo::NodeId src_ni, topo::NodeId dst_ni, std::uint32_t request_slots,
+                          std::uint32_t response_slots);
+
+ private:
+  std::uint32_t distance(topo::NodeId ni) const;
+
+  const topo::Topology* topo_;
+  topo::NodeId host_ni_;
+  Params params_;
+  sim::Xoshiro256 rng_;
+};
+
+} // namespace daelite::aelite

@@ -1,0 +1,112 @@
+#include "aelite/config_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace daelite::aelite {
+
+AeliteConfigHost::AeliteConfigHost(sim::Kernel& k, std::string name, const topo::Topology& topo,
+                                   topo::NodeId host_ni, Params params)
+    : sim::Component(k, std::move(name)), topo_(&topo), host_ni_(host_ni), params_(params) {
+  assert(params_.tdm.valid());
+  topo::PathFinder finder(topo);
+  for (topo::NodeId n = 0; n < topo.node_count(); ++n) {
+    if (!topo.is_ni(n) || n == host_ni) continue;
+    const topo::Path p = finder.shortest(host_ni, n);
+    distances_[n] = static_cast<std::uint32_t>(p.hop_count());
+  }
+  distances_[host_ni] = 0;
+}
+
+std::uint32_t AeliteConfigHost::message_count(const SetupRequest& req) {
+  // Per NI: path register + one write per slot-table entry + credit
+  // counter + enable flag; plus one confirmation read per NI.
+  const std::uint32_t src_writes = 1 + req.request_slots + 1 + 1;
+  const std::uint32_t dst_writes = 1 + req.response_slots + 1 + 1;
+  const std::uint32_t reads = req.with_readback ? 2 : 0;
+  return src_writes + dst_writes + reads;
+}
+
+std::uint32_t AeliteConfigHost::post_setup(const SetupRequest& req) {
+  const std::uint32_t id = next_id_++;
+  auto push = [&](topo::NodeId target, bool is_read) {
+    outgoing_.push_back(Msg{id, target, is_read});
+  };
+  // Destination (response channel) first, then source, then the enables
+  // are already part of the write counts; read-backs last.
+  for (std::uint32_t i = 0; i < 1 + req.response_slots + 1 + 1; ++i) push(req.dst_ni, false);
+  for (std::uint32_t i = 0; i < 1 + req.request_slots + 1 + 1; ++i) push(req.src_ni, false);
+  if (req.with_readback) {
+    push(req.dst_ni, true);
+    push(req.src_ni, true);
+  }
+  remaining_[id] = message_count(req);
+  return id;
+}
+
+sim::Cycle AeliteConfigHost::completion_cycle(std::uint32_t id) const {
+  auto it = completed_.find(id);
+  return it == completed_.end() ? sim::kNoCycle : it->second;
+}
+
+sim::Cycle AeliteConfigHost::next_reserved_slot(sim::Cycle c) const {
+  const std::uint32_t wheel = params_.tdm.wheel_cycles();
+  const sim::Cycle slot_start = params_.reserved_slot * params_.tdm.words_per_slot;
+  const sim::Cycle base = (c / wheel) * wheel + slot_start;
+  return base >= c ? base : base + wheel;
+}
+
+void AeliteConfigHost::tick() {
+  // Departure: one message per occurrence of the host's reserved slot.
+  if (!outgoing_.empty() && at_reserved_slot(now())) {
+    const Msg m = outgoing_.front();
+    outgoing_.pop_front();
+    in_flight_.push_back(
+        Flight{m, now() + static_cast<sim::Cycle>(params_.tdm.hop_cycles) * distance(m.target)});
+  }
+
+  // Arrivals at targets.
+  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+    if (it->arrives_at > now()) {
+      ++it;
+      continue;
+    }
+    if (it->msg.is_read) {
+      // The remote NI answers in its next reserved (response) slot; the
+      // answer then flies back.
+      const sim::Cycle resp_tx = next_reserved_slot(it->arrives_at + 1);
+      pending_responses_.push_back(Flight{
+          it->msg,
+          resp_tx + static_cast<sim::Cycle>(params_.tdm.hop_cycles) * distance(it->msg.target)});
+    } else {
+      // Write applied on arrival.
+      auto& left = remaining_.at(it->msg.request_id);
+      if (--left == 0) completed_[it->msg.request_id] = now();
+    }
+    it = in_flight_.erase(it);
+  }
+
+  // Read responses arriving back at the host.
+  for (auto it = pending_responses_.begin(); it != pending_responses_.end();) {
+    if (it->arrives_at > now()) {
+      ++it;
+      continue;
+    }
+    auto& left = remaining_.at(it->msg.request_id);
+    if (--left == 0) completed_[it->msg.request_id] = now();
+    it = pending_responses_.erase(it);
+  }
+}
+
+sim::Cycle AeliteConfigHost::ideal_setup_cycles(const SetupRequest& req) const {
+  const std::uint32_t msgs = message_count(req);
+  const sim::Cycle wheel = params_.tdm.wheel_cycles();
+  const auto d_src = static_cast<sim::Cycle>(params_.tdm.hop_cycles) * distance(req.src_ni);
+  const auto d_dst = static_cast<sim::Cycle>(params_.tdm.hop_cycles) * distance(req.dst_ni);
+  // Messages serialize at one per wheel; the last message is a read to the
+  // source NI: flight there, wait (<= wheel, take half on average -> use
+  // full wheel as the deterministic bound), flight back.
+  return static_cast<sim::Cycle>(msgs - 1) * wheel + 2 * std::max(d_src, d_dst) + wheel;
+}
+
+} // namespace daelite::aelite

@@ -1,0 +1,106 @@
+#pragma once
+// aelite configuration timing model.
+//
+// aelite/Æthereal configure connections by memory-mapped reads and writes
+// that travel *through the data network itself* on pre-opened
+// configuration connections from the host NI to every other NI, using the
+// slots reserved for configuration traffic ([12], paper §V). The costs
+// this creates — and which daelite's dedicated tree removes — are:
+//
+//  * serialization: the host NI's link carries one reserved slot per TDM
+//    wheel, so outgoing config messages leave at most one per wheel
+//    (a wheel is num_slots * 3 cycles);
+//  * per-entry writes: each slot-table entry, the path register, the
+//    credit counter and the enable flag of each involved NI are separate
+//    writes, so set-up time grows with the number of slots used;
+//  * round trips: confirmation read-backs pay the forward path, the wait
+//    for the remote NI's reserved response slot, and the return path.
+//
+// The model is a cycle-stepped component: messages depart in the host's
+// reserved slot, arrive 3 cycles/hop later, and reads generate responses
+// in the remote's next reserved slot. This reproduces the shape of the
+// aelite column of the paper's Table III (hundreds of cycles, growing
+// with both distance and slot count) against daelite's tens of cycles.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "sim/component.hpp"
+#include "tdm/params.hpp"
+#include "topology/graph.hpp"
+#include "topology/path.hpp"
+
+namespace daelite::aelite {
+
+class AeliteConfigHost : public sim::Component {
+ public:
+  struct Params {
+    tdm::TdmParams tdm = tdm::aelite_params(16);
+    tdm::Slot reserved_slot = 0;
+  };
+
+  struct SetupRequest {
+    topo::NodeId src_ni = topo::kInvalidNode;
+    topo::NodeId dst_ni = topo::kInvalidNode;
+    std::uint32_t request_slots = 1;
+    std::uint32_t response_slots = 1;
+    bool with_readback = true;
+  };
+
+  AeliteConfigHost(sim::Kernel& k, std::string name, const topo::Topology& topo,
+                   topo::NodeId host_ni, Params params);
+
+  /// Queue the full register-write/read sequence for one connection.
+  /// Returns a request id.
+  std::uint32_t post_setup(const SetupRequest& req);
+
+  bool idle() const { return outgoing_.empty() && in_flight_.empty() && pending_responses_.empty(); }
+
+  /// Completion cycle of request `id` (kNoCycle while outstanding).
+  sim::Cycle completion_cycle(std::uint32_t id) const;
+
+  /// Number of messages (writes + reads) a setup needs — the "ideal" cost
+  /// driver. Exposed for the analytic Table III column.
+  static std::uint32_t message_count(const SetupRequest& req);
+
+  /// Analytic lower bound on setup cycles: messages serialized at one per
+  /// wheel plus the final delivery flight time and read round trip.
+  sim::Cycle ideal_setup_cycles(const SetupRequest& req) const;
+
+  void tick() override;
+
+ private:
+  struct Msg {
+    std::uint32_t request_id = 0;
+    topo::NodeId target = topo::kInvalidNode;
+    bool is_read = false;
+  };
+  struct Flight {
+    Msg msg;
+    sim::Cycle arrives_at = 0;
+  };
+
+  std::uint32_t distance(topo::NodeId ni) const { return distances_.at(ni); }
+  bool at_reserved_slot(sim::Cycle c) const {
+    return params_.tdm.is_slot_start(c) && params_.tdm.slot_of_cycle(c) == params_.reserved_slot;
+  }
+  /// First cycle >= c that starts the reserved slot.
+  sim::Cycle next_reserved_slot(sim::Cycle c) const;
+
+  const topo::Topology* topo_;
+  topo::NodeId host_ni_;
+  Params params_;
+  std::map<topo::NodeId, std::uint32_t> distances_; ///< hops host NI -> NI
+
+  std::deque<Msg> outgoing_;
+  std::vector<Flight> in_flight_;          ///< requests travelling to targets
+  std::vector<Flight> pending_responses_;  ///< read responses travelling back
+
+  std::map<std::uint32_t, std::uint32_t> remaining_; ///< msgs left per request
+  std::map<std::uint32_t, sim::Cycle> completed_;
+  std::uint32_t next_id_ = 0;
+};
+
+} // namespace daelite::aelite

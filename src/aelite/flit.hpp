@@ -1,0 +1,68 @@
+#pragma once
+// aelite (GS-only Æthereal) transfer unit.
+//
+// aelite uses *source routing*: the packet path is stored in the source
+// NI and travels in a header word that precedes the payload. The TDM slot
+// is 3 words — one header plus two payload words for the first slot of a
+// packet; a packet may continue over up to 3 consecutive owned slots, in
+// which case continuation slots carry 3 payload words and no header
+// (paper §V: "one header is required at least every 3 slots", so header
+// overhead ranges from 1/9 = 11% to 1/3 = 33%).
+//
+// The header carries the remaining path (3 bits per hop, consumed
+// front-first by each router), the destination queue id, and piggybacked
+// credits for the reverse channel (Table I: end-to-end flow control via
+// headers). We model the header as a struct but account for it as one
+// 32-bit word.
+
+#include <array>
+#include <cstdint>
+
+#include "sim/types.hpp"
+#include "tdm/ids.hpp"
+
+namespace daelite::aelite {
+
+/// Per-hop output-port field width (router arity <= 8).
+inline constexpr unsigned kPortBits = 3;
+inline constexpr unsigned kMaxPathHops = 16;
+
+struct PathCode {
+  std::uint64_t bits = 0;   ///< packed 3-bit output ports, next hop in LSBs
+  std::uint8_t hops = 0;
+
+  void push_hop(std::uint8_t port) {
+    bits |= static_cast<std::uint64_t>(port & 0x7u) << (kPortBits * hops);
+    ++hops;
+  }
+  std::uint8_t peek() const { return static_cast<std::uint8_t>(bits & 0x7u); }
+  PathCode advanced() const {
+    PathCode p;
+    p.bits = bits >> kPortBits;
+    p.hops = static_cast<std::uint8_t>(hops > 0 ? hops - 1 : 0);
+    return p;
+  }
+  bool empty() const { return hops == 0; }
+};
+
+struct AeliteFlit {
+  static constexpr std::size_t kWordsPerSlot = 3;
+
+  bool valid = false;
+  bool sop = false;          ///< start of packet: header word present
+  PathCode path;             ///< remaining route (header field)
+  std::uint8_t dst_queue = 0;///< destination NI queue (header field)
+  std::uint8_t credit = 0;   ///< piggybacked credits (header field, 6 bits)
+
+  std::array<std::uint32_t, kWordsPerSlot> payload{};
+  std::uint8_t payload_count = 0; ///< 0..2 with header, 0..3 continuation
+
+  // Modelling metadata.
+  tdm::ChannelId debug_channel = tdm::kNoChannel;
+  sim::Cycle inject_cycle = sim::kNoCycle;
+
+  /// Words physically occupied on the link: header (if sop) + payload.
+  std::uint32_t words_on_wire() const { return (sop ? 1u : 0u) + payload_count; }
+};
+
+} // namespace daelite::aelite

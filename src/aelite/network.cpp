@@ -1,0 +1,140 @@
+#include "aelite/network.hpp"
+
+#include <cassert>
+
+namespace daelite::aelite {
+
+AeliteNetwork::AeliteNetwork(sim::Kernel& k, const topo::Topology& topo, Options options)
+    : kernel_(&k), topo_(&topo), options_(options) {
+  assert(options_.tdm.valid());
+
+  Ni::Params ni_params;
+  ni_params.tdm = options_.tdm;
+  ni_params.num_channels = options_.ni_channels;
+  ni_params.queue_capacity = options_.ni_queue_capacity;
+
+  for (topo::NodeId n = 0; n < topo.node_count(); ++n) {
+    const topo::Node& node = topo.node(n);
+    if (node.kind == topo::NodeKind::kRouter) {
+      routers_[n] = std::make_unique<Router>(k, "ae." + node.name, node.in_links.size(),
+                                             node.out_links.size(), options_.tdm);
+    } else {
+      nis_[n] = std::make_unique<Ni>(k, "ae." + node.name, ni_params);
+      tx_queue_used_[n].assign(options_.ni_channels, false);
+      rx_queue_used_[n].assign(options_.ni_channels, false);
+    }
+  }
+  for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
+    const topo::Link& link = topo.link(l);
+    const sim::Reg<AeliteFlit>* src_reg =
+        topo.is_router(link.src) ? &routers_.at(link.src)->output_reg(link.src_port)
+                                 : &nis_.at(link.src)->output_reg();
+    if (topo.is_router(link.dst)) {
+      routers_.at(link.dst)->connect_input(link.dst_port, src_reg);
+    } else {
+      nis_.at(link.dst)->connect_input(src_reg);
+    }
+  }
+}
+
+std::size_t AeliteNetwork::reserve_config_slots(alloc::SlotAllocator& alloc, tdm::Slot slot) {
+  const topo::Topology& t = alloc.topology();
+  std::size_t n = 0;
+  for (topo::LinkId l = 0; l < t.link_count(); ++l) {
+    const topo::Link& link = t.link(l);
+    if (t.is_ni(link.src) || t.is_ni(link.dst)) {
+      if (alloc.reserve_raw(l, slot, kConfigChannel)) ++n;
+    }
+  }
+  return n;
+}
+
+PathCode AeliteNetwork::path_code(const alloc::RouteTree& route) const {
+  assert(route.is_unicast());
+  PathCode code;
+  // Edges are depth-sorted; every edge leaving a router contributes that
+  // router's output port.
+  for (const alloc::RouteEdge& e : route.edges) {
+    const topo::Link& l = topo_->link(e.link);
+    if (topo_->is_router(l.src)) code.push_hop(static_cast<std::uint8_t>(l.src_port));
+  }
+  return code;
+}
+
+void AeliteNetwork::program_channel(const alloc::RouteTree& route, std::uint8_t tx_q,
+                                    std::uint8_t rx_q) {
+  Ni& src = *nis_.at(route.src_ni);
+  src.set_path(tx_q, path_code(route), rx_q);
+  src.set_debug_channel(tx_q, route.channel);
+  for (tdm::Slot q : route.inject_slots) src.table().set_tx(q, tx_q);
+  src.set_enabled(tx_q, true);
+}
+
+void AeliteNetwork::clear_channel(const alloc::RouteTree& route, std::uint8_t tx_q) {
+  Ni& src = *nis_.at(route.src_ni);
+  for (tdm::Slot q : route.inject_slots) src.table().clear_tx(q);
+  src.set_enabled(tx_q, false);
+}
+
+std::uint8_t AeliteNetwork::alloc_queue(std::map<topo::NodeId, std::vector<bool>>& pool,
+                                        topo::NodeId ni) {
+  auto& used = pool.at(ni);
+  for (std::size_t q = 0; q < used.size(); ++q) {
+    if (!used[q]) {
+      used[q] = true;
+      return static_cast<std::uint8_t>(q);
+    }
+  }
+  assert(false && "aelite NI out of queues");
+  return 0;
+}
+
+AeliteConnectionHandle AeliteNetwork::open_connection(const alloc::AllocatedConnection& conn) {
+  assert(conn.has_response && "aelite connections are bidirectional (no native multicast)");
+  AeliteConnectionHandle h;
+  h.conn = conn;
+  const topo::NodeId src = conn.request.src_ni;
+  const topo::NodeId dst = conn.request.dst_nis[0];
+  h.src_tx_q = alloc_queue(tx_queue_used_, src);
+  h.src_rx_q = alloc_queue(rx_queue_used_, src);
+  h.dst_tx_q = alloc_queue(tx_queue_used_, dst);
+  h.dst_rx_q = alloc_queue(rx_queue_used_, dst);
+
+  program_channel(conn.request, h.src_tx_q, h.dst_rx_q);
+  program_channel(conn.response, h.dst_tx_q, h.src_rx_q);
+  ni(src).set_pair(h.src_tx_q, h.src_rx_q);
+  ni(dst).set_pair(h.dst_tx_q, h.dst_rx_q);
+  const auto cap = static_cast<std::uint32_t>(std::min<std::size_t>(options_.ni_queue_capacity, 63));
+  ni(src).set_credit(h.src_tx_q, cap);
+  ni(dst).set_credit(h.dst_tx_q, cap);
+  return h;
+}
+
+std::uint64_t AeliteNetwork::total_collisions() const {
+  std::uint64_t n = 0;
+  for (const auto& [id, r] : routers_) n += r->stats().collisions + r->stats().orphan_flits;
+  return n;
+}
+
+std::uint64_t AeliteNetwork::total_rx_overflow() const {
+  std::uint64_t n = 0;
+  for (const auto& [id, ni] : nis_) n += ni->stats().rx_overflow;
+  return n;
+}
+
+std::uint64_t AeliteNetwork::total_header_words() const {
+  std::uint64_t n = 0;
+  for (const auto& [id, ni] : nis_)
+    for (std::size_t q = 0; q < options_.ni_channels; ++q)
+      n += ni->tx_stats(q).header_words_sent;
+  return n;
+}
+
+std::uint64_t AeliteNetwork::total_payload_words() const {
+  std::uint64_t n = 0;
+  for (const auto& [id, ni] : nis_)
+    for (std::size_t q = 0; q < options_.ni_channels; ++q) n += ni->tx_stats(q).words_sent;
+  return n;
+}
+
+} // namespace daelite::aelite

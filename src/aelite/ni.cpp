@@ -1,0 +1,150 @@
+#include "aelite/ni.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace daelite::aelite {
+
+Ni::Ni(sim::Kernel& k, std::string name, Params params)
+    : sim::Component(k, std::move(name)),
+      params_(params),
+      table_(params.tdm.num_slots),
+      tx_(params.num_channels),
+      rx_(params.num_channels) {
+  assert(params_.tdm.valid());
+  assert(params_.tdm.words_per_slot == AeliteFlit::kWordsPerSlot);
+  own(output_);
+  for (auto& ch : tx_) {
+    own(ch.queue);
+    own(ch.space);
+  }
+  for (auto& ch : rx_) {
+    own(ch.queue);
+    own(ch.pending);
+  }
+}
+
+void Ni::set_path(std::size_t tx_q, const PathCode& path, std::uint8_t dst_queue) {
+  tx_[tx_q].path = path;
+  tx_[tx_q].dst_queue = dst_queue;
+}
+
+void Ni::set_pair(std::size_t tx_q, std::size_t rx_q) {
+  tx_[tx_q].paired_rx = static_cast<std::uint8_t>(rx_q);
+  rx_[rx_q].paired_tx = static_cast<std::uint8_t>(tx_q);
+}
+
+bool Ni::tx_push(std::size_t q, std::uint32_t word) {
+  auto& ch = tx_[q];
+  if (ch.queue.next_size() >= params_.queue_capacity) return false;
+  ch.queue.push(word);
+  return true;
+}
+
+std::optional<std::uint32_t> Ni::rx_pop(std::size_t q) {
+  auto& ch = rx_[q];
+  if (ch.queue.poppable() == 0) return std::nullopt;
+  ch.pending.add(1);
+  return ch.queue.pop();
+}
+
+void Ni::tick() {
+  if (!params_.tdm.is_slot_start(now())) return;
+  const tdm::Slot slot = params_.tdm.slot_of_cycle(now());
+
+  // ---- Departures -----------------------------------------------------------
+  AeliteFlit out{};
+  const tdm::ChannelId tx_q = table_.tx_channel(slot);
+  if (tx_q != tdm::kNoChannel && tx_q < tx_.size() && tx_[tx_q].enabled) {
+    auto& ch = tx_[tx_q];
+
+    // Continuation is possible only in the slot immediately following the
+    // previous flit of the same packet, up to max_packet_slots.
+    const bool continuing = last_tx_channel_ == tx_q &&
+                            last_tx_cycle_ != sim::kNoCycle &&
+                            now() - last_tx_cycle_ == params_.tdm.words_per_slot &&
+                            packet_slots_used_ < params_.max_packet_slots;
+
+    const std::uint32_t payload_cap =
+        continuing ? AeliteFlit::kWordsPerSlot : AeliteFlit::kWordsPerSlot - 1;
+    std::uint32_t can_send = std::min<std::uint32_t>(
+        {payload_cap, static_cast<std::uint32_t>(ch.queue.poppable()),
+         static_cast<std::uint32_t>(ch.space.get())});
+    if (can_send == 0 && ch.queue.poppable() > 0) ++stats_.tx_stalled_slots;
+
+    // Credits to piggyback (header flits only).
+    std::uint32_t credits = 0;
+    if (!continuing && ch.paired_rx != 0xFF && ch.paired_rx < rx_.size()) {
+      credits = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+          rx_[ch.paired_rx].pending.get(), 63)); // 6-bit header field
+    }
+
+    if (can_send > 0 || credits > 0) {
+      out.valid = true;
+      out.sop = !continuing;
+      if (out.sop) {
+        out.path = ch.path;
+        out.dst_queue = ch.dst_queue;
+        out.credit = static_cast<std::uint8_t>(credits);
+        if (credits > 0) {
+          rx_[ch.paired_rx].pending.sub(credits);
+          ch.stats.credits_sent += credits;
+        }
+        ++ch.stats.header_words_sent;
+        packet_slots_used_ = 1;
+      } else {
+        ++packet_slots_used_;
+      }
+      for (std::uint32_t i = 0; i < can_send; ++i) out.payload[i] = ch.queue.pop();
+      out.payload_count = static_cast<std::uint8_t>(can_send);
+      if (can_send > 0) {
+        ch.space.sub(can_send);
+        ch.stats.words_sent += can_send;
+      }
+      ++ch.stats.flits_sent;
+      out.debug_channel = ch.debug_channel;
+      out.inject_cycle = now();
+      last_tx_channel_ = tx_q;
+      last_tx_cycle_ = now();
+    } else {
+      last_tx_channel_ = tdm::kNoChannel;
+    }
+  } else {
+    last_tx_channel_ = tdm::kNoChannel;
+  }
+  output_.set(out);
+
+  // ---- Arrivals ---------------------------------------------------------------
+  const AeliteFlit in = (input_ != nullptr) ? input_->get() : AeliteFlit{};
+  if (!in.valid) return;
+
+  if (in.sop) {
+    current_rx_queue_ = in.dst_queue;
+    if (in.credit > 0) {
+      if (current_rx_queue_ < rx_.size() && rx_[current_rx_queue_].paired_tx != 0xFF) {
+        tx_[rx_[current_rx_queue_].paired_tx].space.add(in.credit);
+        rx_[current_rx_queue_].stats.credits_received += in.credit;
+      }
+    }
+  } else if (current_rx_queue_ == 0xFF) {
+    ++stats_.rx_orphan_flits;
+    return;
+  }
+  if (current_rx_queue_ >= rx_.size()) {
+    ++stats_.rx_unknown_queue;
+    return;
+  }
+  auto& ch = rx_[current_rx_queue_];
+  for (std::uint32_t i = 0; i < in.payload_count; ++i) {
+    if (ch.queue.next_size() >= params_.queue_capacity) {
+      ++stats_.rx_overflow;
+      continue;
+    }
+    ch.queue.push(in.payload[i]);
+    ++ch.stats.words_received;
+  }
+  if (in.inject_cycle != sim::kNoCycle && in.payload_count > 0)
+    stats_.latency.add(now() - in.inject_cycle);
+}
+
+} // namespace daelite::aelite

@@ -1,0 +1,118 @@
+#pragma once
+// The aelite Network Interface.
+//
+// Differences from the daelite NI (paper §III, Fig. 2a):
+//  * slot tables exist only here — they control *departures*; arrivals are
+//    demultiplexed by the queue id carried in each packet header;
+//  * the connection's path is stored per tx channel and sent in the
+//    header of every packet;
+//  * packets aggregate up to 3 consecutive owned slots under one header
+//    (header + 2 payload words, then 3 payload words per continuation);
+//  * credits ride in packet headers (Table I: flow control via headers).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aelite/flit.hpp"
+#include "sim/component.hpp"
+#include "sim/fifo.hpp"
+#include "sim/stats.hpp"
+#include "tdm/params.hpp"
+#include "tdm/slot_table.hpp"
+
+namespace daelite::aelite {
+
+class Ni : public sim::Component {
+ public:
+  struct Params {
+    tdm::TdmParams tdm = tdm::aelite_params(16);
+    std::size_t num_channels = 8;
+    std::size_t queue_capacity = 32;
+    std::uint32_t max_packet_slots = 3; ///< "one header at least every 3 slots"
+  };
+
+  struct ChannelStats {
+    std::uint64_t words_sent = 0;
+    std::uint64_t words_received = 0;
+    std::uint64_t header_words_sent = 0;
+    std::uint64_t flits_sent = 0;
+    std::uint64_t credits_sent = 0;
+    std::uint64_t credits_received = 0;
+  };
+
+  struct Stats {
+    std::uint64_t rx_unknown_queue = 0;
+    std::uint64_t rx_overflow = 0;
+    std::uint64_t rx_orphan_flits = 0; ///< continuation before any header
+    std::uint64_t tx_stalled_slots = 0;
+    sim::Histogram latency{4096};
+  };
+
+  Ni(sim::Kernel& k, std::string name, Params params);
+
+  void connect_input(const sim::Reg<AeliteFlit>* src) { input_ = src; }
+  const sim::Reg<AeliteFlit>& output_reg() const { return output_; }
+
+  const Params& params() const { return params_; }
+  tdm::NiSlotTable& table() { return table_; } ///< tx entries only
+
+  // --- Channel programming (direct; aelite configuration timing is
+  // modelled separately by AeliteConfigHost) --------------------------------
+  void set_path(std::size_t tx_q, const PathCode& path, std::uint8_t dst_queue);
+  void set_credit(std::size_t tx_q, std::uint32_t space) { tx_[tx_q].space.force(space); }
+  void set_pair(std::size_t tx_q, std::size_t rx_q);
+  void set_enabled(std::size_t tx_q, bool on) { tx_[tx_q].enabled = on; }
+  void set_debug_channel(std::size_t tx_q, tdm::ChannelId ch) { tx_[tx_q].debug_channel = ch; }
+
+  // --- Shell-facing API ------------------------------------------------------
+  bool tx_push(std::size_t q, std::uint32_t word);
+  std::optional<std::uint32_t> rx_pop(std::size_t q);
+  std::size_t tx_level(std::size_t q) const { return tx_[q].queue.size(); }
+  std::size_t rx_level(std::size_t q) const { return rx_[q].queue.size(); }
+  std::uint64_t credit(std::size_t tx_q) const { return tx_[tx_q].space.get(); }
+
+  const Stats& stats() const { return stats_; }
+  const ChannelStats& tx_stats(std::size_t q) const { return tx_[q].stats; }
+  const ChannelStats& rx_stats(std::size_t q) const { return rx_[q].stats; }
+
+  void tick() override;
+
+ private:
+  struct TxChannel {
+    sim::FifoReg<std::uint32_t> queue;
+    sim::CounterReg space;
+    PathCode path;
+    std::uint8_t dst_queue = 0;
+    std::uint8_t paired_rx = 0xFF;
+    bool enabled = false;
+    tdm::ChannelId debug_channel = tdm::kNoChannel;
+    ChannelStats stats;
+  };
+  struct RxChannel {
+    sim::FifoReg<std::uint32_t> queue;
+    sim::CounterReg pending;
+    std::uint8_t paired_tx = 0xFF;
+    ChannelStats stats;
+  };
+
+  Params params_;
+  tdm::NiSlotTable table_;
+  const sim::Reg<AeliteFlit>* input_ = nullptr;
+  sim::Reg<AeliteFlit> output_;
+  std::vector<TxChannel> tx_;
+  std::vector<RxChannel> rx_;
+
+  // Packet aggregation state (single writer: this component's tick).
+  tdm::ChannelId last_tx_channel_ = tdm::kNoChannel;
+  sim::Cycle last_tx_cycle_ = sim::kNoCycle;
+  std::uint32_t packet_slots_used_ = 0;
+
+  // Arrival reassembly state.
+  std::uint8_t current_rx_queue_ = 0xFF;
+
+  Stats stats_;
+};
+
+} // namespace daelite::aelite

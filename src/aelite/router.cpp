@@ -1,0 +1,73 @@
+#include "aelite/router.hpp"
+
+#include <cassert>
+
+namespace daelite::aelite {
+
+namespace {
+constexpr std::uint8_t kNoRoute = 0xFF;
+}
+
+Router::Router(sim::Kernel& k, std::string name, std::size_t num_inputs, std::size_t num_outputs,
+               tdm::TdmParams params)
+    : sim::Component(k, std::move(name)),
+      params_(params),
+      inputs_(num_inputs, nullptr),
+      outputs_(num_outputs),
+      route_state_(num_inputs) {
+  assert(params_.valid());
+  assert(num_outputs <= (1u << kPortBits));
+  for (auto& o : outputs_) own(o);
+  for (auto& r : route_state_) {
+    r.force(kNoRoute);
+    own(r);
+  }
+}
+
+void Router::tick() {
+  if (!params_.is_slot_start(now())) return;
+
+  // Resolve each input's requested output.
+  std::vector<std::pair<std::size_t, AeliteFlit>> forwards; // (output, flit)
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    if (inputs_[i] == nullptr) continue;
+    AeliteFlit f = inputs_[i]->get();
+    if (!f.valid) continue;
+    ++stats_.flits_in;
+
+    std::uint8_t out;
+    if (f.sop) {
+      out = f.path.peek();
+      f.path = f.path.advanced();
+      route_state_[i].set(out);
+      ++stats_.header_words;
+    } else {
+      out = route_state_[i].get();
+      if (out == kNoRoute) {
+        ++stats_.orphan_flits;
+        continue;
+      }
+    }
+    stats_.payload_words += f.payload_count;
+    if (out >= outputs_.size()) {
+      ++stats_.orphan_flits;
+      continue;
+    }
+    forwards.emplace_back(out, f);
+  }
+
+  // Drive outputs; detect schedule violations (two inputs -> one output).
+  std::vector<bool> driven(outputs_.size(), false);
+  for (auto& o : outputs_) o.set(AeliteFlit{});
+  for (auto& [out, f] : forwards) {
+    if (driven[out]) {
+      ++stats_.collisions;
+      continue;
+    }
+    driven[out] = true;
+    outputs_[out].set(f);
+    ++stats_.flits_forwarded;
+  }
+}
+
+} // namespace daelite::aelite

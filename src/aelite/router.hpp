@@ -1,0 +1,59 @@
+#pragma once
+// The aelite router: source-routed, slot-table free.
+//
+// A header flit names its output port in the low 3 bits of the path code;
+// the router strips them and forwards. Continuation flits (no header)
+// follow the route their packet's header established — the router keeps
+// one "current output" register per input port. The per-hop latency is 3
+// cycles (paper §V), which at 3-word slots is one pipeline stage per slot,
+// the same modelling convention as the daelite router at 2-word slots.
+//
+// The contention-free TDM schedule (computed at the NIs) guarantees no two
+// inputs ever target one output in the same slot; if a misconfiguration
+// violates this, the lowest input wins and the others count as collisions.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aelite/flit.hpp"
+#include "sim/component.hpp"
+#include "tdm/params.hpp"
+
+namespace daelite::aelite {
+
+class Router : public sim::Component {
+ public:
+  struct Stats {
+    std::uint64_t flits_in = 0;
+    std::uint64_t flits_forwarded = 0;
+    std::uint64_t collisions = 0;    ///< two inputs targeting one output (schedule bug)
+    std::uint64_t orphan_flits = 0;  ///< continuation with no established route
+    std::uint64_t header_words = 0;  ///< header words forwarded (overhead accounting)
+    std::uint64_t payload_words = 0;
+  };
+
+  Router(sim::Kernel& k, std::string name, std::size_t num_inputs, std::size_t num_outputs,
+         tdm::TdmParams params);
+
+  void connect_input(std::size_t in_port, const sim::Reg<AeliteFlit>* src) {
+    inputs_[in_port] = src;
+  }
+  const sim::Reg<AeliteFlit>& output_reg(std::size_t out_port) const { return outputs_[out_port]; }
+
+  std::size_t num_inputs() const { return inputs_.size(); }
+  std::size_t num_outputs() const { return outputs_.size(); }
+  const Stats& stats() const { return stats_; }
+
+  void tick() override;
+
+ private:
+  tdm::TdmParams params_;
+  std::vector<const sim::Reg<AeliteFlit>*> inputs_;
+  std::vector<sim::Reg<AeliteFlit>> outputs_;
+  /// Route state per input: output port of the packet in flight.
+  std::vector<sim::Reg<std::uint8_t>> route_state_;
+  Stats stats_;
+};
+
+} // namespace daelite::aelite

@@ -1,0 +1,189 @@
+#include "alloc/allocator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <map>
+
+namespace daelite::alloc {
+
+SlotAllocator::SlotAllocator(const topo::Topology& topo, tdm::TdmParams params,
+                             AllocatorOptions options)
+    : topo_(&topo),
+      params_(params),
+      options_(options),
+      schedule_(topo.link_count(), params),
+      finder_(topo) {
+  assert(params_.valid());
+}
+
+std::vector<tdm::Slot> SlotAllocator::free_inject_slots(const RouteTree& shape) const {
+  std::vector<tdm::Slot> out;
+  for (tdm::Slot q = 0; q < params_.num_slots; ++q) {
+    bool ok = true;
+    for (const RouteEdge& e : shape.edges) {
+      if (!schedule_.is_free(e.link, params_.slot_at_link(q, e.depth))) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(q);
+  }
+  return out;
+}
+
+std::vector<tdm::Slot> SlotAllocator::choose_slots(const std::vector<tdm::Slot>& avail,
+                                                   std::uint32_t want) const {
+  std::vector<tdm::Slot> picked;
+  if (avail.size() < want) return picked;
+  if (options_.slot_policy == SlotPolicy::kFirstFit || want == 0) {
+    picked.assign(avail.begin(), avail.begin() + want);
+    return picked;
+  }
+  // kSpread: pick every (avail.size()/want)-th available slot, which keeps
+  // the worst-case scheduling latency (wait for the next owned slot) low.
+  const double stride = static_cast<double>(avail.size()) / static_cast<double>(want);
+  double pos = 0.0;
+  for (std::uint32_t i = 0; i < want; ++i) {
+    picked.push_back(avail[static_cast<std::size_t>(pos)]);
+    pos += stride;
+  }
+  return picked;
+}
+
+void SlotAllocator::commit(const RouteTree& route) {
+  for (tdm::Slot q : route.inject_slots) {
+    for (const RouteEdge& e : route.edges) {
+      const bool ok = schedule_.reserve(e.link, params_.slot_at_link(q, e.depth), route.channel);
+      assert(ok && "commit of an infeasible route");
+      (void)ok;
+    }
+  }
+}
+
+std::optional<RouteTree> SlotAllocator::allocate_on_path(const topo::Path& path,
+                                                         std::uint32_t slots_required) {
+  if (path.empty()) return std::nullopt;
+  RouteTree shape = RouteTree::from_path(*topo_, path, {}, tdm::kNoChannel);
+  const auto avail = free_inject_slots(shape);
+  auto slots = choose_slots(avail, slots_required);
+  if (slots.size() < slots_required) return std::nullopt;
+  shape.inject_slots = std::move(slots);
+  std::sort(shape.inject_slots.begin(), shape.inject_slots.end());
+  shape.channel = next_channel_id();
+  commit(shape);
+  ++live_channels_;
+  return shape;
+}
+
+bool SlotAllocator::restore(const RouteTree& route) {
+  std::vector<std::pair<topo::LinkId, tdm::Slot>> taken;
+  for (tdm::Slot q : route.inject_slots) {
+    for (const RouteEdge& e : route.edges) {
+      const tdm::Slot s = params_.slot_at_link(q, e.depth);
+      if (!schedule_.reserve(e.link, s, route.channel)) {
+        for (const auto& [l, slot] : taken) schedule_.release(l, slot);
+        return false;
+      }
+      taken.emplace_back(e.link, s);
+    }
+  }
+  ++live_channels_;
+  return true;
+}
+
+void SlotAllocator::release(const RouteTree& route) {
+  const std::size_t freed = schedule_.release_channel(route.channel);
+  if (freed > 0 && live_channels_ > 0) --live_channels_;
+}
+
+std::optional<RouteTree> SlotAllocator::allocate(const ChannelSpec& spec) {
+  assert(!spec.dst_nis.empty());
+  assert(topo_->is_ni(spec.src_ni));
+  if (spec.dst_nis.size() == 1) return allocate_unicast(spec);
+  return allocate_multicast(spec);
+}
+
+std::optional<RouteTree> SlotAllocator::allocate_unicast(const ChannelSpec& spec) {
+  const auto paths = finder_.k_shortest(spec.src_ni, spec.dst_nis[0], options_.path_candidates);
+  for (const topo::Path& p : paths) {
+    if (auto r = allocate_on_path(p, spec.slots_required)) return r;
+  }
+  return std::nullopt;
+}
+
+std::optional<RouteTree> SlotAllocator::grow_tree(const topo::Path& trunk,
+                                                  const ChannelSpec& spec) const {
+  RouteTree tree = RouteTree::from_path(*topo_, trunk, {}, tdm::kNoChannel);
+  tree.dst_nis = {trunk.dest(*topo_)};
+
+  // Depth of every node currently on the tree.
+  std::map<topo::NodeId, std::uint32_t> depth;
+  depth[tree.src_ni] = 0;
+  for (const RouteEdge& e : tree.edges) depth[topo_->link(e.link).dst] = e.depth + 1;
+
+  for (std::size_t i = 1; i < spec.dst_nis.size(); ++i) {
+    const topo::NodeId dst = spec.dst_nis[i];
+    if (depth.count(dst) != 0) return std::nullopt; // dst interior to tree: not allowed
+
+    // Branch from the tree router that yields the shortest attachment.
+    // Branch paths may not pass *through* other tree nodes (that would
+    // break the tree property), so links into tree nodes are forbidden.
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    std::vector<double> base_cost(topo_->link_count(), 1.0);
+    for (const auto& [node, d] : depth) {
+      (void)d;
+      for (topo::LinkId l : topo_->node(node).in_links) base_cost[l] = kInf;
+      if (topo_->is_ni(node)) // NIs cannot forward: no branch may leave one
+        for (topo::LinkId l : topo_->node(node).out_links) base_cost[l] = kInf;
+    }
+
+    topo::Path best;
+    std::uint32_t best_depth = 0;
+    double best_cost = kInf;
+    for (const auto& [node, d] : depth) {
+      if (!topo_->is_router(node)) continue;
+      const topo::Path p = finder_.shortest_weighted(node, dst, base_cost);
+      if (p.empty()) continue;
+      const double cost = static_cast<double>(p.links.size());
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = p;
+        best_depth = d;
+      }
+    }
+    if (best.empty()) return std::nullopt;
+
+    for (std::size_t j = 0; j < best.links.size(); ++j) {
+      tree.edges.push_back(RouteEdge{best.links[j], best_depth + static_cast<std::uint32_t>(j)});
+      depth[topo_->link(best.links[j]).dst] = best_depth + static_cast<std::uint32_t>(j) + 1;
+    }
+    tree.dst_nis.push_back(dst);
+  }
+
+  std::sort(tree.edges.begin(), tree.edges.end(), [](const RouteEdge& a, const RouteEdge& b) {
+    return a.depth < b.depth || (a.depth == b.depth && a.link < b.link);
+  });
+  return tree;
+}
+
+std::optional<RouteTree> SlotAllocator::allocate_multicast(const ChannelSpec& spec) {
+  const auto trunks = finder_.k_shortest(spec.src_ni, spec.dst_nis[0], options_.path_candidates);
+  for (const topo::Path& trunk : trunks) {
+    auto tree = grow_tree(trunk, spec);
+    if (!tree) continue;
+    const auto avail = free_inject_slots(*tree);
+    auto slots = choose_slots(avail, spec.slots_required);
+    if (slots.size() < spec.slots_required) continue;
+    tree->inject_slots = std::move(slots);
+    std::sort(tree->inject_slots.begin(), tree->inject_slots.end());
+    tree->channel = next_channel_id();
+    // Keep destination order as specified (grow_tree appends in order).
+    commit(*tree);
+    ++live_channels_;
+    return tree;
+  }
+  return std::nullopt;
+}
+
+} // namespace daelite::alloc

@@ -1,0 +1,104 @@
+#pragma once
+// Contention-free slot allocation — the "network dimensioning" half of the
+// Æthereal toolflow the paper leverages ("we leverage on existing tools for
+// network dimensioning, analysis and instantiation", §I; the schedule "is
+// typically computed at design time", §IV).
+//
+// A channel asking for B slots per TDM wheel needs a path (or multicast
+// tree) plus a set of injection slots q such that every tree link at depth
+// k is free in slot slot_at_link(q, k). The allocator searches candidate
+// paths (k-shortest) and picks injection slots by policy.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "alloc/route.hpp"
+#include "tdm/params.hpp"
+#include "tdm/schedule.hpp"
+#include "topology/graph.hpp"
+#include "topology/path.hpp"
+
+namespace daelite::alloc {
+
+struct ChannelSpec {
+  topo::NodeId src_ni = topo::kInvalidNode;
+  std::vector<topo::NodeId> dst_nis;
+  std::uint32_t slots_required = 1; ///< bandwidth, in slots per wheel
+};
+
+enum class SlotPolicy {
+  kFirstFit, ///< lowest free injection slots
+  kSpread,   ///< spread slots evenly around the wheel (lower scheduling latency)
+};
+
+struct AllocatorOptions {
+  std::size_t path_candidates = 8; ///< k for the k-shortest path search
+  SlotPolicy slot_policy = SlotPolicy::kSpread;
+};
+
+class SlotAllocator {
+ public:
+  SlotAllocator(const topo::Topology& topo, tdm::TdmParams params,
+                AllocatorOptions options = {});
+
+  const tdm::Schedule& schedule() const { return schedule_; }
+  const tdm::TdmParams& params() const { return params_; }
+  const topo::Topology& topology() const { return *topo_; }
+
+  /// Allocate a channel (unicast or multicast). Returns the route with a
+  /// fresh ChannelId, or nullopt if no path/slot combination fits.
+  std::optional<RouteTree> allocate(const ChannelSpec& spec);
+
+  /// Allocate along a caller-chosen path (slots only). Used by tests and
+  /// by the multipath allocator.
+  std::optional<RouteTree> allocate_on_path(const topo::Path& path, std::uint32_t slots_required);
+
+  /// Free every reservation of the route's channel.
+  void release(const RouteTree& route);
+
+  /// Reserve one raw (link, slot) pair for an externally-managed channel.
+  /// Used by tests and ablation studies to shape residual capacity.
+  bool reserve_raw(topo::LinkId link, tdm::Slot slot, tdm::ChannelId ch) {
+    return schedule_.reserve(link, slot, ch);
+  }
+
+  /// Re-reserve a previously released route exactly as it was (same
+  /// channel id, same slots). Returns false and rolls back if any of its
+  /// (link, slot) pairs has been taken in the meantime. Used by the
+  /// use-case switching flow to restore state after a failed switch.
+  bool restore(const RouteTree& route);
+
+  /// Injection slots currently available for the given route tree shape.
+  std::vector<tdm::Slot> free_inject_slots(const RouteTree& shape) const;
+
+  std::size_t allocated_channels() const { return live_channels_; }
+
+ private:
+  tdm::ChannelId next_channel_id() { return next_channel_++; }
+
+  /// Pick `want` slots from `avail` (sorted) per the slot policy.
+  std::vector<tdm::Slot> choose_slots(const std::vector<tdm::Slot>& avail, std::uint32_t want) const;
+
+  /// Reserve all (link, slot) pairs of the route. Asserts availability.
+  void commit(const RouteTree& route);
+
+  std::optional<RouteTree> allocate_unicast(const ChannelSpec& spec);
+  std::optional<RouteTree> allocate_multicast(const ChannelSpec& spec);
+
+  /// Grow a multicast tree over the given trunk path, attaching remaining
+  /// destinations by shortest non-tree branches. Returns nullopt if some
+  /// destination cannot be attached.
+  std::optional<RouteTree> grow_tree(const topo::Path& trunk, const ChannelSpec& spec) const;
+
+  const topo::Topology* topo_;
+  tdm::TdmParams params_;
+  AllocatorOptions options_;
+  tdm::Schedule schedule_;
+  topo::PathFinder finder_;
+  tdm::ChannelId next_channel_ = 0;
+  std::size_t live_channels_ = 0;
+};
+
+} // namespace daelite::alloc

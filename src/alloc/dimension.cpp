@@ -1,0 +1,114 @@
+#include "alloc/dimension.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace daelite::alloc {
+
+std::uint32_t slots_for_bandwidth(double mbps, std::uint32_t num_slots, const NocClocking& clk) {
+  if (mbps <= 0.0) return 1;
+  const double share = mbps / clk.link_mbytes_per_s();
+  const auto slots =
+      static_cast<std::uint32_t>(std::ceil(share * static_cast<double>(num_slots) - 1e-9));
+  return std::max(1u, slots);
+}
+
+namespace {
+
+/// Worst-case wait (in cycles) for the next owned slot: the largest gap
+/// between consecutive owned slots, minus one cycle.
+std::uint64_t worst_scheduling_wait(const std::vector<tdm::Slot>& owned,
+                                    const tdm::TdmParams& p) {
+  if (owned.empty()) return 0;
+  std::vector<tdm::Slot> slots = owned;
+  std::sort(slots.begin(), slots.end());
+  std::uint64_t worst = 0;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const tdm::Slot cur = slots[i];
+    const tdm::Slot prev = slots[(i + slots.size() - 1) % slots.size()];
+    const std::uint64_t gap_slots = (cur + p.num_slots - prev - 1) % p.num_slots + 1;
+    worst = std::max(worst, gap_slots * p.words_per_slot - 1);
+  }
+  return worst;
+}
+
+/// Worst-case single-word latency of an allocated channel: wait for the
+/// furthest owned slot, then traverse (2 cycles/hop), then the word may
+/// be the last of its flit (+W-1 cycles).
+double worst_latency_ns(const RouteTree& route, const tdm::TdmParams& p,
+                        const NocClocking& clk) {
+  std::size_t max_links = 0;
+  for (const RouteEdge& e : route.edges) max_links = std::max<std::size_t>(max_links, e.depth + 1);
+  const double cycles = static_cast<double>(worst_scheduling_wait(route.inject_slots, p)) +
+                        static_cast<double>(max_links) * p.hop_cycles +
+                        static_cast<double>(p.words_per_slot - 1);
+  return cycles * clk.ns_per_cycle();
+}
+
+} // namespace
+
+std::optional<DimensionResult> dimension_network(const topo::Topology& topo,
+                                                 const std::vector<PhysicalConnectionSpec>& specs,
+                                                 const NocClocking& clk,
+                                                 const std::vector<std::uint32_t>& candidates,
+                                                 std::string* why) {
+  std::ostringstream reasons;
+  for (std::uint32_t s : candidates) {
+    const tdm::TdmParams params = tdm::daelite_params(s);
+
+    UseCase uc;
+    uc.name = "dimensioned";
+    std::vector<DimensionedConnection> dims;
+    for (const PhysicalConnectionSpec& ps : specs) {
+      DimensionedConnection d;
+      d.spec = ps;
+      d.request_slots = slots_for_bandwidth(ps.bandwidth_mbytes_per_s, s, clk);
+      d.response_slots = ps.dst_nis.size() > 1
+                             ? 0
+                             : slots_for_bandwidth(ps.response_bandwidth_mbytes_per_s, s, clk);
+      uc.connections.push_back({ps.name, ps.src_ni, ps.dst_nis, d.request_slots,
+                                d.response_slots});
+      dims.push_back(std::move(d));
+    }
+
+    SlotAllocator alloc(topo, params);
+    std::string failed;
+    auto allocation = allocate_use_case(alloc, uc, &failed);
+    if (!allocation) {
+      reasons << "S=" << s << ": no schedule (" << failed << "); ";
+      continue;
+    }
+
+    // Latency verification against the actual slot assignments.
+    bool latency_ok = true;
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+      const RouteTree& r = allocation->connections[i].request;
+      dims[i].worst_latency_ns = worst_latency_ns(r, params, clk);
+      dims[i].achieved_mbytes_per_s = static_cast<double>(dims[i].request_slots) /
+                                      static_cast<double>(s) * clk.link_mbytes_per_s();
+      if (dims[i].worst_latency_ns > dims[i].spec.max_latency_ns + 1e-9) {
+        reasons << "S=" << s << ": " << dims[i].spec.name << " worst latency "
+                << dims[i].worst_latency_ns << "ns > bound " << dims[i].spec.max_latency_ns
+                << "ns; ";
+        latency_ok = false;
+        break;
+      }
+    }
+    if (!latency_ok) {
+      release_use_case(alloc, *allocation);
+      continue;
+    }
+
+    DimensionResult out;
+    out.params = params;
+    out.allocation = std::move(*allocation);
+    out.connections = std::move(dims);
+    out.schedule_utilization = alloc.schedule().utilization();
+    return out;
+  }
+  if (why) *why = reasons.str();
+  return std::nullopt;
+}
+
+} // namespace daelite::alloc

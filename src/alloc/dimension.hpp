@@ -1,0 +1,71 @@
+#pragma once
+// Network dimensioning — the front half of the Æthereal toolflow the
+// paper reuses ("for network dimensioning and hardware instantiation we
+// use the standard Æthereal tools", §I).
+//
+// Applications specify connections physically: payload bandwidth in
+// MB/s and an optional worst-case latency bound in ns. Given the NoC's
+// clock frequency and word width, the dimensioning tool converts the
+// demands into TDM slots, searches the smallest slot-table size S that
+// admits the whole use case, and verifies every latency bound against
+// the worst-case analytic latency of the actual allocation (scheduling
+// wait at the source + 2 cycles per hop + serialization).
+
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "alloc/usecase.hpp"
+#include "tdm/params.hpp"
+#include "topology/graph.hpp"
+
+namespace daelite::alloc {
+
+struct PhysicalConnectionSpec {
+  std::string name;
+  topo::NodeId src_ni = topo::kInvalidNode;
+  std::vector<topo::NodeId> dst_nis;
+  double bandwidth_mbytes_per_s = 1.0;   ///< payload demand, request direction
+  double response_bandwidth_mbytes_per_s = 0.0; ///< 0 = minimal (1 slot)
+  double max_latency_ns = std::numeric_limits<double>::infinity();
+};
+
+struct NocClocking {
+  double freq_mhz = 500.0;
+  std::uint32_t word_bytes = 4;
+
+  /// Raw link payload bandwidth in MB/s (one word per cycle).
+  double link_mbytes_per_s() const { return freq_mhz * word_bytes; }
+  double ns_per_cycle() const { return 1000.0 / freq_mhz; }
+};
+
+/// Slots needed for `mbps` of payload on a wheel of S slots (daelite
+/// slots are all payload). At least 1.
+std::uint32_t slots_for_bandwidth(double mbps, std::uint32_t num_slots, const NocClocking& clk);
+
+struct DimensionedConnection {
+  PhysicalConnectionSpec spec;
+  std::uint32_t request_slots = 0;
+  std::uint32_t response_slots = 0;
+  double achieved_mbytes_per_s = 0.0;
+  double worst_latency_ns = 0.0; ///< analytic worst case for one word
+};
+
+struct DimensionResult {
+  tdm::TdmParams params;
+  UseCaseAllocation allocation;
+  std::vector<DimensionedConnection> connections;
+  double schedule_utilization = 0.0;
+};
+
+/// Try wheel sizes in `candidates` (ascending) until the whole use case
+/// fits with every latency bound met. Returns nullopt (and `why`) if none
+/// works.
+std::optional<DimensionResult> dimension_network(
+    const topo::Topology& topo, const std::vector<PhysicalConnectionSpec>& specs,
+    const NocClocking& clk, const std::vector<std::uint32_t>& candidates = {8, 16, 32, 64},
+    std::string* why = nullptr);
+
+} // namespace daelite::alloc

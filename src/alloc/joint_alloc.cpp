@@ -1,0 +1,148 @@
+#include "alloc/joint_alloc.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cassert>
+#include <vector>
+
+#include "topology/path.hpp"
+
+namespace daelite::alloc {
+
+namespace {
+
+/// Bitmask of slots free on `link` (bit s set = slot s free).
+std::uint64_t free_mask(const tdm::Schedule& sched, topo::LinkId link, std::uint32_t s) {
+  std::uint64_t m = 0;
+  for (tdm::Slot slot = 0; slot < s; ++slot)
+    if (sched.is_free(link, slot)) m |= (1ull << slot);
+  return m;
+}
+
+/// Rotate an S-bit mask right by k: result bit q = input bit (q+k) mod S.
+std::uint64_t ror_s(std::uint64_t m, std::uint32_t k, std::uint32_t s) {
+  k %= s;
+  const std::uint64_t all = (s >= 64) ? ~0ull : ((1ull << s) - 1);
+  m &= all;
+  if (k == 0) return m;
+  return ((m >> k) | (m << (s - k))) & all;
+}
+
+struct State {
+  topo::NodeId node = topo::kInvalidNode;
+  std::uint64_t mask = 0;
+  std::int32_t parent = -1;  ///< index into the state arena
+  topo::LinkId via = topo::kInvalidLink;
+  std::array<std::uint64_t, 2> visited{}; ///< nodes on the partial path (<= 128 nodes)
+};
+
+bool test_visited(const std::array<std::uint64_t, 2>& v, topo::NodeId n) {
+  return (v[n >> 6] >> (n & 63)) & 1;
+}
+void set_visited(std::array<std::uint64_t, 2>& v, topo::NodeId n) {
+  v[n >> 6] |= 1ull << (n & 63);
+}
+
+} // namespace
+
+std::optional<RouteTree> allocate_joint(SlotAllocator& alloc, const ChannelSpec& spec,
+                                        std::size_t max_depth, JointSearchStats* stats) {
+  assert(spec.dst_nis.size() == 1 && "joint search handles unicast channels");
+  const topo::Topology& t = alloc.topology();
+  const tdm::TdmParams& p = alloc.params();
+  const std::uint32_t s = p.num_slots;
+  const std::uint32_t shift = p.slot_shift_per_hop();
+  const tdm::Schedule& sched = alloc.schedule();
+  const topo::NodeId src = spec.src_ni;
+  const topo::NodeId dst = spec.dst_nis[0];
+
+  if (max_depth == 0) {
+    const auto shortest = topo::PathFinder(t).shortest(src, dst);
+    if (shortest.empty()) return std::nullopt;
+    max_depth = 4 * shortest.hop_count();
+  }
+
+  // Precompute per-link free masks once.
+  std::vector<std::uint64_t> link_free(t.link_count());
+  for (topo::LinkId l = 0; l < t.link_count(); ++l) link_free[l] = free_mask(sched, l, s);
+
+  const std::uint64_t all = (s >= 64) ? ~0ull : ((1ull << s) - 1);
+  assert(t.node_count() <= 128 && "joint search supports up to 128 nodes");
+  std::vector<State> arena;
+  State root{src, all, -1, topo::kInvalidLink, {}};
+  set_visited(root.visited, src);
+  arena.push_back(root);
+
+  // Pareto fronts: per (node, depth mod S), the (mask, visited) pairs
+  // already accepted. A state dominates another only when all three hold:
+  //  * superset slot mask (can carry at least the same slots),
+  //  * subset visited set (can take at least the same completions), and
+  //  * equal depth modulo S — crucial, because the rotation applied to
+  //    future links depends on the path length, so masks at different
+  //    depths (mod S) are incomparable.
+  struct Accepted {
+    std::uint64_t mask;
+    std::array<std::uint64_t, 2> visited;
+  };
+  std::vector<std::vector<std::vector<Accepted>>> accepted(
+      t.node_count(), std::vector<std::vector<Accepted>>(s));
+  accepted[src][0].push_back({all, arena[0].visited});
+
+  std::vector<std::size_t> frontier{0};
+  for (std::size_t depth = 0; depth < max_depth && !frontier.empty(); ++depth) {
+    std::vector<std::size_t> next;
+    for (const std::size_t si : frontier) {
+      const State st = arena[si]; // copy: arena may reallocate
+      if (stats) ++stats->states_expanded;
+      for (topo::LinkId l : t.node(st.node).out_links) {
+        const topo::NodeId v = t.link(l).dst;
+        if (t.is_ni(v) && v != dst) continue; // NIs are not transit nodes
+        if (test_visited(st.visited, v)) continue; // keep paths loopless
+        const std::uint64_t m =
+            st.mask & ror_s(link_free[l], static_cast<std::uint32_t>(depth) * shift, s);
+        if (static_cast<std::uint32_t>(std::popcount(m)) < spec.slots_required) {
+          if (stats) ++stats->states_pruned;
+          continue;
+        }
+        if (v == dst) {
+          // Reconstruct the path and commit through the allocator.
+          std::vector<topo::LinkId> links{l};
+          for (std::int32_t at = static_cast<std::int32_t>(si); at >= 0 && arena[at].parent >= 0;
+               at = arena[at].parent)
+            links.push_back(arena[at].via);
+          std::reverse(links.begin(), links.end());
+          topo::Path path;
+          path.links = std::move(links);
+          return alloc.allocate_on_path(path, spec.slots_required);
+        }
+        // Dominance check at v.
+        State ns{v, m, static_cast<std::int32_t>(si), l, st.visited};
+        set_visited(ns.visited, v);
+        const std::uint32_t phase = static_cast<std::uint32_t>((depth + 1) % s);
+        bool dominated = false;
+        for (const Accepted& a : accepted[v][phase]) {
+          const bool mask_superset = (m & a.mask) == m;
+          const bool visited_subset = (a.visited[0] & ~ns.visited[0]) == 0 &&
+                                      (a.visited[1] & ~ns.visited[1]) == 0;
+          if (mask_superset && visited_subset) {
+            dominated = true;
+            break;
+          }
+        }
+        if (dominated) {
+          if (stats) ++stats->states_pruned;
+          continue;
+        }
+        accepted[v][phase].push_back({m, ns.visited});
+        arena.push_back(ns);
+        next.push_back(arena.size() - 1);
+        if (arena.size() > 500000) return std::nullopt; // state-explosion guard
+      }
+    }
+    frontier = std::move(next);
+  }
+  return std::nullopt;
+}
+
+} // namespace daelite::alloc

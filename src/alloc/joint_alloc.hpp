@@ -1,0 +1,42 @@
+#pragma once
+// Joint space-time allocation (UMARS-style, after Hansson et al.'s
+// Æthereal allocator): instead of fixing a path first and then looking
+// for slots on it, search the path and the injection-slot set together.
+//
+// Search state: (node, F) where F is the set of injection slots q that
+// are still free on *every* link of the partial path. Extending the path
+// by link l at depth d intersects F with the slots free on l (mapped
+// back through the d-slot shift). A state is kept only if it is
+// Pareto-maximal at its node: another state with a superset F and
+// shorter-or-equal depth dominates it. The first state reaching the
+// destination with |F| >= required slots wins (breadth-first order, so
+// minimal hop count among feasible combinations).
+//
+// This finds allocations the fixed-path allocator misses: when every
+// individual shortest path has too few aligned free slots, a slightly
+// longer path — or the same length through different links — may carry
+// the demand. The fixed-path allocator approximates this with k-shortest
+// candidates; the joint search is exact up to the depth bound.
+
+#include <cstdint>
+#include <optional>
+
+#include "alloc/allocator.hpp"
+#include "alloc/route.hpp"
+
+namespace daelite::alloc {
+
+struct JointSearchStats {
+  std::size_t states_expanded = 0;
+  std::size_t states_pruned = 0;
+};
+
+/// Find a unicast route for `spec` by joint path/slot search against the
+/// allocator's current schedule, and commit it through the allocator's
+/// raw interface. `max_depth` bounds the detour length (default: 4x the
+/// shortest path). Returns the committed route or nullopt.
+std::optional<RouteTree> allocate_joint(SlotAllocator& alloc, const ChannelSpec& spec,
+                                        std::size_t max_depth = 0,
+                                        JointSearchStats* stats = nullptr);
+
+} // namespace daelite::alloc

@@ -1,0 +1,51 @@
+#include "alloc/multipath.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "topology/path.hpp"
+
+namespace daelite::alloc {
+
+std::optional<MultipathRoute> MultipathAllocator::allocate(const ChannelSpec& spec) {
+  assert(spec.dst_nis.size() == 1 && "multipath applies to unicast channels");
+
+  // Prefer a single path when one fits — multipath is the fallback that
+  // combines residual capacity, never a replacement that fragments it.
+  if (auto single = base_->allocate(spec)) {
+    MultipathRoute route;
+    route.parts.push_back(std::move(*single));
+    return route;
+  }
+
+  topo::PathFinder finder(base_->topology());
+  const auto paths = finder.k_shortest(spec.src_ni, spec.dst_nis[0], max_paths_);
+
+  MultipathRoute route;
+  std::uint32_t remaining = spec.slots_required;
+  for (const topo::Path& p : paths) {
+    if (remaining == 0) break;
+    // Take as many slots from this path as are available (up to remaining).
+    RouteTree shape = RouteTree::from_path(base_->topology(), p, {});
+    const auto avail = base_->free_inject_slots(shape);
+    const auto take = static_cast<std::uint32_t>(
+        std::min<std::size_t>(avail.size(), remaining));
+    if (take == 0) continue;
+    auto part = base_->allocate_on_path(p, take);
+    assert(part.has_value());
+    remaining -= take;
+    route.parts.push_back(std::move(*part));
+  }
+
+  if (remaining > 0) {
+    release(route);
+    return std::nullopt;
+  }
+  return route;
+}
+
+void MultipathAllocator::release(const MultipathRoute& route) {
+  for (const RouteTree& part : route.parts) base_->release(part);
+}
+
+} // namespace daelite::alloc

@@ -1,0 +1,230 @@
+#include "alloc/route.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace daelite::alloc {
+
+RouteTree RouteTree::from_path(const topo::Topology& t, const topo::Path& p,
+                               std::vector<tdm::Slot> inject_slots, tdm::ChannelId ch) {
+  assert(p.is_connected(t));
+  RouteTree r;
+  r.channel = ch;
+  r.src_ni = p.source(t);
+  r.dst_nis = {p.dest(t)};
+  r.inject_slots = std::move(inject_slots);
+  std::sort(r.inject_slots.begin(), r.inject_slots.end());
+  for (std::size_t i = 0; i < p.links.size(); ++i)
+    r.edges.push_back(RouteEdge{p.links[i], static_cast<std::uint32_t>(i)});
+  return r;
+}
+
+std::optional<std::uint32_t> RouteTree::depth_of(const topo::Topology& t, topo::NodeId node) const {
+  if (node == src_ni) return 0u;
+  for (const RouteEdge& e : edges)
+    if (t.link(e.link).dst == node) return e.depth + 1;
+  return std::nullopt;
+}
+
+std::optional<std::uint32_t> RouteTree::dst_link_count(const topo::Topology& t,
+                                                       topo::NodeId dst) const {
+  // The destination NI is reached by exactly one tree edge; its depth + 1
+  // is the number of links on the path to it.
+  return depth_of(t, dst);
+}
+
+tdm::Slot RouteTree::rx_slot(const topo::Topology& t, const tdm::TdmParams& p, topo::NodeId dst,
+                             tdm::Slot q) const {
+  const auto n = dst_link_count(t, dst);
+  assert(n.has_value());
+  return p.slot_at_link(q, *n);
+}
+
+std::optional<RouteEdge> RouteTree::edge_into(const topo::Topology& t, topo::NodeId node) const {
+  for (const RouteEdge& e : edges)
+    if (t.link(e.link).dst == node) return e;
+  return std::nullopt;
+}
+
+std::vector<RouteEdge> RouteTree::edges_from(const topo::Topology& t, topo::NodeId node) const {
+  std::vector<RouteEdge> out;
+  for (const RouteEdge& e : edges)
+    if (t.link(e.link).src == node) out.push_back(e);
+  return out;
+}
+
+std::string validate_route_tree(const topo::Topology& t, const RouteTree& r) {
+  std::ostringstream err;
+  if (r.src_ni == topo::kInvalidNode || !t.is_ni(r.src_ni)) return "source is not an NI";
+  if (r.dst_nis.empty()) return "no destinations";
+  if (r.edges.empty()) return "no edges";
+
+  // Each node other than the source must be entered by at most one edge,
+  // at a depth consistent with its parent.
+  std::map<topo::NodeId, std::uint32_t> reach_depth; // node -> depth (links from src)
+  reach_depth[r.src_ni] = 0;
+
+  auto edges = r.edges;
+  std::sort(edges.begin(), edges.end(), [](const RouteEdge& a, const RouteEdge& b) {
+    return a.depth < b.depth || (a.depth == b.depth && a.link < b.link);
+  });
+
+  std::set<topo::LinkId> seen_links;
+  for (const RouteEdge& e : edges) {
+    if (!seen_links.insert(e.link).second) {
+      err << "duplicate link " << e.link;
+      return err.str();
+    }
+    const topo::Link& l = t.link(e.link);
+    auto it = reach_depth.find(l.src);
+    if (it == reach_depth.end()) {
+      err << "edge from unreached node " << t.node(l.src).name;
+      return err.str();
+    }
+    if (it->second != e.depth) {
+      err << "edge depth " << e.depth << " inconsistent with node depth " << it->second << " at "
+          << t.node(l.src).name;
+      return err.str();
+    }
+    if (reach_depth.count(l.dst) != 0) {
+      err << "node " << t.node(l.dst).name << " reached twice (not a tree)";
+      return err.str();
+    }
+    // Branching is only possible at routers: an NI cannot forward.
+    if (t.is_ni(l.src) && l.src != r.src_ni) {
+      err << "edge leaves non-source NI " << t.node(l.src).name;
+      return err.str();
+    }
+    reach_depth[l.dst] = e.depth + 1;
+  }
+
+  for (topo::NodeId dst : r.dst_nis) {
+    if (!t.is_ni(dst)) {
+      err << "destination " << t.node(dst).name << " is not an NI";
+      return err.str();
+    }
+    if (reach_depth.count(dst) == 0) {
+      err << "destination " << t.node(dst).name << " not reached";
+      return err.str();
+    }
+  }
+  // Every leaf of the tree must be a destination NI (no dangling branches).
+  for (const auto& [node, depth] : reach_depth) {
+    (void)depth;
+    if (node == r.src_ni) continue;
+    const bool has_out = !r.edges_from(t, node).empty();
+    const bool is_dst = std::find(r.dst_nis.begin(), r.dst_nis.end(), node) != r.dst_nis.end();
+    if (!has_out && !is_dst) {
+      err << "dangling tree leaf " << t.node(node).name;
+      return err.str();
+    }
+    if (is_dst && has_out) {
+      err << "destination " << t.node(node).name << " is interior to the tree";
+      return err.str();
+    }
+  }
+  return {};
+}
+
+namespace {
+
+/// Reconstruct the unique tree path (sequence of edges) from the source to
+/// `dst` by walking edge_into() backwards.
+std::vector<RouteEdge> tree_path_to(const topo::Topology& t, const RouteTree& r,
+                                    topo::NodeId dst) {
+  std::vector<RouteEdge> rev;
+  topo::NodeId at = dst;
+  while (at != r.src_ni) {
+    auto e = r.edge_into(t, at);
+    assert(e.has_value() && "destination not on tree");
+    rev.push_back(*e);
+    at = t.link(e->link).src;
+  }
+  std::reverse(rev.begin(), rev.end());
+  return rev;
+}
+
+} // namespace
+
+std::vector<CfgSegment> make_cfg_segments(const topo::Topology& t, const tdm::TdmParams& p,
+                                          const RouteTree& r, std::uint8_t tx_queue,
+                                          const std::vector<std::uint8_t>& rx_queues) {
+  assert(rx_queues.size() == r.dst_nis.size());
+  std::vector<CfgSegment> segments;
+  std::set<topo::LinkId> configured; // tree links already covered by a segment
+
+  for (std::size_t d = 0; d < r.dst_nis.size(); ++d) {
+    const topo::NodeId dst = r.dst_nis[d];
+    const std::vector<RouteEdge> path = tree_path_to(t, r, dst);
+    assert(!path.empty());
+
+    // Find the deepest already-configured prefix. New elements start after
+    // the last configured link; the branch router (driver of the first new
+    // link) is included so its table gains the new output port.
+    std::size_t first_new = 0;
+    while (first_new < path.size() && configured.count(path[first_new].link) != 0) ++first_new;
+    if (first_new == path.size()) continue; // fully shared path (duplicate dst)
+
+    CfgSegment seg;
+    const std::uint32_t n_links = static_cast<std::uint32_t>(path.size());
+    // Slots at the segment head (the destination NI, element position n_links).
+    for (tdm::Slot q : r.inject_slots) seg.slots_at_head.push_back(p.slot_at_link(q, n_links));
+
+    // Destination NI entry.
+    CfgElement dst_el;
+    dst_el.node = dst;
+    dst_el.is_ni = true;
+    dst_el.in_port = rx_queues[d];
+    seg.elements.push_back(dst_el);
+
+    // Routers from the last hop back to (and including) the driver of the
+    // first new link.
+    for (std::size_t i = path.size(); i-- > first_new + 1;) {
+      // Router between path[i-1] and path[i]: it receives link path[i-1]
+      // and drives link path[i].
+      const topo::Link& in_l = t.link(path[i - 1].link);
+      const topo::Link& out_l = t.link(path[i].link);
+      assert(in_l.dst == out_l.src);
+      CfgElement el;
+      el.node = out_l.src;
+      el.in_port = static_cast<std::uint8_t>(in_l.dst_port);
+      el.out_port = static_cast<std::uint8_t>(out_l.src_port);
+      seg.elements.push_back(el);
+    }
+
+    if (first_new == 0) {
+      // Full segment: ends at the source NI.
+      CfgElement src_el;
+      src_el.node = r.src_ni;
+      src_el.is_ni = true;
+      src_el.is_source_ni = true;
+      src_el.out_port = tx_queue;
+      seg.elements.push_back(src_el);
+    } else {
+      // Partial segment: ends at the branch router, re-stating its
+      // existing input port with the new output port.
+      const topo::Link& in_l = t.link(path[first_new - 1].link);
+      const topo::Link& out_l = t.link(path[first_new].link);
+      assert(in_l.dst == out_l.src);
+      CfgElement el;
+      el.node = out_l.src;
+      el.in_port = static_cast<std::uint8_t>(in_l.dst_port);
+      el.out_port = static_cast<std::uint8_t>(out_l.src_port);
+      seg.elements.push_back(el);
+    }
+
+    for (std::size_t i = first_new; i < path.size(); ++i) configured.insert(path[i].link);
+    segments.push_back(std::move(seg));
+  }
+  // Return branch segments first and the trunk (which arms the source NI)
+  // last, so that by the time the source may inject, every branch router is
+  // already configured — the segment-level analogue of the paper's
+  // destination-first element ordering.
+  std::reverse(segments.begin(), segments.end());
+  return segments;
+}
+
+} // namespace daelite::alloc

@@ -1,0 +1,126 @@
+#pragma once
+// Channel routes: the allocator's output and the configuration subsystem's
+// input.
+//
+// Timing convention (derived from the paper's Fig. 6 example and the
+// 2-cycle hop): a channel injected by its source NI in slot q behaves as a
+// pipeline in which each network element acts `shift` slots after its
+// predecessor (shift = hop_cycles / words_per_slot, 1 for daelite's 2-word
+// slots):
+//
+//   element          position p   acting slot
+//   source NI        0            q
+//   router R_1       1            q + shift
+//   ...              ...          ...
+//   router R_m       m            q + m*shift
+//   destination NI   m+1          q + (m+1)*shift
+//
+// "Acting" means writing the element's output register (for the dst NI:
+// accepting into the channel queue). The slot-table entry that forwards the
+// channel at router R_p is indexed by R_p's acting slot, and the schedule
+// reservation for the p-th link of the path uses the driving element's
+// acting slot — so a (link, slot) reservation is literally one slot-table
+// entry. This reproduces the paper's example exactly: path NI10-R10-R11-
+// NI11, destination slots {4,7} -> R11 {3,6} -> R10 {2,5} -> NI10 {1,4}.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "tdm/ids.hpp"
+#include "tdm/params.hpp"
+#include "topology/graph.hpp"
+#include "topology/path.hpp"
+
+namespace daelite::alloc {
+
+/// One link of a route tree together with its distance (in links) from the
+/// source NI. For a unicast route, depths are 0..m along the path.
+struct RouteEdge {
+  topo::LinkId link = topo::kInvalidLink;
+  std::uint32_t depth = 0;
+
+  bool operator==(const RouteEdge&) const = default;
+};
+
+/// A (possibly multicast) channel route: a tree of links rooted at the
+/// source NI, plus the TDM slots the source injects in.
+struct RouteTree {
+  tdm::ChannelId channel = tdm::kNoChannel;
+  topo::NodeId src_ni = topo::kInvalidNode;
+  std::vector<topo::NodeId> dst_nis;
+  std::vector<RouteEdge> edges;          ///< unique links, sorted by (depth, link)
+  std::vector<tdm::Slot> inject_slots;   ///< q values, sorted ascending
+
+  bool is_unicast() const { return dst_nis.size() == 1; }
+  std::size_t slot_count() const { return inject_slots.size(); }
+
+  /// Build a unicast route from a path.
+  static RouteTree from_path(const topo::Topology& t, const topo::Path& p,
+                             std::vector<tdm::Slot> inject_slots,
+                             tdm::ChannelId ch = tdm::kNoChannel);
+
+  /// Depth (links from source) at which `node` is reached, if on the tree.
+  std::optional<std::uint32_t> depth_of(const topo::Topology& t, topo::NodeId node) const;
+
+  /// Number of links from the source NI to destination `dst`.
+  std::optional<std::uint32_t> dst_link_count(const topo::Topology& t, topo::NodeId dst) const;
+
+  /// Slot in which the destination NI accepts a flit injected in slot q.
+  /// With n links to the destination, the dst NI is element n of the
+  /// pipeline, so its acting slot is slot_at_link(q, n).
+  tdm::Slot rx_slot(const topo::Topology& t, const tdm::TdmParams& p, topo::NodeId dst,
+                    tdm::Slot q) const;
+
+  /// The unique edge entering `node`, if any.
+  std::optional<RouteEdge> edge_into(const topo::Topology& t, topo::NodeId node) const;
+
+  /// Outgoing tree edges of `node`.
+  std::vector<RouteEdge> edges_from(const topo::Topology& t, topo::NodeId node) const;
+};
+
+/// Structural validation of a route tree: edges form a tree rooted at
+/// src_ni with consistent depths, branches only at routers, every
+/// destination reached, no destination interior to the tree.
+/// Returns an empty string when valid, else a diagnostic.
+std::string validate_route_tree(const topo::Topology& t, const RouteTree& r);
+
+// --- Configuration segments -------------------------------------------------
+//
+// The daelite configuration network programs a route as one or more *path
+// segments* (paper §IV: "It is not mandatory that a packet contains a
+// complete source-to-destination NI path, independent path segments can be
+// initialized as well. This is used to set up broadcast or multicast
+// trees"). Each segment lists elements destination-first; the accompanying
+// slot mask gives the slots at the first listed element and every element
+// rotates the mask by `shift` positions per (ID, ports) pair processed.
+
+struct CfgElement {
+  topo::NodeId node = topo::kInvalidNode;
+  /// Router: input port. Source NI: unused. Destination NI: rx queue index.
+  std::uint8_t in_port = 0;
+  /// Router: output port. Source NI: tx queue index. Dest NI: unused.
+  std::uint8_t out_port = 0;
+  bool is_ni = false;
+  bool is_source_ni = false; ///< only for the source NI of the channel
+};
+
+struct CfgSegment {
+  /// Elements in packet order (destination of the segment first).
+  std::vector<CfgElement> elements;
+  /// Slots at the *first listed element* (mask reference point).
+  std::vector<tdm::Slot> slots_at_head;
+};
+
+/// Decompose a route tree into configuration segments. The first segment
+/// covers the full path to dst_nis[0] (source NI last, so downstream
+/// elements initialize first); each further destination contributes a
+/// partial segment ending (upstream-most) at its branch router, which is
+/// re-programmed with its existing input port and the new output port.
+/// `tx_queue` / `rx_queue(dst)` give the NI-local queue indices encoded in
+/// the NI configuration words.
+std::vector<CfgSegment> make_cfg_segments(const topo::Topology& t, const tdm::TdmParams& p,
+                                          const RouteTree& r, std::uint8_t tx_queue,
+                                          const std::vector<std::uint8_t>& rx_queues);
+
+} // namespace daelite::alloc

@@ -1,0 +1,49 @@
+#pragma once
+// Use-case switching (paper §I: applications "run concurrently in
+// different combinations denoted as use-cases"; the NoC should "provide
+// fast (re)configuration to adapt to dynamic use case switches";
+// cf. [25] mapping/configuration for multi-use-case NoCs and [12]
+// configuration trade-offs).
+//
+// A switch from use-case A to use-case B keeps the connections common to
+// both (matched by name and identical spec — they keep streaming through
+// the switch), tears down the rest of A, and sets up B's new connections.
+// plan/execute split so callers can inspect or cost a switch before
+// committing; execution is transactional (on failure the allocator is
+// rolled back to exactly the pre-switch state).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "alloc/usecase.hpp"
+
+namespace daelite::alloc {
+
+bool specs_equal(const ConnectionSpec& a, const ConnectionSpec& b);
+
+struct SwitchPlan {
+  std::vector<AllocatedConnection> keep;      ///< carried over untouched
+  std::vector<AllocatedConnection> tear_down; ///< released by the switch
+  std::vector<ConnectionSpec> set_up;         ///< newly allocated
+
+  std::size_t churn() const { return tear_down.size() + set_up.size(); }
+};
+
+/// Compute what a switch from `from` to `to` must do. Pure planning; no
+/// allocator state is touched.
+SwitchPlan plan_use_case_switch(const UseCaseAllocation& from, const UseCase& to);
+
+/// Execute a switch: release tear-downs, allocate set-ups, return the new
+/// allocation (kept connections keep their routes and channel ids). On
+/// failure returns nullopt with the allocator restored to the pre-switch
+/// state (including re-allocating the torn-down connections' original
+/// reservations) and `failed` naming the offending connection.
+std::optional<UseCaseAllocation> execute_use_case_switch(SlotAllocator& alloc,
+                                                         const UseCaseAllocation& from,
+                                                         const UseCase& to,
+                                                         SwitchPlan* plan_out = nullptr,
+                                                         std::string* failed = nullptr);
+
+} // namespace daelite::alloc

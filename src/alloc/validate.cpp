@@ -1,0 +1,55 @@
+#include "alloc/validate.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace daelite::alloc {
+
+std::string validate_allocation(const topo::Topology& t, const tdm::TdmParams& p,
+                                const tdm::Schedule& schedule,
+                                std::span<const RouteTree> routes) {
+  std::ostringstream err;
+
+  // (link, slot) -> channel claimed by some route.
+  std::map<std::pair<topo::LinkId, tdm::Slot>, tdm::ChannelId> claims;
+
+  for (const RouteTree& r : routes) {
+    const std::string tree_err = validate_route_tree(t, r);
+    if (!tree_err.empty()) {
+      err << "channel " << r.channel << ": " << tree_err;
+      return err.str();
+    }
+    for (tdm::Slot q : r.inject_slots) {
+      for (const RouteEdge& e : r.edges) {
+        const tdm::Slot s = p.slot_at_link(q, e.depth);
+        const auto key = std::make_pair(e.link, s);
+        auto [it, inserted] = claims.emplace(key, r.channel);
+        if (!inserted && it->second != r.channel) {
+          err << "link " << e.link << " slot " << s << " claimed by channels " << it->second
+              << " and " << r.channel;
+          return err.str();
+        }
+        if (schedule.owner(e.link, s) != r.channel) {
+          err << "schedule owner of link " << e.link << " slot " << s << " is "
+              << schedule.owner(e.link, s) << ", expected channel " << r.channel;
+          return err.str();
+        }
+      }
+    }
+  }
+
+  // No unexplained reservations.
+  for (topo::LinkId l = 0; l < schedule.link_count(); ++l) {
+    for (tdm::Slot s = 0; s < p.num_slots; ++s) {
+      if (schedule.is_free(l, s)) continue;
+      if (claims.count({l, s}) == 0) {
+        err << "schedule reserves link " << l << " slot " << s << " for channel "
+            << schedule.owner(l, s) << " but no live route explains it";
+        return err.str();
+      }
+    }
+  }
+  return {};
+}
+
+} // namespace daelite::alloc

@@ -1,0 +1,27 @@
+#pragma once
+// Cross-checks between routes and the global schedule. Used heavily by the
+// property tests: after any sequence of allocations and releases, the
+// schedule must be exactly the union of the live routes' reservations, and
+// no two live routes may claim the same (link, slot).
+
+#include <span>
+#include <string>
+
+#include "alloc/route.hpp"
+#include "tdm/params.hpp"
+#include "tdm/schedule.hpp"
+#include "topology/graph.hpp"
+
+namespace daelite::alloc {
+
+/// Verify that `routes` (the live channels) and `schedule` agree:
+///  * every route is structurally valid (validate_route_tree);
+///  * every (link, slot) a route uses is owned by its channel;
+///  * the schedule holds no reservation not explained by a route;
+///  * no two routes overlap.
+/// Returns an empty string when consistent, else a diagnostic.
+std::string validate_allocation(const topo::Topology& t, const tdm::TdmParams& p,
+                                const tdm::Schedule& schedule,
+                                std::span<const RouteTree> routes);
+
+} // namespace daelite::alloc

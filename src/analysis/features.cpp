@@ -1,0 +1,25 @@
+#include "analysis/features.hpp"
+
+namespace daelite::analysis {
+
+NetworkFeatures daelite_features() {
+  return {"daelite", "TDM", "distributed", "dedicated broadcast tree",
+          "separate wire, TDM", "1-1, multicast"};
+}
+
+std::vector<NetworkFeatures> table1() {
+  return {
+      {"Aethereal", "TDM", "source/distributed", "GS/BE, guaranteed", "headers",
+       "1-1, multicast (separate connections), channel trees"},
+      {"aelite", "TDM", "source", "GS over the NoC", "headers", "1-1, channel trees"},
+      daelite_features(),
+      {"Kavaldjiev", "VCs", "source", "packet, BE (preallocated VCs)", "separate wire, TDM",
+       "1-1"},
+      {"Wolkotte", "SDM", "distributed", "separate network", "none", "1-1"},
+      {"Nostrum", "TDM, looped", "unspecified", "BE container, no explicit setup",
+       "separate wire", "1-1, multicast (looped containers)"},
+      {"SoCBUS", "none", "distributed", "packet, BE", "none", "1-1"},
+  };
+}
+
+} // namespace daelite::analysis

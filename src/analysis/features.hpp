@@ -1,0 +1,26 @@
+#pragma once
+// Table I: comparison with network implementations using similar concepts.
+// A structured registry of the feature axes the paper compares on, so the
+// table is regenerated from data rather than printed as a string blob.
+
+#include <string>
+#include <vector>
+
+namespace daelite::analysis {
+
+struct NetworkFeatures {
+  std::string name;
+  std::string link_sharing;     ///< TDM / VCs / SDM / none
+  std::string routing;          ///< source / distributed
+  std::string connection_setup; ///< BE packets / dedicated network / ...
+  std::string flow_control;     ///< headers / separate wire / none
+  std::string connection_types; ///< 1-1 / multicast / channel trees
+};
+
+/// The rows of the paper's Table I, daelite included.
+std::vector<NetworkFeatures> table1();
+
+/// The daelite row (for feature assertions in tests).
+NetworkFeatures daelite_features();
+
+} // namespace daelite::analysis

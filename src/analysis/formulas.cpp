@@ -1,0 +1,34 @@
+#include "analysis/formulas.hpp"
+
+#include <algorithm>
+
+namespace daelite::analysis {
+
+SchedulingLatency scheduling_latency(const std::vector<tdm::Slot>& owned_slots,
+                                     const tdm::TdmParams& p) {
+  SchedulingLatency out;
+  if (owned_slots.empty()) return out;
+  std::vector<tdm::Slot> slots = owned_slots;
+  std::sort(slots.begin(), slots.end());
+
+  // For a word arriving uniformly at random in the wheel, the wait until
+  // the start of the next owned slot. Gap g slots before an owned slot
+  // contributes waits W*g-1, W*g-2, ..., 0 over its W*g cycles.
+  const std::uint64_t w = p.words_per_slot;
+  double total_wait = 0.0;
+  std::uint64_t worst = 0;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const tdm::Slot cur = slots[i];
+    const tdm::Slot prev = slots[(i + slots.size() - 1) % slots.size()];
+    const std::uint64_t gap_slots =
+        (cur + p.num_slots - prev - 1) % p.num_slots + 1; // slots since previous owned
+    const std::uint64_t gap_cycles = gap_slots * w;
+    total_wait += static_cast<double>(gap_cycles - 1) * static_cast<double>(gap_cycles) / 2.0;
+    worst = std::max(worst, gap_cycles - 1);
+  }
+  out.average_cycles = total_wait / static_cast<double>(p.wheel_cycles());
+  out.worst_cycles = worst;
+  return out;
+}
+
+} // namespace daelite::analysis

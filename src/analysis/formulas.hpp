@@ -1,0 +1,53 @@
+#pragma once
+// Analytic performance formulas from the paper's §V, used to cross-check
+// the simulation and to generate the analytic columns of the benches.
+
+#include <cstdint>
+#include <vector>
+
+#include "tdm/params.hpp"
+
+namespace daelite::analysis {
+
+/// Network traversal latency in cycles for a path of `hops` links:
+/// 2 cycles/hop for daelite, 3 for aelite (paper §V: "a reduction in the
+/// network traversal latency of 33%").
+constexpr std::uint64_t traversal_latency_cycles(std::size_t hops, const tdm::TdmParams& p) {
+  return static_cast<std::uint64_t>(hops) * p.hop_cycles;
+}
+
+/// Scheduling latency: cycles a word waits at the source NI for the next
+/// owned slot. Returns {average, worst} over a uniformly random arrival,
+/// given the owned injection-slot set.
+struct SchedulingLatency {
+  double average_cycles = 0.0;
+  std::uint64_t worst_cycles = 0;
+};
+SchedulingLatency scheduling_latency(const std::vector<tdm::Slot>& owned_slots,
+                                     const tdm::TdmParams& p);
+
+/// aelite header overhead: 1 header word per packet of `packet_slots`
+/// slots of 3 words (paper §V: 11% at 3 slots/packet .. 33% at 1).
+constexpr double aelite_header_overhead(std::uint32_t packet_slots) {
+  return 1.0 / (3.0 * static_cast<double>(packet_slots));
+}
+
+/// daelite has no header overhead (routing by time of arrival).
+constexpr double daelite_header_overhead() { return 0.0; }
+
+/// Payload bandwidth of a channel owning `slots_owned` slots, in payload
+/// words per cycle. `payload_words_per_slot` is words_per_slot for daelite
+/// and words_per_slot - 1/packet share for aelite.
+constexpr double channel_bandwidth_wpc(std::uint32_t slots_owned, const tdm::TdmParams& p,
+                                       double payload_words_per_slot) {
+  return static_cast<double>(slots_owned) / static_cast<double>(p.num_slots) *
+         (payload_words_per_slot / static_cast<double>(p.words_per_slot));
+}
+
+/// Fraction of NI-link data bandwidth aelite loses to reserved
+/// configuration slots (paper §V: 6.25% for a 16-slot wheel).
+constexpr double aelite_config_bandwidth_loss(std::uint32_t num_slots) {
+  return 1.0 / static_cast<double>(num_slots);
+}
+
+} // namespace daelite::analysis

@@ -1,0 +1,81 @@
+#include "analysis/network_report.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "analysis/report.hpp"
+#include "daelite/network.hpp"
+
+namespace daelite::analysis {
+
+std::vector<LinkUsage> link_usage(const topo::Topology& t, const tdm::Schedule& s) {
+  std::vector<LinkUsage> out;
+  for (topo::LinkId l = 0; l < t.link_count(); ++l) {
+    LinkUsage u;
+    u.link = l;
+    u.from = t.node(t.link(l).src).name;
+    u.to = t.node(t.link(l).dst).name;
+    u.reserved = s.reserved_on_link(l);
+    u.total = s.params().num_slots;
+    out.push_back(std::move(u));
+  }
+  std::sort(out.begin(), out.end(), [](const LinkUsage& a, const LinkUsage& b) {
+    if (a.reserved != b.reserved) return a.reserved > b.reserved;
+    return a.link < b.link;
+  });
+  return out;
+}
+
+ScheduleSummary summarize_schedule(const topo::Topology& t, const tdm::Schedule& s) {
+  ScheduleSummary sum;
+  const auto usage = link_usage(t, s);
+  if (usage.empty()) return sum;
+  double total = 0.0;
+  for (const LinkUsage& u : usage) {
+    const double util = u.utilization();
+    total += util;
+    sum.max_utilization = std::max(sum.max_utilization, util);
+    if (u.reserved == u.total) ++sum.saturated_links;
+    if (u.reserved > 0) ++sum.used_links;
+  }
+  sum.mean_utilization = total / static_cast<double>(usage.size());
+  return sum;
+}
+
+void print_link_usage(std::ostream& os, const topo::Topology& t, const tdm::Schedule& s,
+                      std::size_t top_n) {
+  TextTable table("Busiest links (reserved slots / wheel)");
+  table.set_header({"link", "from", "to", "reserved", "utilization"});
+  const auto usage = link_usage(t, s);
+  for (std::size_t i = 0; i < std::min(top_n, usage.size()); ++i) {
+    const LinkUsage& u = usage[i];
+    if (u.reserved == 0) break;
+    table.add_row({std::to_string(u.link), u.from, u.to,
+                   std::to_string(u.reserved) + "/" + std::to_string(u.total),
+                   pct(u.utilization())});
+  }
+  table.print(os);
+}
+
+void print_ni_traffic(std::ostream& os, hw::DaeliteNetwork& net) {
+  TextTable table("NI traffic");
+  table.set_header({"NI", "words in", "words out", "drops", "overflow", "lat min", "lat max"});
+  const topo::Topology& t = net.topology();
+  for (topo::NodeId n = 0; n < t.node_count(); ++n) {
+    if (!t.is_ni(n)) continue;
+    const hw::Ni& ni = net.ni(n);
+    std::uint64_t in = 0, out = 0;
+    for (std::size_t q = 0; q < net.options().ni_channels; ++q) {
+      in += ni.rx_stats(q).words_received;
+      out += ni.tx_stats(q).words_sent;
+    }
+    if (in == 0 && out == 0) continue;
+    table.add_row({t.node(n).name, std::to_string(in), std::to_string(out),
+                   std::to_string(ni.stats().flits_dropped),
+                   std::to_string(ni.stats().rx_overflow), fmt(ni.stats().latency.min(), 0),
+                   fmt(ni.stats().latency.max(), 0)});
+  }
+  table.print(os);
+}
+
+} // namespace daelite::analysis

@@ -1,0 +1,50 @@
+#pragma once
+// Network-level reporting: schedule occupancy per link, aggregate NI
+// statistics, and a link-utilization heat summary — the numbers a NoC
+// dimensioning flow prints after allocation, and a simulation prints
+// after a run.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tdm/schedule.hpp"
+#include "topology/graph.hpp"
+
+namespace daelite::hw {
+class DaeliteNetwork;
+}
+
+namespace daelite::analysis {
+
+struct LinkUsage {
+  topo::LinkId link = topo::kInvalidLink;
+  std::string from;
+  std::string to;
+  std::size_t reserved = 0;
+  std::uint32_t total = 0;
+
+  double utilization() const { return total ? static_cast<double>(reserved) / total : 0.0; }
+};
+
+/// Per-link reservation summary, sorted by descending utilization.
+std::vector<LinkUsage> link_usage(const topo::Topology& t, const tdm::Schedule& s);
+
+/// Aggregate view of a schedule: mean/max link utilization, number of
+/// saturated links, bisection-style hot spots.
+struct ScheduleSummary {
+  double mean_utilization = 0.0;
+  double max_utilization = 0.0;
+  std::size_t saturated_links = 0; ///< links with no free slot
+  std::size_t used_links = 0;      ///< links with at least one reservation
+};
+ScheduleSummary summarize_schedule(const topo::Topology& t, const tdm::Schedule& s);
+
+/// Print the top-n busiest links as a table.
+void print_link_usage(std::ostream& os, const topo::Topology& t, const tdm::Schedule& s,
+                      std::size_t top_n = 10);
+
+/// Print per-NI traffic counters of a simulated daelite network.
+void print_ni_traffic(std::ostream& os, hw::DaeliteNetwork& net);
+
+} // namespace daelite::analysis

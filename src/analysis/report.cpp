@@ -1,0 +1,52 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace daelite::analysis {
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths;
+  auto grow = [&](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) widths[i] = std::max(widths[i], row[i].size());
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      os << std::left << std::setw(static_cast<int>(widths[i])) << cell << " | ";
+    }
+    os << '\n';
+  };
+
+  std::size_t total = 4;
+  for (auto w : widths) total += w + 3;
+  const std::string bar(total, '-');
+
+  if (!title_.empty()) os << title_ << '\n';
+  os << bar << '\n';
+  if (!header_.empty()) {
+    print_row(header_);
+    os << bar << '\n';
+  }
+  for (const auto& r : rows_) print_row(r);
+  os << bar << '\n';
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string pct(double fraction, int precision) {
+  return fmt(fraction * 100.0, precision) + "%";
+}
+
+} // namespace daelite::analysis

@@ -1,0 +1,32 @@
+#pragma once
+// Plain-text table rendering for the bench binaries: aligned columns,
+// optional title, printf-free formatting helpers.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace daelite::analysis {
+
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> cols) { header_ = std::move(cols); }
+  void add_row(std::vector<std::string> cols) { rows_.push_back(std::move(cols)); }
+  std::size_t row_count() const { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double -> string ("12.34").
+std::string fmt(double v, int precision = 2);
+/// Percentage ("12.3%").
+std::string pct(double fraction, int precision = 1);
+
+} // namespace daelite::analysis

@@ -1,0 +1,40 @@
+#include "analysis/setup_time.hpp"
+
+namespace daelite::analysis {
+
+std::uint32_t route_setup_words(const topo::Topology& t, const tdm::TdmParams& p,
+                                const alloc::RouteTree& route) {
+  std::vector<std::uint8_t> rx(route.dst_nis.size(), 0);
+  const auto segments = alloc::make_cfg_segments(t, p, route, 0, rx);
+  std::uint32_t words = 0;
+  for (const auto& seg : segments)
+    words += pad_to_host_writes(
+        path_packet_words(static_cast<std::uint32_t>(seg.elements.size()), p.num_slots));
+  return words;
+}
+
+std::uint64_t daelite_ideal_connection_setup_cycles(const topo::Topology& t,
+                                                    const tdm::TdmParams& p,
+                                                    const alloc::AllocatedConnection& conn,
+                                                    std::uint32_t cool_down_cycles) {
+  std::uint64_t cycles = 0;
+  std::uint32_t path_packets = 0;
+
+  cycles += route_setup_words(t, p, conn.request);
+  path_packets += static_cast<std::uint32_t>(conn.request.dst_nis.size());
+  std::uint32_t small_packets = 0;
+  if (conn.has_response) {
+    cycles += route_setup_words(t, p, conn.response);
+    ++path_packets;
+    // set_pair x2, write_credit x2, set_flags x2 (4 words each padded).
+    small_packets = 6;
+  } else {
+    // Multicast: set_pair + flags at the source only.
+    small_packets = 2;
+  }
+  cycles += small_packets * 4;
+  cycles += static_cast<std::uint64_t>(path_packets) * cool_down_cycles;
+  return cycles;
+}
+
+} // namespace daelite::analysis

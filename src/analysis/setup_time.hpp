@@ -1,0 +1,44 @@
+#pragma once
+// Analytic connection set-up cost for daelite (Table III's "ideal"
+// column): the number of configuration words written, padded to the
+// host's 32-bit write granularity, plus the cool-down after each path
+// packet. The measured value adds the broadcast-tree propagation, which
+// the simulation reports.
+//
+// Key property reproduced here: daelite set-up cost depends on the path
+// length (2 words per traversed element) and on ceil(S/7) mask words —
+// i.e. on the slot-table *size*, never on the number of slots *used* —
+// while aelite's grows with the slots used (see
+// aelite/config_model.hpp).
+
+#include <cstdint>
+
+#include "alloc/route.hpp"
+#include "alloc/usecase.hpp"
+#include "tdm/params.hpp"
+#include "topology/graph.hpp"
+
+namespace daelite::analysis {
+
+/// 7-bit configuration words of one path packet for a segment with
+/// `elements` entries: header + mask words + 2/element + end marker.
+constexpr std::uint32_t path_packet_words(std::uint32_t elements, std::uint32_t num_slots) {
+  return 1 + (num_slots + 6) / 7 + 2 * elements + 1;
+}
+
+/// Pad to the 4-words-per-host-write granularity.
+constexpr std::uint32_t pad_to_host_writes(std::uint32_t words) { return (words + 3) / 4 * 4; }
+
+/// Total configuration words to set up one route tree (all its segments).
+std::uint32_t route_setup_words(const topo::Topology& t, const tdm::TdmParams& p,
+                                const alloc::RouteTree& route);
+
+/// Ideal (analytic) set-up cycles for a full bidirectional connection:
+/// path packets for both channels plus the credit/pair/flag packets, one
+/// word per cycle, plus a cool-down per path packet.
+std::uint64_t daelite_ideal_connection_setup_cycles(const topo::Topology& t,
+                                                    const tdm::TdmParams& p,
+                                                    const alloc::AllocatedConnection& conn,
+                                                    std::uint32_t cool_down_cycles);
+
+} // namespace daelite::analysis

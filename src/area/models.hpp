@@ -1,0 +1,98 @@
+#pragma once
+// Per-architecture structural area models. Every function returns gate
+// equivalents; combine with technology.hpp for silicon area.
+//
+// All models are built from the primitives in primitives.hpp so that the
+// Table II comparison measures *architecture* (buffers, VCs, tables,
+// crossbars), not hand-tuned constants.
+
+#include <cstdint>
+
+#include "area/primitives.hpp"
+
+namespace daelite::area {
+
+/// daelite data link width in wires: 32 data + 3 credit + 1 valid.
+inline constexpr std::size_t kDaeliteLinkBits = 36;
+/// aelite link: 32-bit word + 1 valid (credits ride in headers).
+inline constexpr std::size_t kAeliteLinkBits = 33;
+
+struct DaeliteRouterParams {
+  std::size_t in_ports = 5;
+  std::size_t out_ports = 5;
+  std::size_t link_bits = kDaeliteLinkBits;
+  std::size_t slots = 32;
+  std::size_t cfg_children = 2; ///< fan-out in the configuration tree
+};
+
+struct DaeliteNiParams {
+  std::size_t channels = 8;       ///< per direction
+  std::size_t queue_depth = 32;   ///< words per queue
+  std::size_t slots = 32;
+  std::size_t link_bits = kDaeliteLinkBits;
+};
+
+struct AeliteRouterParams {
+  std::size_t in_ports = 5;
+  std::size_t out_ports = 5;
+  std::size_t link_bits = kAeliteLinkBits;
+  std::size_t path_bits = 24;
+};
+
+struct AeliteNiParams {
+  std::size_t channels = 8;
+  std::size_t queue_depth = 32;
+  std::size_t slots = 32;
+  std::size_t link_bits = kAeliteLinkBits;
+  std::size_t path_bits = 24;
+  /// aelite configuration traffic terminates in ordinary NI channel
+  /// queues (a config connection per NI); daelite replaces these with the
+  /// 7-bit configuration agent.
+  std::size_t config_queues = 2;
+  std::size_t config_queue_depth = 8;
+};
+
+/// Generic virtual-channel packet-switched router (artNoC, MANGO,
+/// Kavaldjiev, xpipes, SPIN are instances with different parameters).
+struct VcRouterParams {
+  std::size_t ports = 5;
+  std::size_t link_bits = 34;   ///< word + sideband
+  std::size_t vcs = 4;          ///< 1 = plain input-queued
+  std::size_t vc_depth = 2;     ///< flits per VC buffer
+  std::size_t flit_bits = 34;
+  bool output_buffered = false; ///< adds output queues of output_depth flits
+  std::size_t output_depth = 1;
+  double tech_overhead = 1.0;   ///< e.g. clockless handshake circuitry (MANGO)
+};
+
+/// Circuit-switched / spatial-division router (Wolkotte CS, Banerjee SDM).
+struct CsRouterParams {
+  std::size_t ports = 5;
+  std::size_t lanes = 4;        ///< SDM lanes (1 = single circuit)
+  std::size_t lane_bits = 8;    ///< wires per lane
+  bool registered_io = true;
+  std::size_t buffer_depth = 0; ///< per-port per-lane FIFO (Banerjee SDM)
+};
+
+/// Quarc-style ring router: 8 ports but a restricted (non-full) crossbar.
+struct QuarcRouterParams {
+  std::size_t ports = 8;
+  std::size_t link_bits = 34;
+  std::size_t effective_fanin = 3; ///< each output selects among few inputs
+  std::size_t buffer_depth = 3;    ///< per-port packet buffer
+};
+
+double daelite_router_ge(const GeCosts& c, const DaeliteRouterParams& p);
+double daelite_ni_ge(const GeCosts& c, const DaeliteNiParams& p);
+double aelite_router_ge(const GeCosts& c, const AeliteRouterParams& p);
+double aelite_ni_ge(const GeCosts& c, const AeliteNiParams& p);
+double vc_router_ge(const GeCosts& c, const VcRouterParams& p);
+double cs_router_ge(const GeCosts& c, const CsRouterParams& p);
+double quarc_router_ge(const GeCosts& c, const QuarcRouterParams& p);
+
+/// Logic-depth estimates (FO4 levels) for the frequency comparison
+/// (paper §V: 925 MHz daelite vs 885 MHz aelite, unconstrained 65 nm).
+double daelite_router_logic_levels();
+double aelite_router_logic_levels();
+
+} // namespace daelite::area

@@ -1,0 +1,73 @@
+#pragma once
+// Structural area estimation in NAND2 gate equivalents (GE).
+//
+// Every router/NI archetype in the paper's Table II is modelled from the
+// same primitive costs, so area *ratios* emerge from architecture (buffer
+// counts, VCs, crossbars, tables) rather than from copied numbers. The
+// absolute constants are standard-cell ballpark figures; see
+// technology.hpp for the per-node GE -> um^2 conversion.
+
+#include <cmath>
+#include <cstdint>
+
+namespace daelite::area {
+
+/// Gate-equivalents per primitive (per bit unless noted).
+struct GeCosts {
+  double ff = 6.0;          ///< D flip-flop with enable
+  double mux2 = 2.2;        ///< 2:1 multiplexer
+  double nand2 = 1.0;
+  double ram_bit = 1.5;     ///< register-file/SRAM-macro bit (amortized)
+  double counter_bit = 9.0; ///< FF + increment logic
+  double cmp_bit = 2.0;
+  double arbiter_per_req = 7.0; ///< round-robin arbiter, per requester
+  double control_overhead = 0.10; ///< fraction added for FSMs/glue
+};
+
+inline double log2ceil(double n) { return n <= 1 ? 1.0 : std::ceil(std::log2(n)); }
+
+/// n:1 multiplexer, per bit: (n-1) mux2.
+inline double mux_ge(const GeCosts& c, std::size_t inputs, std::size_t bits) {
+  if (inputs <= 1) return 0.0;
+  return static_cast<double>(inputs - 1) * c.mux2 * static_cast<double>(bits);
+}
+
+/// Full crossbar: outputs independent n:1 muxes.
+inline double crossbar_ge(const GeCosts& c, std::size_t inputs, std::size_t outputs,
+                          std::size_t bits) {
+  return static_cast<double>(outputs) * mux_ge(c, inputs, bits);
+}
+
+/// Register bank.
+inline double regs_ge(const GeCosts& c, std::size_t bits) {
+  return c.ff * static_cast<double>(bits);
+}
+
+/// Register-based FIFO: storage + read mux + two pointers + compare.
+inline double fifo_ge(const GeCosts& c, std::size_t depth, std::size_t width) {
+  if (depth == 0) return 0.0;
+  const double ptr_bits = log2ceil(static_cast<double>(depth)) + 1;
+  return c.ff * static_cast<double>(depth * width) +
+         mux_ge(c, depth, width) + // read mux
+         2 * c.counter_bit * ptr_bits + c.cmp_bit * ptr_bits;
+}
+
+/// Table stored in a register file (slot tables, path tables).
+inline double table_ge(const GeCosts& c, std::size_t entries, std::size_t entry_bits) {
+  const double decode = log2ceil(static_cast<double>(entries)) * 2.0;
+  return c.ram_bit * static_cast<double>(entries * entry_bits) + decode;
+}
+
+/// Binary counter.
+inline double counter_ge(const GeCosts& c, std::size_t bits) {
+  return c.counter_bit * static_cast<double>(bits);
+}
+
+/// Round-robin arbiter.
+inline double arbiter_ge(const GeCosts& c, std::size_t requesters) {
+  return c.arbiter_per_req * static_cast<double>(requesters);
+}
+
+inline double with_control(const GeCosts& c, double ge) { return ge * (1.0 + c.control_overhead); }
+
+} // namespace daelite::area

@@ -1,0 +1,65 @@
+#pragma once
+// Reproduction of the paper's Table II: "daelite area reduction compared
+// to other implementations".
+//
+// Methodology (paper §V): compare the competitor router with a daelite
+// router of the same parameters — number of ports, link width and, where
+// applicable, number of SDM lanes or TDM slots — synthesized in the same
+// technology node. Competitor areas come from our structural archetype
+// models parameterized per the cited designs; the daelite area comes from
+// the daelite model. The paper's published reduction is carried along for
+// the paper-vs-measured comparison in EXPERIMENTS.md.
+
+#include <string>
+#include <vector>
+
+#include "area/models.hpp"
+#include "area/technology.hpp"
+
+namespace daelite::area {
+
+struct Table2Row {
+  std::string competitor; ///< name + configuration, as printed in the paper
+  TechNode node = TechNode::k130nm;
+  double competitor_ge = 0.0;
+  double daelite_ge = 0.0;
+  double paper_reduction = 0.0; ///< fraction, from the paper's Table II
+
+  double computed_reduction() const {
+    return competitor_ge <= 0.0 ? 0.0 : (competitor_ge - daelite_ge) / competitor_ge;
+  }
+  double competitor_mm2() const { return competitor_ge * um2_per_ge(node) * 1e-6; }
+  double daelite_mm2() const { return daelite_ge * um2_per_ge(node) * 1e-6; }
+};
+
+/// Router-level rows (artNoC, Wolkotte CS/PS, MANGO, Quarc, SPIN,
+/// Banerjee, xpipes lite).
+std::vector<Table2Row> build_router_rows(const GeCosts& costs = {});
+
+/// Full-interconnect comparison vs aelite: 2x2 mesh, 32 TDM slots, one NI
+/// per router, including NIs (the paper's first two rows).
+struct InterconnectRow {
+  double daelite_ge = 0.0;
+  double aelite_ge = 0.0;
+  double paper_reduction_asic = 0.10; ///< 65 nm TSMC row
+  double paper_reduction_fpga = 0.16; ///< Virtex-6 slices row
+
+  double computed_reduction() const { return (aelite_ge - daelite_ge) / aelite_ge; }
+  double daelite_slices() const { return daelite_ge / ge_per_slice(); }
+  double aelite_slices() const { return aelite_ge / ge_per_slice(); }
+};
+
+InterconnectRow build_interconnect_row(const GeCosts& costs = {});
+
+/// Frequency comparison (paper §V): unconstrained 65 nm synthesis,
+/// 925 MHz daelite vs 885 MHz aelite.
+struct FrequencyRow {
+  double daelite_mhz = 0.0;
+  double aelite_mhz = 0.0;
+  double paper_daelite_mhz = 925.0;
+  double paper_aelite_mhz = 885.0;
+};
+
+FrequencyRow build_frequency_row();
+
+} // namespace daelite::area

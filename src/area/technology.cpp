@@ -1,0 +1,45 @@
+#include "area/technology.hpp"
+
+namespace daelite::area {
+
+double um2_per_ge(TechNode node) {
+  switch (node) {
+    case TechNode::k130nm: return 5.1;
+    case TechNode::k120nm: return 4.4;
+    case TechNode::k90nm: return 2.4;
+    case TechNode::k65nm: return 1.2;
+    case TechNode::kFpgaVirtex6: return 0.0; // use slices instead
+  }
+  return 1.0;
+}
+
+double ge_per_slice() { return 9.0; }
+
+std::string tech_name(TechNode node) {
+  switch (node) {
+    case TechNode::k130nm: return "130nm";
+    case TechNode::k120nm: return "120nm";
+    case TechNode::k90nm: return "90nm";
+    case TechNode::k65nm: return "65nm";
+    case TechNode::kFpgaVirtex6: return "Virtex-6";
+  }
+  return "?";
+}
+
+double fo4_ps(TechNode node) {
+  switch (node) {
+    case TechNode::k130nm: return 65.0;
+    case TechNode::k120nm: return 60.0;
+    case TechNode::k90nm: return 45.0;
+    case TechNode::k65nm: return 32.5;
+    case TechNode::kFpgaVirtex6: return 180.0; // effective, incl. routing
+  }
+  return 50.0;
+}
+
+double freq_mhz(TechNode node, double logic_levels) {
+  const double period_ps = logic_levels * fo4_ps(node);
+  return 1.0e6 / period_ps;
+}
+
+} // namespace daelite::area

@@ -1,0 +1,31 @@
+#pragma once
+// Technology-node conversion: gate equivalents to silicon area, FPGA
+// slices, and a first-order frequency model.
+//
+// The um^2-per-GE figures are standard-cell ballpark densities (routed,
+// typical utilization); the paper synthesizes different competitors in
+// the node their authors reported (Table II footnotes), so area reductions
+// are computed with both designs in the *same* node, as in the paper.
+
+#include <string>
+
+namespace daelite::area {
+
+enum class TechNode { k130nm, k120nm, k90nm, k65nm, kFpgaVirtex6 };
+
+/// um^2 per NAND2 gate equivalent (including routing overhead).
+double um2_per_ge(TechNode node);
+
+/// Rough GE per FPGA slice (LUT6 + FFs), for the Virtex-6 comparison row.
+double ge_per_slice();
+
+std::string tech_name(TechNode node);
+
+/// First-order frequency estimate from logic depth.
+/// f = 1 / (levels * fo4_delay). FO4 delays per node are classic scaling
+/// values; the absolute anchor is calibrated so a daelite router at 65 nm
+/// lands near the paper's unconstrained 925 MHz.
+double fo4_ps(TechNode node);
+double freq_mhz(TechNode node, double logic_levels);
+
+} // namespace daelite::area

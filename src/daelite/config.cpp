@@ -1,0 +1,226 @@
+#include "daelite/config.hpp"
+
+#include <cassert>
+
+namespace daelite::hw {
+
+ConfigAgent::ConfigAgent(sim::Kernel& k, std::string name, ConfigTarget& target,
+                         tdm::TdmParams params)
+    : sim::Component(k, std::move(name)), target_(&target), params_(params) {
+  own(fwd_in_);
+  own(fwd_out_);
+  own(resp_mid_);
+  own(resp_out_);
+}
+
+void ConfigAgent::tick() {
+  // Forward broadcast: two registers per hop (paper: "for reasons of
+  // symmetry data is also buffered twice at each hop in the configuration
+  // tree").
+  fwd_in_.set(parent_fwd_ != nullptr ? parent_fwd_->get() : CfgWord{});
+  fwd_out_.set(fwd_in_.get());
+
+  // Response convergence. Only one request is outstanding network-wide, so
+  // at most one child (or this node) drives a word in any cycle; a
+  // collision is a protocol error.
+  CfgWord merged{};
+  for (const auto* c : child_resps_) {
+    const CfgWord w = c->get();
+    if (!w.valid) continue;
+    if (merged.valid) ++protocol_errors_;
+    merged = w;
+  }
+  resp_mid_.set(merged);
+
+  CfgWord out = resp_mid_.get();
+  if (!out.valid && !resp_queue_.empty()) {
+    out = CfgWord{true, resp_queue_.front()};
+    resp_queue_.erase(resp_queue_.begin());
+  }
+  resp_out_.set(out);
+
+  // Interpret the word currently in the input register (streaming: the FSM
+  // runs in lock-step with the broadcast).
+  const CfgWord w = fwd_in_.get();
+  if (w.valid) process_word(w.data);
+}
+
+std::uint64_t ConfigAgent::rotate_mask_down(std::uint64_t m) const {
+  const std::uint32_t s = params_.num_slots;
+  const std::uint32_t k = params_.slot_shift_per_hop() % s;
+  const std::uint64_t all = (s >= 64) ? ~0ull : ((1ull << s) - 1);
+  m &= all;
+  if (k == 0) return m;
+  return ((m >> k) | (m << (s - k))) & all;
+}
+
+void ConfigAgent::process_word(std::uint8_t w) {
+  switch (state_) {
+    case State::kIdle: {
+      switch (static_cast<CfgOp>(w)) {
+        case CfgOp::kNop:
+          break;
+        case CfgOp::kSetupPath:
+        case CfgOp::kTearPath:
+          op_ = static_cast<CfgOp>(w);
+          mask_ = 0;
+          mask_words_left_ = cfg_mask_words(params_.num_slots);
+          state_ = State::kMask;
+          ++packets_seen_;
+          break;
+        case CfgOp::kWriteCredit:
+        case CfgOp::kSetPair:
+        case CfgOp::kSetFlags:
+          op_ = static_cast<CfgOp>(w);
+          args_.clear();
+          args_needed_ = 3;
+          state_ = State::kArgs;
+          ++packets_seen_;
+          break;
+        case CfgOp::kReadCredit:
+        case CfgOp::kReadFlags:
+          op_ = static_cast<CfgOp>(w);
+          args_.clear();
+          args_needed_ = 2;
+          state_ = State::kArgs;
+          ++packets_seen_;
+          break;
+        case CfgOp::kBusWrite:
+          op_ = static_cast<CfgOp>(w);
+          args_.clear();
+          args_needed_ = 4;
+          state_ = State::kArgs;
+          ++packets_seen_;
+          break;
+        default:
+          ++protocol_errors_;
+          break;
+      }
+      break;
+    }
+    case State::kMask: {
+      const std::uint32_t idx = cfg_mask_words(params_.num_slots) - mask_words_left_;
+      mask_ |= static_cast<std::uint64_t>(w) << (7 * idx);
+      if (--mask_words_left_ == 0) state_ = State::kPairFirst;
+      break;
+    }
+    case State::kPairFirst: {
+      if (w == kCfgEndOfPacket) {
+        state_ = State::kIdle;
+        break;
+      }
+      pending_id_ = w;
+      state_ = State::kPairSecond;
+      break;
+    }
+    case State::kPairSecond: {
+      if (pending_id_ == target_->cfg_id()) {
+        target_->cfg_apply_path(mask_, w, op_ == CfgOp::kSetupPath);
+        ++pairs_matched_;
+      }
+      // Rotate after *every* pair, matched or not (paper Fig. 6 example).
+      mask_ = rotate_mask_down(mask_);
+      state_ = State::kPairFirst;
+      break;
+    }
+    case State::kArgs: {
+      args_.push_back(w);
+      if (args_.size() < args_needed_) break;
+      if (args_[0] == target_->cfg_id()) {
+        switch (op_) {
+          case CfgOp::kWriteCredit:
+            target_->cfg_write_credit(args_[1], args_[2]);
+            break;
+          case CfgOp::kReadCredit:
+            resp_queue_.push_back(static_cast<std::uint8_t>(target_->cfg_read_credit(args_[1]) & 0x7F));
+            break;
+          case CfgOp::kReadFlags:
+            resp_queue_.push_back(static_cast<std::uint8_t>(target_->cfg_read_flags(args_[1]) & 0x7F));
+            break;
+          case CfgOp::kSetPair:
+            target_->cfg_set_pair(args_[1], args_[2]);
+            break;
+          case CfgOp::kSetFlags:
+            target_->cfg_set_flags(args_[1], args_[2]);
+            break;
+          case CfgOp::kBusWrite:
+            target_->cfg_bus_write(args_[1],
+                                   static_cast<std::uint16_t>((args_[2] << 7) | args_[3]));
+            break;
+          default:
+            ++protocol_errors_;
+            break;
+        }
+      }
+      state_ = State::kIdle;
+      break;
+    }
+  }
+}
+
+// --- Host-side encoding ------------------------------------------------------
+
+CfgIdMap assign_cfg_ids(const topo::Topology& t) {
+  assert(t.node_count() <= 126 && "7-bit configuration ids support up to 126 elements");
+  CfgIdMap ids;
+  for (topo::NodeId n = 0; n < t.node_count(); ++n)
+    ids[n] = static_cast<std::uint8_t>(n + 1); // 0 is reserved for padding
+  return ids;
+}
+
+std::vector<std::uint8_t> encode_path_packet(const alloc::CfgSegment& seg,
+                                             const tdm::TdmParams& params, const CfgIdMap& ids,
+                                             bool setup) {
+  std::vector<std::uint8_t> words;
+  words.push_back(static_cast<std::uint8_t>(setup ? CfgOp::kSetupPath : CfgOp::kTearPath));
+
+  // Slot mask at the segment head.
+  std::uint64_t mask = 0;
+  for (tdm::Slot s : seg.slots_at_head) mask |= (1ull << s);
+  const std::uint32_t mw = cfg_mask_words(params.num_slots);
+  for (std::uint32_t i = 0; i < mw; ++i)
+    words.push_back(static_cast<std::uint8_t>((mask >> (7 * i)) & 0x7F));
+
+  for (const alloc::CfgElement& el : seg.elements) {
+    words.push_back(ids.at(el.node));
+    if (el.is_ni) {
+      words.push_back(el.is_source_ni ? encode_ni_port(true, el.out_port)
+                                      : encode_ni_port(false, el.in_port));
+    } else {
+      words.push_back(encode_router_ports(el.in_port, el.out_port));
+    }
+  }
+  words.push_back(kCfgEndOfPacket);
+  return words;
+}
+
+std::vector<std::uint8_t> encode_write_credit(std::uint8_t ni_id, std::uint8_t queue,
+                                              std::uint8_t value) {
+  return {static_cast<std::uint8_t>(CfgOp::kWriteCredit), ni_id, queue, value};
+}
+
+std::vector<std::uint8_t> encode_read_credit(std::uint8_t ni_id, std::uint8_t queue) {
+  return {static_cast<std::uint8_t>(CfgOp::kReadCredit), ni_id, queue};
+}
+
+std::vector<std::uint8_t> encode_read_flags(std::uint8_t ni_id, std::uint8_t queue) {
+  return {static_cast<std::uint8_t>(CfgOp::kReadFlags), ni_id, queue};
+}
+
+std::vector<std::uint8_t> encode_set_pair(std::uint8_t ni_id, std::uint8_t tx_queue,
+                                          std::uint8_t rx_queue) {
+  return {static_cast<std::uint8_t>(CfgOp::kSetPair), ni_id, tx_queue, rx_queue};
+}
+
+std::vector<std::uint8_t> encode_set_flags(std::uint8_t ni_id, std::uint8_t queue,
+                                           std::uint8_t flags) {
+  return {static_cast<std::uint8_t>(CfgOp::kSetFlags), ni_id, queue, flags};
+}
+
+std::vector<std::uint8_t> encode_bus_write(std::uint8_t ni_id, std::uint8_t addr,
+                                           std::uint16_t value) {
+  return {static_cast<std::uint8_t>(CfgOp::kBusWrite), ni_id, addr,
+          static_cast<std::uint8_t>((value >> 7) & 0x7F), static_cast<std::uint8_t>(value & 0x7F)};
+}
+
+} // namespace daelite::hw

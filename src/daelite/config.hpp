@@ -1,0 +1,200 @@
+#pragma once
+// The daelite configuration infrastructure (paper §IV).
+//
+// A dedicated broadcast network with tree topology carries 7-bit
+// configuration words, one per cycle, over links that run in parallel to a
+// subset of the data links. The forward direction broadcasts (every node
+// forwards its input to all of its children); responses converge on the
+// reverse path; only one request is active at a time, so the response path
+// needs no arbitration. Each hop buffers twice, "for reasons of symmetry"
+// with the 2-cycle data hop.
+//
+// Packet format for path set-up / tear-down (paper Fig. 6):
+//   [header] [slot-mask words: ceil(S/7)] { [element id] [ports] }* [end]
+// The slot mask names the affected slots *at the first listed element* (the
+// segment's destination). Every element stores the mask and rotates it down
+// by `slot_shift_per_hop` positions after each (id, ports) pair, so that an
+// element matching the k-th pair reads its own acting slots — the
+// slot-shift of contention-free routing is encoded implicitly.
+//
+// Word encoding (7 bits, parameters of the paper's experiments: up to 64
+// network elements, router arity up to 7, end-to-end buffers up to 63
+// words):
+//   element id : 1..126 (0 = padding/nop, 127 = end-of-packet marker)
+//   router port word : [6]=0 spare, [5:3]=input port, [2:0]=output port
+//   NI port word     : [6]=1 for tx (source NI), 0 for rx; [5:0]=queue index
+//   credit value     : [5:0]
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "alloc/route.hpp"
+#include "sim/component.hpp"
+#include "tdm/params.hpp"
+#include "topology/graph.hpp"
+
+namespace daelite::hw {
+
+/// One word on a configuration link.
+struct CfgWord {
+  bool valid = false;
+  std::uint8_t data = 0; ///< 7-bit payload
+
+  bool operator==(const CfgWord&) const = default;
+};
+
+/// Header opcodes (first word of each configuration packet).
+enum class CfgOp : std::uint8_t {
+  kNop = 0,         ///< padding, ignored in idle state
+  kSetupPath = 1,   ///< program slot-table entries along a path segment
+  kTearPath = 2,    ///< clear slot-table entries along a path segment
+  kWriteCredit = 3, ///< [id][queue][value] — set an NI credit counter
+  kReadCredit = 4,  ///< [id][queue] — NI responds with the counter value
+  kSetPair = 5,     ///< [id][tx queue][rx queue] — bind credit pairing
+  kSetFlags = 6,    ///< [id][queue][flags] — connection state flags
+  kBusWrite = 7,    ///< [id][addr][v hi][v lo] — configure the adjacent bus
+  kReadFlags = 8,   ///< [id][queue] — NI responds with the channel flags
+};
+
+inline constexpr std::uint8_t kCfgEndOfPacket = 0x7F;
+inline constexpr std::uint8_t kCfgNiTxBit = 0x40;     ///< NI port word: tx flag
+inline constexpr std::uint8_t kCfgQueueMask = 0x3F;   ///< NI port word: queue field
+inline constexpr std::uint8_t kCfgNoQueue = 0x3F;     ///< sentinel: no paired queue
+
+/// Connection state flags (kSetFlags).
+inline constexpr std::uint8_t kFlagTxEnabled = 0x01;
+inline constexpr std::uint8_t kFlagFlowCtrlOff = 0x02; ///< multicast: credits ignored
+
+/// Configuration word for a router hop.
+constexpr std::uint8_t encode_router_ports(std::uint8_t in_port, std::uint8_t out_port) {
+  return static_cast<std::uint8_t>(((in_port & 0x7u) << 3) | (out_port & 0x7u));
+}
+constexpr std::uint8_t router_in_port(std::uint8_t w) { return (w >> 3) & 0x7u; }
+constexpr std::uint8_t router_out_port(std::uint8_t w) { return w & 0x7u; }
+
+/// Configuration word for an NI (tx = source side).
+constexpr std::uint8_t encode_ni_port(bool tx, std::uint8_t queue) {
+  return static_cast<std::uint8_t>((tx ? kCfgNiTxBit : 0u) | (queue & kCfgQueueMask));
+}
+
+/// Interface each configurable network element (router, NI) implements;
+/// the element's ConfigAgent calls into it as packets stream by.
+class ConfigTarget {
+ public:
+  virtual ~ConfigTarget() = default;
+
+  virtual std::uint8_t cfg_id() const = 0;
+  virtual bool cfg_is_ni() const = 0;
+
+  /// Apply one matched (slots, ports) pair. `slot_mask` bit s set = slot s
+  /// affected (already rotated to this element's reference). setup=false
+  /// clears the entries instead.
+  virtual void cfg_apply_path(std::uint64_t slot_mask, std::uint8_t port_word, bool setup) = 0;
+
+  // NI-only operations; routers treat them as errors (counted, ignored).
+  virtual void cfg_write_credit(std::uint8_t queue, std::uint8_t value) = 0;
+  virtual std::uint8_t cfg_read_credit(std::uint8_t queue) = 0;
+  virtual std::uint8_t cfg_read_flags(std::uint8_t queue) = 0;
+  virtual void cfg_set_pair(std::uint8_t tx_queue, std::uint8_t rx_queue) = 0;
+  virtual void cfg_set_flags(std::uint8_t queue, std::uint8_t flags) = 0;
+  virtual void cfg_bus_write(std::uint8_t addr, std::uint16_t value) = 0;
+};
+
+/// The configuration submodule present in every router and NI: a node of
+/// the broadcast tree (2-cycle forward buffering, 2-cycle response
+/// merging) plus the packet-interpretation FSM.
+class ConfigAgent : public sim::Component {
+ public:
+  ConfigAgent(sim::Kernel& k, std::string name, ConfigTarget& target, tdm::TdmParams params);
+
+  /// Forward-broadcast input: the parent node's fwd_out (or the host
+  /// configuration module's output for the tree root).
+  void connect_parent(const sim::Reg<CfgWord>* parent_fwd) { parent_fwd_ = parent_fwd; }
+
+  /// Response convergence: register each child's resp_out.
+  void add_child_resp(const sim::Reg<CfgWord>* child_resp) { child_resps_.push_back(child_resp); }
+
+  const sim::Reg<CfgWord>& fwd_out() const { return fwd_out_; }
+  const sim::Reg<CfgWord>& resp_out() const { return resp_out_; }
+
+  void tick() override;
+
+  /// Diagnostics.
+  std::uint64_t packets_seen() const { return packets_seen_; }
+  std::uint64_t pairs_matched() const { return pairs_matched_; }
+  std::uint64_t protocol_errors() const { return protocol_errors_; }
+
+ private:
+  enum class State : std::uint8_t {
+    kIdle,
+    kMask,       // receiving slot-mask words
+    kPairFirst,  // expecting element id or end marker
+    kPairSecond, // expecting port/config word
+    kArgs,       // fixed-argument ops (credit/pair/flags/bus)
+  };
+
+  void process_word(std::uint8_t w);
+  std::uint64_t rotate_mask_down(std::uint64_t mask) const;
+
+  ConfigTarget* target_;
+  tdm::TdmParams params_;
+
+  const sim::Reg<CfgWord>* parent_fwd_ = nullptr;
+  std::vector<const sim::Reg<CfgWord>*> child_resps_;
+
+  // Forward path: two registers per hop (in + out), as in the data network.
+  sim::Reg<CfgWord> fwd_in_;
+  sim::Reg<CfgWord> fwd_out_;
+  // Response path: children merge into resp_mid_, own words injected at
+  // resp_out_ — also two registers per hop.
+  sim::Reg<CfgWord> resp_mid_;
+  sim::Reg<CfgWord> resp_out_;
+
+  // FSM registers. Modelled as plain state updated in tick(): the FSM
+  // consumes the word in fwd_in_ (i.e. the word being forwarded), so
+  // interpretation runs in lock-step with the broadcast.
+  State state_ = State::kIdle;
+  CfgOp op_ = CfgOp::kNop;
+  std::uint64_t mask_ = 0;
+  std::uint32_t mask_words_left_ = 0;
+  std::uint8_t pending_id_ = 0;
+  std::vector<std::uint8_t> args_;
+  std::uint32_t args_needed_ = 0;
+
+  std::vector<std::uint8_t> resp_queue_; ///< response words awaiting injection
+
+  std::uint64_t packets_seen_ = 0;
+  std::uint64_t pairs_matched_ = 0;
+  std::uint64_t protocol_errors_ = 0;
+};
+
+/// Number of 7-bit words needed for a slot mask of S slots.
+constexpr std::uint32_t cfg_mask_words(std::uint32_t num_slots) { return (num_slots + 6) / 7; }
+
+// --- Host-side packet encoding ----------------------------------------------
+
+/// Map from topology node to its 7-bit configuration id.
+using CfgIdMap = std::map<topo::NodeId, std::uint8_t>;
+
+/// Assign ids 1..126 in node-id order. Throws via assert if > 126 elements.
+CfgIdMap assign_cfg_ids(const topo::Topology& t);
+
+/// Encode one path segment into a configuration packet (7-bit words,
+/// without host-write padding). setup=false encodes a tear-down.
+std::vector<std::uint8_t> encode_path_packet(const alloc::CfgSegment& seg,
+                                             const tdm::TdmParams& params, const CfgIdMap& ids,
+                                             bool setup);
+
+std::vector<std::uint8_t> encode_write_credit(std::uint8_t ni_id, std::uint8_t queue,
+                                              std::uint8_t value);
+std::vector<std::uint8_t> encode_read_credit(std::uint8_t ni_id, std::uint8_t queue);
+std::vector<std::uint8_t> encode_read_flags(std::uint8_t ni_id, std::uint8_t queue);
+std::vector<std::uint8_t> encode_set_pair(std::uint8_t ni_id, std::uint8_t tx_queue,
+                                          std::uint8_t rx_queue);
+std::vector<std::uint8_t> encode_set_flags(std::uint8_t ni_id, std::uint8_t queue,
+                                           std::uint8_t flags);
+std::vector<std::uint8_t> encode_bus_write(std::uint8_t ni_id, std::uint8_t addr,
+                                           std::uint16_t value);
+
+} // namespace daelite::hw

@@ -1,0 +1,60 @@
+#include "daelite/config_host.hpp"
+
+namespace daelite::hw {
+
+ConfigModule::ConfigModule(sim::Kernel& k, std::string name, Params params)
+    : sim::Component(k, std::move(name)), params_(params) {
+  own(queue_);
+  own(fwd_out_);
+}
+
+void ConfigModule::enqueue_packet(std::vector<std::uint8_t> words, bool is_path,
+                                  bool expects_response) {
+  // Host 32-bit writes carry 4 configuration words each; pad the tail.
+  while (words.size() % 4 != 0) words.push_back(static_cast<std::uint8_t>(CfgOp::kNop));
+  queue_.push(Packet{std::move(words), is_path, expects_response});
+}
+
+bool ConfigModule::idle() const {
+  return !streaming_ && queue_.size() == 0 && queue_.pending_pushes() == 0 &&
+         cooldown_left_ == 0 && !awaiting_response_;
+}
+
+void ConfigModule::tick() {
+  // Collect response words.
+  if (resp_in_ != nullptr && resp_in_->get().valid) {
+    responses_.push_back(resp_in_->get().data);
+    awaiting_response_ = false;
+  }
+
+  if (cooldown_left_ > 0) {
+    --cooldown_left_;
+    fwd_out_.set(CfgWord{});
+    return;
+  }
+  if (awaiting_response_) {
+    fwd_out_.set(CfgWord{});
+    return;
+  }
+
+  if (!streaming_ && queue_.poppable() > 0) {
+    current_ = queue_.pop();
+    index_ = 0;
+    streaming_ = true;
+  }
+
+  if (streaming_) {
+    fwd_out_.set(CfgWord{true, current_.words[index_]});
+    ++words_sent_;
+    if (++index_ == current_.words.size()) {
+      streaming_ = false;
+      ++packets_sent_;
+      if (current_.is_path) cooldown_left_ = params_.cool_down_cycles;
+      if (current_.expects_response) awaiting_response_ = true;
+    }
+  } else {
+    fwd_out_.set(CfgWord{});
+  }
+}
+
+} // namespace daelite::hw

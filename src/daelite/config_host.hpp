@@ -1,0 +1,89 @@
+#pragma once
+// The host-side configuration module (paper §IV, Fig. 3: "One IP, by
+// convention called host, has exclusive control over the configuration
+// infrastructure through a configuration module").
+//
+// The host IP writes 32-bit words to the module "using normal write
+// operations"; the module serializes them into 7-bit configuration words,
+// one per cycle, onto the root of the broadcast tree. We model the 32-bit
+// granularity by padding every packet to a multiple of 4 configuration
+// words (4 x 7 = 28 payload bits per host write; "0-padding is allowed").
+//
+// After each complete path set-up or tear-down packet the module enforces
+// a cool-down period during which no new configuration packets are
+// accepted, giving routers and NIs time to update their slot tables.
+// Because the response path has no arbitration, the module admits only one
+// read request at a time (kReadCredit waits for its response).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "daelite/config.hpp"
+#include "sim/component.hpp"
+#include "sim/fifo.hpp"
+
+namespace daelite::hw {
+
+class ConfigModule : public sim::Component {
+ public:
+  struct Params {
+    std::uint32_t cool_down_cycles = 4;
+  };
+
+  ConfigModule(sim::Kernel& k, std::string name, Params params);
+
+  /// Serial output feeding the root node of the configuration tree.
+  const sim::Reg<CfgWord>& fwd_out() const { return fwd_out_; }
+
+  /// Wire the root node's response output back to the module.
+  void connect_resp(const sim::Reg<CfgWord>* root_resp) { resp_in_ = root_resp; }
+
+  /// Enqueue one configuration packet (7-bit words). is_path selects the
+  /// post-packet cool-down. expects_response marks read operations; the
+  /// module blocks later packets until the response word arrives.
+  void enqueue_packet(std::vector<std::uint8_t> words, bool is_path,
+                      bool expects_response = false);
+
+  /// True when every enqueued packet has been fully serialized, the
+  /// cool-down elapsed, and no response is outstanding. Words may still be
+  /// propagating down the tree — allow 2*depth cycles of drain.
+  bool idle() const;
+
+  /// Cycles of forward-path drain needed after idle() for the deepest
+  /// element to have processed the last word (2 cycles/hop + 1 to apply).
+  static sim::Cycle drain_cycles(std::uint32_t tree_depth) { return 2ull * tree_depth + 2; }
+
+  const std::vector<std::uint8_t>& responses() const { return responses_; }
+  void clear_responses() { responses_.clear(); }
+
+  std::uint64_t words_sent() const { return words_sent_; }
+  std::uint64_t packets_sent() const { return packets_sent_; }
+
+  void tick() override;
+
+ private:
+  struct Packet {
+    std::vector<std::uint8_t> words;
+    bool is_path = false;
+    bool expects_response = false;
+  };
+
+  Params params_;
+  sim::FifoReg<Packet> queue_;
+  sim::Reg<CfgWord> fwd_out_;
+  const sim::Reg<CfgWord>* resp_in_ = nullptr;
+
+  // Streaming state — only this component mutates it, during its tick.
+  Packet current_;
+  std::size_t index_ = 0;
+  bool streaming_ = false;
+  std::uint32_t cooldown_left_ = 0;
+  bool awaiting_response_ = false;
+
+  std::vector<std::uint8_t> responses_;
+  std::uint64_t words_sent_ = 0;
+  std::uint64_t packets_sent_ = 0;
+};
+
+} // namespace daelite::hw

@@ -1,0 +1,51 @@
+#pragma once
+// The daelite data-network transfer unit.
+//
+// At the wire level a daelite link carries one 32-bit word plus 3 credit
+// wires per cycle; a TDM slot spans `words_per_slot` consecutive cycles.
+// Because a flit (one slot's worth of words) always moves through the
+// pipeline as a unit — the slot alignment guarantees it never straddles a
+// crossbar boundary — the model transports whole flits, one element per
+// slot, which is cycle-accurate at slot granularity (2 cycles per hop for
+// the paper's 2-word slots).
+//
+// The debug_* / inject_cycle fields are modelling metadata (latency
+// measurement, ordering checks); no hardware behaviour depends on them.
+
+#include <array>
+#include <cstdint>
+
+#include "sim/types.hpp"
+#include "tdm/ids.hpp"
+
+namespace daelite::hw {
+
+struct Flit {
+  static constexpr std::size_t kMaxWords = 4; ///< supports 1..4 words/slot
+
+  bool valid = false;        ///< the slot is occupied (data and/or credits)
+  std::uint8_t num_words = 0;
+  std::array<std::uint32_t, kMaxWords> data{};
+  std::array<bool, kMaxWords> data_valid{};
+  std::uint32_t credit = 0;  ///< assembled value of the credit wires over the slot
+
+  // Modelling metadata.
+  tdm::ChannelId debug_channel = tdm::kNoChannel;
+  std::uint64_t debug_seq = 0;
+  sim::Cycle inject_cycle = sim::kNoCycle;
+
+  bool any_data() const {
+    for (std::size_t i = 0; i < num_words; ++i)
+      if (data_valid[i]) return true;
+    return false;
+  }
+
+  std::size_t data_word_count() const {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < num_words; ++i)
+      if (data_valid[i]) ++n;
+    return n;
+  }
+};
+
+} // namespace daelite::hw

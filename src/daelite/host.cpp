@@ -1,0 +1,96 @@
+#include "daelite/host.hpp"
+
+namespace daelite::hw {
+
+std::optional<HostController::OpenResult> HostController::open(topo::NodeId src,
+                                                               std::vector<topo::NodeId> dsts,
+                                                               std::uint32_t request_slots,
+                                                               std::uint32_t response_slots) {
+  alloc::AllocatedConnection conn;
+  conn.id = next_id_++;
+  conn.spec = alloc::ConnectionSpec{"host", src, dsts, request_slots, response_slots};
+
+  alloc::ChannelSpec req;
+  req.src_ni = src;
+  req.dst_nis = dsts;
+  req.slots_required = request_slots;
+  auto r = alloc_->allocate(req);
+  if (!r) {
+    ++rejected_;
+    return std::nullopt;
+  }
+  conn.request = std::move(*r);
+
+  if (dsts.size() == 1) {
+    alloc::ChannelSpec resp;
+    resp.src_ni = dsts[0];
+    resp.dst_nis = {src};
+    resp.slots_required = response_slots;
+    auto rr = alloc_->allocate(resp);
+    if (!rr) {
+      alloc_->release(conn.request);
+      ++rejected_;
+      return std::nullopt;
+    }
+    conn.response = std::move(*rr);
+    conn.has_response = true;
+  }
+
+  OpenResult out;
+  out.handle = net_->open_connection(conn);
+  out.config_cycles = net_->run_config();
+  ++opened_;
+  return out;
+}
+
+void HostController::close(const ConnectionHandle& handle) {
+  net_->close_connection(handle);
+  net_->run_config();
+  alloc_->release(handle.conn.request);
+  if (handle.conn.has_response) alloc_->release(handle.conn.response);
+  ++closed_;
+}
+
+std::optional<std::uint8_t> HostController::read_flags(topo::NodeId ni, std::uint8_t tx_queue,
+                                                       sim::Cycle timeout) {
+  ConfigModule& mod = net_->config_module();
+  const std::size_t before = mod.responses().size();
+  mod.enqueue_packet(encode_read_flags(net_->cfg_ids().at(ni), tx_queue), /*is_path=*/false,
+                     /*expects_response=*/true);
+  const bool ok = net_->kernel().run_until(
+      [&] { return mod.responses().size() > before; }, timeout);
+  if (!ok) return std::nullopt;
+  return mod.responses().back();
+}
+
+void HostController::write_bus_register(topo::NodeId ni, std::uint8_t addr,
+                                        std::uint16_t value) {
+  net_->config_module().enqueue_packet(
+      encode_bus_write(net_->cfg_ids().at(ni), addr, value), /*is_path=*/false);
+  net_->run_config();
+}
+
+void HostController::configure_bus_map(
+    topo::NodeId ni, const std::vector<std::pair<std::uint32_t, std::uint32_t>>& ranges) {
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    const auto base_page = static_cast<std::uint16_t>(ranges[i].first >> 10);
+    const auto pages = static_cast<std::uint16_t>((ranges[i].second + 1023) >> 10);
+    write_bus_register(ni, static_cast<std::uint8_t>(2 * i), base_page);
+    write_bus_register(ni, static_cast<std::uint8_t>(2 * i + 1), pages);
+  }
+  write_bus_register(ni, 126, static_cast<std::uint16_t>(ranges.size()));
+}
+
+std::optional<std::uint8_t> HostController::read_credit(topo::NodeId ni, std::uint8_t tx_queue,
+                                                        sim::Cycle timeout) {
+  ConfigModule& mod = net_->config_module();
+  const std::size_t before = mod.responses().size();
+  mod.enqueue_packet(encode_read_credit(net_->cfg_ids().at(ni), tx_queue), /*is_path=*/false,
+                     /*expects_response=*/true);
+  const bool ok = net_->kernel().run_until(
+      [&] { return mod.responses().size() > before; }, timeout);
+  if (!ok) return std::nullopt;
+  return mod.responses().back();
+}
+
+} // namespace daelite::hw

@@ -1,0 +1,76 @@
+#pragma once
+// Run-time connection management — the host IP's software stack.
+//
+// The paper (§IV): "The schedule ... is typically computed at design
+// time, although computation at run-time is also possible [22], [30]."
+// The HostController implements the run-time flavour: it combines online
+// slot allocation (the schedule state lives in the allocator) with the
+// configuration module, exposing open/close/read-back calls that account
+// for the full cost of a dynamic use-case switch — allocation plus the
+// configuration packets through the broadcast tree.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "alloc/usecase.hpp"
+#include "daelite/network.hpp"
+
+namespace daelite::hw {
+
+class HostController {
+ public:
+  HostController(DaeliteNetwork& net, alloc::SlotAllocator& alloc)
+      : net_(&net), alloc_(&alloc) {}
+
+  struct OpenResult {
+    ConnectionHandle handle;
+    sim::Cycle config_cycles = 0; ///< cycles spent streaming configuration
+  };
+
+  /// Allocate and configure a connection, running the kernel until the
+  /// configuration network drains. Returns nullopt (with nothing
+  /// reserved) if the schedule cannot fit the request.
+  std::optional<OpenResult> open(topo::NodeId src, std::vector<topo::NodeId> dsts,
+                                 std::uint32_t request_slots, std::uint32_t response_slots = 1);
+
+  /// Tear a connection down (configuration + schedule release).
+  void close(const ConnectionHandle& handle);
+
+  /// Read an NI credit counter through the configuration network's
+  /// response path. Returns nullopt on timeout.
+  std::optional<std::uint8_t> read_credit(topo::NodeId ni, std::uint8_t tx_queue,
+                                          sim::Cycle timeout = 10000);
+
+  /// Read a tx channel's connection state flags (paper §IV: "Reading back
+  /// flags and flow control information from the NI is supported").
+  std::optional<std::uint8_t> read_flags(topo::NodeId ni, std::uint8_t tx_queue,
+                                         sim::Cycle timeout = 10000);
+
+  /// Configure the bus adjacent to an NI (paper §IV: "the configuration
+  /// words are deserialized into wider words which are translated by an
+  /// NI shell into the appropriate bus standard"). Writes one 14-bit value
+  /// into the NI's bus register file and runs the configuration network.
+  void write_bus_register(topo::NodeId ni, std::uint8_t addr, std::uint16_t value);
+
+  /// Program a bus address map through bus registers: range i occupies
+  /// registers {2i: base page, 2i+1: page count} (1 page = 1024 words).
+  /// Register 126 holds the number of ranges.
+  void configure_bus_map(topo::NodeId ni,
+                         const std::vector<std::pair<std::uint32_t, std::uint32_t>>& ranges);
+
+  std::uint64_t opened() const { return opened_; }
+  std::uint64_t closed() const { return closed_; }
+  std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  DaeliteNetwork* net_;
+  alloc::SlotAllocator* alloc_;
+  std::uint64_t opened_ = 0;
+  std::uint64_t closed_ = 0;
+  std::uint64_t rejected_ = 0;
+  tdm::ConnectionId next_id_ = 0;
+};
+
+} // namespace daelite::hw

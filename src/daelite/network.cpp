@@ -1,0 +1,272 @@
+#include "daelite/network.hpp"
+
+#include <cassert>
+
+namespace daelite::hw {
+
+DaeliteNetwork::DaeliteNetwork(sim::Kernel& k, const topo::Topology& topo, Options options)
+    : kernel_(&k), topo_(&topo), options_(options) {
+  assert(options_.tdm.valid());
+  cfg_ids_ = assign_cfg_ids(topo);
+  cfg_tree_ = topo::build_config_tree(topo, options_.cfg_root);
+  assert(cfg_tree_.spans_all() && "configuration tree must reach every network element");
+
+  // Instantiate elements.
+  Ni::Params ni_params;
+  ni_params.tdm = options_.tdm;
+  ni_params.num_channels = options_.ni_channels;
+  ni_params.queue_capacity = options_.ni_queue_capacity;
+
+  for (topo::NodeId n = 0; n < topo.node_count(); ++n) {
+    const topo::Node& node = topo.node(n);
+    if (node.kind == topo::NodeKind::kRouter) {
+      routers_[n] = std::make_unique<Router>(k, node.name, cfg_ids_.at(n), node.in_links.size(),
+                                             node.out_links.size(), options_.tdm);
+    } else {
+      assert(node.in_links.size() == 1 && node.out_links.size() == 1 &&
+             "an NI attaches to exactly one router");
+      nis_[n] = std::make_unique<Ni>(k, node.name, cfg_ids_.at(n), ni_params);
+      tx_queue_used_[n].assign(options_.ni_channels, false);
+      rx_queue_used_[n].assign(options_.ni_channels, false);
+    }
+  }
+
+  // Wire the data links.
+  for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
+    const topo::Link& link = topo.link(l);
+    const sim::Reg<Flit>* src_reg =
+        topo.is_router(link.src) ? &routers_.at(link.src)->output_reg(link.src_port)
+                                 : &nis_.at(link.src)->output_reg();
+    if (topo.is_router(link.dst)) {
+      routers_.at(link.dst)->connect_input(link.dst_port, src_reg);
+    } else {
+      nis_.at(link.dst)->connect_input(src_reg);
+    }
+  }
+
+  // Host configuration module + broadcast tree wiring.
+  config_module_ = std::make_unique<ConfigModule>(
+      k, "cfg_host", ConfigModule::Params{options_.cool_down_cycles});
+
+  auto agent_of = [&](topo::NodeId n) -> ConfigAgent& {
+    return topo.is_router(n) ? routers_.at(n)->config_agent() : nis_.at(n)->config_agent();
+  };
+  for (topo::NodeId n : cfg_tree_.bfs_order) {
+    if (n == cfg_tree_.root) {
+      agent_of(n).connect_parent(&config_module_->fwd_out());
+    } else {
+      ConfigAgent& parent = agent_of(cfg_tree_.parent[n]);
+      agent_of(n).connect_parent(&parent.fwd_out());
+      parent.add_child_resp(&agent_of(n).resp_out());
+    }
+  }
+  config_module_->connect_resp(&agent_of(cfg_tree_.root).resp_out());
+}
+
+// --- Queue management ----------------------------------------------------------
+
+std::uint8_t DaeliteNetwork::alloc_tx_queue(topo::NodeId ni) {
+  auto& used = tx_queue_used_.at(ni);
+  for (std::size_t q = 0; q < used.size(); ++q) {
+    if (!used[q]) {
+      used[q] = true;
+      return static_cast<std::uint8_t>(q);
+    }
+  }
+  assert(false && "NI out of tx queues");
+  return 0;
+}
+
+std::uint8_t DaeliteNetwork::alloc_rx_queue(topo::NodeId ni) {
+  auto& used = rx_queue_used_.at(ni);
+  for (std::size_t q = 0; q < used.size(); ++q) {
+    if (!used[q]) {
+      used[q] = true;
+      return static_cast<std::uint8_t>(q);
+    }
+  }
+  assert(false && "NI out of rx queues");
+  return 0;
+}
+
+void DaeliteNetwork::free_tx_queue(topo::NodeId ni, std::uint8_t q) {
+  tx_queue_used_.at(ni)[q] = false;
+}
+void DaeliteNetwork::free_rx_queue(topo::NodeId ni, std::uint8_t q) {
+  rx_queue_used_.at(ni)[q] = false;
+}
+
+// --- Hardware configuration path -------------------------------------------------
+
+std::vector<std::vector<std::uint8_t>> DaeliteNetwork::encode_route_packets(
+    const alloc::RouteTree& route, std::uint8_t tx_queue,
+    const std::vector<std::uint8_t>& rx_queues, bool setup) const {
+  const auto segments = alloc::make_cfg_segments(*topo_, options_.tdm, route, tx_queue, rx_queues);
+  std::vector<std::vector<std::uint8_t>> packets;
+  packets.reserve(segments.size());
+  for (const auto& seg : segments)
+    packets.push_back(encode_path_packet(seg, options_.tdm, cfg_ids_, setup));
+  if (!setup) {
+    // Tear down the trunk (which disarms the source NI) before the
+    // branches, the reverse of the bring-up order.
+    std::reverse(packets.begin(), packets.end());
+  }
+  return packets;
+}
+
+void DaeliteNetwork::post_route_setup(const alloc::RouteTree& route, std::uint8_t tx_queue,
+                                      const std::vector<std::uint8_t>& rx_queues) {
+  for (auto& p : encode_route_packets(route, tx_queue, rx_queues, true))
+    config_module_->enqueue_packet(std::move(p), /*is_path=*/true);
+}
+
+void DaeliteNetwork::post_route_teardown(const alloc::RouteTree& route, std::uint8_t tx_queue,
+                                         const std::vector<std::uint8_t>& rx_queues) {
+  for (auto& p : encode_route_packets(route, tx_queue, rx_queues, false))
+    config_module_->enqueue_packet(std::move(p), /*is_path=*/true);
+}
+
+ConnectionHandle DaeliteNetwork::open_connection(const alloc::AllocatedConnection& conn) {
+  ConnectionHandle h;
+  h.conn = conn;
+  const alloc::RouteTree& req = conn.request;
+
+  h.src_tx_q = alloc_tx_queue(req.src_ni);
+  for (topo::NodeId dst : req.dst_nis) h.dst_rx_qs.push_back(alloc_rx_queue(dst));
+
+  // Modelling metadata for latency/ordering accounting.
+  nis_.at(req.src_ni)->set_debug_channel(h.src_tx_q, req.channel);
+
+  if (conn.has_response) {
+    const topo::NodeId dst = req.dst_nis[0];
+    h.dst_tx_q = alloc_tx_queue(dst);
+    h.src_rx_q = alloc_rx_queue(req.src_ni);
+    nis_.at(dst)->set_debug_channel(h.dst_tx_q, conn.response.channel);
+
+    post_route_setup(req, h.src_tx_q, h.dst_rx_qs);
+    post_route_setup(conn.response, h.dst_tx_q, {h.src_rx_q});
+
+    const std::uint8_t src_id = cfg_ids_.at(req.src_ni);
+    const std::uint8_t dst_id = cfg_ids_.at(dst);
+    const auto cap = static_cast<std::uint8_t>(
+        std::min<std::size_t>(options_.ni_queue_capacity, 63)); // 6-bit credit values
+    config_module_->enqueue_packet(encode_set_pair(src_id, h.src_tx_q, h.src_rx_q), false);
+    config_module_->enqueue_packet(encode_set_pair(dst_id, h.dst_tx_q, h.dst_rx_qs[0]), false);
+    config_module_->enqueue_packet(encode_write_credit(src_id, h.src_tx_q, cap), false);
+    config_module_->enqueue_packet(encode_write_credit(dst_id, h.dst_tx_q, cap), false);
+    config_module_->enqueue_packet(encode_set_flags(src_id, h.src_tx_q, kFlagTxEnabled), false);
+    config_module_->enqueue_packet(encode_set_flags(dst_id, h.dst_tx_q, kFlagTxEnabled), false);
+  } else {
+    // Multicast: no response channel, flow control disabled (paper §IV:
+    // "the default flow-control mechanism cannot be used").
+    post_route_setup(req, h.src_tx_q, h.dst_rx_qs);
+    const std::uint8_t src_id = cfg_ids_.at(req.src_ni);
+    config_module_->enqueue_packet(encode_set_pair(src_id, h.src_tx_q, kCfgNoQueue), false);
+    config_module_->enqueue_packet(
+        encode_set_flags(src_id, h.src_tx_q, kFlagTxEnabled | kFlagFlowCtrlOff), false);
+  }
+  return h;
+}
+
+void DaeliteNetwork::close_connection(const ConnectionHandle& h) {
+  const alloc::RouteTree& req = h.conn.request;
+  // Disable the sources first, then clear the tables.
+  config_module_->enqueue_packet(encode_set_flags(cfg_ids_.at(req.src_ni), h.src_tx_q, 0), false);
+  if (h.conn.has_response) {
+    config_module_->enqueue_packet(
+        encode_set_flags(cfg_ids_.at(req.dst_nis[0]), h.dst_tx_q, 0), false);
+  }
+  post_route_teardown(req, h.src_tx_q, h.dst_rx_qs);
+  if (h.conn.has_response) post_route_teardown(h.conn.response, h.dst_tx_q, {h.src_rx_q});
+
+  free_tx_queue(req.src_ni, h.src_tx_q);
+  for (std::size_t i = 0; i < req.dst_nis.size(); ++i)
+    free_rx_queue(req.dst_nis[i], h.dst_rx_qs[i]);
+  if (h.conn.has_response) {
+    free_tx_queue(req.dst_nis[0], h.dst_tx_q);
+    free_rx_queue(req.src_ni, h.src_rx_q);
+  }
+}
+
+bool DaeliteNetwork::config_idle() const { return config_module_->idle(); }
+
+sim::Cycle DaeliteNetwork::run_config(sim::Cycle max_cycles) {
+  const sim::Cycle start = kernel_->now();
+  const bool ok =
+      kernel_->run_until([this] { return config_module_->idle(); }, max_cycles);
+  assert(ok && "configuration did not complete");
+  (void)ok;
+  kernel_->run(ConfigModule::drain_cycles(cfg_tree_.max_depth()));
+  return kernel_->now() - start;
+}
+
+// --- Direct (test) configuration ---------------------------------------------------
+
+void DaeliteNetwork::program_route_direct(const alloc::RouteTree& route, std::uint8_t tx_queue,
+                                          const std::vector<std::uint8_t>& rx_queues) {
+  const tdm::TdmParams& p = options_.tdm;
+  Ni& src = *nis_.at(route.src_ni);
+  src.set_debug_channel(tx_queue, route.channel);
+  for (tdm::Slot q : route.inject_slots) {
+    src.table().set_tx(q, tx_queue);
+    for (const alloc::RouteEdge& e : route.edges) {
+      const topo::Link& link = topo_->link(e.link);
+      if (!topo_->is_router(link.src)) continue; // the NI->router link has no table entry
+      const auto parent = route.edge_into(*topo_, link.src);
+      assert(parent.has_value());
+      const auto in_port = static_cast<tdm::PortIndex>(topo_->link(parent->link).dst_port);
+      routers_.at(link.src)->table().set(link.src_port, p.slot_at_link(q, e.depth), in_port);
+    }
+    for (std::size_t i = 0; i < route.dst_nis.size(); ++i) {
+      const topo::NodeId dst = route.dst_nis[i];
+      nis_.at(dst)->table().set_rx(route.rx_slot(*topo_, p, dst, q), rx_queues[i]);
+    }
+  }
+}
+
+void DaeliteNetwork::clear_route_direct(const alloc::RouteTree& route, std::uint8_t tx_queue,
+                                        const std::vector<std::uint8_t>& rx_queues) {
+  (void)tx_queue;
+  (void)rx_queues;
+  const tdm::TdmParams& p = options_.tdm;
+  Ni& src = *nis_.at(route.src_ni);
+  for (tdm::Slot q : route.inject_slots) {
+    src.table().clear_tx(q);
+    for (const alloc::RouteEdge& e : route.edges) {
+      const topo::Link& link = topo_->link(e.link);
+      if (!topo_->is_router(link.src)) continue;
+      routers_.at(link.src)->table().clear(link.src_port, p.slot_at_link(q, e.depth));
+    }
+    for (topo::NodeId dst : route.dst_nis)
+      nis_.at(dst)->table().clear_rx(route.rx_slot(*topo_, p, dst, q));
+  }
+}
+
+// --- Aggregate health ----------------------------------------------------------------
+
+std::uint64_t DaeliteNetwork::total_router_drops() const {
+  std::uint64_t n = 0;
+  for (const auto& [id, r] : routers_) n += r->stats().flits_dropped;
+  return n;
+}
+
+std::uint64_t DaeliteNetwork::total_ni_drops() const {
+  std::uint64_t n = 0;
+  for (const auto& [id, ni] : nis_) n += ni->stats().flits_dropped;
+  return n;
+}
+
+std::uint64_t DaeliteNetwork::total_rx_overflow() const {
+  std::uint64_t n = 0;
+  for (const auto& [id, ni] : nis_) n += ni->stats().rx_overflow;
+  return n;
+}
+
+std::uint64_t DaeliteNetwork::total_cfg_errors() const {
+  std::uint64_t n = 0;
+  for (const auto& [id, r] : routers_) n += r->stats().cfg_errors;
+  for (const auto& [id, ni] : nis_) n += ni->stats().cfg_errors;
+  return n;
+}
+
+} // namespace daelite::hw

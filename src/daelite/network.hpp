@@ -1,0 +1,130 @@
+#pragma once
+// Whole-network assembly: instantiate routers, NIs, the configuration tree
+// and the host configuration module from a Topology, and provide the
+// connection-level programming API (the paper's set-up / tear-down
+// procedure, §IV).
+//
+// Two programming paths exist:
+//  * the hardware path — open_connection()/close_connection() build the
+//    configuration packets and stream them through the broadcast tree, so
+//    set-up cost and timing are exactly what the paper measures;
+//  * the direct path — program_route_direct() pokes the slot tables
+//    immediately, used by unit tests to separate data-path correctness
+//    from configuration correctness.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "alloc/route.hpp"
+#include "alloc/usecase.hpp"
+#include "daelite/config.hpp"
+#include "daelite/config_host.hpp"
+#include "daelite/ni.hpp"
+#include "daelite/router.hpp"
+#include "sim/kernel.hpp"
+#include "topology/graph.hpp"
+#include "topology/spanning_tree.hpp"
+
+namespace daelite::hw {
+
+/// Queue bindings of an open connection.
+struct ConnectionHandle {
+  alloc::AllocatedConnection conn;
+  std::uint8_t src_tx_q = 0;               ///< request data out of the source NI
+  std::uint8_t src_rx_q = 0;               ///< response data into the source NI (unicast)
+  std::uint8_t dst_tx_q = 0;               ///< response data out of the destination NI (unicast)
+  std::vector<std::uint8_t> dst_rx_qs;     ///< request data into each destination NI
+};
+
+class DaeliteNetwork {
+ public:
+  struct Options {
+    tdm::TdmParams tdm = tdm::daelite_params(8);
+    std::size_t ni_channels = 8;
+    std::size_t ni_queue_capacity = 32;
+    topo::NodeId cfg_root = 0;           ///< element the config module attaches to
+    std::uint32_t cool_down_cycles = 4;
+  };
+
+  DaeliteNetwork(sim::Kernel& k, const topo::Topology& topo, Options options);
+
+  Router& router(topo::NodeId id) { return *routers_.at(id); }
+  Ni& ni(topo::NodeId id) { return *nis_.at(id); }
+  const Ni& ni(topo::NodeId id) const { return *nis_.at(id); }
+  ConfigModule& config_module() { return *config_module_; }
+  const topo::ConfigTree& config_tree() const { return cfg_tree_; }
+  const CfgIdMap& cfg_ids() const { return cfg_ids_; }
+  const topo::Topology& topology() const { return *topo_; }
+  const Options& options() const { return options_; }
+  sim::Kernel& kernel() { return *kernel_; }
+
+  // --- Hardware configuration path -------------------------------------------
+
+  /// Enqueue the full set-up sequence for an allocated connection:
+  /// path packets (branches before trunk), credit pairing, credit
+  /// initialization, and flags. Returns the queue bindings.
+  ConnectionHandle open_connection(const alloc::AllocatedConnection& conn);
+
+  /// Enqueue the tear-down sequence and free the queues.
+  void close_connection(const ConnectionHandle& handle);
+
+  /// Enqueue set-up packets for a bare channel (no credits/flags).
+  void post_route_setup(const alloc::RouteTree& route, std::uint8_t tx_queue,
+                        const std::vector<std::uint8_t>& rx_queues);
+  void post_route_teardown(const alloc::RouteTree& route, std::uint8_t tx_queue,
+                           const std::vector<std::uint8_t>& rx_queues);
+
+  /// True when the module finished streaming and the words drained to the
+  /// deepest tree node.
+  bool config_idle() const;
+
+  /// Run the kernel until config_idle() (with drain). Returns cycles spent.
+  sim::Cycle run_config(sim::Cycle max_cycles = 1'000'000);
+
+  // --- Direct (test) configuration --------------------------------------------
+
+  void program_route_direct(const alloc::RouteTree& route, std::uint8_t tx_queue,
+                            const std::vector<std::uint8_t>& rx_queues);
+  void clear_route_direct(const alloc::RouteTree& route, std::uint8_t tx_queue,
+                          const std::vector<std::uint8_t>& rx_queues);
+
+  // --- Queue management --------------------------------------------------------
+
+  std::uint8_t alloc_tx_queue(topo::NodeId ni);
+  std::uint8_t alloc_rx_queue(topo::NodeId ni);
+  void free_tx_queue(topo::NodeId ni, std::uint8_t q);
+  void free_rx_queue(topo::NodeId ni, std::uint8_t q);
+
+  // --- Aggregate health --------------------------------------------------------
+
+  std::uint64_t total_router_drops() const;
+  std::uint64_t total_ni_drops() const;
+  std::uint64_t total_rx_overflow() const;
+  std::uint64_t total_cfg_errors() const;
+
+ private:
+  /// (segments, queue words) shared by setup and teardown.
+  std::vector<std::vector<std::uint8_t>> encode_route_packets(const alloc::RouteTree& route,
+                                                              std::uint8_t tx_queue,
+                                                              const std::vector<std::uint8_t>& rx_queues,
+                                                              bool setup) const;
+
+  sim::Kernel* kernel_;
+  const topo::Topology* topo_;
+  Options options_;
+  CfgIdMap cfg_ids_;
+  topo::ConfigTree cfg_tree_;
+
+  std::map<topo::NodeId, std::unique_ptr<Router>> routers_;
+  std::map<topo::NodeId, std::unique_ptr<Ni>> nis_;
+  std::unique_ptr<ConfigModule> config_module_;
+
+  std::map<topo::NodeId, std::vector<bool>> tx_queue_used_;
+  std::map<topo::NodeId, std::vector<bool>> rx_queue_used_;
+};
+
+} // namespace daelite::hw

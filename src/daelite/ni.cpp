@@ -1,0 +1,218 @@
+#include "daelite/ni.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "tdm/flit.hpp"
+
+namespace daelite::hw {
+
+Ni::Ni(sim::Kernel& k, std::string name, std::uint8_t cfg_id, Params params)
+    : sim::Component(k, name),
+      cfg_id_(cfg_id),
+      params_(params),
+      table_(params.tdm.num_slots),
+      cfg_agent_(k, name + ".cfg", *this, params.tdm),
+      tx_(params.num_channels),
+      rx_(params.num_channels) {
+  assert(params_.tdm.valid());
+  assert(params_.tdm.slot_shift_per_hop() == 1 &&
+         "hardware model requires hop_cycles == words_per_slot");
+  assert(params_.num_channels <= 63 && "queue ids are 6 bits in config words");
+  assert(params_.tdm.words_per_slot <= Flit::kMaxWords);
+  own(output_);
+  for (auto& ch : tx_) {
+    own(ch.queue);
+    own(ch.space);
+  }
+  for (auto& ch : rx_) {
+    own(ch.queue);
+    own(ch.pending);
+  }
+}
+
+bool Ni::tx_push(std::size_t q, std::uint32_t word) {
+  auto& ch = tx_[q];
+  if (ch.queue.next_size() >= params_.queue_capacity) return false;
+  ch.queue.push(word);
+  return true;
+}
+
+std::size_t Ni::tx_space(std::size_t q) const {
+  const auto& ch = tx_[q];
+  const std::size_t used = ch.queue.next_size();
+  return used >= params_.queue_capacity ? 0 : params_.queue_capacity - used;
+}
+
+std::optional<std::uint32_t> Ni::rx_pop(std::size_t q) {
+  auto& ch = rx_[q];
+  if (ch.queue.poppable() == 0) return std::nullopt;
+  ch.pending.add(1); // the word is now "delivered"; credit it back
+  return ch.queue.pop();
+}
+
+void Ni::set_pair_direct(std::size_t tx_q, std::size_t rx_q) {
+  tx_[tx_q].paired_rx = static_cast<std::uint8_t>(rx_q);
+  rx_[rx_q].paired_tx = static_cast<std::uint8_t>(tx_q);
+}
+
+void Ni::tick() {
+  if (!params_.tdm.is_slot_start(now())) return;
+  const tdm::Slot slot = params_.tdm.slot_of_cycle(now());
+  const std::uint32_t w = params_.tdm.words_per_slot;
+
+  // ---- Departure side --------------------------------------------------------
+  Flit out{};
+  out.num_words = static_cast<std::uint8_t>(w);
+  const tdm::ChannelId tx_q = table_.tx_channel(slot);
+  if (tx_q != tdm::kNoChannel && tx_q < tx_.size() && tx_[tx_q].enabled) {
+    auto& ch = tx_[tx_q];
+
+    std::uint32_t can_send = std::min<std::uint32_t>(w, static_cast<std::uint32_t>(ch.queue.poppable()));
+    if (ch.flow_ctrl) can_send = std::min<std::uint32_t>(can_send, static_cast<std::uint32_t>(ch.space.get()));
+    if (can_send == 0 && ch.queue.poppable() > 0) ++stats_.tx_stalled_slots;
+
+    for (std::uint32_t i = 0; i < can_send; ++i) {
+      out.data[i] = ch.queue.pop();
+      out.data_valid[i] = true;
+    }
+    if (can_send > 0) {
+      if (ch.flow_ctrl) ch.space.sub(can_send);
+      ch.stats.words_sent += can_send;
+      ++ch.stats.flits_sent;
+      out.debug_channel = ch.debug_channel;
+      out.debug_seq = ch.seq++;
+    }
+
+    // Piggyback credits of the paired rx channel (3 wires * W cycles).
+    if (ch.paired_rx != kCfgNoQueue && ch.paired_rx < rx_.size()) {
+      auto& prx = rx_[ch.paired_rx];
+      const auto c = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(prx.pending.get(), tdm::max_credit_per_slot(w)));
+      if (c > 0) {
+        out.credit = c;
+        prx.pending.sub(c);
+        ch.stats.credits_sent += c;
+      }
+    }
+    out.valid = can_send > 0 || out.credit > 0;
+    if (out.valid) out.inject_cycle = now();
+  }
+  output_.set(out);
+
+  // ---- Arrival side ----------------------------------------------------------
+  const Flit in = (input_ != nullptr) ? input_->get() : Flit{};
+  if (!in.valid) return;
+  const tdm::ChannelId rx_q = table_.rx_channel(slot);
+  if (rx_q == tdm::kNoChannel || rx_q >= rx_.size()) {
+    ++stats_.flits_dropped;
+    return;
+  }
+  auto& ch = rx_[rx_q];
+  ++ch.stats.flits_received;
+  for (std::uint32_t i = 0; i < in.num_words; ++i) {
+    if (!in.data_valid[i]) continue;
+    if (ch.queue.next_size() >= params_.queue_capacity) {
+      ++stats_.rx_overflow;
+      continue;
+    }
+    ch.queue.push(in.data[i]);
+    ++ch.stats.words_received;
+  }
+  if (in.inject_cycle != sim::kNoCycle && in.any_data())
+    stats_.latency.add(now() - in.inject_cycle);
+
+  if (in.credit > 0) {
+    if (ch.paired_tx != kCfgNoQueue && ch.paired_tx < tx_.size()) {
+      tx_[ch.paired_tx].space.add(in.credit);
+      ch.stats.credits_received += in.credit;
+    } else {
+      ++stats_.credits_lost;
+    }
+  }
+}
+
+// --- ConfigTarget --------------------------------------------------------------
+
+void Ni::cfg_apply_path(std::uint64_t slot_mask, std::uint8_t port_word, bool setup) {
+  const bool is_tx = (port_word & kCfgNiTxBit) != 0;
+  const std::uint8_t queue = port_word & kCfgQueueMask;
+  if (queue >= params_.num_channels) {
+    ++stats_.cfg_errors;
+    return;
+  }
+  for (tdm::Slot s = 0; s < params_.tdm.num_slots; ++s) {
+    if ((slot_mask & (1ull << s)) == 0) continue;
+    if (is_tx) {
+      if (setup) {
+        table_.set_tx(s, queue);
+      } else {
+        table_.clear_tx(s);
+      }
+    } else {
+      if (setup) {
+        table_.set_rx(s, queue);
+      } else {
+        table_.clear_rx(s);
+      }
+    }
+  }
+}
+
+void Ni::cfg_write_credit(std::uint8_t queue, std::uint8_t value) {
+  if (queue >= params_.num_channels) {
+    ++stats_.cfg_errors;
+    return;
+  }
+  tx_[queue].space.force(value);
+}
+
+std::uint8_t Ni::cfg_read_credit(std::uint8_t queue) {
+  if (queue >= params_.num_channels) {
+    ++stats_.cfg_errors;
+    return 0;
+  }
+  return static_cast<std::uint8_t>(std::min<std::uint64_t>(tx_[queue].space.get(), 0x7F));
+}
+
+std::uint8_t Ni::cfg_read_flags(std::uint8_t queue) {
+  if (queue >= params_.num_channels) {
+    ++stats_.cfg_errors;
+    return 0;
+  }
+  std::uint8_t flags = 0;
+  if (tx_[queue].enabled) flags |= kFlagTxEnabled;
+  if (!tx_[queue].flow_ctrl) flags |= kFlagFlowCtrlOff;
+  return flags;
+}
+
+void Ni::cfg_set_pair(std::uint8_t tx_queue, std::uint8_t rx_queue) {
+  if (tx_queue >= params_.num_channels) {
+    ++stats_.cfg_errors;
+    return;
+  }
+  if (rx_queue == kCfgNoQueue) {
+    tx_[tx_queue].paired_rx = kCfgNoQueue;
+    return;
+  }
+  if (rx_queue >= params_.num_channels) {
+    ++stats_.cfg_errors;
+    return;
+  }
+  set_pair_direct(tx_queue, rx_queue);
+}
+
+void Ni::cfg_set_flags(std::uint8_t queue, std::uint8_t flags) {
+  if (queue >= params_.num_channels) {
+    ++stats_.cfg_errors;
+    return;
+  }
+  tx_[queue].enabled = (flags & kFlagTxEnabled) != 0;
+  tx_[queue].flow_ctrl = (flags & kFlagFlowCtrlOff) == 0;
+}
+
+void Ni::cfg_bus_write(std::uint8_t addr, std::uint16_t value) {
+  bus_regs_[addr & 0x7F] = value;
+}
+
+} // namespace daelite::hw

@@ -1,0 +1,71 @@
+#include "daelite/router.hpp"
+
+#include <cassert>
+
+#include "sim/log.hpp"
+
+namespace daelite::hw {
+
+Router::Router(sim::Kernel& k, std::string name, std::uint8_t cfg_id, std::size_t num_inputs,
+               std::size_t num_outputs, tdm::TdmParams params)
+    : sim::Component(k, name),
+      cfg_id_(cfg_id),
+      params_(params),
+      table_(num_outputs, params.num_slots),
+      inputs_(num_inputs, nullptr),
+      outputs_(num_outputs),
+      cfg_agent_(k, name + ".cfg", *this, params) {
+  assert(params_.valid());
+  // The hardware model advances flits one element per slot, i.e. the
+  // per-hop latency equals one slot. This holds for the paper's
+  // configurations (2-word slots / 2-cycle hops); 1-word slots (shift 2)
+  // are supported by the allocator and analytics only.
+  assert(params_.slot_shift_per_hop() == 1 && "hardware model requires hop_cycles == words_per_slot");
+  assert(num_inputs <= 8 && num_outputs <= 8 && "port ids are 3 bits in config words");
+  for (auto& o : outputs_) own(o);
+  consumed_.resize(num_inputs, false);
+}
+
+void Router::tick() {
+  if (!params_.is_slot_start(now())) return;
+  const tdm::Slot slot = params_.slot_of_cycle(now());
+
+  consumed_.assign(consumed_.size(), false);
+  for (std::size_t o = 0; o < outputs_.size(); ++o) {
+    const tdm::PortIndex in = table_.input_for(o, slot);
+    Flit f{};
+    if (in != tdm::kUnusedPort && in < inputs_.size() && inputs_[in] != nullptr) {
+      f = inputs_[in]->get();
+      if (f.valid) {
+        consumed_[in] = true;
+        ++stats_.flits_forwarded;
+      }
+    }
+    outputs_[o].set(f);
+  }
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    if (inputs_[i] == nullptr || !inputs_[i]->get().valid) continue;
+    ++stats_.flits_in;
+    if (!consumed_[i]) {
+      ++stats_.flits_dropped;
+      sim::log_debug(name(), "dropped flit at input ", i, " slot ", slot,
+                     " (no slot-table entry)");
+    }
+  }
+}
+
+void Router::cfg_apply_path(std::uint64_t slot_mask, std::uint8_t port_word, bool setup) {
+  const std::uint8_t in = router_in_port(port_word);
+  const std::uint8_t out = router_out_port(port_word);
+  for (tdm::Slot s = 0; s < params_.num_slots; ++s) {
+    if ((slot_mask & (1ull << s)) == 0) continue;
+    if (setup) {
+      table_.set(out, s, in);
+    } else {
+      table_.clear(out, s);
+    }
+    ++stats_.table_writes;
+  }
+}
+
+} // namespace daelite::hw

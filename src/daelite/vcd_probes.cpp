@@ -1,0 +1,33 @@
+#include "daelite/vcd_probes.hpp"
+
+namespace daelite::hw {
+
+void attach_network_probes(sim::VcdWriter& vcd, DaeliteNetwork& net) {
+  const topo::Topology& t = net.topology();
+  for (topo::NodeId n = 0; n < t.node_count(); ++n) {
+    const std::string& name = t.node(n).name;
+    if (t.is_ni(n)) {
+      Ni& ni = net.ni(n);
+      vcd.add_signal(name + ".tx_valid", 1,
+                     [&ni] { return static_cast<std::uint64_t>(ni.output_reg().get().valid); });
+      vcd.add_signal(name + ".tx_data0", 32,
+                     [&ni] { return static_cast<std::uint64_t>(ni.output_reg().get().data[0]); });
+      vcd.add_signal(name + ".tx_credit", 6,
+                     [&ni] { return static_cast<std::uint64_t>(ni.output_reg().get().credit); });
+    } else {
+      Router& r = net.router(n);
+      for (std::size_t o = 0; o < r.num_outputs(); ++o) {
+        vcd.add_signal(name + ".out" + std::to_string(o) + "_valid", 1, [&r, o] {
+          return static_cast<std::uint64_t>(r.output_reg(o).get().valid);
+        });
+      }
+    }
+  }
+  ConfigModule& cfg = net.config_module();
+  vcd.add_signal("cfg.word_valid", 1,
+                 [&cfg] { return static_cast<std::uint64_t>(cfg.fwd_out().get().valid); });
+  vcd.add_signal("cfg.word", 7,
+                 [&cfg] { return static_cast<std::uint64_t>(cfg.fwd_out().get().data); });
+}
+
+} // namespace daelite::hw

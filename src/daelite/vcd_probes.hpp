@@ -1,0 +1,29 @@
+#pragma once
+// Wire a VcdWriter to the observable state of a DaeliteNetwork: NI output
+// flits (valid / first data word / credits), router output valids, and
+// the configuration stream. A VcdSampler component polls once per cycle
+// during the tick phase, i.e. it snapshots the values committed at the
+// previous clock edge — exactly what a waveform viewer expects.
+
+#include "daelite/network.hpp"
+#include "sim/component.hpp"
+#include "sim/vcd.hpp"
+
+namespace daelite::hw {
+
+/// Register the standard probe set for `net` on `vcd`.
+void attach_network_probes(sim::VcdWriter& vcd, DaeliteNetwork& net);
+
+/// Samples the writer every cycle for as long as it lives.
+class VcdSampler : public sim::Component {
+ public:
+  VcdSampler(sim::Kernel& k, sim::VcdWriter& vcd)
+      : sim::Component(k, "vcd_sampler"), vcd_(&vcd) {}
+
+  void tick() override { vcd_->sample(now()); }
+
+ private:
+  sim::VcdWriter* vcd_;
+};
+
+} // namespace daelite::hw

@@ -1,0 +1,22 @@
+#include "sim/component.hpp"
+
+#include <utility>
+
+#include "sim/kernel.hpp"
+
+namespace daelite::sim {
+
+Component::Component(Kernel& kernel, std::string name)
+    : kernel_(&kernel), name_(std::move(name)) {
+  kernel_->add(this);
+}
+
+Component::~Component() { kernel_->remove(this); }
+
+void Component::commit() {
+  for (RegBase* r : regs_) r->commit_reg();
+}
+
+Cycle Component::now() const { return kernel_->now(); }
+
+} // namespace daelite::sim

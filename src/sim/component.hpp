@@ -1,0 +1,101 @@
+#pragma once
+// Two-phase synchronous component model.
+//
+// The modelled hardware (daelite / aelite) is globally synchronous: one
+// clock, every register latches on the same edge. We model this with two
+// phases per cycle:
+//
+//   tick()   — combinational evaluation: read only *committed* state (your
+//              own and other components' registers via Reg<T>::get()),
+//              compute next state via Reg<T>::set().
+//   commit() — the clock edge: every register copies next -> current.
+//
+// Because tick() never observes uncommitted values, the evaluation order of
+// components within a cycle is irrelevant; the simulation is deterministic
+// and exactly matches RTL register-transfer semantics with a one-cycle
+// delay through every Reg.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace daelite::sim {
+
+class Kernel;
+
+/// Type-erased register interface so a Component can commit all of its
+/// registers generically.
+class RegBase {
+ public:
+  virtual void commit_reg() = 0;
+
+ protected:
+  ~RegBase() = default;
+};
+
+/// A flip-flop (bank): holds its value across cycles unless set().
+/// get() returns the value committed at the previous clock edge.
+template <typename T>
+class Reg : public RegBase {
+ public:
+  Reg() = default;
+  explicit Reg(const T& init) : cur_(init), nxt_(init) {}
+
+  const T& get() const { return cur_; }
+  void set(const T& v) { nxt_ = v; }
+  void set(T&& v) { nxt_ = static_cast<T&&>(v); }
+
+  /// Mutable access to the *next* value — convenient for container-typed
+  /// registers (e.g. pushing into a queue register during tick()).
+  T& next() { return nxt_; }
+  const T& next() const { return nxt_; }
+
+  /// Reset both current and next immediately (use only outside tick()).
+  void force(const T& v) {
+    cur_ = v;
+    nxt_ = v;
+  }
+
+  void commit_reg() override { cur_ = nxt_; }
+
+ private:
+  T cur_{};
+  T nxt_{};
+};
+
+/// Base class for every modelled hardware block. Registers itself with the
+/// Kernel on construction and deregisters on destruction.
+class Component {
+ public:
+  Component(Kernel& kernel, std::string name);
+  virtual ~Component();
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  /// Combinational phase. Read committed state only; write via Reg::set().
+  virtual void tick() = 0;
+
+  /// Clock edge. The default commits every register registered via own().
+  /// Override only to add extra sequential behaviour, and call the base.
+  virtual void commit();
+
+  const std::string& name() const { return name_; }
+  Kernel& kernel() const { return *kernel_; }
+
+  /// Current simulation cycle (committed time; increments after commit).
+  Cycle now() const;
+
+ protected:
+  /// Declare a member Reg as part of this component's sequential state.
+  void own(RegBase& reg) { regs_.push_back(&reg); }
+
+ private:
+  Kernel* kernel_;
+  std::string name_;
+  std::vector<RegBase*> regs_;
+};
+
+} // namespace daelite::sim

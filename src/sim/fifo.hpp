@@ -1,0 +1,99 @@
+#pragma once
+// Sequential-state containers with two-phase (read-committed /
+// mutate-next) semantics, for state shared between components within a
+// cycle — e.g. an NI channel queue that a shell pushes into while the NI
+// drains it. All reads observe the value committed at the previous clock
+// edge; all mutations take effect at the next edge, and concurrent
+// mutations commute (pops take from the committed front, pushes append),
+// so evaluation order never matters.
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/component.hpp"
+
+namespace daelite::sim {
+
+/// A FIFO register: hardware queue with committed reads and deferred
+/// pushes/pops.
+template <typename T>
+class FifoReg : public RegBase {
+ public:
+  /// Committed occupancy (as of the last clock edge).
+  std::size_t size() const { return committed_.size(); }
+  bool empty() const { return committed_.empty(); }
+
+  /// Committed element at position i (0 = front).
+  const T& at(std::size_t i) const { return committed_[i]; }
+
+  /// Entries that can still be popped this cycle.
+  std::size_t poppable() const { return committed_.size() - pops_; }
+
+  /// Entries pushed this cycle but not yet committed.
+  std::size_t pending_pushes() const { return pushes_.size(); }
+
+  /// Occupancy after this cycle's mutations commit.
+  std::size_t next_size() const { return committed_.size() - pops_ + pushes_.size(); }
+
+  /// Pop the next committed element (takes effect at the clock edge, but
+  /// the value is returned immediately). Requires poppable() > 0.
+  T pop() {
+    assert(pops_ < committed_.size());
+    return committed_[pops_++];
+  }
+
+  /// Append an element at the clock edge.
+  void push(T v) { pushes_.push_back(std::move(v)); }
+
+  /// Immediate reset (outside the tick phase only).
+  void clear() {
+    committed_.clear();
+    pushes_.clear();
+    pops_ = 0;
+  }
+
+  void commit_reg() override {
+    committed_.erase(committed_.begin(),
+                     committed_.begin() + static_cast<std::ptrdiff_t>(pops_));
+    for (auto& v : pushes_) committed_.push_back(std::move(v));
+    pops_ = 0;
+    pushes_.clear();
+  }
+
+ private:
+  std::deque<T> committed_;
+  std::vector<T> pushes_;
+  std::size_t pops_ = 0;
+};
+
+/// An up/down counter register: reads return the committed value; add/sub
+/// accumulate a delta applied at the clock edge. Multiple actors may
+/// add/sub in the same cycle without ordering effects.
+class CounterReg : public RegBase {
+ public:
+  std::uint64_t get() const { return value_; }
+
+  void add(std::uint64_t n) { delta_ += static_cast<std::int64_t>(n); }
+  void sub(std::uint64_t n) { delta_ -= static_cast<std::int64_t>(n); }
+
+  /// Immediate overwrite (outside the tick phase only).
+  void force(std::uint64_t v) {
+    value_ = v;
+    delta_ = 0;
+  }
+
+  void commit_reg() override {
+    const auto next = static_cast<std::int64_t>(value_) + delta_;
+    assert(next >= 0 && "counter underflow");
+    value_ = static_cast<std::uint64_t>(next);
+    delta_ = 0;
+  }
+
+ private:
+  std::uint64_t value_ = 0;
+  std::int64_t delta_ = 0;
+};
+
+} // namespace daelite::sim

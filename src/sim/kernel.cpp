@@ -1,0 +1,32 @@
+#include "sim/kernel.hpp"
+
+#include <algorithm>
+
+#include "sim/component.hpp"
+
+namespace daelite::sim {
+
+void Kernel::remove(Component* c) {
+  auto it = std::find(components_.begin(), components_.end(), c);
+  if (it != components_.end()) components_.erase(it);
+}
+
+void Kernel::step() {
+  for (Component* c : components_) c->tick();
+  for (Component* c : components_) c->commit();
+  ++now_;
+}
+
+void Kernel::run(Cycle n) {
+  for (Cycle i = 0; i < n; ++i) step();
+}
+
+bool Kernel::run_until(const std::function<bool()>& pred, Cycle max_cycles) {
+  for (Cycle i = 0; i < max_cycles; ++i) {
+    step();
+    if (pred()) return true;
+  }
+  return pred();
+}
+
+} // namespace daelite::sim

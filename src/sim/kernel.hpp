@@ -1,0 +1,50 @@
+#pragma once
+// The simulation kernel: a flat registry of Components and the cycle loop.
+//
+// One Kernel models one synchronous clock domain (the paper's daelite
+// prototype is fully synchronous; aelite's mesochronous links are out of
+// scope, as in the paper's experiments).
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace daelite::sim {
+
+class Component;
+
+class Kernel {
+ public:
+  Kernel() = default;
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  /// Current cycle number. Cycle N covers the Nth tick/commit pair;
+  /// now() increments after the commit phase.
+  Cycle now() const { return now_; }
+
+  /// Advance exactly one cycle: tick all components, then commit all.
+  void step();
+
+  /// Advance n cycles.
+  void run(Cycle n);
+
+  /// Advance until pred() is true (checked after each cycle) or max_cycles
+  /// elapse. Returns true if the predicate fired.
+  bool run_until(const std::function<bool()>& pred, Cycle max_cycles);
+
+  std::size_t component_count() const { return components_.size(); }
+
+ private:
+  friend class Component;
+  void add(Component* c) { components_.push_back(c); }
+  void remove(Component* c);
+
+  std::vector<Component*> components_;
+  Cycle now_ = 0;
+};
+
+} // namespace daelite::sim

@@ -1,0 +1,33 @@
+#include "sim/log.hpp"
+
+#include <iostream>
+
+namespace daelite::sim {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+std::ostream* g_sink = &std::cerr;
+
+const char* level_tag(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kTrace: return "TRACE";
+    default: return "     ";
+  }
+}
+} // namespace
+
+LogLevel Log::level() { return g_level; }
+void Log::set_level(LogLevel lvl) { g_level = lvl; }
+void Log::set_sink(std::ostream* sink) { g_sink = sink; }
+std::ostream* Log::sink() { return g_sink; }
+
+void Log::write(LogLevel lvl, std::string_view who, std::string_view msg) {
+  if (g_sink == nullptr) return;
+  (*g_sink) << '[' << level_tag(lvl) << "] " << who << ": " << msg << '\n';
+}
+
+} // namespace daelite::sim

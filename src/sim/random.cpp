@@ -1,0 +1,51 @@
+#include "sim/random.hpp"
+
+namespace daelite::sim {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+} // namespace
+
+void Xoshiro256::reseed(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+  // Guard against the all-zero state which xoshiro cannot leave.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  // Classic modulo-rejection: reject the biased tail so the result is
+  // exactly uniform. The loop almost never iterates for small bounds.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound) - 1;
+  std::uint64_t v = next();
+  while (v > limit) v = next();
+  return v % bound;
+}
+
+double Xoshiro256::uniform() {
+  // 53 random bits mapped to [0,1).
+  return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+} // namespace daelite::sim

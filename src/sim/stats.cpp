@@ -1,0 +1,20 @@
+#include "sim/stats.hpp"
+
+#include <cmath>
+
+namespace daelite::sim {
+
+std::uint64_t Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return static_cast<std::uint64_t>(i);
+  }
+  return static_cast<std::uint64_t>(max());
+}
+
+} // namespace daelite::sim

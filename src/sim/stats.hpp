@@ -1,0 +1,87 @@
+#pragma once
+// Statistics primitives: counters, running scalar statistics and
+// fixed-bucket histograms. Every hardware model exposes its observable
+// behaviour (injected/delivered flits, latencies, occupancy) through these
+// so that tests and benches read results uniformly.
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace daelite::sim {
+
+/// Accumulates count / sum / min / max / sum-of-squares of a scalar sample
+/// stream; derives mean and population variance.
+class ScalarStat {
+ public:
+  void add(double v) {
+    ++count_;
+    sum_ += v;
+    sum_sq_ += v * v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+
+  void reset() { *this = ScalarStat{}; }
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double variance() const {
+    if (count_ == 0) return 0.0;
+    const double m = mean();
+    return sum_sq_ / static_cast<double>(count_) - m * m;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Integer histogram with unit-width buckets [0, capacity) plus an
+/// overflow bucket; supports exact quantile queries over recorded samples.
+class Histogram {
+ public:
+  explicit Histogram(std::size_t capacity = 1024) : buckets_(capacity, 0) {}
+
+  void add(std::uint64_t v) {
+    scalar_.add(static_cast<double>(v));
+    if (v < buckets_.size()) {
+      ++buckets_[static_cast<std::size_t>(v)];
+    } else {
+      ++overflow_;
+    }
+  }
+
+  void reset() {
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    overflow_ = 0;
+    scalar_.reset();
+  }
+
+  std::uint64_t count() const { return scalar_.count(); }
+  std::uint64_t overflow() const { return overflow_; }
+  double mean() const { return scalar_.mean(); }
+  double min() const { return scalar_.min(); }
+  double max() const { return scalar_.max(); }
+  std::uint64_t bucket(std::size_t i) const { return i < buckets_.size() ? buckets_[i] : 0; }
+
+  /// Value v such that at least q (in [0,1]) of the samples are <= v.
+  /// Samples that landed in the overflow bucket are treated as +inf, so a
+  /// quantile that falls there returns max().
+  std::uint64_t quantile(double q) const;
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t overflow_ = 0;
+  ScalarStat scalar_;
+};
+
+} // namespace daelite::sim

@@ -1,0 +1,28 @@
+#include "sim/trace.hpp"
+
+#include <ostream>
+#include <utility>
+
+namespace daelite::sim {
+
+void Tracer::record(Cycle cycle, std::string source, std::string event, std::string detail) {
+  if (!enabled_) return;
+  records_.push_back(TraceRecord{cycle, std::move(source), std::move(event), std::move(detail)});
+}
+
+std::size_t Tracer::count(std::string_view event) const {
+  std::size_t n = 0;
+  for (const auto& r : records_)
+    if (r.event == event) ++n;
+  return n;
+}
+
+void Tracer::dump(std::ostream& os) const {
+  for (const auto& r : records_) {
+    os << r.cycle << ' ' << r.source << ' ' << r.event;
+    if (!r.detail.empty()) os << " : " << r.detail;
+    os << '\n';
+  }
+}
+
+} // namespace daelite::sim

@@ -1,0 +1,47 @@
+#pragma once
+// Lightweight event tracing: components append (cycle, source, event,
+// detail) records; tests and examples inspect or dump them. This replaces
+// waveform dumping for a software model — the records are the observable
+// micro-architectural events (flit injected, slot-table written, credit
+// returned, ...).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace daelite::sim {
+
+struct TraceRecord {
+  Cycle cycle = 0;
+  std::string source; ///< component name
+  std::string event;  ///< short event tag, e.g. "inject", "cfg.write"
+  std::string detail; ///< free-form payload description
+};
+
+class Tracer {
+ public:
+  /// A disabled tracer drops records (the default for benches).
+  explicit Tracer(bool enabled = true) : enabled_(enabled) {}
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void record(Cycle cycle, std::string source, std::string event, std::string detail = {});
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+  /// Count records whose event tag equals `event`.
+  std::size_t count(std::string_view event) const;
+
+  /// Write all records, one per line, to `os`.
+  void dump(std::ostream& os) const;
+
+ private:
+  bool enabled_;
+  std::vector<TraceRecord> records_;
+};
+
+} // namespace daelite::sim

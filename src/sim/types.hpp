@@ -1,0 +1,15 @@
+#pragma once
+// Basic scalar types shared by the whole simulator.
+
+#include <cstdint>
+#include <limits>
+
+namespace daelite::sim {
+
+/// Simulation time in clock cycles. One cycle is one word time on a link.
+using Cycle = std::uint64_t;
+
+/// Sentinel for "no cycle" / "not yet happened".
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+} // namespace daelite::sim

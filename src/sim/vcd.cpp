@@ -1,0 +1,85 @@
+#include "sim/vcd.hpp"
+
+#include <map>
+#include <ostream>
+
+namespace daelite::sim {
+
+VcdWriter::VcdWriter(std::ostream& os, std::string top_module)
+    : os_(&os), top_(std::move(top_module)) {}
+
+void VcdWriter::add_signal(const std::string& name, unsigned width, Probe probe) {
+  Signal s;
+  s.name = name;
+  s.width = width == 0 ? 1 : width;
+  s.probe = std::move(probe);
+  s.id = make_id(signals_.size());
+  signals_.push_back(std::move(s));
+}
+
+std::string VcdWriter::make_id(std::size_t index) {
+  // Printable identifier characters '!' .. '~'.
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index > 0);
+  return id;
+}
+
+void VcdWriter::write_header() {
+  (*os_) << "$date reproducibility build $end\n"
+         << "$version daelite cycle model $end\n"
+         << "$timescale 1ns $end\n"
+         << "$scope module " << top_ << " $end\n";
+  // Group by the first hierarchical component.
+  std::map<std::string, std::vector<const Signal*>> groups;
+  for (const Signal& s : signals_) {
+    const auto dot = s.name.find('.');
+    groups[dot == std::string::npos ? std::string("top") : s.name.substr(0, dot)].push_back(&s);
+  }
+  for (const auto& [scope, sigs] : groups) {
+    (*os_) << "$scope module " << scope << " $end\n";
+    for (const Signal* s : sigs) {
+      const auto dot = s->name.find('.');
+      const std::string leaf = dot == std::string::npos ? s->name : s->name.substr(dot + 1);
+      (*os_) << "$var wire " << s->width << ' ' << s->id << ' ' << leaf << " $end\n";
+    }
+    (*os_) << "$upscope $end\n";
+  }
+  (*os_) << "$upscope $end\n$enddefinitions $end\n";
+  header_written_ = true;
+}
+
+void VcdWriter::emit(const Signal& s, std::uint64_t value) {
+  if (s.width == 1) {
+    (*os_) << (value & 1) << s.id << '\n';
+    return;
+  }
+  (*os_) << 'b';
+  bool started = false;
+  for (int bit = static_cast<int>(s.width) - 1; bit >= 0; --bit) {
+    const bool v = (value >> bit) & 1;
+    if (v) started = true;
+    if (started || bit == 0) (*os_) << (v ? '1' : '0');
+  }
+  (*os_) << ' ' << s.id << '\n';
+}
+
+void VcdWriter::sample(Cycle t) {
+  if (!header_written_) write_header();
+  bool stamped = false;
+  for (Signal& s : signals_) {
+    const std::uint64_t v = s.probe();
+    if (s.has_last && v == s.last) continue;
+    if (!stamped) {
+      (*os_) << '#' << t << '\n';
+      stamped = true;
+    }
+    emit(s, v);
+    s.last = v;
+    s.has_last = true;
+  }
+}
+
+} // namespace daelite::sim

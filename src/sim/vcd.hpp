@@ -1,0 +1,57 @@
+#pragma once
+// Value-change-dump (VCD) waveform writer.
+//
+// The models are software, but their observable state is RTL-shaped, so
+// dumping IEEE-1364 VCD lets standard waveform viewers (GTKWave etc.)
+// display a simulation. Signals are registered as probe callbacks; a
+// sample pass polls every probe and emits only changes.
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace daelite::sim {
+
+class VcdWriter {
+ public:
+  using Probe = std::function<std::uint64_t()>;
+
+  /// `timescale` is the ns-per-cycle label (cosmetic; cycles are the unit).
+  explicit VcdWriter(std::ostream& os, std::string top_module = "daelite");
+
+  /// Register a signal. `width` in bits (1..64). Hierarchical names use
+  /// '.' separators and are grouped into VCD scopes. Must be called
+  /// before the first sample().
+  void add_signal(const std::string& name, unsigned width, Probe probe);
+
+  /// Poll all probes at time `t` (cycles) and emit changes. The first
+  /// call writes the header and a full snapshot.
+  void sample(Cycle t);
+
+  std::size_t signal_count() const { return signals_.size(); }
+
+ private:
+  struct Signal {
+    std::string name;
+    unsigned width = 1;
+    Probe probe;
+    std::string id;
+    std::uint64_t last = ~0ull;
+    bool has_last = false;
+  };
+
+  void write_header();
+  static std::string make_id(std::size_t index);
+  void emit(const Signal& s, std::uint64_t value);
+
+  std::ostream* os_;
+  std::string top_;
+  std::vector<Signal> signals_;
+  bool header_written_ = false;
+};
+
+} // namespace daelite::sim

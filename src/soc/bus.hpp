@@ -1,0 +1,124 @@
+#pragma once
+// The lightweight local bus of the paper's platform (Fig. 3): it "only
+// (de)multiplexes transactions to and from different network connections".
+// An IP submits a transaction; the bus picks the initiator shell whose
+// address range matches and forwards it. Responses stay with the shell
+// that issued them (the IP polls per port).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "soc/dtl.hpp"
+
+namespace daelite::soc {
+
+/// Type-erased shell interface so the bus (and IPs) work with shells over
+/// any NI type.
+class InitiatorPort {
+ public:
+  virtual ~InitiatorPort() = default;
+  virtual void submit(const Transaction& t) = 0;
+  virtual std::optional<Response> take_response() = 0;
+};
+
+template <typename ShellT>
+class ShellPort final : public InitiatorPort {
+ public:
+  explicit ShellPort(ShellT& shell) : shell_(&shell) {}
+  void submit(const Transaction& t) override { shell_->submit(t); }
+  std::optional<Response> take_response() override { return shell_->take_response(); }
+  ShellT& shell() { return *shell_; }
+
+ private:
+  ShellT* shell_;
+};
+
+class LocalBus {
+ public:
+  struct Range {
+    std::uint32_t base = 0;
+    std::uint32_t size = 0;
+    InitiatorPort* port = nullptr;
+  };
+
+  /// Map [base, base+size) to a port. Ranges must not overlap.
+  void map(std::uint32_t base, std::uint32_t size, InitiatorPort& port) {
+    ranges_.push_back(Range{base, size, &port});
+  }
+
+  /// Demultiplex a transaction to the matching port. Returns false (and
+  /// counts the error) when no range matches.
+  bool submit(const Transaction& t) {
+    for (const Range& r : ranges_) {
+      if (t.addr >= r.base && t.addr < r.base + r.size) {
+        r.port->submit(t);
+        ++routed_;
+        return true;
+      }
+    }
+    ++unrouted_;
+    return false;
+  }
+
+  std::uint64_t routed() const { return routed_; }
+  std::uint64_t unrouted() const { return unrouted_; }
+  std::size_t range_count() const { return ranges_.size(); }
+
+ private:
+  std::vector<Range> ranges_;
+  std::uint64_t routed_ = 0;
+  std::uint64_t unrouted_ = 0;
+};
+
+} // namespace daelite::soc
+
+#include "daelite/ni.hpp"
+
+namespace daelite::soc {
+
+/// A bus whose address map lives in the adjacent NI's bus register file —
+/// the hardware-configured variant of LocalBus (paper §IV: the host
+/// "configure[s] the buses adjacent to the network" through the
+/// configuration infrastructure). Range i reads registers {2i: base page,
+/// 2i+1: page count}; register 126 holds the range count; one page is
+/// 1024 words. Ports attach positionally: port i serves range i.
+class ConfiguredBus {
+ public:
+  explicit ConfiguredBus(const hw::Ni& ni) : ni_(&ni) {}
+
+  void attach_port(InitiatorPort& port) { ports_.push_back(&port); }
+
+  std::size_t range_count() const { return ni_->bus_register(126); }
+
+  bool submit(const Transaction& t) {
+    const std::size_t n = std::min<std::size_t>(range_count(), ports_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t base = static_cast<std::uint32_t>(ni_->bus_register(
+                                     static_cast<std::uint8_t>(2 * i)))
+                                 << 10;
+      const std::uint32_t size = static_cast<std::uint32_t>(ni_->bus_register(
+                                     static_cast<std::uint8_t>(2 * i + 1)))
+                                 << 10;
+      if (t.addr >= base && t.addr < base + size) {
+        ports_[i]->submit(t);
+        ++routed_;
+        return true;
+      }
+    }
+    ++unrouted_;
+    return false;
+  }
+
+  std::uint64_t routed() const { return routed_; }
+  std::uint64_t unrouted() const { return unrouted_; }
+
+ private:
+  const hw::Ni* ni_;
+  std::vector<InitiatorPort*> ports_;
+  std::uint64_t routed_ = 0;
+  std::uint64_t unrouted_ = 0;
+};
+
+} // namespace daelite::soc

@@ -1,0 +1,17 @@
+#include "soc/dtl.hpp"
+
+#include <cassert>
+
+namespace daelite::soc {
+
+std::vector<std::uint32_t> serialize_request(const Transaction& t) {
+  assert(t.burst_len <= kMaxBurst);
+  std::vector<std::uint32_t> words;
+  const std::uint32_t len = t.is_write ? static_cast<std::uint32_t>(t.wdata.size()) : t.burst_len;
+  assert(len <= kMaxBurst);
+  words.push_back(encode_header(t.is_write, len, t.addr));
+  if (t.is_write) words.insert(words.end(), t.wdata.begin(), t.wdata.end());
+  return words;
+}
+
+} // namespace daelite::soc

@@ -1,0 +1,56 @@
+#pragma once
+// A minimal DTL-style memory-mapped transaction model.
+//
+// The paper's platform (Fig. 3) attaches IPs to lightweight local buses
+// that "(de)multiplex transactions to and from different network
+// connections"; network shells then serialize the transactions into
+// network messages [16]. We model the subset needed for that role:
+// posted/non-posted writes and burst reads, serialized into 32-bit words.
+//
+// Message formats (one word per line):
+//   request : header [31]=is_write [27:24]=len [23:0]=addr
+//             + len data words when is_write
+//   response: header [31]=is_write(echo) [27:24]=len [23:0]=addr
+//             + len data words when a read response
+// A write is acknowledged with a header-only response (non-posted), which
+// also exercises the reverse channel the way real DTL targets do.
+
+#include <cstdint>
+#include <vector>
+
+namespace daelite::soc {
+
+inline constexpr std::uint32_t kMaxBurst = 15;
+
+struct Transaction {
+  bool is_write = false;
+  std::uint32_t addr = 0;       ///< 24-bit address space
+  std::vector<std::uint32_t> wdata; ///< write payload (size = burst length)
+  std::uint32_t burst_len = 0;  ///< read: words requested; write: wdata.size()
+};
+
+struct Response {
+  bool is_write = false;
+  std::uint32_t addr = 0;
+  std::vector<std::uint32_t> rdata; ///< read data (empty for write acks)
+};
+
+constexpr std::uint32_t encode_header(bool is_write, std::uint32_t len, std::uint32_t addr) {
+  return (is_write ? 0x80000000u : 0u) | ((len & 0xFu) << 24) | (addr & 0x00FFFFFFu);
+}
+constexpr bool header_is_write(std::uint32_t h) { return (h & 0x80000000u) != 0; }
+constexpr std::uint32_t header_len(std::uint32_t h) { return (h >> 24) & 0xFu; }
+constexpr std::uint32_t header_addr(std::uint32_t h) { return h & 0x00FFFFFFu; }
+
+/// Serialize a request into words (header + write payload).
+std::vector<std::uint32_t> serialize_request(const Transaction& t);
+
+/// Words a request/response occupies on the network.
+constexpr std::size_t request_words(const Transaction& t) {
+  return 1 + (t.is_write ? t.wdata.size() : 0);
+}
+constexpr std::size_t response_words(const Transaction& t) {
+  return 1 + (t.is_write ? 0 : t.burst_len);
+}
+
+} // namespace daelite::soc

@@ -1,0 +1,37 @@
+#pragma once
+// Word-addressed sparse memory target.
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace daelite::soc {
+
+class Memory {
+ public:
+  std::uint32_t read(std::uint32_t addr) const {
+    auto it = words_.find(addr);
+    return it == words_.end() ? 0u : it->second;
+  }
+  void write(std::uint32_t addr, std::uint32_t value) { words_[addr] = value; }
+
+  std::size_t footprint() const { return words_.size(); }
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+
+  /// Accessors used by the target shell (with accounting).
+  std::uint32_t shell_read(std::uint32_t addr) {
+    ++reads_;
+    return read(addr);
+  }
+  void shell_write(std::uint32_t addr, std::uint32_t value) {
+    ++writes_;
+    write(addr, value);
+  }
+
+ private:
+  std::unordered_map<std::uint32_t, std::uint32_t> words_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+} // namespace daelite::soc

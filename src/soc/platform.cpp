@@ -1,0 +1,96 @@
+#include "soc/platform.hpp"
+
+#include <cassert>
+#include <string>
+
+#include "alloc/usecase.hpp"
+
+namespace daelite::soc {
+
+Platform::Platform(sim::Kernel& k, const topo::Topology& topo, Options options)
+    : kernel_(&k), topo_(&topo) {
+  net_ = std::make_unique<hw::DaeliteNetwork>(k, topo, options.net);
+  alloc_ = std::make_unique<alloc::SlotAllocator>(topo, options.net.tdm, options.alloc);
+}
+
+Memory& Platform::add_memory(topo::NodeId ni) {
+  auto [it, inserted] = memories_.emplace(ni, std::make_unique<Memory>());
+  (void)inserted;
+  return *it->second;
+}
+
+LocalBus& Platform::bus(topo::NodeId ni) {
+  auto it = buses_.find(ni);
+  if (it == buses_.end()) it = buses_.emplace(ni, std::make_unique<LocalBus>()).first;
+  return *it->second;
+}
+
+Platform::PortHandle Platform::connect(topo::NodeId src_ni, topo::NodeId dst_ni,
+                                       std::uint32_t request_slots, std::uint32_t response_slots,
+                                       std::uint32_t addr_base, std::uint32_t addr_size) {
+  assert(memories_.count(dst_ni) != 0 && "add_memory(dst) before connecting to it");
+
+  alloc::UseCase uc;
+  uc.connections.push_back({"mmio", src_ni, {dst_ni}, request_slots, response_slots});
+  auto allocation = alloc::allocate_use_case(*alloc_, uc);
+  assert(allocation.has_value() && "connection does not fit the schedule");
+
+  const alloc::AllocatedConnection& conn = allocation->connections[0];
+  hw::ConnectionHandle h = net_->open_connection(conn);
+
+  const std::string tag =
+      topo_->node(src_ni).name + "->" + topo_->node(dst_ni).name;
+  auto ini = std::make_unique<HwInitiatorShell>(*kernel_, "shell.i." + tag, net_->ni(src_ni),
+                                                h.src_tx_q, h.src_rx_q);
+  auto tgt = std::make_unique<HwTargetShell>(*kernel_, "shell.t." + tag, net_->ni(dst_ni),
+                                             h.dst_rx_qs[0], h.dst_tx_q, *memories_.at(dst_ni));
+  auto port = std::make_unique<ShellPort<HwInitiatorShell>>(*ini);
+
+  bus(src_ni).map(addr_base, addr_size, *port);
+
+  PortHandle out;
+  out.port = port.get();
+  out.handle = std::move(h);
+
+  initiator_shells_.push_back(std::move(ini));
+  target_shells_.push_back(std::move(tgt));
+  ports_.push_back(std::move(port));
+  return out;
+}
+
+Platform::PortHandle Platform::connect_multicast(topo::NodeId src_ni,
+                                                 const std::vector<topo::NodeId>& dst_nis,
+                                                 std::uint32_t request_slots,
+                                                 std::uint32_t addr_base,
+                                                 std::uint32_t addr_size) {
+  for ([[maybe_unused]] topo::NodeId d : dst_nis)
+    assert(memories_.count(d) != 0 && "add_memory(dst) before connecting to it");
+
+  alloc::UseCase uc;
+  uc.connections.push_back({"mcast", src_ni, dst_nis, request_slots, /*response=*/0});
+  auto allocation = alloc::allocate_use_case(*alloc_, uc);
+  assert(allocation.has_value() && "multicast tree does not fit the schedule");
+
+  const alloc::AllocatedConnection& conn = allocation->connections[0];
+  hw::ConnectionHandle h = net_->open_connection(conn);
+
+  const std::string tag = topo_->node(src_ni).name + "->mcast";
+  auto ini = std::make_unique<HwInitiatorShell>(*kernel_, "shell.i." + tag, net_->ni(src_ni),
+                                                h.src_tx_q, /*rx_q=*/0, /*posted=*/true);
+  for (std::size_t i = 0; i < dst_nis.size(); ++i) {
+    target_shells_.push_back(std::make_unique<HwTargetShell>(
+        *kernel_, "shell.t." + tag + "." + topo_->node(dst_nis[i]).name, net_->ni(dst_nis[i]),
+        h.dst_rx_qs[i], /*tx_q=*/0, *memories_.at(dst_nis[i]), /*posted=*/true));
+  }
+  auto port = std::make_unique<ShellPort<HwInitiatorShell>>(*ini);
+  bus(src_ni).map(addr_base, addr_size, *port);
+
+  PortHandle out;
+  out.port = port.get();
+  out.handle = std::move(h);
+  initiator_shells_.push_back(std::move(ini));
+  ports_.push_back(std::move(port));
+  return out;
+}
+
+} // namespace daelite::soc

@@ -1,0 +1,87 @@
+#pragma once
+// Platform assembly — the paper's Fig. 3: IPs on lightweight local buses,
+// network shells serializing their transactions into messages, a daelite
+// network in the middle, and a host IP owning the configuration module.
+//
+// The Platform owns the network, the allocator, the memories, the buses
+// and the shells; callers add IP components on top and wire them to the
+// buses / ports this class hands out.
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "daelite/network.hpp"
+#include "soc/bus.hpp"
+#include "soc/memory.hpp"
+#include "soc/shell.hpp"
+
+namespace daelite::soc {
+
+class Platform {
+ public:
+  struct Options {
+    hw::DaeliteNetwork::Options net;
+    alloc::AllocatorOptions alloc;
+  };
+
+  Platform(sim::Kernel& k, const topo::Topology& topo, Options options);
+
+  hw::DaeliteNetwork& network() { return *net_; }
+  alloc::SlotAllocator& allocator() { return *alloc_; }
+  sim::Kernel& kernel() { return *kernel_; }
+
+  /// Declare a memory target behind the given NI.
+  Memory& add_memory(topo::NodeId ni);
+  Memory& memory(topo::NodeId ni) { return *memories_.at(ni); }
+
+  /// The local bus in front of the given (IP-side) NI; created on demand.
+  LocalBus& bus(topo::NodeId ni);
+
+  struct PortHandle {
+    InitiatorPort* port = nullptr;       ///< submit/drain transactions here
+    hw::ConnectionHandle handle;         ///< network-level connection state
+  };
+
+  /// Allocate and open a memory-mapped connection from the IP at `src_ni`
+  /// to the memory at `dst_ni`, create the shells, and map
+  /// [addr_base, addr_base+addr_size) on the source bus. Configuration
+  /// packets are enqueued; call configure() to run them to completion.
+  PortHandle connect(topo::NodeId src_ni, topo::NodeId dst_ni, std::uint32_t request_slots,
+                     std::uint32_t response_slots, std::uint32_t addr_base,
+                     std::uint32_t addr_size);
+
+  /// Multicast connection: posted writes from the IP at `src_ni` land in
+  /// the memories behind every `dst_ni` simultaneously (paper §IV: "All
+  /// multicast destination shells will receive the same stream of
+  /// messages and will translate them into the same write commands").
+  /// There is no response channel and reads are rejected by the shell.
+  PortHandle connect_multicast(topo::NodeId src_ni, const std::vector<topo::NodeId>& dst_nis,
+                               std::uint32_t request_slots, std::uint32_t addr_base,
+                               std::uint32_t addr_size);
+
+  /// Run the kernel until the configuration network is idle.
+  sim::Cycle configure() { return net_->run_config(); }
+
+  std::uint64_t total_network_drops() const {
+    return net_->total_router_drops() + net_->total_ni_drops();
+  }
+
+ private:
+  sim::Kernel* kernel_;
+  const topo::Topology* topo_;
+  std::unique_ptr<hw::DaeliteNetwork> net_;
+  std::unique_ptr<alloc::SlotAllocator> alloc_;
+
+  std::map<topo::NodeId, std::unique_ptr<Memory>> memories_;
+  std::map<topo::NodeId, std::unique_ptr<LocalBus>> buses_;
+
+  using HwInitiatorShell = InitiatorShell<hw::Ni>;
+  using HwTargetShell = TargetShell<hw::Ni>;
+  std::vector<std::unique_ptr<HwInitiatorShell>> initiator_shells_;
+  std::vector<std::unique_ptr<HwTargetShell>> target_shells_;
+  std::vector<std::unique_ptr<ShellPort<HwInitiatorShell>>> ports_;
+};
+
+} // namespace daelite::soc

@@ -1,0 +1,191 @@
+#include "soc/scenario.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace daelite::soc {
+
+namespace {
+
+bool parse_coord(const std::string& tok, std::pair<int, int>* out) {
+  const auto comma = tok.find(',');
+  if (comma == std::string::npos) return false;
+  try {
+    out->first = std::stoi(tok.substr(0, comma));
+    out->second = std::stoi(tok.substr(comma + 1));
+  } catch (...) {
+    return false;
+  }
+  return out->first >= 0 && out->second >= 0;
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> toks;
+  std::istringstream is(line);
+  std::string t;
+  while (is >> t) {
+    if (t[0] == '#') break;
+    toks.push_back(t);
+  }
+  return toks;
+}
+
+} // namespace
+
+std::optional<Scenario> parse_scenario(std::istream& in, std::string* error) {
+  Scenario sc;
+  std::string line;
+  int lineno = 0;
+  auto fail = [&](const std::string& msg) {
+    if (error) *error = "line " + std::to_string(lineno) + ": " + msg;
+    return std::nullopt;
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto toks = tokenize(line);
+    if (toks.empty()) continue;
+    const std::string& cmd = toks[0];
+
+    if (cmd == "mesh") {
+      if (toks.size() < 3) return fail("mesh needs <width> <height>");
+      sc.kind = (toks.size() > 3 && toks[3] == "torus") ? Scenario::TopologyKind::kTorus
+                                                        : Scenario::TopologyKind::kMesh;
+      try {
+        sc.width = std::stoi(toks[1]);
+        sc.height = std::stoi(toks[2]);
+      } catch (...) {
+        return fail("bad mesh dimensions");
+      }
+      if (sc.width < 1 || sc.height < 1) return fail("mesh dimensions must be positive");
+    } else if (cmd == "ring") {
+      if (toks.size() < 2) return fail("ring needs <routers>");
+      sc.kind = Scenario::TopologyKind::kRing;
+      try {
+        sc.width = std::stoi(toks[1]);
+      } catch (...) {
+        return fail("bad ring size");
+      }
+      sc.height = 1;
+      if (sc.width < 2) return fail("ring needs at least 2 routers");
+    } else if (cmd == "slots") {
+      if (toks.size() < 2) return fail("slots needs <S>");
+      try {
+        sc.slots = static_cast<std::uint32_t>(std::stoul(toks[1]));
+      } catch (...) {
+        return fail("bad slot count");
+      }
+    } else if (cmd == "clock") {
+      if (toks.size() < 2) return fail("clock needs <MHz>");
+      try {
+        sc.clock_mhz = std::stod(toks[1]);
+      } catch (...) {
+        return fail("bad clock");
+      }
+    } else if (cmd == "host") {
+      if (toks.size() < 2 || !parse_coord(toks[1], &sc.host)) return fail("host needs <x,y>");
+    } else if (cmd == "run") {
+      if (toks.size() < 2) return fail("run needs <cycles>");
+      try {
+        sc.run_cycles = std::stoull(toks[1]);
+      } catch (...) {
+        return fail("bad run length");
+      }
+    } else if (cmd == "connection") {
+      if (toks.size() < 5) return fail("connection needs <name> <src> <dst> <MB/s>");
+      Scenario::RawConnection c;
+      c.name = toks[1];
+      std::pair<int, int> dst;
+      if (!parse_coord(toks[2], &c.src) || !parse_coord(toks[3], &dst))
+        return fail("bad coordinates in connection");
+      c.dsts.push_back(dst);
+      try {
+        c.bandwidth = std::stod(toks[4]);
+      } catch (...) {
+        return fail("bad bandwidth");
+      }
+      std::size_t i = 5;
+      while (i < toks.size()) {
+        if (i + 1 >= toks.size()) return fail(toks[i] + " needs a value");
+        try {
+          if (toks[i] == "latency") {
+            c.max_latency_ns = std::stod(toks[i + 1]);
+          } else if (toks[i] == "resp") {
+            c.response_bandwidth = std::stod(toks[i + 1]);
+          } else {
+            return fail("unknown connection option '" + toks[i] + "'");
+          }
+        } catch (...) {
+          return fail("bad value for " + toks[i]);
+        }
+        i += 2;
+      }
+      sc.raw.push_back(std::move(c));
+    } else if (cmd == "multicast") {
+      // multicast <name> <src> <dst>... bw <MB/s>
+      if (toks.size() < 6) return fail("multicast needs <name> <src> <dst>... bw <MB/s>");
+      Scenario::RawConnection c;
+      c.name = toks[1];
+      if (!parse_coord(toks[2], &c.src)) return fail("bad multicast source");
+      std::size_t i = 3;
+      for (; i < toks.size() && toks[i] != "bw"; ++i) {
+        std::pair<int, int> d;
+        if (!parse_coord(toks[i], &d)) return fail("bad multicast destination '" + toks[i] + "'");
+        c.dsts.push_back(d);
+      }
+      if (c.dsts.size() < 2) return fail("multicast needs at least 2 destinations");
+      if (i + 1 >= toks.size()) return fail("multicast needs bw <MB/s>");
+      try {
+        c.bandwidth = std::stod(toks[i + 1]);
+      } catch (...) {
+        return fail("bad multicast bandwidth");
+      }
+      sc.raw.push_back(std::move(c));
+    } else {
+      return fail("unknown directive '" + cmd + "'");
+    }
+  }
+  if (sc.raw.empty()) {
+    if (error) *error = "scenario declares no connections";
+    return std::nullopt;
+  }
+  return sc;
+}
+
+std::optional<Scenario> parse_scenario_file(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  return parse_scenario(in, error);
+}
+
+topo::Mesh Scenario::build() {
+  topo::Mesh mesh;
+  switch (kind) {
+    case TopologyKind::kMesh:
+      mesh = topo::make_mesh(width, height);
+      break;
+    case TopologyKind::kTorus:
+      mesh = topo::make_mesh(width, height, 1, /*wrap=*/true);
+      break;
+    case TopologyKind::kRing:
+      mesh = topo::make_ring(width);
+      break;
+  }
+  connections.clear();
+  for (const RawConnection& c : raw) {
+    alloc::PhysicalConnectionSpec p;
+    p.name = c.name;
+    p.src_ni = mesh.ni(c.src.first, c.src.second);
+    for (const auto& d : c.dsts) p.dst_nis.push_back(mesh.ni(d.first, d.second));
+    p.bandwidth_mbytes_per_s = c.bandwidth;
+    p.response_bandwidth_mbytes_per_s = c.response_bandwidth;
+    p.max_latency_ns = c.max_latency_ns;
+    connections.push_back(std::move(p));
+  }
+  return mesh;
+}
+
+} // namespace daelite::soc

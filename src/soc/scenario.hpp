@@ -1,0 +1,64 @@
+#pragma once
+// Scenario description files — the text front end of the toolflow.
+//
+// A scenario names a topology, the TDM parameters, the clock, a set of
+// connections with physical bandwidth demands, and a run length; the CLI
+// driver (tools/daelite_sim.cpp) executes it end to end: dimensioning (if
+// no explicit wheel size fits), hardware configuration through the
+// broadcast tree, saturated or CBR traffic, and a report.
+//
+// Grammar (one directive per line; '#' starts a comment):
+//   mesh <width> <height> [torus]
+//   ring <routers>
+//   slots <S>                      # omit to let the tool search 8/16/32
+//   clock <MHz>
+//   host <x,y>                     # NI of the configuration host
+//   connection <name> <src x,y> <dst x,y> <MB/s> [latency <ns>] [resp <MB/s>]
+//   multicast  <name> <src x,y> <dst x,y> <dst x,y>... bw <MB/s>
+//   run <cycles>
+//
+// Coordinates are NI grid positions.
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "alloc/dimension.hpp"
+#include "topology/generators.hpp"
+
+namespace daelite::soc {
+
+struct Scenario {
+  enum class TopologyKind { kMesh, kTorus, kRing };
+  TopologyKind kind = TopologyKind::kMesh;
+  int width = 2;
+  int height = 2;
+  std::optional<std::uint32_t> slots; ///< empty: dimensioning searches
+  double clock_mhz = 500.0;
+  std::pair<int, int> host{0, 0};
+  std::vector<alloc::PhysicalConnectionSpec> connections; ///< filled after build()
+  sim::Cycle run_cycles = 10000;
+
+  // Raw (coordinate) form, resolved against the topology by build().
+  struct RawConnection {
+    std::string name;
+    std::pair<int, int> src;
+    std::vector<std::pair<int, int>> dsts;
+    double bandwidth = 100.0;
+    double response_bandwidth = 0.0;
+    double max_latency_ns = std::numeric_limits<double>::infinity();
+  };
+  std::vector<RawConnection> raw;
+
+  /// Instantiate the topology and resolve coordinates into NI node ids
+  /// (fills `connections`).
+  topo::Mesh build();
+};
+
+/// Parse a scenario; returns nullopt with a "line N: message" diagnostic
+/// in `error` on malformed input.
+std::optional<Scenario> parse_scenario(std::istream& in, std::string* error = nullptr);
+std::optional<Scenario> parse_scenario_file(const std::string& path, std::string* error = nullptr);
+
+} // namespace daelite::soc

@@ -1,0 +1,173 @@
+#pragma once
+// Network shells (paper §IV / [16]): serialize DTL transactions into
+// network messages and back. Templated on the NI type so the same shells
+// drive both the daelite and the aelite NIs (their queue-facing APIs are
+// identical: tx_push / rx_pop).
+//
+// InitiatorShell — IP side. Accepts transactions, streams their words into
+// the NI tx queue as space allows, reassembles responses, and hands
+// completed Response objects (with latency accounting) back to the IP.
+//
+// TargetShell — memory side. Reassembles request messages from the NI rx
+// queue, applies them to a Memory, and streams the response message into
+// its NI tx queue.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "sim/component.hpp"
+#include "sim/stats.hpp"
+#include "soc/dtl.hpp"
+#include "soc/memory.hpp"
+
+namespace daelite::soc {
+
+template <typename NiT>
+class InitiatorShell : public sim::Component {
+ public:
+  /// posted = true: fire-and-forget writes, no responses expected (the
+  /// multicast mode of the paper — there is no multi-destination read and
+  /// the response channel does not exist).
+  InitiatorShell(sim::Kernel& k, std::string name, NiT& ni, std::size_t tx_q, std::size_t rx_q,
+                 bool posted = false)
+      : sim::Component(k, std::move(name)), ni_(&ni), tx_q_(tx_q), rx_q_(rx_q), posted_(posted) {}
+
+  /// Queue a transaction for transmission. Unbounded software queue (the
+  /// IP models its own admission policy). Reads on a posted (multicast)
+  /// shell are rejected and counted.
+  void submit(const Transaction& t) {
+    if (posted_ && !t.is_write) {
+      ++rejected_reads_;
+      return;
+    }
+    pending_.push_back(t);
+    pending_issue_cycle_.push_back(now());
+  }
+
+  std::uint64_t rejected_reads() const { return rejected_reads_; }
+
+  /// Completed responses, in order.
+  std::optional<Response> take_response() {
+    if (done_.empty()) return std::nullopt;
+    Response r = std::move(done_.front());
+    done_.pop_front();
+    return r;
+  }
+
+  std::size_t outstanding() const { return inflight_.size() + pending_.size(); }
+  std::uint64_t completed() const { return completed_; }
+  const sim::Histogram& latency() const { return latency_; } ///< submit -> response, cycles
+
+  void tick() override {
+    // Stream the front transaction's words into the NI.
+    while (!pending_.empty()) {
+      const Transaction& t = pending_.front();
+      const auto words = serialize_request(t);
+      while (send_index_ < words.size() && ni_->tx_push(tx_q_, words[send_index_])) ++send_index_;
+      if (send_index_ < words.size()) break; // NI queue full: resume next cycle
+      inflight_.push_back({t, pending_issue_cycle_.front()});
+      pending_.pop_front();
+      pending_issue_cycle_.pop_front();
+      send_index_ = 0;
+    }
+
+    // Reassemble responses (a posted shell has no response channel).
+    if (posted_) return;
+    while (auto w = ni_->rx_pop(rx_q_)) {
+      if (resp_words_left_ == 0) {
+        resp_.is_write = header_is_write(*w);
+        resp_.addr = header_addr(*w);
+        resp_.rdata.clear();
+        resp_words_left_ = resp_.is_write ? 0 : header_len(*w);
+      } else {
+        resp_.rdata.push_back(*w);
+        --resp_words_left_;
+      }
+      if (resp_words_left_ == 0) {
+        if (!inflight_.empty()) {
+          latency_.add(now() - inflight_.front().second);
+          inflight_.pop_front();
+        }
+        done_.push_back(resp_);
+        ++completed_;
+      }
+    }
+  }
+
+ private:
+  NiT* ni_;
+  std::size_t tx_q_;
+  std::size_t rx_q_;
+  bool posted_ = false;
+  std::uint64_t rejected_reads_ = 0;
+
+  std::deque<Transaction> pending_;
+  std::deque<sim::Cycle> pending_issue_cycle_;
+  std::size_t send_index_ = 0;
+  std::deque<std::pair<Transaction, sim::Cycle>> inflight_;
+
+  Response resp_;
+  std::uint32_t resp_words_left_ = 0;
+  std::deque<Response> done_;
+  std::uint64_t completed_ = 0;
+  sim::Histogram latency_{1 << 14};
+};
+
+template <typename NiT>
+class TargetShell : public sim::Component {
+ public:
+  /// posted = true: apply writes but never respond (multicast leaf).
+  TargetShell(sim::Kernel& k, std::string name, NiT& ni, std::size_t rx_q, std::size_t tx_q,
+              Memory& mem, bool posted = false)
+      : sim::Component(k, std::move(name)), ni_(&ni), rx_q_(rx_q), tx_q_(tx_q), mem_(&mem),
+        posted_(posted) {}
+
+  std::uint64_t requests_served() const { return served_; }
+
+  void tick() override {
+    // Parse incoming request words.
+    while (auto w = ni_->rx_pop(rx_q_)) {
+      if (req_words_left_ == 0) {
+        req_.is_write = header_is_write(*w);
+        req_.addr = header_addr(*w);
+        req_.burst_len = header_len(*w);
+        req_.wdata.clear();
+        req_words_left_ = req_.is_write ? req_.burst_len : 0;
+      } else {
+        req_.wdata.push_back(*w);
+        --req_words_left_;
+      }
+      if (req_words_left_ == 0) serve(req_);
+    }
+
+    // Stream queued response words out.
+    while (!out_words_.empty() && ni_->tx_push(tx_q_, out_words_.front())) out_words_.pop_front();
+  }
+
+ private:
+  void serve(const Transaction& t) {
+    ++served_;
+    if (!posted_) out_words_.push_back(encode_header(t.is_write, t.is_write ? 0 : t.burst_len, t.addr));
+    if (t.is_write) {
+      for (std::uint32_t i = 0; i < t.wdata.size(); ++i) mem_->shell_write(t.addr + i, t.wdata[i]);
+    } else if (!posted_) {
+      for (std::uint32_t i = 0; i < t.burst_len; ++i)
+        out_words_.push_back(mem_->shell_read(t.addr + i));
+    }
+  }
+
+  NiT* ni_;
+  std::size_t rx_q_;
+  std::size_t tx_q_;
+  Memory* mem_;
+
+  bool posted_ = false;
+  Transaction req_;
+  std::uint32_t req_words_left_ = 0;
+  std::deque<std::uint32_t> out_words_;
+  std::uint64_t served_ = 0;
+};
+
+} // namespace daelite::soc

@@ -1,0 +1,75 @@
+#include "soc/traffic.hpp"
+
+#include <utility>
+
+namespace daelite::soc {
+
+CbrWriter::CbrWriter(sim::Kernel& k, std::string name, LocalBus& bus, Params params)
+    : sim::Component(k, std::move(name)), bus_(&bus), params_(params) {}
+
+void CbrWriter::tick() {
+  if ((now() + params_.period - params_.phase % params_.period) % params_.period != 0) return;
+  Transaction t;
+  t.is_write = true;
+  t.addr = params_.base_addr + addr_off_;
+  for (std::uint32_t i = 0; i < params_.burst; ++i) t.wdata.push_back(value_++);
+  t.burst_len = params_.burst;
+  if (bus_->submit(t)) ++submitted_;
+  addr_off_ = (addr_off_ + params_.burst) % params_.addr_range;
+}
+
+BurstyWriter::BurstyWriter(sim::Kernel& k, std::string name, LocalBus& bus, Params params)
+    : sim::Component(k, std::move(name)), bus_(&bus), params_(params), rng_(params.seed) {}
+
+void BurstyWriter::tick() {
+  if (on_) {
+    if (rng_.chance(params_.p_stop)) on_ = false;
+  } else {
+    if (rng_.chance(params_.p_start)) on_ = true;
+  }
+  if (cooldown_ > 0) {
+    --cooldown_;
+    return;
+  }
+  if (!on_) return;
+  Transaction t;
+  t.is_write = true;
+  t.addr = params_.base_addr + addr_off_;
+  for (std::uint32_t i = 0; i < params_.burst; ++i) t.wdata.push_back(value_++);
+  t.burst_len = params_.burst;
+  if (bus_->submit(t)) ++submitted_;
+  addr_off_ = (addr_off_ + params_.burst) % params_.addr_range;
+  cooldown_ = params_.min_gap;
+}
+
+ReaderIp::ReaderIp(sim::Kernel& k, std::string name, InitiatorPort& port, Params params)
+    : sim::Component(k, std::move(name)), port_(&port), params_(params) {}
+
+void ReaderIp::tick() {
+  while (auto r = port_->take_response()) {
+    ++returned_;
+    words_read_ += r->rdata.size();
+  }
+  if (now() % params_.period != 0) return;
+  if (issued_ - returned_ >= params_.max_outstanding) return;
+  Transaction t;
+  t.is_write = false;
+  t.addr = params_.base_addr + addr_off_;
+  t.burst_len = params_.burst;
+  port_->submit(t);
+  ++issued_;
+  addr_off_ = (addr_off_ + params_.burst) % params_.addr_range;
+}
+
+TraceIp::TraceIp(sim::Kernel& k, std::string name, LocalBus& bus,
+                 std::vector<std::pair<sim::Cycle, Transaction>> trace)
+    : sim::Component(k, std::move(name)), bus_(&bus), trace_(std::move(trace)) {}
+
+void TraceIp::tick() {
+  while (index_ < trace_.size() && trace_[index_].first <= now()) {
+    if (bus_->submit(trace_[index_].second)) ++submitted_;
+    ++index_;
+  }
+}
+
+} // namespace daelite::soc

@@ -1,0 +1,34 @@
+#pragma once
+// The unit transported on a daelite data link in one cycle.
+//
+// A daelite link is `data width + 3 credit wires` bits plus a valid line.
+// Credits for one direction of a connection travel on the credit wires of
+// the opposite direction's slots (paper §IV: "there is actually no
+// distinction between the two at the router level") — so routers forward
+// LinkWords blindly and only NIs interpret the fields.
+
+#include <cstdint>
+
+namespace daelite::tdm {
+
+struct LinkWord {
+  bool valid = false;      ///< the slot cycle is occupied (data and/or credits)
+  bool data_valid = false; ///< the payload word is meaningful
+  std::uint32_t data = 0;  ///< 32-bit payload word
+  std::uint8_t credit = 0; ///< 3 credit wires (one 3-bit digit of a 6-bit value)
+
+  bool operator==(const LinkWord&) const = default;
+};
+
+/// Number of credit wires on each daelite link (paper §IV: 3 wires carry a
+/// 6-bit credit value over the 2 cycles of a slot).
+inline constexpr unsigned kCreditWires = 3;
+
+/// Maximum credit value transferable per slot with W words/slot.
+constexpr std::uint32_t max_credit_per_slot(std::uint32_t words_per_slot) {
+  std::uint32_t v = 1;
+  for (std::uint32_t i = 0; i < kCreditWires * words_per_slot && v <= (1u << 30); ++i) v *= 2;
+  return v - 1; // 2^(3*W) - 1
+}
+
+} // namespace daelite::tdm

@@ -1,0 +1,20 @@
+#pragma once
+// Identifiers for channels and connections.
+//
+// A *channel* is a unidirectional guaranteed-service stream from one NI to
+// one or more destination NIs (multicast). A *connection* (paper §IV) is
+// bidirectional: a request channel plus a response channel whose slots also
+// carry the request channel's credits (and vice versa).
+
+#include <cstdint>
+#include <limits>
+
+namespace daelite::tdm {
+
+using ChannelId = std::uint32_t;
+using ConnectionId = std::uint32_t;
+
+inline constexpr ChannelId kNoChannel = std::numeric_limits<ChannelId>::max();
+inline constexpr ConnectionId kNoConnection = std::numeric_limits<ConnectionId>::max();
+
+} // namespace daelite::tdm

@@ -1,0 +1,77 @@
+#pragma once
+// TDM wheel parameters and slot arithmetic.
+//
+// Contention-free routing (paper §III) divides each link's bandwidth into
+// `num_slots` slots of `words_per_slot` words. A flit injected by an NI in
+// slot s occupies link k of its path during slot (s + k*shift) mod S, where
+// shift = hop_cycles / words_per_slot: every hop delays the flit by
+// `hop_cycles` (daelite: 1 cycle link + 1 cycle crossbar = 2; aelite: 3).
+//
+// For the slot tables to be consistent, a flit must never straddle a slot
+// boundary when it crosses a crossbar, which requires words_per_slot to
+// divide hop_cycles. This holds for all configurations in the paper
+// (daelite: 2-word slots / 2-cycle hops, optionally 1-word slots; aelite:
+// 3-word slots / 3-cycle hops).
+
+#include <cassert>
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace daelite::tdm {
+
+using Slot = std::uint32_t;
+
+struct TdmParams {
+  std::uint32_t num_slots = 8;      ///< slot-table size S
+  std::uint32_t words_per_slot = 2; ///< daelite default; aelite uses 3
+  std::uint32_t hop_cycles = 2;     ///< per-hop latency in cycles
+
+  constexpr bool valid() const {
+    return num_slots >= 1 && words_per_slot >= 1 && hop_cycles >= 1 &&
+           hop_cycles % words_per_slot == 0;
+  }
+
+  /// Slots a flit advances per hop.
+  constexpr std::uint32_t slot_shift_per_hop() const { return hop_cycles / words_per_slot; }
+
+  /// Cycles for one full revolution of the TDM wheel.
+  constexpr std::uint32_t wheel_cycles() const { return num_slots * words_per_slot; }
+
+  /// Slot occupying the wire during cycle c (slot s spans cycles
+  /// [s*W, (s+1)*W) modulo the wheel).
+  constexpr Slot slot_of_cycle(sim::Cycle c) const {
+    return static_cast<Slot>((c / words_per_slot) % num_slots);
+  }
+
+  /// Word offset of cycle c within its slot.
+  constexpr std::uint32_t word_of_cycle(sim::Cycle c) const {
+    return static_cast<std::uint32_t>(c % words_per_slot);
+  }
+
+  /// True at the first cycle of each slot.
+  constexpr bool is_slot_start(sim::Cycle c) const { return word_of_cycle(c) == 0; }
+
+  /// The slot a flit occupies on the k-th link of its path (k = 0 for the
+  /// NI -> first-router link) when injected in slot `inject`.
+  constexpr Slot slot_at_link(Slot inject, std::size_t k) const {
+    return static_cast<Slot>((inject + k * slot_shift_per_hop()) % num_slots);
+  }
+
+  /// Inverse of slot_at_link: the injection slot that puts a flit on link
+  /// k during slot `at_link`.
+  constexpr Slot inject_slot_for(Slot at_link, std::size_t k) const {
+    const auto shift = static_cast<Slot>((k * slot_shift_per_hop()) % num_slots);
+    return static_cast<Slot>((at_link + num_slots - shift) % num_slots);
+  }
+
+  bool operator==(const TdmParams&) const = default;
+};
+
+/// daelite defaults from the paper: 2-word slots, 2-cycle hops.
+constexpr TdmParams daelite_params(std::uint32_t slots) { return TdmParams{slots, 2, 2}; }
+
+/// aelite defaults: 3-word slots (1 header + 2 payload), 3-cycle hops.
+constexpr TdmParams aelite_params(std::uint32_t slots) { return TdmParams{slots, 3, 3}; }
+
+} // namespace daelite::tdm

@@ -1,0 +1,43 @@
+#include "tdm/schedule.hpp"
+
+#include <algorithm>
+
+namespace daelite::tdm {
+
+bool Schedule::reserve(topo::LinkId link, Slot slot, ChannelId ch) {
+  ChannelId& o = owner_[index(link, slot)];
+  if (o != kNoChannel && o != ch) return false;
+  o = ch;
+  return true;
+}
+
+std::size_t Schedule::release_channel(ChannelId ch) {
+  std::size_t n = 0;
+  for (auto& o : owner_) {
+    if (o == ch) {
+      o = kNoChannel;
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t Schedule::reserved_on_link(topo::LinkId link) const {
+  std::size_t n = 0;
+  for (Slot s = 0; s < params_.num_slots; ++s)
+    if (!is_free(link, s)) ++n;
+  return n;
+}
+
+double Schedule::utilization() const {
+  if (owner_.empty()) return 0.0;
+  const auto used = static_cast<std::size_t>(
+      std::count_if(owner_.begin(), owner_.end(), [](ChannelId c) { return c != kNoChannel; }));
+  return static_cast<double>(used) / static_cast<double>(owner_.size());
+}
+
+std::size_t Schedule::reservations_of(ChannelId ch) const {
+  return static_cast<std::size_t>(std::count(owner_.begin(), owner_.end(), ch));
+}
+
+} // namespace daelite::tdm

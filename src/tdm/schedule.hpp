@@ -1,0 +1,58 @@
+#pragma once
+// The global (link, slot) reservation map — the allocator's book-keeping
+// view of the network-wide contention-free schedule.
+//
+// This is a *software* artifact (part of the dimensioning toolflow); the
+// hardware's view is the distributed slot tables. Tests cross-check the
+// two: after configuration, the union of all router/NI tables must equal
+// this schedule.
+
+#include <cstdint>
+#include <vector>
+
+#include "tdm/ids.hpp"
+#include "tdm/params.hpp"
+#include "topology/graph.hpp"
+
+namespace daelite::tdm {
+
+class Schedule {
+ public:
+  Schedule(std::size_t link_count, TdmParams params)
+      : params_(params), owner_(link_count * params.num_slots, kNoChannel) {}
+
+  const TdmParams& params() const { return params_; }
+  std::size_t link_count() const { return owner_.size() / params_.num_slots; }
+
+  ChannelId owner(topo::LinkId link, Slot slot) const { return owner_[index(link, slot)]; }
+  bool is_free(topo::LinkId link, Slot slot) const { return owner(link, slot) == kNoChannel; }
+
+  /// Reserve (link, slot) for `ch`. Returns false (and does nothing) if the
+  /// slot is owned by a different channel. Re-reserving by the same channel
+  /// is idempotent (useful when multicast branches share a prefix).
+  bool reserve(topo::LinkId link, Slot slot, ChannelId ch);
+
+  void release(topo::LinkId link, Slot slot) { owner_[index(link, slot)] = kNoChannel; }
+
+  /// Release every reservation held by `ch`; returns how many were freed.
+  std::size_t release_channel(ChannelId ch);
+
+  /// Slots reserved on a link (by any channel).
+  std::size_t reserved_on_link(topo::LinkId link) const;
+
+  /// Fraction of all (link, slot) pairs reserved.
+  double utilization() const;
+
+  /// Total reservations held by `ch`.
+  std::size_t reservations_of(ChannelId ch) const;
+
+ private:
+  std::size_t index(topo::LinkId link, Slot slot) const {
+    return static_cast<std::size_t>(link) * params_.num_slots + slot;
+  }
+
+  TdmParams params_;
+  std::vector<ChannelId> owner_;
+};
+
+} // namespace daelite::tdm

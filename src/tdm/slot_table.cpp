@@ -1,0 +1,27 @@
+#include "tdm/slot_table.hpp"
+
+#include <algorithm>
+
+namespace daelite::tdm {
+
+std::size_t RouterSlotTable::used_entries() const {
+  return static_cast<std::size_t>(
+      std::count_if(table_.begin(), table_.end(), [](PortIndex p) { return p != kUnusedPort; }));
+}
+
+void NiSlotTable::clear_channel(ChannelId ch) {
+  for (auto& c : tx_)
+    if (c == ch) c = kNoChannel;
+  for (auto& c : rx_)
+    if (c == ch) c = kNoChannel;
+}
+
+std::size_t NiSlotTable::tx_slot_count(ChannelId ch) const {
+  return static_cast<std::size_t>(std::count(tx_.begin(), tx_.end(), ch));
+}
+
+std::size_t NiSlotTable::rx_slot_count(ChannelId ch) const {
+  return static_cast<std::size_t>(std::count(rx_.begin(), rx_.end(), ch));
+}
+
+} // namespace daelite::tdm

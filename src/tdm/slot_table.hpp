@@ -1,0 +1,75 @@
+#pragma once
+// Slot tables — the distributed TDM schedule storage.
+//
+// daelite stores the schedule *inside each router* (paper Fig. 4): for
+// every output port and every slot, which input port feeds it (or none).
+// Two outputs may name the same input in the same slot — that is exactly
+// how multicast works (paper Fig. 7). NIs hold a table governing both
+// departures (which channel may inject in a slot) and arrivals (which
+// channel queue an arriving flit belongs to) — paper Fig. 5.
+
+#include <cstdint>
+#include <vector>
+
+#include "tdm/ids.hpp"
+#include "tdm/params.hpp"
+
+namespace daelite::tdm {
+
+using PortIndex = std::uint8_t;
+inline constexpr PortIndex kUnusedPort = 0xFF;
+
+/// Per-router table: input_for(output, slot).
+class RouterSlotTable {
+ public:
+  RouterSlotTable() = default;
+  RouterSlotTable(std::size_t num_outputs, std::uint32_t num_slots)
+      : num_slots_(num_slots), table_(num_outputs * num_slots, kUnusedPort) {}
+
+  std::uint32_t num_slots() const { return num_slots_; }
+  std::size_t num_outputs() const { return num_slots_ ? table_.size() / num_slots_ : 0; }
+
+  PortIndex input_for(std::size_t output, Slot slot) const { return table_[output * num_slots_ + slot]; }
+  void set(std::size_t output, Slot slot, PortIndex input) { table_[output * num_slots_ + slot] = input; }
+  void clear(std::size_t output, Slot slot) { set(output, slot, kUnusedPort); }
+
+  /// Number of (output, slot) entries currently in use.
+  std::size_t used_entries() const;
+
+  /// True if no entry is set.
+  bool empty() const { return used_entries() == 0; }
+
+ private:
+  std::uint32_t num_slots_ = 0;
+  std::vector<PortIndex> table_;
+};
+
+/// Per-NI table: which channel may inject in each slot (tx) and which
+/// channel an arrival in each slot belongs to (rx).
+class NiSlotTable {
+ public:
+  NiSlotTable() = default;
+  explicit NiSlotTable(std::uint32_t num_slots)
+      : tx_(num_slots, kNoChannel), rx_(num_slots, kNoChannel) {}
+
+  std::uint32_t num_slots() const { return static_cast<std::uint32_t>(tx_.size()); }
+
+  ChannelId tx_channel(Slot slot) const { return tx_[slot]; }
+  ChannelId rx_channel(Slot slot) const { return rx_[slot]; }
+  void set_tx(Slot slot, ChannelId ch) { tx_[slot] = ch; }
+  void set_rx(Slot slot, ChannelId ch) { rx_[slot] = ch; }
+  void clear_tx(Slot slot) { tx_[slot] = kNoChannel; }
+  void clear_rx(Slot slot) { rx_[slot] = kNoChannel; }
+
+  /// Remove every tx/rx entry that names `ch` (tear-down helper).
+  void clear_channel(ChannelId ch);
+
+  std::size_t tx_slot_count(ChannelId ch) const;
+  std::size_t rx_slot_count(ChannelId ch) const;
+
+ private:
+  std::vector<ChannelId> tx_;
+  std::vector<ChannelId> rx_;
+};
+
+} // namespace daelite::tdm

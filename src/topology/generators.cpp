@@ -1,0 +1,87 @@
+#include "topology/generators.hpp"
+
+#include <cassert>
+#include <string>
+
+namespace daelite::topo {
+
+std::vector<NodeId> Mesh::all_nis() const {
+  std::vector<NodeId> out;
+  for (const auto& per_router : nis)
+    for (NodeId id : per_router) out.push_back(id);
+  return out;
+}
+
+Mesh make_mesh(int width, int height, int nis_per_router, bool wrap) {
+  assert(width >= 1 && height >= 1 && nis_per_router >= 0);
+  Mesh m;
+  m.width = width;
+  m.height = height;
+  m.nis_per_router = nis_per_router;
+  m.routers.resize(static_cast<std::size_t>(width) * static_cast<std::size_t>(height));
+  m.nis.resize(m.routers.size());
+
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const std::size_t idx = static_cast<std::size_t>(y) * static_cast<std::size_t>(width) + static_cast<std::size_t>(x);
+      m.routers[idx] = m.topo.add_router("R" + std::to_string(x) + std::to_string(y), x, y);
+    }
+  }
+  // Router-router links. East and south neighbours (plus wraparound for a
+  // torus); connect_bidir creates both directions.
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const NodeId r = m.router(x, y);
+      if (x + 1 < width) {
+        m.topo.connect_bidir(r, m.router(x + 1, y));
+      } else if (wrap && width > 2) {
+        m.topo.connect_bidir(r, m.router(0, y));
+      }
+      if (y + 1 < height) {
+        m.topo.connect_bidir(r, m.router(x, y + 1));
+      } else if (wrap && height > 2) {
+        m.topo.connect_bidir(r, m.router(x, 0));
+      }
+    }
+  }
+  // NIs last so that router-router ports have stable low indices.
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const std::size_t idx = static_cast<std::size_t>(y) * static_cast<std::size_t>(width) + static_cast<std::size_t>(x);
+      for (int i = 0; i < nis_per_router; ++i) {
+        const NodeId ni = m.topo.add_ni("NI" + std::to_string(x) + std::to_string(y) +
+                                        (nis_per_router > 1 ? "." + std::to_string(i) : ""));
+        m.topo.connect_bidir(ni, m.routers[idx]);
+        m.nis[idx].push_back(ni);
+      }
+    }
+  }
+  return m;
+}
+
+Mesh make_ring(int n, int nis_per_router) {
+  assert(n >= 2);
+  Mesh m;
+  m.width = n;
+  m.height = 1;
+  m.nis_per_router = nis_per_router;
+  m.routers.resize(static_cast<std::size_t>(n));
+  m.nis.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) m.routers[static_cast<std::size_t>(i)] = m.topo.add_router("R" + std::to_string(i), i, 0);
+  for (int i = 0; i < n; ++i) {
+    const int j = (i + 1) % n;
+    if (n == 2 && i == 1) break; // avoid a duplicate pair of links
+    m.topo.connect_bidir(m.routers[static_cast<std::size_t>(i)], m.routers[static_cast<std::size_t>(j)]);
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < nis_per_router; ++k) {
+      const NodeId ni = m.topo.add_ni("NI" + std::to_string(i) +
+                                      (nis_per_router > 1 ? "." + std::to_string(k) : ""));
+      m.topo.connect_bidir(ni, m.routers[static_cast<std::size_t>(i)]);
+      m.nis[static_cast<std::size_t>(i)].push_back(ni);
+    }
+  }
+  return m;
+}
+
+} // namespace daelite::topo

@@ -1,0 +1,36 @@
+#pragma once
+// Standard topology generators: 2D mesh (the paper's experimental setup),
+// torus, ring and a fully custom escape hatch. Generators return the
+// Topology plus lookup tables so callers can address nodes structurally.
+
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace daelite::topo {
+
+/// A W x H mesh of routers, each with `nis_per_router` NIs attached.
+/// Router ports follow creation order; use the lookup tables, not port
+/// numbers, to address nodes.
+struct Mesh {
+  Topology topo;
+  int width = 0;
+  int height = 0;
+  int nis_per_router = 1;
+  std::vector<NodeId> routers;           ///< routers[y*width + x]
+  std::vector<std::vector<NodeId>> nis;  ///< nis[y*width + x][i]
+
+  NodeId router(int x, int y) const { return routers[static_cast<std::size_t>(y) * static_cast<std::size_t>(width) + static_cast<std::size_t>(x)]; }
+  NodeId ni(int x, int y, int i = 0) const { return nis[static_cast<std::size_t>(y) * static_cast<std::size_t>(width) + static_cast<std::size_t>(x)][static_cast<std::size_t>(i)]; }
+
+  /// All NIs in row-major, then per-router order.
+  std::vector<NodeId> all_nis() const;
+};
+
+/// Build a W x H mesh (bidirectional links). wrap=true builds a torus.
+Mesh make_mesh(int width, int height, int nis_per_router = 1, bool wrap = false);
+
+/// A ring of n routers, one NI each, bidirectional neighbour links.
+Mesh make_ring(int n, int nis_per_router = 1);
+
+} // namespace daelite::topo

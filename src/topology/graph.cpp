@@ -1,0 +1,70 @@
+#include "topology/graph.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace daelite::topo {
+
+NodeId Topology::add_node(NodeKind kind, std::string name, int x, int y) {
+  Node n;
+  n.kind = kind;
+  n.name = std::move(name);
+  n.x = x;
+  n.y = y;
+  nodes_.push_back(std::move(n));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId Topology::add_router(std::string name, int x, int y) {
+  ++router_count_;
+  return add_node(NodeKind::kRouter, std::move(name), x, y);
+}
+
+NodeId Topology::add_ni(std::string name) {
+  ++ni_count_;
+  return add_node(NodeKind::kNi, std::move(name), -1, -1);
+}
+
+LinkId Topology::connect(NodeId a, NodeId b) {
+  assert(a < nodes_.size() && b < nodes_.size() && a != b);
+  Link l;
+  l.src = a;
+  l.dst = b;
+  l.src_port = static_cast<PortId>(nodes_[a].out_links.size());
+  l.dst_port = static_cast<PortId>(nodes_[b].in_links.size());
+  const auto id = static_cast<LinkId>(links_.size());
+  links_.push_back(l);
+  nodes_[a].out_links.push_back(id);
+  nodes_[b].in_links.push_back(id);
+  return id;
+}
+
+std::pair<LinkId, LinkId> Topology::connect_bidir(NodeId a, NodeId b) {
+  const LinkId ab = connect(a, b);
+  const LinkId ba = connect(b, a);
+  return {ab, ba};
+}
+
+LinkId Topology::find_link(NodeId a, NodeId b) const {
+  for (LinkId l : nodes_[a].out_links)
+    if (links_[l].dst == b) return l;
+  return kInvalidLink;
+}
+
+std::size_t Topology::max_router_arity() const {
+  std::size_t arity = 0;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (!is_router(id)) continue;
+    arity = std::max(arity, std::max(in_degree(id), out_degree(id)));
+  }
+  return arity;
+}
+
+std::vector<NodeId> Topology::nodes_of_kind(NodeKind kind) const {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < nodes_.size(); ++id)
+    if (nodes_[id].kind == kind) out.push_back(id);
+  return out;
+}
+
+} // namespace daelite::topo

@@ -1,0 +1,92 @@
+#pragma once
+// Network topology as a directed multigraph of routers and NIs.
+//
+// Ports are implicit: the i-th entry of a node's out_links / in_links *is*
+// output / input port i. This mirrors the hardware, where the slot table of
+// a router addresses ports by index (the paper's 7-bit configuration word
+// encodes a pair of input and output port IDs).
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace daelite::topo {
+
+using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+using PortId = std::uint16_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr LinkId kInvalidLink = std::numeric_limits<LinkId>::max();
+
+enum class NodeKind : std::uint8_t { kRouter, kNi };
+
+struct Node {
+  NodeKind kind = NodeKind::kRouter;
+  std::string name;
+  std::vector<LinkId> out_links; ///< out_links[p] = link leaving output port p
+  std::vector<LinkId> in_links;  ///< in_links[p]  = link entering input port p
+  int x = -1; ///< mesh coordinate (routers only; -1 when not applicable)
+  int y = -1;
+};
+
+struct Link {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  PortId src_port = 0; ///< output port index at src
+  PortId dst_port = 0; ///< input port index at dst
+};
+
+/// Static network structure. Built once before simulation; the hardware
+/// models and the allocation toolflow both read it.
+class Topology {
+ public:
+  NodeId add_router(std::string name, int x = -1, int y = -1);
+  NodeId add_ni(std::string name);
+
+  /// Add a unidirectional link a -> b. Returns its id; ports are assigned
+  /// in creation order.
+  LinkId connect(NodeId a, NodeId b);
+
+  /// Add links a -> b and b -> a. Returns {ab, ba}.
+  std::pair<LinkId, LinkId> connect_bidir(NodeId a, NodeId b);
+
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  const Link& link(LinkId id) const { return links_[id]; }
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+  std::size_t router_count() const { return router_count_; }
+  std::size_t ni_count() const { return ni_count_; }
+
+  bool is_router(NodeId id) const { return nodes_[id].kind == NodeKind::kRouter; }
+  bool is_ni(NodeId id) const { return nodes_[id].kind == NodeKind::kNi; }
+
+  /// Number of input/output ports of a node (they may differ).
+  std::size_t in_degree(NodeId id) const { return nodes_[id].in_links.size(); }
+  std::size_t out_degree(NodeId id) const { return nodes_[id].out_links.size(); }
+
+  /// First link a -> b, or kInvalidLink.
+  LinkId find_link(NodeId a, NodeId b) const;
+
+  /// The reverse link of `l` (dst -> src), or kInvalidLink if none exists.
+  LinkId reverse_link(LinkId l) const { return find_link(links_[l].dst, links_[l].src); }
+
+  /// Maximum in/out degree over all routers — the "arity" that sizes the
+  /// configuration word's port fields.
+  std::size_t max_router_arity() const;
+
+  /// All node ids of the given kind, in id order.
+  std::vector<NodeId> nodes_of_kind(NodeKind kind) const;
+
+ private:
+  NodeId add_node(NodeKind kind, std::string name, int x, int y);
+
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::size_t router_count_ = 0;
+  std::size_t ni_count_ = 0;
+};
+
+} // namespace daelite::topo

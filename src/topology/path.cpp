@@ -1,0 +1,132 @@
+#include "topology/path.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <set>
+
+namespace daelite::topo {
+
+std::vector<NodeId> Path::nodes(const Topology& t) const {
+  std::vector<NodeId> out;
+  if (links.empty()) return out;
+  out.reserve(links.size() + 1);
+  out.push_back(t.link(links.front()).src);
+  for (LinkId l : links) out.push_back(t.link(l).dst);
+  return out;
+}
+
+bool Path::is_connected(const Topology& t) const {
+  for (std::size_t i = 0; i + 1 < links.size(); ++i)
+    if (t.link(links[i]).dst != t.link(links[i + 1]).src) return false;
+  return true;
+}
+
+Path PathFinder::shortest(NodeId from, NodeId to) const {
+  // BFS == Dijkstra with unit costs; reuse the weighted search.
+  std::vector<double> unit(topo_->link_count(), 1.0);
+  return shortest_weighted(from, to, unit);
+}
+
+Path PathFinder::shortest_weighted(NodeId from, NodeId to, std::span<const double> link_cost) const {
+  assert(link_cost.size() == topo_->link_count());
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t n = topo_->node_count();
+  std::vector<double> dist(n, kInf);
+  std::vector<LinkId> via(n, kInvalidLink);
+
+  using Entry = std::pair<double, NodeId>; // (dist, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  dist[from] = 0.0;
+  pq.emplace(0.0, from);
+
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue; // stale entry
+    if (u == to) break;
+    for (LinkId l : topo_->node(u).out_links) {
+      const double c = link_cost[l];
+      if (std::isinf(c)) continue;
+      const NodeId v = topo_->link(l).dst;
+      if (dist[u] + c < dist[v]) {
+        dist[v] = dist[u] + c;
+        via[v] = l;
+        pq.emplace(dist[v], v);
+      }
+    }
+  }
+
+  Path p;
+  if (from == to || std::isinf(dist[to])) return p;
+  for (NodeId at = to; at != from;) {
+    const LinkId l = via[at];
+    p.links.push_back(l);
+    at = topo_->link(l).src;
+  }
+  std::reverse(p.links.begin(), p.links.end());
+  return p;
+}
+
+std::vector<Path> PathFinder::k_shortest(NodeId from, NodeId to, std::size_t k) const {
+  std::vector<Path> result;
+  if (k == 0) return result;
+
+  std::vector<double> cost(topo_->link_count(), 1.0);
+  Path first = shortest_weighted(from, to, cost);
+  if (first.empty()) return result;
+  result.push_back(first);
+
+  auto path_len = [](const Path& p) { return p.links.size(); };
+  // Candidate set ordered by length then lexicographically for determinism.
+  auto cmp = [&](const Path& a, const Path& b) {
+    if (path_len(a) != path_len(b)) return path_len(a) < path_len(b);
+    return a.links < b.links;
+  };
+  std::set<Path, decltype(cmp)> candidates(cmp);
+
+  while (result.size() < k) {
+    const Path& prev = result.back();
+    const std::vector<NodeId> prev_nodes = prev.nodes(*topo_);
+
+    for (std::size_t i = 0; i < prev.links.size(); ++i) {
+      const NodeId spur_node = prev_nodes[i];
+      // Root path: prev.links[0..i).
+      std::vector<double> c(topo_->link_count(), 1.0);
+      constexpr double kInf = std::numeric_limits<double>::infinity();
+
+      // Remove links that would recreate an already-found path with the
+      // same root.
+      for (const Path& p : result) {
+        if (p.links.size() > i &&
+            std::equal(p.links.begin(), p.links.begin() + static_cast<std::ptrdiff_t>(i), prev.links.begin())) {
+          c[p.links[i]] = kInf;
+        }
+      }
+      // Remove root-path nodes (except the spur node) to keep paths loopless.
+      for (std::size_t j = 0; j < i; ++j) {
+        const NodeId banned = prev_nodes[j];
+        for (LinkId l : topo_->node(banned).out_links) c[l] = kInf;
+        for (LinkId l : topo_->node(banned).in_links) c[l] = kInf;
+      }
+
+      Path spur = shortest_weighted(spur_node, to, c);
+      if (spur.empty() && spur_node != to) continue;
+
+      Path total;
+      total.links.assign(prev.links.begin(), prev.links.begin() + static_cast<std::ptrdiff_t>(i));
+      total.links.insert(total.links.end(), spur.links.begin(), spur.links.end());
+      if (total.links.empty()) continue;
+      if (std::find(result.begin(), result.end(), total) == result.end()) candidates.insert(std::move(total));
+    }
+
+    if (candidates.empty()) break;
+    result.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+  return result;
+}
+
+} // namespace daelite::topo

@@ -1,0 +1,54 @@
+#pragma once
+// Paths and graph search over a Topology.
+//
+// A Path is the static route of a (unidirectional) channel: an ordered list
+// of link ids from the source node to the destination node. The allocation
+// toolflow decorates paths with TDM slots; the configuration subsystem
+// turns them into set-up packets.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace daelite::topo {
+
+struct Path {
+  std::vector<LinkId> links;
+
+  std::size_t hop_count() const { return links.size(); }
+  bool empty() const { return links.empty(); }
+
+  NodeId source(const Topology& t) const { return links.empty() ? kInvalidNode : t.link(links.front()).src; }
+  NodeId dest(const Topology& t) const { return links.empty() ? kInvalidNode : t.link(links.back()).dst; }
+
+  /// Node sequence source..dest (hop_count()+1 entries).
+  std::vector<NodeId> nodes(const Topology& t) const;
+
+  /// True iff consecutive links share a node (dst of i == src of i+1).
+  bool is_connected(const Topology& t) const;
+
+  bool operator==(const Path&) const = default;
+};
+
+class PathFinder {
+ public:
+  explicit PathFinder(const Topology& topo) : topo_(&topo) {}
+
+  /// Minimum-hop path via BFS. Empty path if unreachable or from == to.
+  Path shortest(NodeId from, NodeId to) const;
+
+  /// Dijkstra with a per-link cost vector (size link_count). Costs must be
+  /// non-negative; an infinite cost removes the link.
+  Path shortest_weighted(NodeId from, NodeId to, std::span<const double> link_cost) const;
+
+  /// Yen's algorithm: up to k loopless shortest paths in nondecreasing hop
+  /// order. Used by the multipath allocator ([29] in the paper).
+  std::vector<Path> k_shortest(NodeId from, NodeId to, std::size_t k) const;
+
+ private:
+  const Topology* topo_;
+};
+
+} // namespace daelite::topo

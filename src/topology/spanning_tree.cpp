@@ -1,0 +1,51 @@
+#include "topology/spanning_tree.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace daelite::topo {
+
+std::uint32_t ConfigTree::max_depth() const {
+  std::uint32_t d = 0;
+  for (NodeId n = 0; n < parent.size(); ++n)
+    if (n == root || parent[n] != kInvalidNode) d = std::max(d, depth[n]);
+  return d;
+}
+
+ConfigTree build_config_tree(const Topology& topo, NodeId root) {
+  const std::size_t n = topo.node_count();
+  ConfigTree t;
+  t.root = root;
+  t.parent.assign(n, kInvalidNode);
+  t.down_link.assign(n, kInvalidLink);
+  t.up_link.assign(n, kInvalidLink);
+  t.children.assign(n, {});
+  t.depth.assign(n, 0);
+
+  std::vector<bool> visited(n, false);
+  std::deque<NodeId> queue;
+  visited[root] = true;
+  queue.push_back(root);
+  t.bfs_order.push_back(root);
+
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    // Outgoing data links give the forward (broadcast) direction u -> v.
+    for (LinkId l : topo.node(u).out_links) {
+      const NodeId v = topo.link(l).dst;
+      if (visited[v]) continue;
+      visited[v] = true;
+      t.parent[v] = u;
+      t.down_link[v] = l;
+      t.up_link[v] = topo.find_link(v, u);
+      t.depth[v] = t.depth[u] + 1;
+      t.children[u].push_back(v);
+      t.bfs_order.push_back(v);
+      queue.push_back(v);
+    }
+  }
+  return t;
+}
+
+} // namespace daelite::topo

@@ -1,0 +1,44 @@
+#pragma once
+// Minimum-depth spanning tree for the configuration broadcast network.
+//
+// The paper (§IV, "Configuration infrastructure"): the configuration links
+// form a tree over a subset of the data links, "chosen in such a way as to
+// minimize the distance from the host to any of the network nodes". A BFS
+// tree from the host's attachment point achieves exactly that. The forward
+// direction broadcasts; responses converge on the reverse edges.
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace daelite::topo {
+
+struct ConfigTree {
+  NodeId root = kInvalidNode;
+  /// parent[n] — tree parent of node n (kInvalidNode for root/unreached).
+  std::vector<NodeId> parent;
+  /// Data link carrying config traffic parent[n] -> n (forward/broadcast).
+  std::vector<LinkId> down_link;
+  /// Data link n -> parent[n] (response path). kInvalidLink if the data
+  /// topology has no reverse link (never the case for our generators).
+  std::vector<LinkId> up_link;
+  std::vector<std::vector<NodeId>> children;
+  std::vector<std::uint32_t> depth; ///< hops from root; root = 0
+  std::vector<NodeId> bfs_order;    ///< root first, then by depth
+
+  bool spans_all() const {
+    for (NodeId n = 0; n < parent.size(); ++n)
+      if (n != root && parent[n] == kInvalidNode) return false;
+    return true;
+  }
+
+  std::uint32_t max_depth() const;
+};
+
+/// Build the BFS (min-depth) config tree rooted at `root` over the
+/// *undirected* data-link adjacency. Neighbours are visited in link-id
+/// order so the result is deterministic.
+ConfigTree build_config_tree(const Topology& topo, NodeId root);
+
+} // namespace daelite::topo

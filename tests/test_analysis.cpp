@@ -1,0 +1,201 @@
+// Tests for the analysis module: analytic formulas, Table I registry,
+// set-up cost accounting, and the report printer. Several tests
+// cross-check the analytic numbers against the cycle-accurate simulation.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "alloc/allocator.hpp"
+#include "alloc/usecase.hpp"
+#include "analysis/features.hpp"
+#include "analysis/formulas.hpp"
+#include "analysis/network_report.hpp"
+#include "analysis/report.hpp"
+#include "analysis/setup_time.hpp"
+#include "daelite/network.hpp"
+#include "topology/generators.hpp"
+
+namespace {
+
+using namespace daelite;
+using namespace daelite::analysis;
+
+TEST(Formulas, TraversalLatencyMatchesPaperRatio) {
+  const auto d = tdm::daelite_params(16);
+  const auto a = tdm::aelite_params(16);
+  // 33% reduction: 2 cycles vs 3 cycles per hop.
+  for (std::size_t hops = 1; hops <= 12; ++hops) {
+    const double ratio = static_cast<double>(traversal_latency_cycles(hops, d)) /
+                         static_cast<double>(traversal_latency_cycles(hops, a));
+    EXPECT_NEAR(ratio, 2.0 / 3.0, 1e-9);
+  }
+}
+
+TEST(Formulas, SchedulingLatencySingleSlot) {
+  const auto p = tdm::daelite_params(8); // wheel = 16 cycles
+  const auto s = scheduling_latency({0}, p);
+  EXPECT_EQ(s.worst_cycles, 15u);
+  EXPECT_NEAR(s.average_cycles, 7.5, 1e-9);
+}
+
+TEST(Formulas, SpreadSlotsBeatClusteredSlots) {
+  const auto p = tdm::daelite_params(8);
+  const auto spread = scheduling_latency({0, 4}, p);
+  const auto clustered = scheduling_latency({0, 1}, p);
+  EXPECT_LT(spread.worst_cycles, clustered.worst_cycles);
+  EXPECT_LT(spread.average_cycles, clustered.average_cycles);
+}
+
+TEST(Formulas, HeaderOverheadRange) {
+  EXPECT_NEAR(aelite_header_overhead(1), 1.0 / 3.0, 1e-9); // 33%
+  EXPECT_NEAR(aelite_header_overhead(3), 1.0 / 9.0, 1e-9); // 11%
+  EXPECT_EQ(daelite_header_overhead(), 0.0);
+}
+
+TEST(Formulas, ConfigBandwidthLoss) {
+  EXPECT_NEAR(aelite_config_bandwidth_loss(16), 0.0625, 1e-9); // paper: 6.25%
+}
+
+TEST(Formulas, ChannelBandwidth) {
+  const auto p = tdm::daelite_params(8);
+  // 4 of 8 slots, full payload: half a word per cycle.
+  EXPECT_NEAR(channel_bandwidth_wpc(4, p, 2.0), 0.5, 1e-9);
+  // aelite, scattered slots: 2 payload of 3 words.
+  const auto a = tdm::aelite_params(8);
+  EXPECT_NEAR(channel_bandwidth_wpc(4, a, 2.0), 1.0 / 3.0, 1e-9);
+}
+
+TEST(Features, TableHasAllPaperRows) {
+  const auto rows = table1();
+  EXPECT_EQ(rows.size(), 7u);
+  bool found = false;
+  for (const auto& r : rows)
+    if (r.name == "daelite") {
+      found = true;
+      EXPECT_EQ(r.routing, "distributed");
+      EXPECT_NE(r.connection_types.find("multicast"), std::string::npos);
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(SetupTime, PacketWordFormula) {
+  // Fig. 6: S=8, 4 elements: 1 header + 2 mask + 8 pairs + 1 end = 12.
+  EXPECT_EQ(path_packet_words(4, 8), 12u);
+  EXPECT_EQ(pad_to_host_writes(12), 12u);
+  EXPECT_EQ(pad_to_host_writes(11), 12u);
+  EXPECT_EQ(pad_to_host_writes(13), 16u);
+}
+
+TEST(SetupTime, WordsDependOnPathLengthNotSlotCount) {
+  const auto m = topo::make_mesh(4, 4);
+  const auto p = tdm::daelite_params(16);
+  alloc::SlotAllocator alloc(m.topo, p);
+
+  alloc::ChannelSpec one;
+  one.src_ni = m.ni(0, 0);
+  one.dst_nis = {m.ni(3, 3)};
+  one.slots_required = 1;
+  const auto r1 = alloc.allocate(one);
+  ASSERT_TRUE(r1.has_value());
+
+  alloc::ChannelSpec many = one;
+  many.slots_required = 8;
+  const auto r8 = alloc.allocate(many);
+  ASSERT_TRUE(r8.has_value());
+
+  // Same path length -> same word count, regardless of slots used.
+  EXPECT_EQ(route_setup_words(m.topo, p, *r1), route_setup_words(m.topo, p, *r8));
+
+  // Longer path -> more words.
+  alloc::ChannelSpec shorter;
+  shorter.src_ni = m.ni(0, 0);
+  shorter.dst_nis = {m.ni(1, 0)};
+  shorter.slots_required = 1;
+  const auto rs = alloc.allocate(shorter);
+  ASSERT_TRUE(rs.has_value());
+  EXPECT_LT(route_setup_words(m.topo, p, *rs), route_setup_words(m.topo, p, *r1));
+}
+
+TEST(SetupTime, IdealIsLowerBoundOnMeasuredConfigTime) {
+  // Cross-check against the cycle-accurate configuration network.
+  const auto m = topo::make_mesh(3, 3);
+  sim::Kernel k;
+  hw::DaeliteNetwork::Options opt;
+  opt.tdm = tdm::daelite_params(8);
+  opt.cfg_root = m.ni(0, 0);
+  hw::DaeliteNetwork net(k, m.topo, opt);
+  alloc::SlotAllocator alloc(m.topo, opt.tdm);
+
+  alloc::UseCase uc;
+  uc.connections.push_back({"c", m.ni(0, 1), {m.ni(2, 2)}, 2, 1});
+  auto a = alloc::allocate_use_case(alloc, uc);
+  ASSERT_TRUE(a.has_value());
+
+  const auto ideal = daelite_ideal_connection_setup_cycles(m.topo, opt.tdm, a->connections[0],
+                                                           opt.cool_down_cycles);
+  (void)net.open_connection(a->connections[0]);
+  const sim::Cycle measured = net.run_config();
+
+  EXPECT_GE(measured, ideal);
+  // Measured exceeds ideal only by tree propagation + response margin.
+  EXPECT_LE(measured, ideal + 2 * net.config_tree().max_depth() + 16);
+}
+
+TEST(NetworkReport, LinkUsageSortedAndSummarized) {
+  const auto m = topo::make_mesh(2, 2);
+  alloc::SlotAllocator alloc(m.topo, tdm::daelite_params(8));
+  alloc::ChannelSpec spec;
+  spec.src_ni = m.ni(0, 0);
+  spec.dst_nis = {m.ni(1, 1)};
+  spec.slots_required = 4;
+  ASSERT_TRUE(alloc.allocate(spec).has_value());
+
+  const auto usage = analysis::link_usage(m.topo, alloc.schedule());
+  ASSERT_EQ(usage.size(), m.topo.link_count());
+  // Sorted by reservations, and the channel's 4 links carry 4 slots each.
+  EXPECT_EQ(usage.front().reserved, 4u);
+  for (std::size_t i = 1; i < usage.size(); ++i)
+    EXPECT_GE(usage[i - 1].reserved, usage[i].reserved);
+
+  const auto sum = analysis::summarize_schedule(m.topo, alloc.schedule());
+  EXPECT_EQ(sum.used_links, 4u);
+  EXPECT_EQ(sum.saturated_links, 0u);
+  EXPECT_DOUBLE_EQ(sum.max_utilization, 0.5);
+  EXPECT_GT(sum.mean_utilization, 0.0);
+}
+
+TEST(NetworkReport, PrintProducesTables) {
+  const auto m = topo::make_mesh(2, 2);
+  alloc::SlotAllocator alloc(m.topo, tdm::daelite_params(8));
+  alloc::ChannelSpec spec;
+  spec.src_ni = m.ni(0, 0);
+  spec.dst_nis = {m.ni(1, 0)};
+  spec.slots_required = 2;
+  ASSERT_TRUE(alloc.allocate(spec).has_value());
+  std::ostringstream os;
+  analysis::print_link_usage(os, m.topo, alloc.schedule(), 5);
+  EXPECT_NE(os.str().find("Busiest links"), std::string::npos);
+  EXPECT_NE(os.str().find("2/8"), std::string::npos);
+}
+
+TEST(Report, TableFormatsAligned) {
+  TextTable t("Demo");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Report, NumberFormatting) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(pct(0.0625, 2), "6.25%");
+  EXPECT_EQ(pct(0.33333, 0), "33%");
+}
+
+} // namespace

@@ -1,0 +1,127 @@
+// Tests for the structural area model: primitive monotonicity, archetype
+// sanity, and reproduction of the paper's Table II reductions within
+// tolerance.
+
+#include <gtest/gtest.h>
+
+#include "area/models.hpp"
+#include "area/primitives.hpp"
+#include "area/table2.hpp"
+#include "area/technology.hpp"
+
+namespace {
+
+using namespace daelite::area;
+
+const GeCosts kCosts{};
+
+TEST(Primitives, MuxAndCrossbarScale) {
+  EXPECT_EQ(mux_ge(kCosts, 1, 32), 0.0);
+  EXPECT_GT(mux_ge(kCosts, 4, 32), mux_ge(kCosts, 2, 32));
+  EXPECT_DOUBLE_EQ(crossbar_ge(kCosts, 4, 4, 32), 4 * mux_ge(kCosts, 4, 32));
+}
+
+TEST(Primitives, FifoDominatedByStorage) {
+  const double f = fifo_ge(kCosts, 16, 32);
+  EXPECT_GT(f, kCosts.ff * 16 * 32); // at least the flip-flops
+  EXPECT_LT(f, 2.5 * kCosts.ff * 16 * 32);
+  EXPECT_EQ(fifo_ge(kCosts, 0, 32), 0.0);
+}
+
+TEST(Primitives, TableCheaperThanRegistersPerBit) {
+  EXPECT_LT(table_ge(kCosts, 32, 8), regs_ge(kCosts, 32 * 8));
+}
+
+TEST(DaeliteModel, RouterScalesWithPortsAndSlots) {
+  DaeliteRouterParams small;
+  small.in_ports = small.out_ports = 3;
+  small.slots = 8;
+  DaeliteRouterParams big;
+  big.in_ports = big.out_ports = 7;
+  big.slots = 32;
+  EXPECT_GT(daelite_router_ge(kCosts, big), daelite_router_ge(kCosts, small));
+}
+
+TEST(DaeliteModel, NiDominatedByQueues) {
+  DaeliteNiParams p;
+  const double base = daelite_ni_ge(kCosts, p);
+  DaeliteNiParams deep = p;
+  deep.queue_depth *= 2;
+  EXPECT_GT(daelite_ni_ge(kCosts, deep), 1.7 * base / 2.0 * 2.0 * 0.5); // grows
+  EXPECT_GT(daelite_ni_ge(kCosts, deep) / base, 1.5); // queues dominate
+}
+
+TEST(DaeliteModel, RouterMuchSmallerThanVcRouter) {
+  // The headline architectural claim: no buffers, no arbitration.
+  DaeliteRouterParams d;
+  d.in_ports = d.out_ports = 5;
+  d.slots = 16;
+  VcRouterParams v;
+  v.ports = 5;
+  v.vcs = 4;
+  v.vc_depth = 2;
+  EXPECT_LT(daelite_router_ge(kCosts, d), 0.4 * vc_router_ge(kCosts, v));
+}
+
+TEST(AeliteModel, RouterLargerThanDaeliteAtSameArity) {
+  // Extra pipeline stage + header handling outweigh the slot table at
+  // moderate slot counts.
+  DaeliteRouterParams d;
+  d.in_ports = d.out_ports = 5;
+  d.slots = 16;
+  AeliteRouterParams a;
+  a.in_ports = a.out_ports = 5;
+  EXPECT_GT(aelite_router_ge(kCosts, a), daelite_router_ge(kCosts, d));
+}
+
+TEST(Technology, DensityImprovesWithNode) {
+  EXPECT_GT(um2_per_ge(TechNode::k130nm), um2_per_ge(TechNode::k90nm));
+  EXPECT_GT(um2_per_ge(TechNode::k90nm), um2_per_ge(TechNode::k65nm));
+}
+
+TEST(Technology, FrequencyModelMatchesPaperAnchor) {
+  const FrequencyRow f = build_frequency_row();
+  EXPECT_NEAR(f.daelite_mhz, 925.0, 15.0);
+  EXPECT_NEAR(f.aelite_mhz, 885.0, 15.0);
+  EXPECT_GT(f.daelite_mhz, f.aelite_mhz);
+}
+
+TEST(Table2, EveryRowReproducesPaperReductionWithinTolerance) {
+  for (const auto& row : build_router_rows(kCosts)) {
+    EXPECT_NEAR(row.computed_reduction(), row.paper_reduction, 0.05)
+        << row.competitor << ": computed " << row.computed_reduction() * 100 << "% vs paper "
+        << row.paper_reduction * 100 << "%";
+  }
+}
+
+TEST(Table2, ReductionOrderingMatchesPaper) {
+  // Who-wins-by-how-much ordering must hold: packet-switched routers are
+  // beaten by far more than circuit/ring designs.
+  const auto rows = build_router_rows(kCosts);
+  auto find = [&](const std::string& needle) {
+    for (const auto& r : rows)
+      if (r.competitor.find(needle) != std::string::npos) return r.computed_reduction();
+    ADD_FAILURE() << needle << " row missing";
+    return 0.0;
+  };
+  EXPECT_GT(find("Wolkotte packet-switched"), find("Wolkotte circuit-switched"));
+  EXPECT_GT(find("MANGO"), find("artNoC"));
+  EXPECT_LT(find("Quarc"), find("SPIN"));
+}
+
+TEST(Table2, InterconnectReductionNearTenPercent) {
+  const auto row = build_interconnect_row(kCosts);
+  EXPECT_NEAR(row.computed_reduction(), row.paper_reduction_asic, 0.04);
+  EXPECT_GT(row.daelite_slices(), 0.0);
+}
+
+TEST(Table2, AreasArePositiveAndPlausible) {
+  for (const auto& row : build_router_rows(kCosts)) {
+    EXPECT_GT(row.daelite_ge, 1000.0) << row.competitor;
+    EXPECT_GT(row.competitor_ge, row.daelite_ge * 0.5) << row.competitor;
+    EXPECT_GT(row.competitor_mm2(), 0.0);
+    EXPECT_LT(row.competitor_mm2(), 1.0) << row.competitor; // routers are << 1 mm^2
+  }
+}
+
+} // namespace

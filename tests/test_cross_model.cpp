@@ -1,0 +1,178 @@
+// Cross-model tests: the same workload on daelite and aelite, the
+// (templated) DTL shells running over aelite NIs, and a 72-element scale
+// run — checks that the two network models are directly comparable, which
+// is what every Table/claim bench relies on.
+
+#include <gtest/gtest.h>
+
+#include "aelite/network.hpp"
+#include "alloc/usecase.hpp"
+#include "daelite/network.hpp"
+#include "soc/memory.hpp"
+#include "soc/shell.hpp"
+#include "topology/generators.hpp"
+
+namespace {
+
+using namespace daelite;
+
+TEST(CrossModel, SameWorkloadDaeliteFasterAndBothCorrect) {
+  constexpr std::uint32_t kSlots = 16;
+  constexpr std::size_t kWords = 120;
+
+  // daelite.
+  topo::Mesh dmesh = topo::make_mesh(3, 3);
+  sim::Kernel dk;
+  hw::DaeliteNetwork::Options dopt;
+  dopt.tdm = tdm::daelite_params(kSlots);
+  dopt.cfg_root = dmesh.ni(0, 0);
+  hw::DaeliteNetwork dnet(dk, dmesh.topo, dopt);
+  alloc::SlotAllocator dalloc(dmesh.topo, dopt.tdm);
+  alloc::UseCase duc;
+  duc.connections.push_back({"c", dmesh.ni(0, 0), {dmesh.ni(2, 2)}, 4, 1});
+  auto da = alloc::allocate_use_case(dalloc, duc);
+  ASSERT_TRUE(da.has_value());
+  auto dh = dnet.open_connection(da->connections[0]);
+  dnet.run_config();
+
+  sim::Cycle d_done = 0;
+  {
+    hw::Ni& src = dnet.ni(dmesh.ni(0, 0));
+    hw::Ni& dst = dnet.ni(dmesh.ni(2, 2));
+    std::size_t pushed = 0, got = 0;
+    const sim::Cycle start = dk.now();
+    while (got < kWords) {
+      if (pushed < kWords && src.tx_push(dh.src_tx_q, static_cast<std::uint32_t>(pushed)))
+        ++pushed;
+      dk.step();
+      while (dst.rx_pop(dh.dst_rx_qs[0])) ++got;
+      ASSERT_LT(dk.now() - start, 100000u);
+    }
+    d_done = dk.now() - start;
+  }
+
+  // aelite: same topology, same slot share.
+  topo::Mesh amesh = topo::make_mesh(3, 3);
+  sim::Kernel ak;
+  aelite::AeliteNetwork::Options aopt;
+  aopt.tdm = tdm::aelite_params(kSlots);
+  aelite::AeliteNetwork anet(ak, amesh.topo, aopt);
+  alloc::SlotAllocator aalloc(amesh.topo, aopt.tdm);
+  aelite::AeliteNetwork::reserve_config_slots(aalloc);
+  alloc::UseCase auc;
+  auc.connections.push_back({"c", amesh.ni(0, 0), {amesh.ni(2, 2)}, 4, 1});
+  auto aa = alloc::allocate_use_case(aalloc, auc);
+  ASSERT_TRUE(aa.has_value());
+  auto ah = anet.open_connection(aa->connections[0]);
+
+  sim::Cycle a_done = 0;
+  {
+    aelite::Ni& src = anet.ni(amesh.ni(0, 0));
+    aelite::Ni& dst = anet.ni(amesh.ni(2, 2));
+    std::size_t pushed = 0, got = 0;
+    const sim::Cycle start = ak.now();
+    while (got < kWords) {
+      if (pushed < kWords && src.tx_push(ah.src_tx_q, static_cast<std::uint32_t>(pushed)))
+        ++pushed;
+      ak.step();
+      while (dst.rx_pop(ah.dst_rx_q)) ++got;
+      ASSERT_LT(ak.now() - start, 100000u);
+    }
+    a_done = ak.now() - start;
+  }
+
+  // Both correct, daelite strictly faster at equal slot share (no header
+  // overhead, shorter hops, 2- vs 3-cycle wheel granularity).
+  EXPECT_LT(d_done, a_done);
+  EXPECT_EQ(dnet.total_router_drops(), 0u);
+  EXPECT_EQ(anet.total_collisions(), 0u);
+}
+
+TEST(CrossModel, DtlShellsWorkOverAeliteNis) {
+  // The shells are templated on the NI type; run a full write+read MMIO
+  // round trip over the aelite network to prove the claim.
+  topo::Mesh mesh = topo::make_mesh(2, 2);
+  sim::Kernel k;
+  aelite::AeliteNetwork::Options opt;
+  opt.tdm = tdm::aelite_params(8);
+  aelite::AeliteNetwork net(k, mesh.topo, opt);
+  alloc::SlotAllocator alloc(mesh.topo, opt.tdm);
+
+  alloc::UseCase uc;
+  uc.connections.push_back({"mmio", mesh.ni(0, 0), {mesh.ni(1, 1)}, 2, 2});
+  auto a = alloc::allocate_use_case(alloc, uc);
+  ASSERT_TRUE(a.has_value());
+  const auto h = net.open_connection(a->connections[0]);
+
+  soc::Memory mem;
+  soc::InitiatorShell<aelite::Ni> ini(k, "ini", net.ni(mesh.ni(0, 0)), h.src_tx_q, h.src_rx_q);
+  soc::TargetShell<aelite::Ni> tgt(k, "tgt", net.ni(mesh.ni(1, 1)), h.dst_rx_q, h.dst_tx_q, mem);
+
+  soc::Transaction wr;
+  wr.is_write = true;
+  wr.addr = 0x30;
+  wr.wdata = {7, 8};
+  wr.burst_len = 2;
+  ini.submit(wr);
+  ASSERT_TRUE(k.run_until([&] { return mem.writes() >= 2; }, 20000));
+  EXPECT_EQ(mem.read(0x30), 7u);
+
+  soc::Transaction rd;
+  rd.is_write = false;
+  rd.addr = 0x30;
+  rd.burst_len = 2;
+  ini.submit(rd);
+  std::optional<soc::Response> resp;
+  ASSERT_TRUE(k.run_until(
+      [&] {
+        while (auto r = ini.take_response())
+          if (!r->is_write) resp = r;
+        return resp.has_value();
+      },
+      30000));
+  ASSERT_EQ(resp->rdata.size(), 2u);
+  EXPECT_EQ(resp->rdata[1], 8u);
+}
+
+TEST(CrossModel, SeventyTwoElementMeshConfiguresAndRuns) {
+  // 6x6 mesh = 36 routers + 36 NIs = 72 network elements (within the
+  // paper's <= 126 id space). Configure a batch of connections through
+  // the tree and stream on all of them.
+  topo::Mesh mesh = topo::make_mesh(6, 6);
+  sim::Kernel k;
+  hw::DaeliteNetwork::Options opt;
+  opt.tdm = tdm::daelite_params(16);
+  opt.cfg_root = mesh.ni(3, 3);
+  hw::DaeliteNetwork net(k, mesh.topo, opt);
+  alloc::SlotAllocator alloc(mesh.topo, opt.tdm);
+
+  std::vector<hw::ConnectionHandle> handles;
+  for (int i = 0; i < 6; ++i) {
+    alloc::UseCase uc;
+    uc.connections.push_back({"c", mesh.ni(i, 0), {mesh.ni(5 - i, 5)}, 2, 1});
+    auto a = alloc::allocate_use_case(alloc, uc);
+    ASSERT_TRUE(a.has_value()) << i;
+    handles.push_back(net.open_connection(a->connections[0]));
+  }
+  net.run_config();
+
+  std::vector<std::size_t> got(handles.size(), 0);
+  std::vector<std::size_t> pushed(handles.size(), 0);
+  for (int guard = 0; guard < 60000; ++guard) {
+    bool done = true;
+    for (std::size_t c = 0; c < handles.size(); ++c) {
+      hw::Ni& src = net.ni(handles[c].conn.request.src_ni);
+      if (pushed[c] < 40 && src.tx_push(handles[c].src_tx_q, 1)) ++pushed[c];
+      hw::Ni& dst = net.ni(handles[c].conn.request.dst_nis[0]);
+      while (dst.rx_pop(handles[c].dst_rx_qs[0])) ++got[c];
+      done = done && got[c] == 40;
+    }
+    if (done) break;
+    k.step();
+  }
+  for (std::size_t c = 0; c < handles.size(); ++c) EXPECT_EQ(got[c], 40u) << c;
+  EXPECT_EQ(net.total_router_drops(), 0u);
+  EXPECT_EQ(net.total_cfg_errors(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,342 @@
+// Unit tests for the configuration protocol: packet encoding (including
+// the byte-exact Fig. 6 example), the ConfigAgent FSM with its
+// rotate-per-pair slot-mask semantics, the broadcast tree pipeline timing,
+// and the host configuration module.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "daelite/config.hpp"
+#include "daelite/config_host.hpp"
+#include "sim/kernel.hpp"
+
+namespace {
+
+using namespace daelite;
+using namespace daelite::hw;
+
+/// Records every ConfigTarget call.
+class MockTarget : public ConfigTarget {
+ public:
+  explicit MockTarget(std::uint8_t id, bool is_ni = false) : id_(id), is_ni_(is_ni) {}
+
+  struct PathCall {
+    std::uint64_t mask;
+    std::uint8_t ports;
+    bool setup;
+  };
+
+  std::uint8_t cfg_id() const override { return id_; }
+  bool cfg_is_ni() const override { return is_ni_; }
+  void cfg_apply_path(std::uint64_t mask, std::uint8_t ports, bool setup) override {
+    path_calls.push_back({mask, ports, setup});
+  }
+  void cfg_write_credit(std::uint8_t q, std::uint8_t v) override { credit_writes.push_back({q, v}); }
+  std::uint8_t cfg_read_credit(std::uint8_t q) override { return static_cast<std::uint8_t>(q + 40); }
+  std::uint8_t cfg_read_flags(std::uint8_t q) override { return static_cast<std::uint8_t>(q + 60); }
+  void cfg_set_pair(std::uint8_t t, std::uint8_t r) override { pairs.push_back({t, r}); }
+  void cfg_set_flags(std::uint8_t q, std::uint8_t f) override { flags.push_back({q, f}); }
+  void cfg_bus_write(std::uint8_t a, std::uint16_t v) override { bus_writes.push_back({a, v}); }
+
+  std::vector<PathCall> path_calls;
+  std::vector<std::pair<std::uint8_t, std::uint8_t>> credit_writes;
+  std::vector<std::pair<std::uint8_t, std::uint8_t>> pairs;
+  std::vector<std::pair<std::uint8_t, std::uint8_t>> flags;
+  std::vector<std::pair<std::uint8_t, std::uint16_t>> bus_writes;
+
+ private:
+  std::uint8_t id_;
+  bool is_ni_;
+};
+
+/// Drives a word stream into an agent chain, one word per cycle.
+class WordSource : public sim::Component {
+ public:
+  WordSource(sim::Kernel& k) : sim::Component(k, "src") { own(out_); }
+  const sim::Reg<CfgWord>& out() const { return out_; }
+  void queue_words(const std::vector<std::uint8_t>& ws) {
+    for (auto w : ws) pending_.push_back(w);
+  }
+  void tick() override {
+    if (!pending_.empty()) {
+      out_.set(CfgWord{true, pending_.front()});
+      pending_.erase(pending_.begin());
+    } else {
+      out_.set(CfgWord{});
+    }
+  }
+
+ private:
+  sim::Reg<CfgWord> out_;
+  std::vector<std::uint8_t> pending_;
+};
+
+// --- Encoding ------------------------------------------------------------------
+
+TEST(Encoding, Figure6PacketBytes) {
+  // Reconstruct the paper's example directly: segment head = destination
+  // NI (id 11 for readability), then R11, R10, NI10; destination slots
+  // {4,7}; S=8 so one mask word... S=8 needs ceil(8/7)=2 words, exactly
+  // the "two configuration words contain a table of slots" of the paper.
+  alloc::CfgSegment seg;
+  seg.slots_at_head = {4, 7};
+  alloc::CfgElement ni11{/*node=*/3, /*in=*/0, /*out=*/0, /*is_ni=*/true, /*src=*/false};
+  alloc::CfgElement r11{/*node=*/2, /*in=*/1, /*out=*/2, false, false};
+  alloc::CfgElement r10{/*node=*/1, /*in=*/2, /*out=*/1, false, false};
+  alloc::CfgElement ni10{/*node=*/0, /*in=*/0, /*out=*/0, true, /*src=*/true};
+  seg.elements = {ni11, r11, r10, ni10};
+
+  CfgIdMap ids{{0, 10}, {1, 20}, {2, 30}, {3, 40}};
+  const tdm::TdmParams p = tdm::daelite_params(8);
+  const auto words = encode_path_packet(seg, p, ids, true);
+
+  const std::vector<std::uint8_t> expected = {
+      static_cast<std::uint8_t>(CfgOp::kSetupPath),
+      // mask 0b10010000 (slots 4 and 7): low 7 bits, then bit 7.
+      0b0010000, 0b1,
+      40, encode_ni_port(false, 0), // destination NI first
+      30, encode_router_ports(1, 2),
+      20, encode_router_ports(2, 1),
+      10, encode_ni_port(true, 0),  // source NI last
+      kCfgEndOfPacket,
+  };
+  EXPECT_EQ(words, expected);
+}
+
+TEST(Encoding, MaskWordsScaleWithSlotTableSize) {
+  EXPECT_EQ(cfg_mask_words(7), 1u);
+  EXPECT_EQ(cfg_mask_words(8), 2u);
+  EXPECT_EQ(cfg_mask_words(14), 2u);
+  EXPECT_EQ(cfg_mask_words(16), 3u);
+  EXPECT_EQ(cfg_mask_words(32), 5u);
+}
+
+TEST(Encoding, NiPortWordDistinguishesTxAndRx) {
+  EXPECT_EQ(encode_ni_port(true, 5) & kCfgNiTxBit, kCfgNiTxBit);
+  EXPECT_EQ(encode_ni_port(false, 5) & kCfgNiTxBit, 0);
+  EXPECT_EQ(encode_ni_port(true, 5) & kCfgQueueMask, 5);
+}
+
+TEST(Encoding, AssignCfgIdsAreUniqueNonZero) {
+  topo::Topology t;
+  t.add_router("a");
+  t.add_router("b");
+  t.add_ni("n");
+  const auto ids = assign_cfg_ids(t);
+  EXPECT_EQ(ids.size(), 3u);
+  for (const auto& [node, id] : ids) {
+    EXPECT_GE(id, 1);
+    EXPECT_LT(id, 127);
+  }
+}
+
+// --- Agent FSM -------------------------------------------------------------------
+
+class AgentFixture : public ::testing::Test {
+ protected:
+  tdm::TdmParams params = tdm::daelite_params(8);
+  sim::Kernel k;
+  WordSource src{k};
+  MockTarget t1{10};
+  MockTarget t2{20};
+  ConfigAgent a1{k, "a1", t1, params};
+  ConfigAgent a2{k, "a2", t2, params};
+
+  void SetUp() override {
+    a1.connect_parent(&src.out());
+    a2.connect_parent(&a1.fwd_out());
+    a1.add_child_resp(&a2.resp_out());
+  }
+
+  void run_stream(const std::vector<std::uint8_t>& words) {
+    src.queue_words(words);
+    k.run(words.size() + 10);
+  }
+};
+
+TEST_F(AgentFixture, MatchingElementGetsRotatedMask) {
+  // Packet: head mask {4,7}; pair1 -> id 20 (rotation 0), pair2 -> id 10
+  // (rotation 1: {3,6}).
+  std::vector<std::uint8_t> words = {
+      static_cast<std::uint8_t>(CfgOp::kSetupPath), 0b0010000, 0b1,
+      20, encode_router_ports(0, 1),
+      10, encode_router_ports(1, 2),
+      kCfgEndOfPacket};
+  run_stream(words);
+
+  ASSERT_EQ(t2.path_calls.size(), 1u);
+  EXPECT_EQ(t2.path_calls[0].mask, (1ull << 4) | (1ull << 7));
+  EXPECT_TRUE(t2.path_calls[0].setup);
+
+  ASSERT_EQ(t1.path_calls.size(), 1u);
+  EXPECT_EQ(t1.path_calls[0].mask, (1ull << 3) | (1ull << 6));
+}
+
+TEST_F(AgentFixture, RotationWrapsAroundSlotZero) {
+  // Mask {0}: after one rotation it must become {S-1} = {7}.
+  std::vector<std::uint8_t> words = {
+      static_cast<std::uint8_t>(CfgOp::kSetupPath), 0b0000001, 0,
+      99, 0, // no match, rotate
+      10, encode_router_ports(0, 0),
+      kCfgEndOfPacket};
+  run_stream(words);
+  ASSERT_EQ(t1.path_calls.size(), 1u);
+  EXPECT_EQ(t1.path_calls[0].mask, 1ull << 7);
+}
+
+TEST_F(AgentFixture, TearPathDeliversSetupFalse)
+{
+  std::vector<std::uint8_t> words = {
+      static_cast<std::uint8_t>(CfgOp::kTearPath), 0b0000010, 0,
+      10, encode_router_ports(0, 0),
+      kCfgEndOfPacket};
+  run_stream(words);
+  ASSERT_EQ(t1.path_calls.size(), 1u);
+  EXPECT_FALSE(t1.path_calls[0].setup);
+}
+
+TEST_F(AgentFixture, NonMatchingElementAppliesNothing) {
+  std::vector<std::uint8_t> words = {
+      static_cast<std::uint8_t>(CfgOp::kSetupPath), 0b1, 0,
+      55, encode_router_ports(0, 0),
+      kCfgEndOfPacket};
+  run_stream(words);
+  EXPECT_TRUE(t1.path_calls.empty());
+  EXPECT_TRUE(t2.path_calls.empty());
+  EXPECT_EQ(a1.packets_seen(), 1u);
+}
+
+TEST_F(AgentFixture, PaddingNopsBetweenPacketsAreIgnored) {
+  std::vector<std::uint8_t> words = {
+      0, 0, 0,
+      static_cast<std::uint8_t>(CfgOp::kSetupPath), 0b1, 0,
+      10, encode_router_ports(3, 4), kCfgEndOfPacket,
+      0, 0,
+      static_cast<std::uint8_t>(CfgOp::kWriteCredit), 20, 2, 33,
+      0};
+  run_stream(words);
+  ASSERT_EQ(t1.path_calls.size(), 1u);
+  ASSERT_EQ(t2.credit_writes.size(), 1u);
+  EXPECT_EQ(t2.credit_writes[0], (std::pair<std::uint8_t, std::uint8_t>{2, 33}));
+  EXPECT_EQ(a1.protocol_errors(), 0u);
+}
+
+TEST_F(AgentFixture, ForwardPipelineIsTwoCyclesPerHop) {
+  // A single word reaches a1's output 2 cycles after the source emits it,
+  // and a2 sees it 2 cycles later still.
+  src.queue_words({static_cast<std::uint8_t>(CfgOp::kNop)});
+  sim::Cycle at_src = sim::kNoCycle, at_a1 = sim::kNoCycle, at_a2 = sim::kNoCycle;
+  for (int i = 0; i < 12; ++i) {
+    k.step();
+    if (at_src == sim::kNoCycle && src.out().get().valid) at_src = k.now();
+    if (at_a1 == sim::kNoCycle && a1.fwd_out().get().valid) at_a1 = k.now();
+    if (at_a2 == sim::kNoCycle && a2.fwd_out().get().valid) at_a2 = k.now();
+  }
+  ASSERT_NE(at_src, sim::kNoCycle);
+  EXPECT_EQ(at_a1 - at_src, 2u);
+  EXPECT_EQ(at_a2 - at_a1, 2u);
+}
+
+TEST_F(AgentFixture, ReadCreditResponseTravelsBackUpTheTree) {
+  std::vector<std::uint8_t> words = {static_cast<std::uint8_t>(CfgOp::kReadCredit), 20, 3};
+  src.queue_words(words);
+  // a2's mock returns 3 + 40 = 43.
+  bool got = k.run_until([&] { return a1.resp_out().get().valid; }, 40);
+  ASSERT_TRUE(got);
+  EXPECT_EQ(a1.resp_out().get().data, 43);
+}
+
+TEST_F(AgentFixture, SetPairFlagsAndBusWriteDispatch) {
+  std::vector<std::uint8_t> words = {
+      static_cast<std::uint8_t>(CfgOp::kSetPair), 10, 1, 2,
+      static_cast<std::uint8_t>(CfgOp::kSetFlags), 10, 1, kFlagTxEnabled,
+      static_cast<std::uint8_t>(CfgOp::kBusWrite), 20, 0x12, 0x05, 0x22};
+  run_stream(words);
+  ASSERT_EQ(t1.pairs.size(), 1u);
+  EXPECT_EQ(t1.pairs[0], (std::pair<std::uint8_t, std::uint8_t>{1, 2}));
+  ASSERT_EQ(t1.flags.size(), 1u);
+  ASSERT_EQ(t2.bus_writes.size(), 1u);
+  EXPECT_EQ(t2.bus_writes[0].second, (0x05 << 7) | 0x22);
+}
+
+TEST_F(AgentFixture, BroadcastReachesAllElementsWithOnePacket) {
+  // Both elements matched by one packet (two pairs).
+  std::vector<std::uint8_t> words = {
+      static_cast<std::uint8_t>(CfgOp::kSetupPath), 0b0000100, 0,
+      20, encode_router_ports(0, 1),
+      10, encode_router_ports(1, 0),
+      kCfgEndOfPacket};
+  run_stream(words);
+  EXPECT_EQ(t1.path_calls.size(), 1u);
+  EXPECT_EQ(t2.path_calls.size(), 1u);
+  // t2 (matched first) saw mask {2}; t1 saw {1}.
+  EXPECT_EQ(t2.path_calls[0].mask, 1ull << 2);
+  EXPECT_EQ(t1.path_calls[0].mask, 1ull << 1);
+}
+
+// --- Host module -------------------------------------------------------------------
+
+class HostFixture : public ::testing::Test {
+ protected:
+  tdm::TdmParams params = tdm::daelite_params(8);
+  sim::Kernel k;
+  ConfigModule host{k, "host", ConfigModule::Params{4}};
+  MockTarget t1{10};
+  ConfigAgent a1{k, "a1", t1, params};
+
+  void SetUp() override {
+    a1.connect_parent(&host.fwd_out());
+    host.connect_resp(&a1.resp_out());
+  }
+};
+
+TEST_F(HostFixture, StreamsOneWordPerCycleAndPadsTo32BitWrites) {
+  host.enqueue_packet({1, 2, 3, 4, 5}, false); // 5 words -> padded to 8
+  k.run_until([&] { return host.idle(); }, 100);
+  EXPECT_EQ(host.words_sent(), 8u);
+  EXPECT_EQ(host.packets_sent(), 1u);
+}
+
+TEST_F(HostFixture, CoolDownSeparatesPathPackets) {
+  // Two path packets of 4 words each with cool-down 4: the second starts
+  // only after the cool-down.
+  host.enqueue_packet({static_cast<std::uint8_t>(CfgOp::kNop), 0, 0, 0}, true);
+  host.enqueue_packet({static_cast<std::uint8_t>(CfgOp::kNop), 0, 0, 0}, true);
+  const bool done = k.run_until([&] { return host.idle(); }, 100);
+  ASSERT_TRUE(done);
+  // 4 words + 4 cool-down + 4 words + 4 cool-down = 16 cycles (+1 start).
+  EXPECT_GE(k.now(), 16u);
+  EXPECT_LE(k.now(), 18u);
+}
+
+TEST_F(HostFixture, NonPathPacketsStreamBackToBack) {
+  host.enqueue_packet({static_cast<std::uint8_t>(CfgOp::kNop), 0, 0, 0}, false);
+  host.enqueue_packet({static_cast<std::uint8_t>(CfgOp::kNop), 0, 0, 0}, false);
+  k.run_until([&] { return host.idle(); }, 100);
+  EXPECT_LE(k.now(), 10u);
+}
+
+TEST_F(HostFixture, ReadBlocksUntilResponseArrives) {
+  host.enqueue_packet(encode_read_credit(10, 2), false, /*expects_response=*/true);
+  host.enqueue_packet({static_cast<std::uint8_t>(CfgOp::kNop), 0, 0, 0}, false);
+  const bool done = k.run_until([&] { return host.idle(); }, 200);
+  ASSERT_TRUE(done);
+  ASSERT_EQ(host.responses().size(), 1u);
+  EXPECT_EQ(host.responses()[0], 42); // mock: queue 2 + 40
+}
+
+TEST_F(HostFixture, EndToEndPathSetupAppliesToTarget) {
+  alloc::CfgSegment seg;
+  seg.slots_at_head = {1, 5};
+  seg.elements = {alloc::CfgElement{/*node=*/0, 2, 3, false, false}};
+  CfgIdMap ids{{0, 10}};
+  host.enqueue_packet(encode_path_packet(seg, params, ids, true), true);
+  k.run_until([&] { return host.idle(); }, 100);
+  k.run(ConfigModule::drain_cycles(1));
+  ASSERT_EQ(t1.path_calls.size(), 1u);
+  EXPECT_EQ(t1.path_calls[0].mask, (1ull << 1) | (1ull << 5));
+  EXPECT_EQ(t1.path_calls[0].ports, encode_router_ports(2, 3));
+}
+
+} // namespace

@@ -1,0 +1,252 @@
+// Unit tests for the daelite Network Interface: slot-table governed
+// injection and delivery, credit-based end-to-end flow control, credit
+// piggybacking, flags, and the NI side of configuration.
+
+#include <gtest/gtest.h>
+
+#include "daelite/ni.hpp"
+#include "sim/kernel.hpp"
+
+namespace {
+
+using namespace daelite;
+using namespace daelite::hw;
+
+Ni::Params ni_params(std::uint32_t slots = 4, std::size_t cap = 8) {
+  Ni::Params p;
+  p.tdm = tdm::daelite_params(slots);
+  p.num_channels = 4;
+  p.queue_capacity = cap;
+  return p;
+}
+
+/// Two NIs wired back to back: A's output feeds B's input and vice versa.
+/// A acting in slot q is seen by B in slot q+1 (one pipeline stage), the
+/// same relationship as through a chain of routers.
+class NiPairTest : public ::testing::Test {
+ protected:
+  Ni::Params params = ni_params();
+  sim::Kernel k;
+  Ni a{k, "A", 1, params};
+  Ni b{k, "B", 2, params};
+
+  void SetUp() override {
+    b.connect_input(&a.output_reg());
+    a.connect_input(&b.output_reg());
+  }
+
+  /// Program a unidirectional channel A(tx q0, slot s) -> B(rx q0, slot s+1).
+  void program_a_to_b(tdm::Slot s) {
+    a.table().set_tx(s, 0);
+    b.table().set_rx((s + 1) % params.tdm.num_slots, 0);
+  }
+  /// And the reverse channel B -> A.
+  void program_b_to_a(tdm::Slot s) {
+    b.table().set_tx(s, 0);
+    a.table().set_rx((s + 1) % params.tdm.num_slots, 0);
+  }
+};
+
+TEST_F(NiPairTest, DeliversWordsInOrder) {
+  program_a_to_b(0);
+  a.set_credit_direct(0, 63);
+  for (std::uint32_t w = 1; w <= 6; ++w) ASSERT_TRUE(a.tx_push(0, w));
+  k.run(6 * params.tdm.wheel_cycles());
+  for (std::uint32_t w = 1; w <= 6; ++w) {
+    auto got = b.rx_pop(0);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, w);
+  }
+  EXPECT_FALSE(b.rx_pop(0).has_value());
+  EXPECT_EQ(b.stats().flits_dropped, 0u);
+  EXPECT_EQ(b.stats().rx_overflow, 0u);
+  EXPECT_EQ(a.tx_stats(0).words_sent, 6u);
+  EXPECT_EQ(b.rx_stats(0).words_received, 6u);
+}
+
+TEST_F(NiPairTest, SendsAtMostWordsPerSlot) {
+  program_a_to_b(0);
+  a.set_credit_direct(0, 63);
+  for (std::uint32_t w = 0; w < 8; ++w) a.tx_push(0, w);
+  // One wheel = one owned slot = at most 2 words. (The first wheel sends
+  // nothing: the pushes commit at the end of cycle 0, after the NI's
+  // slot-0 tick already sampled an empty queue.)
+  k.run(params.tdm.wheel_cycles());
+  EXPECT_LE(a.tx_stats(0).words_sent, 2u);
+  k.run(4 * params.tdm.wheel_cycles());
+  EXPECT_EQ(a.tx_stats(0).words_sent, 8u);
+}
+
+TEST_F(NiPairTest, TxQueueCapacityEnforced) {
+  for (std::size_t i = 0; i < params.queue_capacity; ++i) EXPECT_TRUE(a.tx_push(0, 1));
+  EXPECT_FALSE(a.tx_push(0, 1));
+  EXPECT_EQ(a.tx_space(0), 0u);
+}
+
+TEST_F(NiPairTest, NoCreditsMeansNoData) {
+  program_a_to_b(0);
+  a.set_credit_direct(0, 0); // destination "full"
+  a.tx_push(0, 123);
+  k.run(4 * params.tdm.wheel_cycles());
+  EXPECT_EQ(a.tx_stats(0).words_sent, 0u);
+  EXPECT_GT(a.stats().tx_stalled_slots, 0u);
+  EXPECT_EQ(b.rx_level(0), 0u);
+}
+
+TEST_F(NiPairTest, CreditCounterDecrementsPerWordSent) {
+  program_a_to_b(0);
+  a.set_credit_direct(0, 3);
+  for (int i = 0; i < 6; ++i) a.tx_push(0, 9);
+  k.run(8 * params.tdm.wheel_cycles());
+  // Only 3 words may leave without replenishment.
+  EXPECT_EQ(a.tx_stats(0).words_sent, 3u);
+  EXPECT_EQ(a.credit(0), 0u);
+}
+
+TEST_F(NiPairTest, CreditsReturnOnReverseChannelAfterDelivery) {
+  // Full-duplex: A.tx0 -> B.rx0 and B.tx0 -> A.rx0; credits for A's data
+  // ride on B's reverse flits.
+  program_a_to_b(0);
+  program_b_to_a(2);
+  a.set_pair_direct(0, 0); // A: tx0 paired with rx0
+  b.set_pair_direct(0, 0); // B: tx0 paired with rx0
+  a.set_credit_direct(0, 4);
+  b.set_credit_direct(0, 4);
+
+  for (int i = 0; i < 4; ++i) a.tx_push(0, 10 + i);
+  k.run(6 * params.tdm.wheel_cycles());
+  EXPECT_EQ(a.credit(0), 0u); // 4 words in flight/undelivered
+  EXPECT_EQ(b.rx_level(0), 4u);
+
+  // B's IP consumes the words -> pending credits accumulate and return on
+  // B's tx slots (even with no reverse payload).
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(b.rx_pop(0).has_value());
+  k.run(6 * params.tdm.wheel_cycles());
+  EXPECT_EQ(a.credit(0), 4u);
+  EXPECT_EQ(b.rx_stats(0).flits_received, 2u); // 4 words = 2 flits
+  EXPECT_GT(a.rx_stats(0).credits_received, 0u);
+}
+
+TEST_F(NiPairTest, CreditOnlyFlitsCarryNoData) {
+  program_a_to_b(0);
+  program_b_to_a(2);
+  a.set_pair_direct(0, 0);
+  b.set_pair_direct(0, 0);
+  a.set_credit_direct(0, 8);
+  b.set_credit_direct(0, 8);
+  a.tx_push(0, 1);
+  a.tx_push(0, 2);
+  k.run(4 * params.tdm.wheel_cycles());
+  b.rx_pop(0);
+  b.rx_pop(0);
+  k.run(4 * params.tdm.wheel_cycles());
+  // B sent credits but no payload; A's rx queue must stay empty.
+  EXPECT_EQ(a.rx_level(0), 0u);
+  EXPECT_EQ(b.tx_stats(0).words_sent, 0u);
+  EXPECT_EQ(b.tx_stats(0).credits_sent, 2u);
+}
+
+TEST_F(NiPairTest, FlowControlOffSendsWithoutCredits) {
+  program_a_to_b(0);
+  a.set_credit_direct(0, 0);
+  a.set_flow_ctrl_direct(0, false); // multicast mode
+  a.tx_push(0, 5);
+  k.run(4 * params.tdm.wheel_cycles());
+  EXPECT_EQ(a.tx_stats(0).words_sent, 1u);
+  EXPECT_EQ(b.rx_level(0), 1u);
+}
+
+TEST_F(NiPairTest, ArrivalInUnmappedSlotIsDropped) {
+  a.table().set_tx(0, 0); // A transmits, B has no rx entry
+  a.set_credit_direct(0, 8);
+  a.set_flow_ctrl_direct(0, false);
+  a.tx_push(0, 1);
+  k.run(2 * params.tdm.wheel_cycles());
+  EXPECT_EQ(b.stats().flits_dropped, 1u);
+}
+
+TEST_F(NiPairTest, RxOverflowCountedWhenFlowControlViolated) {
+  program_a_to_b(0);
+  a.set_credit_direct(0, 63);      // lie about destination space
+  a.set_flow_ctrl_direct(0, false);
+  // B never pops, so everything beyond its queue capacity must overflow.
+  // Push in stages (A's own tx queue is also bounded).
+  std::uint32_t pushed = 0;
+  for (int guard = 0; guard < 100 && pushed < 2 * params.queue_capacity; ++guard) {
+    while (pushed < 2 * params.queue_capacity && a.tx_push(0, pushed)) ++pushed;
+    k.run(params.tdm.wheel_cycles());
+  }
+  k.run(10 * params.tdm.wheel_cycles());
+  EXPECT_EQ(b.rx_level(0), params.queue_capacity);
+  EXPECT_GT(b.stats().rx_overflow, 0u);
+}
+
+TEST_F(NiPairTest, LatencyHistogramRecordsPipelineDelay) {
+  program_a_to_b(1);
+  a.set_credit_direct(0, 8);
+  a.tx_push(0, 77);
+  k.run(4 * params.tdm.wheel_cycles());
+  ASSERT_EQ(b.stats().latency.count(), 1u);
+  // One pipeline stage = one slot = 2 cycles.
+  EXPECT_EQ(b.stats().latency.mean(), 2.0);
+}
+
+TEST_F(NiPairTest, DisabledTxChannelStaysQuiet) {
+  program_a_to_b(0);
+  a.set_credit_direct(0, 8);
+  a.cfg_set_flags(0, 0); // enabled bit clear
+  a.tx_push(0, 1);
+  k.run(4 * params.tdm.wheel_cycles());
+  EXPECT_EQ(a.tx_stats(0).words_sent, 0u);
+  a.cfg_set_flags(0, kFlagTxEnabled);
+  k.run(4 * params.tdm.wheel_cycles());
+  EXPECT_EQ(a.tx_stats(0).words_sent, 1u);
+}
+
+// --- NI-side configuration ---------------------------------------------------
+
+TEST(NiConfig, ApplyPathProgramsTxAndRxTables) {
+  sim::Kernel k;
+  Ni ni(k, "N", 3, ni_params(8));
+  const std::uint64_t mask = (1u << 2) | (1u << 6);
+  ni.cfg_apply_path(mask, encode_ni_port(/*tx=*/true, 1), true);
+  EXPECT_EQ(ni.table().tx_channel(2), 1u);
+  EXPECT_EQ(ni.table().tx_channel(6), 1u);
+  EXPECT_EQ(ni.table().rx_channel(2), tdm::kNoChannel);
+
+  ni.cfg_apply_path(mask, encode_ni_port(/*tx=*/false, 2), true);
+  EXPECT_EQ(ni.table().rx_channel(2), 2u);
+
+  ni.cfg_apply_path(mask, encode_ni_port(true, 1), false);
+  EXPECT_EQ(ni.table().tx_channel(2), tdm::kNoChannel);
+  EXPECT_EQ(ni.table().rx_channel(2), 2u); // rx untouched by tx teardown
+}
+
+TEST(NiConfig, CreditWriteAndReadBack) {
+  sim::Kernel k;
+  Ni ni(k, "N", 3, ni_params());
+  ni.cfg_write_credit(1, 37);
+  EXPECT_EQ(ni.credit(1), 37u);
+  EXPECT_EQ(ni.cfg_read_credit(1), 37u);
+}
+
+TEST(NiConfig, PairAndFlags) {
+  sim::Kernel k;
+  Ni ni(k, "N", 3, ni_params());
+  ni.cfg_set_pair(1, 2);
+  ni.cfg_set_flags(1, kFlagTxEnabled | kFlagFlowCtrlOff);
+  // Behavioural check: flow control off lets data out without credits.
+  // (Indirectly verified in NiPairTest; here check error counting.)
+  ni.cfg_set_pair(60, 0); // queue out of range
+  EXPECT_EQ(ni.stats().cfg_errors, 1u);
+}
+
+TEST(NiConfig, BusWriteLandsInRegisterFile) {
+  sim::Kernel k;
+  Ni ni(k, "N", 3, ni_params());
+  ni.cfg_bus_write(0x12, 0x1FFF);
+  EXPECT_EQ(ni.bus_register(0x12), 0x1FFF);
+  EXPECT_EQ(ni.bus_register(0x13), 0);
+}
+
+} // namespace

@@ -1,0 +1,168 @@
+// Tests for the joint space-time allocator: it matches the fixed-path
+// allocator on easy instances, beats it on slot-fragmented ones, commits
+// consistent schedules, and respects the depth bound.
+
+#include <gtest/gtest.h>
+
+#include "alloc/joint_alloc.hpp"
+#include "alloc/validate.hpp"
+#include "sim/random.hpp"
+#include "topology/generators.hpp"
+
+namespace {
+
+using namespace daelite;
+using namespace daelite::alloc;
+
+TEST(JointAlloc, FindsShortestPathOnEmptyNetwork) {
+  const auto m = topo::make_mesh(3, 3);
+  SlotAllocator alloc(m.topo, tdm::daelite_params(8));
+  ChannelSpec spec;
+  spec.src_ni = m.ni(0, 0);
+  spec.dst_nis = {m.ni(2, 2)};
+  spec.slots_required = 3;
+  const auto r = allocate_joint(alloc, spec);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->edges.size(), 6u); // minimal: NI + 4 router-router + NI
+  EXPECT_EQ(r->inject_slots.size(), 3u);
+  const std::vector<RouteTree> routes{*r};
+  EXPECT_EQ(validate_allocation(m.topo, alloc.params(), alloc.schedule(), routes), "");
+}
+
+TEST(JointAlloc, BeatsFixedPathAllocatorOnFragmentedSlots) {
+  // Fragment the two minimal routes so that each has disjoint free-slot
+  // halves at mismatched alignments; the joint search finds a longer path
+  // whose links happen to align, which the k-shortest allocator with few
+  // candidates misses.
+  const auto m = topo::make_mesh(3, 3);
+  const tdm::TdmParams params = tdm::daelite_params(8);
+
+  auto fragment = [&](SlotAllocator& a) {
+    // Block most slots on the two last-hop links into R11 with
+    // *misaligned* patterns relative to the source.
+    const topo::LinkId l1 = m.topo.find_link(m.router(1, 0), m.router(1, 1));
+    const topo::LinkId l2 = m.topo.find_link(m.router(0, 1), m.router(1, 1));
+    for (tdm::Slot s = 0; s < 7; ++s) a.reserve_raw(l1, s, 900); // only slot 7 free
+    for (tdm::Slot s = 1; s < 8; ++s) a.reserve_raw(l2, s, 901); // only slot 0 free
+  };
+
+  ChannelSpec spec;
+  spec.src_ni = m.ni(0, 0);
+  spec.dst_nis = {m.ni(1, 1)};
+  spec.slots_required = 2; // neither constrained route can carry 2 slots
+
+  alloc::AllocatorOptions narrow;
+  narrow.path_candidates = 2;
+  SlotAllocator fixed(m.topo, params, narrow);
+  fragment(fixed);
+  EXPECT_FALSE(fixed.allocate(spec).has_value());
+
+  SlotAllocator joint(m.topo, params);
+  fragment(joint);
+  JointSearchStats stats;
+  const auto r = allocate_joint(joint, spec, 0, &stats);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_GT(r->edges.size(), 4u); // took a detour
+  EXPECT_GT(stats.states_expanded, 0u);
+}
+
+TEST(JointAlloc, RespectsDepthBound) {
+  const auto m = topo::make_mesh(3, 3);
+  SlotAllocator alloc(m.topo, tdm::daelite_params(8));
+  ChannelSpec spec;
+  spec.src_ni = m.ni(0, 0);
+  spec.dst_nis = {m.ni(2, 2)};
+  spec.slots_required = 1;
+  EXPECT_FALSE(allocate_joint(alloc, spec, 3).has_value()); // needs 6 links
+  EXPECT_TRUE(allocate_joint(alloc, spec, 6).has_value());
+}
+
+TEST(JointAlloc, FailsCleanlyWhenTrulyInfeasible) {
+  const auto m = topo::make_mesh(2, 2);
+  SlotAllocator alloc(m.topo, tdm::daelite_params(4));
+  // Saturate the source NI link entirely.
+  const topo::LinkId src_link = m.topo.find_link(m.ni(0, 0), m.router(0, 0));
+  for (tdm::Slot s = 0; s < 4; ++s) alloc.reserve_raw(src_link, s, 700);
+  ChannelSpec spec;
+  spec.src_ni = m.ni(0, 0);
+  spec.dst_nis = {m.ni(1, 1)};
+  spec.slots_required = 1;
+  const double util = alloc.schedule().utilization();
+  EXPECT_FALSE(allocate_joint(alloc, spec).has_value());
+  EXPECT_DOUBLE_EQ(alloc.schedule().utilization(), util); // nothing committed
+}
+
+// Per-request dominance: on any (fragmented) schedule, if the fixed-path
+// allocator can admit a request, so can the joint search — it considers
+// every loopless path within the depth bound, not just k candidates.
+class JointDominanceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JointDominanceProperty, JointAdmitsWheneverFixedDoes) {
+  const auto m = topo::make_mesh(4, 4);
+  const tdm::TdmParams params = tdm::daelite_params(16);
+  sim::Xoshiro256 rng(GetParam());
+
+  auto fragment = [&](SlotAllocator& a) {
+    sim::Xoshiro256 frng(GetParam() * 7 + 1);
+    for (topo::LinkId l = 0; l < m.topo.link_count(); ++l)
+      for (tdm::Slot s = 0; s < 16; ++s)
+        if (frng.chance(0.5)) a.reserve_raw(l, s, 888);
+  };
+
+  const auto nis = m.all_nis();
+  for (int i = 0; i < 40; ++i) {
+    ChannelSpec spec;
+    spec.src_ni = nis[rng.below(nis.size())];
+    do {
+      spec.dst_nis = {nis[rng.below(nis.size())]};
+    } while (spec.dst_nis[0] == spec.src_ni);
+    spec.slots_required = static_cast<std::uint32_t>(rng.range(1, 3));
+
+    alloc::AllocatorOptions opt;
+    opt.path_candidates = 8;
+    SlotAllocator fixed(m.topo, params, opt);
+    fragment(fixed);
+    const bool fixed_ok = fixed.allocate(spec).has_value();
+
+    SlotAllocator joint(m.topo, params);
+    fragment(joint);
+    const bool joint_ok = allocate_joint(joint, spec, /*max_depth=*/16).has_value();
+
+    if (fixed_ok) {
+      EXPECT_TRUE(joint_ok) << "demand " << i << " seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JointDominanceProperty,
+                         ::testing::Values(5ull, 31ull, 101ull, 555ull));
+
+TEST(JointAlloc, NeverWorseThanFixedPathUnderRandomChurn) {
+  const auto m = topo::make_mesh(4, 4);
+  const tdm::TdmParams params = tdm::daelite_params(16);
+  sim::Xoshiro256 rng(321);
+  const auto nis = m.all_nis();
+
+  SlotAllocator fixed(m.topo, params);
+  SlotAllocator joint(m.topo, params);
+  std::size_t fixed_ok = 0, joint_ok = 0;
+  std::vector<RouteTree> joint_live;
+
+  for (int i = 0; i < 60; ++i) {
+    ChannelSpec spec;
+    spec.src_ni = nis[rng.below(nis.size())];
+    do {
+      spec.dst_nis = {nis[rng.below(nis.size())]};
+    } while (spec.dst_nis[0] == spec.src_ni);
+    spec.slots_required = static_cast<std::uint32_t>(rng.range(1, 4));
+    if (fixed.allocate(spec)) ++fixed_ok;
+    if (auto r = allocate_joint(joint, spec)) {
+      ++joint_ok;
+      joint_live.push_back(std::move(*r));
+    }
+  }
+  EXPECT_GE(joint_ok, fixed_ok);
+  EXPECT_EQ(validate_allocation(m.topo, params, joint.schedule(), joint_live), "");
+}
+
+} // namespace

@@ -1,0 +1,340 @@
+// Unit tests for the simulation kernel: two-phase semantics, registers,
+// FIFOs, counters, RNG determinism, statistics.
+
+#include <gtest/gtest.h>
+
+#include "sim/component.hpp"
+#include "sim/fifo.hpp"
+#include "sim/kernel.hpp"
+#include "sim/log.hpp"
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+#include "sim/vcd.hpp"
+
+#include <sstream>
+
+namespace {
+
+using namespace daelite::sim;
+
+/// A counter that increments its register every cycle.
+class Counter : public Component {
+ public:
+  Counter(Kernel& k, std::string name) : Component(k, std::move(name)) { own(value_); }
+  void tick() override { value_.set(value_.get() + 1); }
+  const Reg<int>& value() const { return value_; }
+
+ private:
+  Reg<int> value_;
+};
+
+/// Copies its input register into its output (1-cycle pipeline stage).
+class Stage : public Component {
+ public:
+  Stage(Kernel& k, std::string name) : Component(k, std::move(name)) { own(out_); }
+  void connect(const Reg<int>* in) { in_ = in; }
+  void tick() override { out_.set(in_ != nullptr ? in_->get() : 0); }
+  const Reg<int>& out() const { return out_; }
+
+ private:
+  const Reg<int>* in_ = nullptr;
+  Reg<int> out_;
+};
+
+TEST(Kernel, CycleCountAdvances) {
+  Kernel k;
+  EXPECT_EQ(k.now(), 0u);
+  k.run(10);
+  EXPECT_EQ(k.now(), 10u);
+  k.step();
+  EXPECT_EQ(k.now(), 11u);
+}
+
+TEST(Kernel, RunUntilStopsAtPredicate) {
+  Kernel k;
+  Counter c(k, "c");
+  const bool fired = k.run_until([&] { return c.value().get() == 5; }, 100);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(k.now(), 5u);
+}
+
+TEST(Kernel, RunUntilTimesOut) {
+  Kernel k;
+  const bool fired = k.run_until([] { return false; }, 7);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(k.now(), 7u);
+}
+
+TEST(Kernel, ComponentRegistryTracksLifetime) {
+  Kernel k;
+  EXPECT_EQ(k.component_count(), 0u);
+  {
+    Counter c(k, "c");
+    EXPECT_EQ(k.component_count(), 1u);
+  }
+  EXPECT_EQ(k.component_count(), 0u);
+}
+
+TEST(Reg, HoldsValueAcrossCyclesWithoutSet) {
+  Kernel k;
+  Stage s(k, "s"); // never connected: writes 0 every cycle
+  Reg<int> r(42);
+  // A bare Reg not owned by any component is never committed by the
+  // kernel, but commit_reg preserves the held value.
+  r.commit_reg();
+  EXPECT_EQ(r.get(), 42);
+}
+
+TEST(Reg, TwoPhaseVisibility) {
+  Kernel k;
+  Counter c(k, "c");
+  Stage s(k, "s");
+  s.connect(&c.value());
+  k.step(); // c: 0->1 committed; s sampled pre-edge value 0
+  EXPECT_EQ(c.value().get(), 1);
+  EXPECT_EQ(s.out().get(), 0);
+  k.step();
+  EXPECT_EQ(c.value().get(), 2);
+  EXPECT_EQ(s.out().get(), 1); // exactly one cycle behind
+}
+
+TEST(Reg, PipelineDelayIsOneCyclePerStage) {
+  Kernel k;
+  Counter c(k, "c");
+  Stage s1(k, "s1"), s2(k, "s2"), s3(k, "s3");
+  s1.connect(&c.value());
+  s2.connect(&s1.out());
+  s3.connect(&s2.out());
+  k.run(10);
+  EXPECT_EQ(c.value().get(), 10);
+  EXPECT_EQ(s1.out().get(), 9);
+  EXPECT_EQ(s2.out().get(), 8);
+  EXPECT_EQ(s3.out().get(), 7);
+}
+
+TEST(Reg, OrderIndependence) {
+  // Same pipeline, components constructed (and hence ticked) in reverse
+  // order: results must be identical.
+  Kernel k;
+  Stage s3(k, "s3"), s2(k, "s2"), s1(k, "s1");
+  Counter c(k, "c");
+  s1.connect(&c.value());
+  s2.connect(&s1.out());
+  s3.connect(&s2.out());
+  k.run(10);
+  EXPECT_EQ(s3.out().get(), 7);
+}
+
+TEST(FifoReg, PushVisibleAfterCommit) {
+  FifoReg<int> f;
+  f.push(1);
+  EXPECT_EQ(f.size(), 0u);
+  EXPECT_EQ(f.next_size(), 1u);
+  f.commit_reg();
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_EQ(f.at(0), 1);
+}
+
+TEST(FifoReg, PopReturnsCommittedFront) {
+  FifoReg<int> f;
+  f.push(1);
+  f.push(2);
+  f.commit_reg();
+  EXPECT_EQ(f.poppable(), 2u);
+  EXPECT_EQ(f.pop(), 1);
+  EXPECT_EQ(f.poppable(), 1u);
+  EXPECT_EQ(f.pop(), 2);
+  // Not yet committed: size still 2.
+  EXPECT_EQ(f.size(), 2u);
+  f.commit_reg();
+  EXPECT_EQ(f.size(), 0u);
+}
+
+TEST(FifoReg, SimultaneousPushAndPopCommute) {
+  FifoReg<int> f;
+  f.push(1);
+  f.commit_reg();
+  // Same cycle: consumer pops the committed word, producer pushes a new one.
+  EXPECT_EQ(f.pop(), 1);
+  f.push(2);
+  f.commit_reg();
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_EQ(f.at(0), 2);
+}
+
+TEST(CounterReg, AddAndSubAccumulate) {
+  CounterReg c;
+  c.force(10);
+  c.add(5);
+  c.sub(3);
+  EXPECT_EQ(c.get(), 10u); // committed view unchanged mid-cycle
+  c.commit_reg();
+  EXPECT_EQ(c.get(), 12u);
+}
+
+TEST(Xoshiro, DeterministicForSameSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro, BelowIsInRangeAndCoversValues) {
+  Xoshiro256 r(7);
+  bool seen[10] = {};
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.below(10);
+    ASSERT_LT(v, 10u);
+    seen[v] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Xoshiro, RangeInclusive) {
+  Xoshiro256 r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+  }
+}
+
+TEST(Xoshiro, UniformInUnitInterval) {
+  Xoshiro256 r(99);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(ScalarStat, BasicMoments) {
+  ScalarStat s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 1.25, 1e-9);
+}
+
+TEST(ScalarStat, EmptyIsZero) {
+  ScalarStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(Histogram, CountsAndQuantiles) {
+  Histogram h(16);
+  for (std::uint64_t v = 0; v < 10; ++v) h.add(v);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_EQ(h.quantile(0.1), 0u);
+  EXPECT_EQ(h.quantile(0.5), 4u);
+  EXPECT_EQ(h.quantile(1.0), 9u);
+  EXPECT_EQ(h.bucket(3), 1u);
+}
+
+TEST(Histogram, OverflowBucket) {
+  Histogram h(4);
+  h.add(100);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), 100.0);
+}
+
+TEST(Tracer, RecordsAndCounts) {
+  Tracer t;
+  t.record(1, "a", "inject", "x");
+  t.record(2, "b", "inject");
+  t.record(3, "a", "deliver");
+  EXPECT_EQ(t.records().size(), 3u);
+  EXPECT_EQ(t.count("inject"), 2u);
+  EXPECT_EQ(t.count("deliver"), 1u);
+}
+
+TEST(Tracer, DisabledDropsRecords) {
+  Tracer t(false);
+  t.record(1, "a", "e");
+  EXPECT_TRUE(t.records().empty());
+}
+
+TEST(Vcd, HeaderDeclaresSignalsInScopes) {
+  std::ostringstream os;
+  VcdWriter vcd(os);
+  int v = 0;
+  vcd.add_signal("nodeA.valid", 1, [&] { return static_cast<std::uint64_t>(v); });
+  vcd.add_signal("nodeA.data", 8, [&] { return 0xABull; });
+  vcd.sample(0);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("$scope module nodeA $end"), std::string::npos);
+  EXPECT_NE(s.find("$var wire 1"), std::string::npos);
+  EXPECT_NE(s.find("$var wire 8"), std::string::npos);
+  EXPECT_NE(s.find("$enddefinitions $end"), std::string::npos);
+  EXPECT_NE(s.find("b10101011"), std::string::npos); // initial snapshot
+}
+
+TEST(Vcd, OnlyChangesAreEmitted) {
+  std::ostringstream os;
+  VcdWriter vcd(os);
+  std::uint64_t v = 0;
+  vcd.add_signal("s.x", 1, [&] { return v; });
+  vcd.sample(0); // snapshot
+  const std::size_t after_snapshot = os.str().size();
+  vcd.sample(1); // no change: nothing written
+  EXPECT_EQ(os.str().size(), after_snapshot);
+  v = 1;
+  vcd.sample(2);
+  EXPECT_NE(os.str().find("#2"), std::string::npos);
+}
+
+TEST(Vcd, WideValuesRoundTripMsbFirst) {
+  std::ostringstream os;
+  VcdWriter vcd(os);
+  vcd.add_signal("s.w", 16, [] { return 0b101ull; });
+  vcd.sample(0);
+  EXPECT_NE(os.str().find("b101 "), std::string::npos); // leading zeros trimmed
+}
+
+TEST(Log, LevelGatesOutput) {
+  std::ostringstream os;
+  std::ostream* old_sink = Log::sink();
+  const LogLevel old_level = Log::level();
+  Log::set_sink(&os);
+  Log::set_level(LogLevel::kWarn);
+
+  log_debug("who", "hidden ", 42);
+  EXPECT_TRUE(os.str().empty());
+  log_warn("who", "visible ", 42);
+  EXPECT_NE(os.str().find("[WARN ] who: visible 42"), std::string::npos);
+  log_error("who", "bad");
+  EXPECT_NE(os.str().find("[ERROR] who: bad"), std::string::npos);
+
+  Log::set_level(LogLevel::kDebug);
+  log_debug("who", "now shown");
+  EXPECT_NE(os.str().find("now shown"), std::string::npos);
+
+  Log::set_sink(old_sink);
+  Log::set_level(old_level);
+}
+
+TEST(Log, NullSinkIsSafe) {
+  std::ostream* old_sink = Log::sink();
+  Log::set_sink(nullptr);
+  log_error("who", "dropped");
+  EXPECT_FALSE(Log::enabled(LogLevel::kError));
+  Log::set_sink(old_sink);
+}
+
+} // namespace

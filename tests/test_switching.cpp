@@ -1,0 +1,137 @@
+// Tests for the use-case switching flow: planning (keep/tear/set-up),
+// transactional execution with roll-back, and end-to-end switching on the
+// simulated network.
+
+#include <gtest/gtest.h>
+
+#include "alloc/switching.hpp"
+#include "alloc/validate.hpp"
+#include "topology/generators.hpp"
+
+namespace {
+
+using namespace daelite;
+using namespace daelite::alloc;
+
+UseCase make_uc(std::string name, std::vector<ConnectionSpec> specs) {
+  UseCase uc;
+  uc.name = std::move(name);
+  uc.connections = std::move(specs);
+  return uc;
+}
+
+struct SwitchFixture : ::testing::Test {
+  topo::Mesh mesh = topo::make_mesh(3, 3);
+  tdm::TdmParams params = tdm::daelite_params(16);
+  SlotAllocator alloc{mesh.topo, params};
+};
+
+TEST_F(SwitchFixture, PlanSplitsKeepTearSetup) {
+  const ConnectionSpec shared{"cpu", mesh.ni(0, 0), {mesh.ni(2, 2)}, 2, 1};
+  const ConnectionSpec old_only{"cam", mesh.ni(0, 2), {mesh.ni(2, 0)}, 3, 1};
+  const ConnectionSpec new_only{"dsp", mesh.ni(1, 0), {mesh.ni(1, 2)}, 2, 1};
+
+  auto a = allocate_use_case(alloc, make_uc("A", {shared, old_only}));
+  ASSERT_TRUE(a.has_value());
+
+  const auto plan = plan_use_case_switch(*a, make_uc("B", {shared, new_only}));
+  ASSERT_EQ(plan.keep.size(), 1u);
+  EXPECT_EQ(plan.keep[0].spec.name, "cpu");
+  ASSERT_EQ(plan.tear_down.size(), 1u);
+  EXPECT_EQ(plan.tear_down[0].spec.name, "cam");
+  ASSERT_EQ(plan.set_up.size(), 1u);
+  EXPECT_EQ(plan.set_up[0].name, "dsp");
+  EXPECT_EQ(plan.churn(), 2u);
+}
+
+TEST_F(SwitchFixture, SpecChangeCountsAsTearAndSetup) {
+  const ConnectionSpec v1{"cpu", mesh.ni(0, 0), {mesh.ni(2, 2)}, 2, 1};
+  ConnectionSpec v2 = v1;
+  v2.request_slots = 4; // more bandwidth in the new use-case
+  auto a = allocate_use_case(alloc, make_uc("A", {v1}));
+  ASSERT_TRUE(a.has_value());
+  const auto plan = plan_use_case_switch(*a, make_uc("B", {v2}));
+  EXPECT_TRUE(plan.keep.empty());
+  EXPECT_EQ(plan.tear_down.size(), 1u);
+  EXPECT_EQ(plan.set_up.size(), 1u);
+}
+
+TEST_F(SwitchFixture, ExecuteKeepsSharedRoutesIntact) {
+  const ConnectionSpec shared{"cpu", mesh.ni(0, 0), {mesh.ni(2, 2)}, 2, 1};
+  const ConnectionSpec old_only{"cam", mesh.ni(0, 2), {mesh.ni(2, 0)}, 3, 1};
+  const ConnectionSpec new_only{"dsp", mesh.ni(1, 0), {mesh.ni(1, 2)}, 2, 1};
+
+  auto a = allocate_use_case(alloc, make_uc("A", {shared, old_only}));
+  ASSERT_TRUE(a.has_value());
+  const auto kept_channel = a->connections[0].request.channel;
+
+  auto b = execute_use_case_switch(alloc, *a, make_uc("B", {shared, new_only}));
+  ASSERT_TRUE(b.has_value());
+  ASSERT_EQ(b->connections.size(), 2u);
+  // The kept connection still holds the same channel and reservations.
+  EXPECT_EQ(b->connections[0].request.channel, kept_channel);
+  EXPECT_EQ(alloc.schedule().reservations_of(kept_channel),
+            2u * b->connections[0].request.edges.size());
+
+  // Schedule is exactly explained by the new allocation.
+  std::vector<RouteTree> routes;
+  for (const auto& c : b->connections) {
+    routes.push_back(c.request);
+    if (c.has_response) routes.push_back(c.response);
+  }
+  EXPECT_EQ(validate_allocation(mesh.topo, params, alloc.schedule(), routes), "");
+}
+
+TEST_F(SwitchFixture, FailedSwitchRollsBackCompletely) {
+  // Use-case A fills the wheel out of NI(0,0); use-case B asks for an
+  // infeasible connection. The switch must fail and leave A untouched.
+  const ConnectionSpec a_conn{"a", mesh.ni(0, 0), {mesh.ni(2, 2)}, 14, 2};
+  auto a = allocate_use_case(alloc, make_uc("A", {a_conn}));
+  ASSERT_TRUE(a.has_value());
+  const double util_before = alloc.schedule().utilization();
+
+  // B drops "a" and asks for two connections from the same source NI
+  // totalling 17 of 16 slots: the second cannot fit, so the whole switch
+  // must fail and roll back (all-or-nothing).
+  const ConnectionSpec big{"y", mesh.ni(0, 2), {mesh.ni(2, 0)}, 16, 0};
+  const ConnectionSpec overflow{"x", mesh.ni(0, 2), {mesh.ni(1, 2)}, 1, 1};
+  std::string failed;
+  auto b = execute_use_case_switch(alloc, *a, make_uc("B", {big, overflow}), nullptr, &failed);
+  EXPECT_FALSE(b.has_value());
+  EXPECT_EQ(failed, "x");
+  // Roll-back restored A's reservations exactly.
+  EXPECT_DOUBLE_EQ(alloc.schedule().utilization(), util_before);
+  EXPECT_EQ(alloc.schedule().reservations_of(a->connections[0].request.channel),
+            14u * a->connections[0].request.edges.size());
+}
+
+TEST_F(SwitchFixture, IdentitySwitchIsFree) {
+  const ConnectionSpec c1{"c1", mesh.ni(0, 0), {mesh.ni(2, 2)}, 2, 1};
+  const ConnectionSpec c2{"c2", mesh.ni(2, 0), {mesh.ni(0, 2)}, 2, 1};
+  auto a = allocate_use_case(alloc, make_uc("A", {c1, c2}));
+  ASSERT_TRUE(a.has_value());
+  SwitchPlan plan;
+  auto b = execute_use_case_switch(alloc, *a, make_uc("A2", {c1, c2}), &plan);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(plan.churn(), 0u);
+  EXPECT_EQ(plan.keep.size(), 2u);
+}
+
+TEST_F(SwitchFixture, RestoreRejectsConflicts) {
+  ChannelSpec spec;
+  spec.src_ni = mesh.ni(0, 0);
+  spec.dst_nis = {mesh.ni(2, 2)};
+  spec.slots_required = 4;
+  auto r = alloc.allocate(spec);
+  ASSERT_TRUE(r.has_value());
+  alloc.release(*r);
+
+  // Occupy one of its slots with someone else, then try to restore.
+  const RouteEdge e = r->edges.front();
+  ASSERT_TRUE(alloc.reserve_raw(e.link, params.slot_at_link(r->inject_slots[0], e.depth), 999));
+  EXPECT_FALSE(alloc.restore(*r));
+  // Partial reservations were rolled back.
+  EXPECT_EQ(alloc.schedule().reservations_of(r->channel), 0u);
+}
+
+} // namespace

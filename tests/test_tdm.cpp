@@ -1,0 +1,171 @@
+// Unit tests for TDM parameters, slot arithmetic, slot tables and the
+// global schedule.
+
+#include <gtest/gtest.h>
+
+#include "tdm/flit.hpp"
+#include "tdm/params.hpp"
+#include "tdm/schedule.hpp"
+#include "tdm/slot_table.hpp"
+#include "topology/generators.hpp"
+
+namespace {
+
+using namespace daelite::tdm;
+
+TEST(TdmParams, DaeliteDefaultsValid) {
+  const TdmParams p = daelite_params(8);
+  EXPECT_TRUE(p.valid());
+  EXPECT_EQ(p.words_per_slot, 2u);
+  EXPECT_EQ(p.hop_cycles, 2u);
+  EXPECT_EQ(p.slot_shift_per_hop(), 1u);
+  EXPECT_EQ(p.wheel_cycles(), 16u);
+}
+
+TEST(TdmParams, AeliteDefaultsValid) {
+  const TdmParams p = aelite_params(16);
+  EXPECT_TRUE(p.valid());
+  EXPECT_EQ(p.slot_shift_per_hop(), 1u);
+  EXPECT_EQ(p.wheel_cycles(), 48u);
+}
+
+TEST(TdmParams, SingleWordSlotsShiftByTwo) {
+  const TdmParams p{8, 1, 2};
+  EXPECT_TRUE(p.valid());
+  EXPECT_EQ(p.slot_shift_per_hop(), 2u);
+}
+
+TEST(TdmParams, InvalidWhenWordsDontDivideHop) {
+  const TdmParams p{8, 3, 2};
+  EXPECT_FALSE(p.valid());
+}
+
+TEST(TdmParams, SlotOfCycle) {
+  const TdmParams p = daelite_params(4); // wheel = 8 cycles
+  EXPECT_EQ(p.slot_of_cycle(0), 0u);
+  EXPECT_EQ(p.slot_of_cycle(1), 0u);
+  EXPECT_EQ(p.slot_of_cycle(2), 1u);
+  EXPECT_EQ(p.slot_of_cycle(7), 3u);
+  EXPECT_EQ(p.slot_of_cycle(8), 0u); // wraps
+  EXPECT_TRUE(p.is_slot_start(6));
+  EXPECT_FALSE(p.is_slot_start(7));
+}
+
+TEST(TdmParams, SlotAtLinkWrapsAroundWheel) {
+  const TdmParams p = daelite_params(8);
+  EXPECT_EQ(p.slot_at_link(7, 0), 7u);
+  EXPECT_EQ(p.slot_at_link(7, 1), 0u);
+  EXPECT_EQ(p.slot_at_link(3, 10), (3u + 10u) % 8u);
+}
+
+TEST(TdmParams, InjectSlotForInvertsSlotAtLink) {
+  const TdmParams p = daelite_params(8);
+  for (Slot q = 0; q < 8; ++q)
+    for (std::size_t k = 0; k < 12; ++k)
+      EXPECT_EQ(p.inject_slot_for(p.slot_at_link(q, k), k), q);
+}
+
+TEST(Flit, MaxCreditPerSlot) {
+  EXPECT_EQ(max_credit_per_slot(1), 7u);    // 3 wires * 1 cycle
+  EXPECT_EQ(max_credit_per_slot(2), 63u);   // 6-bit value, as in the paper
+  EXPECT_EQ(max_credit_per_slot(3), 511u);
+}
+
+TEST(RouterSlotTable, SetClearAndCount) {
+  RouterSlotTable t(4, 8);
+  EXPECT_TRUE(t.empty());
+  t.set(2, 5, 1);
+  EXPECT_EQ(t.input_for(2, 5), 1);
+  EXPECT_EQ(t.input_for(2, 4), kUnusedPort);
+  EXPECT_EQ(t.used_entries(), 1u);
+  t.clear(2, 5);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(RouterSlotTable, MulticastTwoOutputsSameInput) {
+  RouterSlotTable t(4, 8);
+  t.set(0, 3, 2);
+  t.set(1, 3, 2);
+  EXPECT_EQ(t.input_for(0, 3), 2);
+  EXPECT_EQ(t.input_for(1, 3), 2);
+  EXPECT_EQ(t.used_entries(), 2u);
+}
+
+TEST(NiSlotTable, TxRxIndependent) {
+  NiSlotTable t(8);
+  t.set_tx(1, 7);
+  t.set_rx(1, 9);
+  EXPECT_EQ(t.tx_channel(1), 7u);
+  EXPECT_EQ(t.rx_channel(1), 9u);
+  EXPECT_EQ(t.tx_channel(2), kNoChannel);
+  EXPECT_EQ(t.tx_slot_count(7), 1u);
+  EXPECT_EQ(t.rx_slot_count(9), 1u);
+}
+
+TEST(NiSlotTable, ClearChannelRemovesAllEntries) {
+  NiSlotTable t(8);
+  t.set_tx(0, 5);
+  t.set_tx(4, 5);
+  t.set_rx(2, 5);
+  t.set_tx(6, 6);
+  t.clear_channel(5);
+  EXPECT_EQ(t.tx_slot_count(5), 0u);
+  EXPECT_EQ(t.rx_slot_count(5), 0u);
+  EXPECT_EQ(t.tx_channel(6), 6u); // untouched
+}
+
+TEST(Schedule, ReserveAndRelease) {
+  Schedule s(10, daelite_params(8));
+  EXPECT_TRUE(s.is_free(3, 4));
+  EXPECT_TRUE(s.reserve(3, 4, 1));
+  EXPECT_EQ(s.owner(3, 4), 1u);
+  EXPECT_FALSE(s.reserve(3, 4, 2)); // conflict
+  EXPECT_TRUE(s.reserve(3, 4, 1));  // idempotent for same channel
+  s.release(3, 4);
+  EXPECT_TRUE(s.is_free(3, 4));
+}
+
+TEST(Schedule, ReleaseChannelFreesEverything) {
+  Schedule s(4, daelite_params(8));
+  s.reserve(0, 0, 7);
+  s.reserve(1, 1, 7);
+  s.reserve(2, 2, 8);
+  EXPECT_EQ(s.release_channel(7), 2u);
+  EXPECT_TRUE(s.is_free(0, 0));
+  EXPECT_TRUE(s.is_free(1, 1));
+  EXPECT_EQ(s.owner(2, 2), 8u);
+}
+
+TEST(Schedule, UtilizationAndPerLinkCounts) {
+  Schedule s(2, daelite_params(8)); // 16 (link, slot) pairs
+  s.reserve(0, 0, 1);
+  s.reserve(0, 1, 1);
+  s.reserve(1, 0, 2);
+  EXPECT_DOUBLE_EQ(s.utilization(), 3.0 / 16.0);
+  EXPECT_EQ(s.reserved_on_link(0), 2u);
+  EXPECT_EQ(s.reserved_on_link(1), 1u);
+  EXPECT_EQ(s.reservations_of(1), 2u);
+}
+
+// Property sweep: inject_slot_for o slot_at_link == identity across
+// parameter combinations that satisfy the divisibility constraint.
+class TdmParamSweep : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(TdmParamSweep, SlotArithmeticRoundTrips) {
+  const auto [slots, words] = GetParam();
+  const TdmParams p{slots, words, 2 * words}; // hop = 2 slots worth? no: 2*words cycles
+  ASSERT_TRUE(p.valid());
+  for (Slot q = 0; q < slots; ++q) {
+    for (std::size_t k = 0; k < 3 * slots; ++k) {
+      const Slot at = p.slot_at_link(q, k);
+      ASSERT_LT(at, slots);
+      ASSERT_EQ(p.inject_slot_for(at, k), q);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, TdmParamSweep,
+                         ::testing::Combine(::testing::Values(4u, 8u, 16u, 32u),
+                                            ::testing::Values(1u, 2u, 4u)));
+
+} // namespace

@@ -1,0 +1,218 @@
+// Unit tests for the topology substrate: graph construction, generators,
+// path search (BFS / Dijkstra / Yen), config spanning tree.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "topology/generators.hpp"
+#include "topology/graph.hpp"
+#include "topology/path.hpp"
+#include "topology/spanning_tree.hpp"
+
+namespace {
+
+using namespace daelite::topo;
+
+TEST(Graph, AddAndConnect) {
+  Topology t;
+  const NodeId a = t.add_router("a");
+  const NodeId b = t.add_router("b");
+  const NodeId n = t.add_ni("n");
+  EXPECT_EQ(t.node_count(), 3u);
+  EXPECT_EQ(t.router_count(), 2u);
+  EXPECT_EQ(t.ni_count(), 1u);
+
+  const LinkId ab = t.connect(a, b);
+  EXPECT_EQ(t.link(ab).src, a);
+  EXPECT_EQ(t.link(ab).dst, b);
+  EXPECT_EQ(t.link(ab).src_port, 0);
+  EXPECT_EQ(t.link(ab).dst_port, 0);
+  EXPECT_EQ(t.out_degree(a), 1u);
+  EXPECT_EQ(t.in_degree(b), 1u);
+
+  const auto [na, an] = t.connect_bidir(n, a);
+  EXPECT_EQ(t.find_link(n, a), na);
+  EXPECT_EQ(t.find_link(a, n), an);
+  EXPECT_EQ(t.reverse_link(na), an);
+  EXPECT_EQ(t.find_link(b, n), kInvalidLink);
+}
+
+TEST(Graph, PortIndicesFollowCreationOrder) {
+  Topology t;
+  const NodeId a = t.add_router("a");
+  const NodeId b = t.add_router("b");
+  const NodeId c = t.add_router("c");
+  const LinkId ab = t.connect(a, b);
+  const LinkId ac = t.connect(a, c);
+  EXPECT_EQ(t.link(ab).src_port, 0);
+  EXPECT_EQ(t.link(ac).src_port, 1);
+  EXPECT_EQ(t.node(a).out_links[0], ab);
+  EXPECT_EQ(t.node(a).out_links[1], ac);
+}
+
+TEST(Mesh, StructureOf2x2) {
+  const Mesh m = make_mesh(2, 2);
+  EXPECT_EQ(m.topo.router_count(), 4u);
+  EXPECT_EQ(m.topo.ni_count(), 4u);
+  // 4 bidirectional router-router links + 4 NI links = 8 + 8 unidirectional.
+  EXPECT_EQ(m.topo.link_count(), 16u);
+  // Corner router: 2 neighbours + 1 NI = 3 in, 3 out.
+  EXPECT_EQ(m.topo.out_degree(m.router(0, 0)), 3u);
+  EXPECT_EQ(m.topo.in_degree(m.router(0, 0)), 3u);
+  EXPECT_TRUE(m.topo.is_ni(m.ni(1, 1)));
+  EXPECT_EQ(m.all_nis().size(), 4u);
+}
+
+TEST(Mesh, StructureOf4x4) {
+  const Mesh m = make_mesh(4, 4);
+  EXPECT_EQ(m.topo.router_count(), 16u);
+  EXPECT_EQ(m.topo.ni_count(), 16u);
+  // Center router: 4 neighbours + 1 NI.
+  EXPECT_EQ(m.topo.out_degree(m.router(1, 1)), 5u);
+  EXPECT_EQ(m.topo.max_router_arity(), 5u);
+  // Every link's reverse exists.
+  for (LinkId l = 0; l < m.topo.link_count(); ++l)
+    EXPECT_NE(m.topo.reverse_link(l), kInvalidLink);
+}
+
+TEST(Mesh, MultipleNisPerRouter) {
+  const Mesh m = make_mesh(2, 2, 2);
+  EXPECT_EQ(m.topo.ni_count(), 8u);
+  EXPECT_NE(m.ni(0, 0, 0), m.ni(0, 0, 1));
+  EXPECT_EQ(m.topo.out_degree(m.router(0, 0)), 4u); // 2 neighbours + 2 NIs
+}
+
+TEST(Mesh, TorusWrapsAround) {
+  const Mesh m = make_mesh(4, 4, 1, /*wrap=*/true);
+  EXPECT_NE(m.topo.find_link(m.router(3, 0), m.router(0, 0)), kInvalidLink);
+  EXPECT_NE(m.topo.find_link(m.router(0, 3), m.router(0, 0)), kInvalidLink);
+  EXPECT_EQ(m.topo.out_degree(m.router(0, 0)), 5u); // 4 neighbours + NI
+}
+
+TEST(Ring, Structure) {
+  const Mesh r = make_ring(5);
+  EXPECT_EQ(r.topo.router_count(), 5u);
+  EXPECT_NE(r.topo.find_link(r.routers[4], r.routers[0]), kInvalidLink);
+}
+
+TEST(Path, NodesAndConnectivity) {
+  const Mesh m = make_mesh(3, 3);
+  PathFinder f(m.topo);
+  const Path p = f.shortest(m.ni(0, 0), m.ni(2, 0));
+  ASSERT_FALSE(p.empty());
+  EXPECT_TRUE(p.is_connected(m.topo));
+  EXPECT_EQ(p.source(m.topo), m.ni(0, 0));
+  EXPECT_EQ(p.dest(m.topo), m.ni(2, 0));
+  EXPECT_EQ(p.nodes(m.topo).size(), p.hop_count() + 1);
+}
+
+TEST(Path, ShortestHopCountOnMesh) {
+  const Mesh m = make_mesh(4, 4);
+  PathFinder f(m.topo);
+  // NI -> R (1) + manhattan distance + R -> NI (1).
+  EXPECT_EQ(f.shortest(m.ni(0, 0), m.ni(3, 3)).hop_count(), 8u);
+  EXPECT_EQ(f.shortest(m.ni(0, 0), m.ni(1, 0)).hop_count(), 3u);
+  EXPECT_EQ(f.shortest(m.ni(2, 2), m.ni(2, 2)).hop_count(), 0u); // self
+}
+
+TEST(Path, WeightedAvoidsExpensiveLinks) {
+  // a -> b -> d and a -> c -> d; make the b route expensive.
+  Topology t;
+  const NodeId a = t.add_router("a"), b = t.add_router("b"), c = t.add_router("c"),
+               d = t.add_router("d");
+  const LinkId ab = t.connect(a, b);
+  const LinkId bd = t.connect(b, d);
+  const LinkId ac = t.connect(a, c);
+  const LinkId cd = t.connect(c, d);
+  std::vector<double> cost(t.link_count(), 1.0);
+  cost[ab] = 10.0;
+  PathFinder f(t);
+  const Path p = f.shortest_weighted(a, d, cost);
+  ASSERT_EQ(p.hop_count(), 2u);
+  EXPECT_EQ(p.links[0], ac);
+  EXPECT_EQ(p.links[1], cd);
+  (void)bd;
+}
+
+TEST(Path, InfiniteCostRemovesLink) {
+  Topology t;
+  const NodeId a = t.add_router("a"), b = t.add_router("b");
+  const LinkId ab = t.connect(a, b);
+  std::vector<double> cost(t.link_count(), 1.0);
+  cost[ab] = std::numeric_limits<double>::infinity();
+  PathFinder f(t);
+  EXPECT_TRUE(f.shortest_weighted(a, b, cost).empty());
+}
+
+TEST(Path, KShortestAreDistinctLooplessAndOrdered) {
+  const Mesh m = make_mesh(3, 3);
+  PathFinder f(m.topo);
+  const auto paths = f.k_shortest(m.ni(0, 0), m.ni(2, 2), 6);
+  ASSERT_GE(paths.size(), 2u);
+  std::set<std::vector<LinkId>> unique;
+  std::size_t prev_len = 0;
+  for (const Path& p : paths) {
+    EXPECT_TRUE(p.is_connected(m.topo));
+    EXPECT_EQ(p.source(m.topo), m.ni(0, 0));
+    EXPECT_EQ(p.dest(m.topo), m.ni(2, 2));
+    EXPECT_GE(p.hop_count(), prev_len);
+    prev_len = p.hop_count();
+    unique.insert(p.links);
+    // Loopless: no node repeats.
+    auto nodes = p.nodes(m.topo);
+    std::set<NodeId> s(nodes.begin(), nodes.end());
+    EXPECT_EQ(s.size(), nodes.size());
+  }
+  EXPECT_EQ(unique.size(), paths.size());
+}
+
+TEST(Path, KShortestFindsBothMinimalRoutesIn2x2) {
+  const Mesh m = make_mesh(2, 2);
+  PathFinder f(m.topo);
+  const auto paths = f.k_shortest(m.ni(0, 0), m.ni(1, 1), 4);
+  // Two 4-hop routes exist (via R10 or via R01).
+  ASSERT_GE(paths.size(), 2u);
+  EXPECT_EQ(paths[0].hop_count(), 4u);
+  EXPECT_EQ(paths[1].hop_count(), 4u);
+}
+
+TEST(ConfigTree, SpansAllAndMinDepth) {
+  const Mesh m = make_mesh(4, 4);
+  const ConfigTree t = build_config_tree(m.topo, m.ni(0, 0));
+  EXPECT_TRUE(t.spans_all());
+  // Depth from NI00: 1 to R00, +manhattan to R33, +1 to NI33 = 8.
+  EXPECT_EQ(t.depth[m.ni(3, 3)], 8u);
+  EXPECT_EQ(t.max_depth(), 8u);
+  EXPECT_EQ(t.depth[t.root], 0u);
+  EXPECT_EQ(t.bfs_order.front(), t.root);
+  EXPECT_EQ(t.bfs_order.size(), m.topo.node_count());
+}
+
+TEST(ConfigTree, ParentChildAndLinksConsistent) {
+  const Mesh m = make_mesh(3, 3);
+  const ConfigTree t = build_config_tree(m.topo, m.ni(1, 1));
+  for (NodeId n = 0; n < m.topo.node_count(); ++n) {
+    if (n == t.root) continue;
+    const NodeId p = t.parent[n];
+    ASSERT_NE(p, kInvalidNode);
+    EXPECT_EQ(m.topo.link(t.down_link[n]).src, p);
+    EXPECT_EQ(m.topo.link(t.down_link[n]).dst, n);
+    EXPECT_EQ(m.topo.link(t.up_link[n]).src, n);
+    EXPECT_EQ(m.topo.link(t.up_link[n]).dst, p);
+    EXPECT_EQ(t.depth[n], t.depth[p] + 1);
+    const auto& kids = t.children[p];
+    EXPECT_NE(std::find(kids.begin(), kids.end(), n), kids.end());
+  }
+}
+
+TEST(ConfigTree, RootChoiceMinimizesDistance) {
+  // From a central NI the tree is shallower than from a corner.
+  const Mesh m = make_mesh(5, 5);
+  const auto corner = build_config_tree(m.topo, m.ni(0, 0));
+  const auto center = build_config_tree(m.topo, m.ni(2, 2));
+  EXPECT_LT(center.max_depth(), corner.max_depth());
+}
+
+} // namespace
