@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cfgword.dir/bench_ablation_cfgword.cpp.o"
+  "CMakeFiles/bench_ablation_cfgword.dir/bench_ablation_cfgword.cpp.o.d"
+  "bench_ablation_cfgword"
+  "bench_ablation_cfgword.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cfgword.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_config_bandwidth.dir/bench_config_bandwidth.cpp.o"
+  "CMakeFiles/bench_config_bandwidth.dir/bench_config_bandwidth.cpp.o.d"
+  "bench_config_bandwidth"
+  "bench_config_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_config_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

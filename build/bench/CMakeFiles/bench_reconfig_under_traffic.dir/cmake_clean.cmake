@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reconfig_under_traffic.dir/bench_reconfig_under_traffic.cpp.o"
+  "CMakeFiles/bench_reconfig_under_traffic.dir/bench_reconfig_under_traffic.cpp.o.d"
+  "bench_reconfig_under_traffic"
+  "bench_reconfig_under_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reconfig_under_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_setup.dir/bench_table3_setup.cpp.o"
+  "CMakeFiles/bench_table3_setup.dir/bench_table3_setup.cpp.o.d"
+  "bench_table3_setup"
+  "bench_table3_setup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_usecase_switch.dir/bench_usecase_switch.cpp.o"
+  "CMakeFiles/bench_usecase_switch.dir/bench_usecase_switch.cpp.o.d"
+  "bench_usecase_switch"
+  "bench_usecase_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_usecase_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

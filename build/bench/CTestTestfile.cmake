@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_bench_table1_features "/root/repo/build/bench/bench_table1_features")
+set_tests_properties(smoke_bench_table1_features PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_table2_area "/root/repo/build/bench/bench_table2_area")
+set_tests_properties(smoke_bench_table2_area PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_latency "/root/repo/build/bench/bench_latency")
+set_tests_properties(smoke_bench_latency PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_header_overhead "/root/repo/build/bench/bench_header_overhead")
+set_tests_properties(smoke_bench_header_overhead PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_config_bandwidth "/root/repo/build/bench/bench_config_bandwidth")
+set_tests_properties(smoke_bench_config_bandwidth PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_multicast "/root/repo/build/bench/bench_multicast")
+set_tests_properties(smoke_bench_multicast PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(smoke_bench_reconfig_under_traffic "/root/repo/build/bench/bench_reconfig_under_traffic")
+set_tests_properties(smoke_bench_reconfig_under_traffic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherence_broadcast.dir/coherence_broadcast.cpp.o"
+  "CMakeFiles/coherence_broadcast.dir/coherence_broadcast.cpp.o.d"
+  "coherence_broadcast"
+  "coherence_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherence_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

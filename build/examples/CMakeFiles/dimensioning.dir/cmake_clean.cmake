@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimensioning.dir/dimensioning.cpp.o"
+  "CMakeFiles/dimensioning.dir/dimensioning.cpp.o.d"
+  "dimensioning"
+  "dimensioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimensioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/setup_walkthrough.dir/setup_walkthrough.cpp.o"
+  "CMakeFiles/setup_walkthrough.dir/setup_walkthrough.cpp.o.d"
+  "setup_walkthrough"
+  "setup_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/setup_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

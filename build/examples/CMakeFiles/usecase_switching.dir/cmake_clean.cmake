@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usecase_switching.dir/usecase_switching.cpp.o"
+  "CMakeFiles/usecase_switching.dir/usecase_switching.cpp.o.d"
+  "usecase_switching"
+  "usecase_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usecase_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/videopipeline.dir/videopipeline.cpp.o"
+  "CMakeFiles/videopipeline.dir/videopipeline.cpp.o.d"
+  "videopipeline"
+  "videopipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/videopipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

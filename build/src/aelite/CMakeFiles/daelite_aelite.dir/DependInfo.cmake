@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aelite/be_config_model.cpp" "src/aelite/CMakeFiles/daelite_aelite.dir/be_config_model.cpp.o" "gcc" "src/aelite/CMakeFiles/daelite_aelite.dir/be_config_model.cpp.o.d"
+  "/root/repo/src/aelite/config_model.cpp" "src/aelite/CMakeFiles/daelite_aelite.dir/config_model.cpp.o" "gcc" "src/aelite/CMakeFiles/daelite_aelite.dir/config_model.cpp.o.d"
+  "/root/repo/src/aelite/network.cpp" "src/aelite/CMakeFiles/daelite_aelite.dir/network.cpp.o" "gcc" "src/aelite/CMakeFiles/daelite_aelite.dir/network.cpp.o.d"
+  "/root/repo/src/aelite/ni.cpp" "src/aelite/CMakeFiles/daelite_aelite.dir/ni.cpp.o" "gcc" "src/aelite/CMakeFiles/daelite_aelite.dir/ni.cpp.o.d"
+  "/root/repo/src/aelite/router.cpp" "src/aelite/CMakeFiles/daelite_aelite.dir/router.cpp.o" "gcc" "src/aelite/CMakeFiles/daelite_aelite.dir/router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/daelite_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tdm/CMakeFiles/daelite_tdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/daelite_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/daelite_alloc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

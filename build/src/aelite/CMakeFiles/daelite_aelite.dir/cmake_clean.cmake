@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daelite_aelite.dir/be_config_model.cpp.o"
+  "CMakeFiles/daelite_aelite.dir/be_config_model.cpp.o.d"
+  "CMakeFiles/daelite_aelite.dir/config_model.cpp.o"
+  "CMakeFiles/daelite_aelite.dir/config_model.cpp.o.d"
+  "CMakeFiles/daelite_aelite.dir/network.cpp.o"
+  "CMakeFiles/daelite_aelite.dir/network.cpp.o.d"
+  "CMakeFiles/daelite_aelite.dir/ni.cpp.o"
+  "CMakeFiles/daelite_aelite.dir/ni.cpp.o.d"
+  "CMakeFiles/daelite_aelite.dir/router.cpp.o"
+  "CMakeFiles/daelite_aelite.dir/router.cpp.o.d"
+  "libdaelite_aelite.a"
+  "libdaelite_aelite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daelite_aelite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/allocator.cpp" "src/alloc/CMakeFiles/daelite_alloc.dir/allocator.cpp.o" "gcc" "src/alloc/CMakeFiles/daelite_alloc.dir/allocator.cpp.o.d"
+  "/root/repo/src/alloc/dimension.cpp" "src/alloc/CMakeFiles/daelite_alloc.dir/dimension.cpp.o" "gcc" "src/alloc/CMakeFiles/daelite_alloc.dir/dimension.cpp.o.d"
+  "/root/repo/src/alloc/joint_alloc.cpp" "src/alloc/CMakeFiles/daelite_alloc.dir/joint_alloc.cpp.o" "gcc" "src/alloc/CMakeFiles/daelite_alloc.dir/joint_alloc.cpp.o.d"
+  "/root/repo/src/alloc/multipath.cpp" "src/alloc/CMakeFiles/daelite_alloc.dir/multipath.cpp.o" "gcc" "src/alloc/CMakeFiles/daelite_alloc.dir/multipath.cpp.o.d"
+  "/root/repo/src/alloc/route.cpp" "src/alloc/CMakeFiles/daelite_alloc.dir/route.cpp.o" "gcc" "src/alloc/CMakeFiles/daelite_alloc.dir/route.cpp.o.d"
+  "/root/repo/src/alloc/switching.cpp" "src/alloc/CMakeFiles/daelite_alloc.dir/switching.cpp.o" "gcc" "src/alloc/CMakeFiles/daelite_alloc.dir/switching.cpp.o.d"
+  "/root/repo/src/alloc/usecase.cpp" "src/alloc/CMakeFiles/daelite_alloc.dir/usecase.cpp.o" "gcc" "src/alloc/CMakeFiles/daelite_alloc.dir/usecase.cpp.o.d"
+  "/root/repo/src/alloc/validate.cpp" "src/alloc/CMakeFiles/daelite_alloc.dir/validate.cpp.o" "gcc" "src/alloc/CMakeFiles/daelite_alloc.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tdm/CMakeFiles/daelite_tdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/daelite_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/daelite_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

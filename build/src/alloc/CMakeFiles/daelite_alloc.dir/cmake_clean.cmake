@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daelite_alloc.dir/allocator.cpp.o"
+  "CMakeFiles/daelite_alloc.dir/allocator.cpp.o.d"
+  "CMakeFiles/daelite_alloc.dir/dimension.cpp.o"
+  "CMakeFiles/daelite_alloc.dir/dimension.cpp.o.d"
+  "CMakeFiles/daelite_alloc.dir/joint_alloc.cpp.o"
+  "CMakeFiles/daelite_alloc.dir/joint_alloc.cpp.o.d"
+  "CMakeFiles/daelite_alloc.dir/multipath.cpp.o"
+  "CMakeFiles/daelite_alloc.dir/multipath.cpp.o.d"
+  "CMakeFiles/daelite_alloc.dir/route.cpp.o"
+  "CMakeFiles/daelite_alloc.dir/route.cpp.o.d"
+  "CMakeFiles/daelite_alloc.dir/switching.cpp.o"
+  "CMakeFiles/daelite_alloc.dir/switching.cpp.o.d"
+  "CMakeFiles/daelite_alloc.dir/usecase.cpp.o"
+  "CMakeFiles/daelite_alloc.dir/usecase.cpp.o.d"
+  "CMakeFiles/daelite_alloc.dir/validate.cpp.o"
+  "CMakeFiles/daelite_alloc.dir/validate.cpp.o.d"
+  "libdaelite_alloc.a"
+  "libdaelite_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daelite_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

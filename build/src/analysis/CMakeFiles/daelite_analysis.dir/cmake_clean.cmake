@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daelite_analysis.dir/features.cpp.o"
+  "CMakeFiles/daelite_analysis.dir/features.cpp.o.d"
+  "CMakeFiles/daelite_analysis.dir/formulas.cpp.o"
+  "CMakeFiles/daelite_analysis.dir/formulas.cpp.o.d"
+  "CMakeFiles/daelite_analysis.dir/network_report.cpp.o"
+  "CMakeFiles/daelite_analysis.dir/network_report.cpp.o.d"
+  "CMakeFiles/daelite_analysis.dir/report.cpp.o"
+  "CMakeFiles/daelite_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/daelite_analysis.dir/setup_time.cpp.o"
+  "CMakeFiles/daelite_analysis.dir/setup_time.cpp.o.d"
+  "libdaelite_analysis.a"
+  "libdaelite_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daelite_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

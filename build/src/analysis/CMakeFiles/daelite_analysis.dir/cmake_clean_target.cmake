@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdaelite_analysis.a"
+)

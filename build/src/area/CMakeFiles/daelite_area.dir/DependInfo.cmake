@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/area/models.cpp" "src/area/CMakeFiles/daelite_area.dir/models.cpp.o" "gcc" "src/area/CMakeFiles/daelite_area.dir/models.cpp.o.d"
+  "/root/repo/src/area/table2.cpp" "src/area/CMakeFiles/daelite_area.dir/table2.cpp.o" "gcc" "src/area/CMakeFiles/daelite_area.dir/table2.cpp.o.d"
+  "/root/repo/src/area/technology.cpp" "src/area/CMakeFiles/daelite_area.dir/technology.cpp.o" "gcc" "src/area/CMakeFiles/daelite_area.dir/technology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/daelite_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daelite_area.dir/models.cpp.o"
+  "CMakeFiles/daelite_area.dir/models.cpp.o.d"
+  "CMakeFiles/daelite_area.dir/table2.cpp.o"
+  "CMakeFiles/daelite_area.dir/table2.cpp.o.d"
+  "CMakeFiles/daelite_area.dir/technology.cpp.o"
+  "CMakeFiles/daelite_area.dir/technology.cpp.o.d"
+  "libdaelite_area.a"
+  "libdaelite_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daelite_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

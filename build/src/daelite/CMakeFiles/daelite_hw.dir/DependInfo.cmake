@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/daelite/config.cpp" "src/daelite/CMakeFiles/daelite_hw.dir/config.cpp.o" "gcc" "src/daelite/CMakeFiles/daelite_hw.dir/config.cpp.o.d"
+  "/root/repo/src/daelite/config_host.cpp" "src/daelite/CMakeFiles/daelite_hw.dir/config_host.cpp.o" "gcc" "src/daelite/CMakeFiles/daelite_hw.dir/config_host.cpp.o.d"
+  "/root/repo/src/daelite/host.cpp" "src/daelite/CMakeFiles/daelite_hw.dir/host.cpp.o" "gcc" "src/daelite/CMakeFiles/daelite_hw.dir/host.cpp.o.d"
+  "/root/repo/src/daelite/network.cpp" "src/daelite/CMakeFiles/daelite_hw.dir/network.cpp.o" "gcc" "src/daelite/CMakeFiles/daelite_hw.dir/network.cpp.o.d"
+  "/root/repo/src/daelite/ni.cpp" "src/daelite/CMakeFiles/daelite_hw.dir/ni.cpp.o" "gcc" "src/daelite/CMakeFiles/daelite_hw.dir/ni.cpp.o.d"
+  "/root/repo/src/daelite/router.cpp" "src/daelite/CMakeFiles/daelite_hw.dir/router.cpp.o" "gcc" "src/daelite/CMakeFiles/daelite_hw.dir/router.cpp.o.d"
+  "/root/repo/src/daelite/vcd_probes.cpp" "src/daelite/CMakeFiles/daelite_hw.dir/vcd_probes.cpp.o" "gcc" "src/daelite/CMakeFiles/daelite_hw.dir/vcd_probes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/daelite_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tdm/CMakeFiles/daelite_tdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/daelite_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/daelite_alloc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daelite_hw.dir/config.cpp.o"
+  "CMakeFiles/daelite_hw.dir/config.cpp.o.d"
+  "CMakeFiles/daelite_hw.dir/config_host.cpp.o"
+  "CMakeFiles/daelite_hw.dir/config_host.cpp.o.d"
+  "CMakeFiles/daelite_hw.dir/host.cpp.o"
+  "CMakeFiles/daelite_hw.dir/host.cpp.o.d"
+  "CMakeFiles/daelite_hw.dir/network.cpp.o"
+  "CMakeFiles/daelite_hw.dir/network.cpp.o.d"
+  "CMakeFiles/daelite_hw.dir/ni.cpp.o"
+  "CMakeFiles/daelite_hw.dir/ni.cpp.o.d"
+  "CMakeFiles/daelite_hw.dir/router.cpp.o"
+  "CMakeFiles/daelite_hw.dir/router.cpp.o.d"
+  "CMakeFiles/daelite_hw.dir/vcd_probes.cpp.o"
+  "CMakeFiles/daelite_hw.dir/vcd_probes.cpp.o.d"
+  "libdaelite_hw.a"
+  "libdaelite_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daelite_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

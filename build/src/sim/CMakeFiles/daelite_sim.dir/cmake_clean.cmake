@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daelite_sim.dir/component.cpp.o"
+  "CMakeFiles/daelite_sim.dir/component.cpp.o.d"
+  "CMakeFiles/daelite_sim.dir/kernel.cpp.o"
+  "CMakeFiles/daelite_sim.dir/kernel.cpp.o.d"
+  "CMakeFiles/daelite_sim.dir/log.cpp.o"
+  "CMakeFiles/daelite_sim.dir/log.cpp.o.d"
+  "CMakeFiles/daelite_sim.dir/random.cpp.o"
+  "CMakeFiles/daelite_sim.dir/random.cpp.o.d"
+  "CMakeFiles/daelite_sim.dir/stats.cpp.o"
+  "CMakeFiles/daelite_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/daelite_sim.dir/trace.cpp.o"
+  "CMakeFiles/daelite_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/daelite_sim.dir/vcd.cpp.o"
+  "CMakeFiles/daelite_sim.dir/vcd.cpp.o.d"
+  "libdaelite_sim.a"
+  "libdaelite_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daelite_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daelite_soc.dir/dtl.cpp.o"
+  "CMakeFiles/daelite_soc.dir/dtl.cpp.o.d"
+  "CMakeFiles/daelite_soc.dir/platform.cpp.o"
+  "CMakeFiles/daelite_soc.dir/platform.cpp.o.d"
+  "CMakeFiles/daelite_soc.dir/scenario.cpp.o"
+  "CMakeFiles/daelite_soc.dir/scenario.cpp.o.d"
+  "CMakeFiles/daelite_soc.dir/traffic.cpp.o"
+  "CMakeFiles/daelite_soc.dir/traffic.cpp.o.d"
+  "libdaelite_soc.a"
+  "libdaelite_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daelite_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

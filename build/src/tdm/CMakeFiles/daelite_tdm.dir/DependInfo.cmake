@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tdm/schedule.cpp" "src/tdm/CMakeFiles/daelite_tdm.dir/schedule.cpp.o" "gcc" "src/tdm/CMakeFiles/daelite_tdm.dir/schedule.cpp.o.d"
+  "/root/repo/src/tdm/slot_table.cpp" "src/tdm/CMakeFiles/daelite_tdm.dir/slot_table.cpp.o" "gcc" "src/tdm/CMakeFiles/daelite_tdm.dir/slot_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/daelite_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/daelite_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daelite_tdm.dir/schedule.cpp.o"
+  "CMakeFiles/daelite_tdm.dir/schedule.cpp.o.d"
+  "CMakeFiles/daelite_tdm.dir/slot_table.cpp.o"
+  "CMakeFiles/daelite_tdm.dir/slot_table.cpp.o.d"
+  "libdaelite_tdm.a"
+  "libdaelite_tdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daelite_tdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/generators.cpp" "src/topology/CMakeFiles/daelite_topology.dir/generators.cpp.o" "gcc" "src/topology/CMakeFiles/daelite_topology.dir/generators.cpp.o.d"
+  "/root/repo/src/topology/graph.cpp" "src/topology/CMakeFiles/daelite_topology.dir/graph.cpp.o" "gcc" "src/topology/CMakeFiles/daelite_topology.dir/graph.cpp.o.d"
+  "/root/repo/src/topology/path.cpp" "src/topology/CMakeFiles/daelite_topology.dir/path.cpp.o" "gcc" "src/topology/CMakeFiles/daelite_topology.dir/path.cpp.o.d"
+  "/root/repo/src/topology/spanning_tree.cpp" "src/topology/CMakeFiles/daelite_topology.dir/spanning_tree.cpp.o" "gcc" "src/topology/CMakeFiles/daelite_topology.dir/spanning_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/daelite_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

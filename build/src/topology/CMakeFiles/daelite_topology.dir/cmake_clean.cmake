@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daelite_topology.dir/generators.cpp.o"
+  "CMakeFiles/daelite_topology.dir/generators.cpp.o.d"
+  "CMakeFiles/daelite_topology.dir/graph.cpp.o"
+  "CMakeFiles/daelite_topology.dir/graph.cpp.o.d"
+  "CMakeFiles/daelite_topology.dir/path.cpp.o"
+  "CMakeFiles/daelite_topology.dir/path.cpp.o.d"
+  "CMakeFiles/daelite_topology.dir/spanning_tree.cpp.o"
+  "CMakeFiles/daelite_topology.dir/spanning_tree.cpp.o.d"
+  "libdaelite_topology.a"
+  "libdaelite_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daelite_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

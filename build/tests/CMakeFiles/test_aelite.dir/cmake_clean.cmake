@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aelite.dir/test_aelite.cpp.o"
+  "CMakeFiles/test_aelite.dir/test_aelite.cpp.o.d"
+  "test_aelite"
+  "test_aelite.pdb"
+  "test_aelite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aelite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

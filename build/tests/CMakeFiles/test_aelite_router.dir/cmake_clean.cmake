@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aelite_router.dir/test_aelite_router.cpp.o"
+  "CMakeFiles/test_aelite_router.dir/test_aelite_router.cpp.o.d"
+  "test_aelite_router"
+  "test_aelite_router.pdb"
+  "test_aelite_router[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aelite_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

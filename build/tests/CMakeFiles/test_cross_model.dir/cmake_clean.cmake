@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cross_model.dir/test_cross_model.cpp.o"
+  "CMakeFiles/test_cross_model.dir/test_cross_model.cpp.o.d"
+  "test_cross_model"
+  "test_cross_model.pdb"
+  "test_cross_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cross_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

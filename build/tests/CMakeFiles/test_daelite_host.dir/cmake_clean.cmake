@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_daelite_host.dir/test_daelite_host.cpp.o"
+  "CMakeFiles/test_daelite_host.dir/test_daelite_host.cpp.o.d"
+  "test_daelite_host"
+  "test_daelite_host.pdb"
+  "test_daelite_host[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_daelite_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_daelite_network.dir/test_daelite_network.cpp.o"
+  "CMakeFiles/test_daelite_network.dir/test_daelite_network.cpp.o.d"
+  "test_daelite_network"
+  "test_daelite_network.pdb"
+  "test_daelite_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_daelite_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

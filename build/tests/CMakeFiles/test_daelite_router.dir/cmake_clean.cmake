@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_daelite_router.dir/test_daelite_router.cpp.o"
+  "CMakeFiles/test_daelite_router.dir/test_daelite_router.cpp.o.d"
+  "test_daelite_router"
+  "test_daelite_router.pdb"
+  "test_daelite_router[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_daelite_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

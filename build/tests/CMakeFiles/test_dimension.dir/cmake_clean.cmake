@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dimension.dir/test_dimension.cpp.o"
+  "CMakeFiles/test_dimension.dir/test_dimension.cpp.o.d"
+  "test_dimension"
+  "test_dimension.pdb"
+  "test_dimension[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dimension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

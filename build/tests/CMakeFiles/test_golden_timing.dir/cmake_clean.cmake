@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_golden_timing.dir/test_golden_timing.cpp.o"
+  "CMakeFiles/test_golden_timing.dir/test_golden_timing.cpp.o.d"
+  "test_golden_timing"
+  "test_golden_timing.pdb"
+  "test_golden_timing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_golden_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_joint_alloc.dir/test_joint_alloc.cpp.o"
+  "CMakeFiles/test_joint_alloc.dir/test_joint_alloc.cpp.o.d"
+  "test_joint_alloc"
+  "test_joint_alloc.pdb"
+  "test_joint_alloc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_joint_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_tdm.cpp" "tests/CMakeFiles/test_tdm.dir/test_tdm.cpp.o" "gcc" "tests/CMakeFiles/test_tdm.dir/test_tdm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/soc/CMakeFiles/daelite_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/aelite/CMakeFiles/daelite_aelite.dir/DependInfo.cmake"
+  "/root/repo/build/src/area/CMakeFiles/daelite_area.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/daelite_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/daelite/CMakeFiles/daelite_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/daelite_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/tdm/CMakeFiles/daelite_tdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/daelite_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/daelite_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

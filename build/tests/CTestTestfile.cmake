@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_tdm[1]_include.cmake")
+include("/root/repo/build/tests/test_alloc[1]_include.cmake")
+include("/root/repo/build/tests/test_daelite_router[1]_include.cmake")
+include("/root/repo/build/tests/test_daelite_ni[1]_include.cmake")
+include("/root/repo/build/tests/test_daelite_config[1]_include.cmake")
+include("/root/repo/build/tests/test_daelite_network[1]_include.cmake")
+include("/root/repo/build/tests/test_aelite[1]_include.cmake")
+include("/root/repo/build/tests/test_soc[1]_include.cmake")
+include("/root/repo/build/tests/test_area[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_daelite_host[1]_include.cmake")
+include("/root/repo/build/tests/test_daelite_topologies[1]_include.cmake")
+include("/root/repo/build/tests/test_failure_injection[1]_include.cmake")
+include("/root/repo/build/tests/test_system[1]_include.cmake")
+include("/root/repo/build/tests/test_switching[1]_include.cmake")
+include("/root/repo/build/tests/test_golden_timing[1]_include.cmake")
+include("/root/repo/build/tests/test_dimension[1]_include.cmake")
+include("/root/repo/build/tests/test_scenario[1]_include.cmake")
+include("/root/repo/build/tests/test_aelite_router[1]_include.cmake")
+include("/root/repo/build/tests/test_cross_model[1]_include.cmake")
+include("/root/repo/build/tests/test_joint_alloc[1]_include.cmake")

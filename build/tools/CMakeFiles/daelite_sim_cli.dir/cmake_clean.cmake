@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daelite_sim_cli.dir/daelite_sim.cpp.o"
+  "CMakeFiles/daelite_sim_cli.dir/daelite_sim.cpp.o.d"
+  "daelite_sim"
+  "daelite_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daelite_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_video_platform "/root/repo/build/tools/daelite_sim" "/root/repo/scenarios/video_platform.txt" "--quiet")
+set_tests_properties(cli_video_platform PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_torus_stress "/root/repo/build/tools/daelite_sim" "/root/repo/scenarios/torus_stress.txt" "--quiet")
+set_tests_properties(cli_torus_stress PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
