@@ -46,9 +46,12 @@ double measure_throughput(Rig& rig, const Handle& h, std::size_t rx_q, sim::Cycl
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
   constexpr std::uint32_t kSlots = 16;
   constexpr sim::Cycle kWindow = 8000;
+
+  using sim::JsonValue;
+  JsonValue jrows = JsonValue::array();
 
   TextTable t("Measured payload throughput of one channel (same slot share, S=16)");
   t.set_header({"slots/wheel", "daelite (w/cyc)", "aelite (w/cyc)", "daelite advantage"});
@@ -67,6 +70,14 @@ int main() {
 
     t.add_row({std::to_string(slots) + "/16", fmt(d_tp, 3), fmt(a_tp, 3),
                pct(d_tp / a_tp - 1.0)});
+
+    JsonValue row = JsonValue::object();
+    row["slots"] = slots;
+    row["wheel"] = kSlots;
+    row["daelite_words_per_cycle"] = d_tp;
+    row["aelite_words_per_cycle"] = a_tp;
+    row["advantage"] = d_tp / a_tp - 1.0;
+    jrows.push_back(std::move(row));
   }
   t.print(std::cout);
 
@@ -78,5 +89,16 @@ int main() {
                        (analysis::channel_bandwidth_wpc(4, tdm::aelite_params(kSlots), 2.0)) -
                    1.0)
             << " per scattered-slot channel before the config-slot loss.\n";
+
+  const std::string json_path = bench::json_out_path(argc, argv, "bandwidth");
+  if (!json_path.empty()) {
+    JsonValue doc = JsonValue::object();
+    doc["channels"] = std::move(jrows);
+    doc["analytic_advantage"] =
+        analysis::channel_bandwidth_wpc(4, tdm::daelite_params(kSlots), 2.0) /
+            analysis::channel_bandwidth_wpc(4, tdm::aelite_params(kSlots), 2.0) -
+        1.0;
+    if (!bench::write_bench_json(json_path, "bandwidth", std::move(doc))) return 1;
+  }
   return 0;
 }

@@ -9,12 +9,14 @@
 
 #include "analysis/report.hpp"
 #include "area/table2.hpp"
+#include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace daelite::area;
   using daelite::analysis::TextTable;
   using daelite::analysis::fmt;
   using daelite::analysis::pct;
+  using daelite::sim::JsonValue;
 
   const GeCosts costs{};
 
@@ -51,6 +53,40 @@ int main() {
     t.print(std::cout);
     std::cout << "daelite routes on arrival time alone (no header inspection), so its\n"
                  "crossbar select path is shorter: slightly higher frequency at lower area.\n";
+  }
+
+  const std::string json_path = daelite::bench::json_out_path(argc, argv, "table2_area");
+  if (!json_path.empty()) {
+    JsonValue doc = JsonValue::object();
+    JsonValue routers = JsonValue::array();
+    for (const auto& row : build_router_rows(costs)) {
+      JsonValue r = JsonValue::object();
+      r["competitor"] = row.competitor;
+      r["tech"] = tech_name(row.node);
+      r["competitor_kge"] = row.competitor_ge / 1000.0;
+      r["daelite_kge"] = row.daelite_ge / 1000.0;
+      r["competitor_mm2"] = row.competitor_mm2();
+      r["reduction_model"] = row.computed_reduction();
+      r["reduction_paper"] = row.paper_reduction;
+      routers.push_back(std::move(r));
+    }
+    doc["routers"] = std::move(routers);
+    const auto irow = build_interconnect_row(costs);
+    JsonValue inter = JsonValue::object();
+    inter["daelite_kge"] = irow.daelite_ge / 1000.0;
+    inter["aelite_kge"] = irow.aelite_ge / 1000.0;
+    inter["reduction_model"] = irow.computed_reduction();
+    inter["reduction_paper_asic"] = irow.paper_reduction_asic;
+    inter["reduction_paper_fpga"] = irow.paper_reduction_fpga;
+    doc["interconnect"] = std::move(inter);
+    const auto frow = build_frequency_row();
+    JsonValue freq = JsonValue::object();
+    freq["daelite_mhz"] = frow.daelite_mhz;
+    freq["aelite_mhz"] = frow.aelite_mhz;
+    freq["paper_daelite_mhz"] = frow.paper_daelite_mhz;
+    freq["paper_aelite_mhz"] = frow.paper_aelite_mhz;
+    doc["frequency"] = std::move(freq);
+    if (!daelite::bench::write_bench_json(json_path, "table2_area", std::move(doc))) return 1;
   }
   return 0;
 }

@@ -38,13 +38,18 @@ sim::Cycle daelite_measured(DaeliteRig& rig, const alloc::AllocatedConnection& c
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
   constexpr std::uint32_t kSlots = 16;
   const Case cases[] = {
       {"adjacent (3 hops)", 1, 0, 2, 0},
       {"medium   (5 hops)", 0, 1, 2, 2},
       {"corner   (8 hops)", 0, 0, 3, 3},
   };
+
+  using sim::JsonValue;
+  JsonValue jpaths = JsonValue::array();
+  JsonValue jslots = JsonValue::array();
+  JsonValue jbe = JsonValue::array();
 
   TextTable t("Table III: connection set-up time in cycles (request + response path)");
   t.set_header({"Path", "daelite ideal", "daelite measured", "aelite ideal", "aelite measured",
@@ -71,6 +76,15 @@ int main() {
     t.add_row({c.label, std::to_string(ideal), std::to_string(measured), std::to_string(a_ideal),
                std::to_string(a_measured),
                fmt(static_cast<double>(a_measured) / static_cast<double>(measured), 1) + "x"});
+
+    JsonValue row = JsonValue::object();
+    row["path"] = c.label;
+    row["daelite_ideal"] = ideal;
+    row["daelite_measured"] = measured;
+    row["aelite_ideal"] = a_ideal;
+    row["aelite_measured"] = a_measured;
+    row["speedup"] = static_cast<double>(a_measured) / static_cast<double>(measured);
+    jpaths.push_back(std::move(row));
   }
   t.print(std::cout);
 
@@ -91,6 +105,12 @@ int main() {
 
     s.add_row({std::to_string(slots), std::to_string(measured),
                std::to_string(ahost.completion_cycle(id))});
+
+    JsonValue row = JsonValue::object();
+    row["slots_used"] = slots;
+    row["daelite_measured"] = measured;
+    row["aelite_measured"] = ahost.completion_cycle(id);
+    jslots.push_back(std::move(row));
   }
   s.print(std::cout);
 
@@ -112,6 +132,13 @@ int main() {
       sum += static_cast<double>(c);
     }
     b.add_row({fmt(load, 1), std::to_string(lo), fmt(sum / kTrials, 0), std::to_string(hi)});
+
+    JsonValue row = JsonValue::object();
+    row["load"] = load;
+    row["min_cycles"] = lo;
+    row["mean_cycles"] = sum / kTrials;
+    row["max_cycles"] = hi;
+    jbe.push_back(std::move(row));
   }
   b.print(std::cout);
   std::cout << "BE set-up contends with data traffic at every hop: the mean degrades\n"
@@ -124,5 +151,14 @@ int main() {
                "register per slot-table entry over the NoC, so its time grows with both.\n"
                "Paper claim: \"daelite configuration is roughly one order of magnitude\n"
                "faster than aelite\".\n";
+
+  const std::string json_path = bench::json_out_path(argc, argv, "table3_setup");
+  if (!json_path.empty()) {
+    JsonValue doc = JsonValue::object();
+    doc["paths"] = std::move(jpaths);
+    doc["slots_scaling"] = std::move(jslots);
+    doc["be_config"] = std::move(jbe);
+    if (!bench::write_bench_json(json_path, "table3_setup", std::move(doc))) return 1;
+  }
   return 0;
 }

@@ -4,16 +4,52 @@
 // through a connection while popping at the destination.
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "aelite/network.hpp"
 #include "alloc/allocator.hpp"
 #include "alloc/usecase.hpp"
 #include "daelite/network.hpp"
+#include "sim/json.hpp"
 #include "topology/generators.hpp"
 
 namespace daelite::bench {
+
+/// `--json [dir]` support for the bench binaries: when the flag is present,
+/// returns "<dir>/BENCH_<name>.json" (dir defaults to the working
+/// directory), else "". The text tables remain the primary output; the
+/// JSON document is the machine-readable mirror CI archives and diffs.
+inline std::string json_out_path(int argc, char** argv, const std::string& name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") != 0) continue;
+    std::string dir = ".";
+    if (i + 1 < argc && argv[i + 1][0] != '-') dir = argv[i + 1];
+    return dir + "/BENCH_" + name + ".json";
+  }
+  return {};
+}
+
+/// Write a bench document ({"bench": name, ...fields}) to `path`.
+/// Returns false (with a note on stderr) if the file cannot be written.
+inline bool write_bench_json(const std::string& path, const std::string& name,
+                             sim::JsonValue doc) {
+  sim::JsonValue root = sim::JsonValue::object();
+  root["bench"] = name;
+  root["schema_version"] = 1;
+  for (auto& [k, v] : doc.members()) root[k] = v;
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "bench: cannot open %s\n", path.c_str());
+    return false;
+  }
+  os << root.dump(2) << "\n";
+  std::fprintf(stderr, "bench: wrote %s\n", path.c_str());
+  return true;
+}
 
 struct DaeliteRig {
   topo::Mesh mesh;

@@ -5,8 +5,94 @@
 
 #include "analysis/report.hpp"
 #include "daelite/network.hpp"
+#include "sim/json.hpp"
 
 namespace daelite::analysis {
+
+sim::JsonValue NetworkReport::to_json() const {
+  using sim::JsonValue;
+  JsonValue v = JsonValue::object();
+  v["label"] = label;
+  v["ok"] = ok;
+  if (!error.empty()) {
+    v["error"] = error;
+    return v;
+  }
+  v["topology"] = topology;
+  v["slots"] = slots;
+  v["clock_mhz"] = clock_mhz;
+  v["seed"] = seed;
+  v["run_cycles"] = run_cycles;
+  v["cfg_cycles"] = cfg_cycles;
+  v["schedule_utilization"] = schedule_utilization;
+  JsonValue sched = JsonValue::object();
+  sched["mean_utilization"] = schedule.mean_utilization;
+  sched["max_utilization"] = schedule.max_utilization;
+  sched["saturated_links"] = schedule.saturated_links;
+  sched["used_links"] = schedule.used_links;
+  v["schedule"] = std::move(sched);
+  JsonValue conns = JsonValue::array();
+  for (const ConnectionOutcome& c : connections) {
+    JsonValue jc = JsonValue::object();
+    jc["name"] = c.name;
+    jc["request_slots"] = c.request_slots;
+    jc["response_slots"] = c.response_slots;
+    jc["contract_mbps"] = c.contract_mbps;
+    jc["measured_mbps"] = c.measured_mbps;
+    jc["worst_latency_ns"] = c.worst_latency_ns;
+    jc["met"] = c.met;
+    conns.push_back(std::move(jc));
+  }
+  v["connections"] = std::move(conns);
+  JsonValue jlinks = JsonValue::array();
+  for (const LinkUsage& u : links) {
+    JsonValue jl = JsonValue::object();
+    jl["link"] = static_cast<std::uint64_t>(u.link);
+    jl["from"] = u.from;
+    jl["to"] = u.to;
+    jl["reserved"] = u.reserved;
+    jl["total"] = u.total;
+    jl["utilization"] = u.utilization();
+    jlinks.push_back(std::move(jl));
+  }
+  v["links"] = std::move(jlinks);
+  JsonValue drops = JsonValue::object();
+  drops["router"] = router_drops;
+  drops["ni"] = ni_drops;
+  drops["rx_overflow"] = rx_overflow;
+  v["drops"] = std::move(drops);
+  return v;
+}
+
+void print_report(std::ostream& os, const NetworkReport& r, std::size_t top_links) {
+  if (!r.error.empty()) {
+    os << r.label << ": FAILED: " << r.error << "\n";
+    return;
+  }
+  os << "wheel: " << r.slots << " slots, utilization " << pct(r.schedule_utilization) << "\n";
+  os << "configured " << r.connections.size() << " connections in " << r.cfg_cycles
+     << " cycles\n";
+  TextTable t("connection results (" + std::to_string(r.run_cycles) +
+              " cycles, saturated sources)");
+  t.set_header({"connection", "slots", "contract MB/s", "measured MB/s", "verdict"});
+  for (const ConnectionOutcome& c : r.connections) {
+    t.add_row({c.name, std::to_string(c.request_slots), fmt(c.contract_mbps, 0),
+               fmt(c.measured_mbps, 0), c.met ? "met" : "VIOLATED"});
+  }
+  t.print(os);
+  os << "router drops: " << r.router_drops << ", NI drops: " << r.ni_drops
+     << ", rx overflow: " << r.rx_overflow << "\n\n";
+  TextTable lt("Busiest links (reserved slots / wheel)");
+  lt.set_header({"link", "from", "to", "reserved", "utilization"});
+  for (std::size_t i = 0; i < std::min(top_links, r.links.size()); ++i) {
+    const LinkUsage& u = r.links[i];
+    lt.add_row({std::to_string(u.link), u.from, u.to,
+                std::to_string(u.reserved) + "/" + std::to_string(u.total),
+                pct(u.utilization())});
+  }
+  lt.print(os);
+  os << (r.ok ? "OK\n" : "FAILED\n");
+}
 
 std::vector<LinkUsage> link_usage(const topo::Topology& t, const tdm::Schedule& s) {
   std::vector<LinkUsage> out;

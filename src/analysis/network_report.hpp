@@ -8,11 +8,16 @@
 #include <string>
 #include <vector>
 
+#include "sim/types.hpp"
 #include "tdm/schedule.hpp"
 #include "topology/graph.hpp"
 
 namespace daelite::hw {
 class DaeliteNetwork;
+}
+
+namespace daelite::sim {
+class JsonValue;
 }
 
 namespace daelite::analysis {
@@ -39,6 +44,45 @@ struct ScheduleSummary {
   std::size_t used_links = 0;      ///< links with at least one reservation
 };
 ScheduleSummary summarize_schedule(const topo::Topology& t, const tdm::Schedule& s);
+
+/// Verdict for one connection of a finished scenario run.
+struct ConnectionOutcome {
+  std::string name;
+  std::uint32_t request_slots = 0;
+  std::uint32_t response_slots = 0;
+  double contract_mbps = 0.0;
+  double measured_mbps = 0.0;
+  double worst_latency_ns = 0.0;
+  bool met = false;
+};
+
+/// Everything one scenario run produced, in machine-readable form — the
+/// unit of output of soc::run_scenario() and the element type of a
+/// daelite_batch results document. A failed run (parse / dimensioning /
+/// build error) carries the diagnostic in `error` with ok == false.
+struct NetworkReport {
+  std::string label;     ///< job label, e.g. "video_platform[slots=16,seed=2]"
+  std::string error;     ///< non-empty: the run never reached simulation
+  std::string topology;  ///< "mesh 3x3", "torus 4x4", "ring 6"
+  std::uint32_t slots = 0;
+  double clock_mhz = 0.0;
+  std::uint64_t seed = 0;
+  sim::Cycle run_cycles = 0;
+  sim::Cycle cfg_cycles = 0; ///< broadcast-tree configuration time
+  double schedule_utilization = 0.0;
+  ScheduleSummary schedule;
+  std::vector<LinkUsage> links; ///< busiest links, descending, zero-usage pruned
+  std::vector<ConnectionOutcome> connections;
+  std::uint64_t router_drops = 0;
+  std::uint64_t ni_drops = 0;
+  std::uint64_t rx_overflow = 0;
+  bool ok = false; ///< all contracts met, nothing dropped
+
+  sim::JsonValue to_json() const;
+};
+
+/// Human-readable rendering of a report (the daelite_sim text output).
+void print_report(std::ostream& os, const NetworkReport& r, std::size_t top_links = 8);
 
 /// Print the top-n busiest links as a table.
 void print_link_usage(std::ostream& os, const topo::Topology& t, const tdm::Schedule& s,

@@ -1,0 +1,275 @@
+#include "sim/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace daelite::sim {
+
+void JsonValue::push_back(JsonValue v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  items_.push_back(std::move(v));
+}
+
+JsonValue& JsonValue::operator[](const std::string& key) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  for (auto& [k, v] : members_)
+    if (k == key) return v;
+  members_.emplace_back(key, JsonValue{});
+  return members_.back().second;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c); // UTF-8 bytes pass through
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null"; // JSON has no inf/nan
+  constexpr double kExact = 9007199254740992.0; // 2^53
+  if (v == std::floor(v) && std::fabs(v) <= kExact) {
+    char buf[32];
+    const auto r = std::to_chars(buf, buf + sizeof buf, static_cast<long long>(v));
+    return std::string(buf, r.ptr);
+  }
+  char buf[64];
+  const auto r = std::to_chars(buf, buf + sizeof buf, v); // shortest round-trip
+  return std::string(buf, r.ptr);
+}
+
+void JsonValue::dump_to(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const auto newline = [&](int d) {
+    if (!pretty) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(d), ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kNumber: out += json_number(num_); break;
+    case Kind::kString:
+      out += '"';
+      out += json_escape(str_);
+      out += '"';
+      break;
+    case Kind::kArray:
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i) out += ',';
+        newline(depth + 1);
+        items_[i].dump_to(out, indent, depth + 1);
+      }
+      if (!items_.empty()) newline(depth);
+      out += ']';
+      break;
+    case Kind::kObject:
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i) out += ',';
+        newline(depth + 1);
+        out += '"';
+        out += json_escape(members_[i].first);
+        out += pretty ? "\": " : "\":";
+        members_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!members_.empty()) newline(depth);
+      out += '}';
+      break;
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+// --- Parser ------------------------------------------------------------------
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& msg) {
+    if (error.empty()) error = msg + " at offset " + std::to_string(pos);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' || text[pos] == '\r'))
+      ++pos;
+  }
+
+  bool consume(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) == lit) {
+      pos += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return fail("expected string");
+    while (pos < text.size()) {
+      char c = text[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos >= text.size()) return fail("bad escape");
+        char e = text[pos++];
+        switch (e) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) return fail("bad \\u escape");
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text[pos++];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail("bad \\u escape");
+            }
+            // Encode the code point as UTF-8 (surrogate pairs unsupported —
+            // the writer only emits \u for control characters).
+            if (cp < 0x80) {
+              *out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              *out += static_cast<char>(0xC0 | (cp >> 6));
+              *out += static_cast<char>(0x80 | (cp & 0x3F));
+            } else {
+              *out += static_cast<char>(0xE0 | (cp >> 12));
+              *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              *out += static_cast<char>(0x80 | (cp & 0x3F));
+            }
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_value(JsonValue* out) {
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    if (c == 'n') return literal("null") ? (*out = JsonValue{}, true) : fail("bad literal");
+    if (c == 't') return literal("true") ? (*out = JsonValue(true), true) : fail("bad literal");
+    if (c == 'f') return literal("false") ? (*out = JsonValue(false), true) : fail("bad literal");
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(&s)) return false;
+      *out = JsonValue(std::move(s));
+      return true;
+    }
+    if (c == '[') {
+      ++pos;
+      *out = JsonValue::array();
+      skip_ws();
+      if (consume(']')) return true;
+      while (true) {
+        JsonValue item;
+        if (!parse_value(&item)) return false;
+        out->push_back(std::move(item));
+        skip_ws();
+        if (consume(']')) return true;
+        if (!consume(',')) return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '{') {
+      ++pos;
+      *out = JsonValue::object();
+      skip_ws();
+      if (consume('}')) return true;
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(&key)) return false;
+        skip_ws();
+        if (!consume(':')) return fail("expected ':'");
+        JsonValue val;
+        if (!parse_value(&val)) return false;
+        (*out)[key] = std::move(val);
+        skip_ws();
+        if (consume('}')) return true;
+        if (!consume(',')) return fail("expected ',' or '}'");
+      }
+    }
+    // Number.
+    double v = 0.0;
+    const auto r = std::from_chars(text.data() + pos, text.data() + text.size(), v);
+    if (r.ec != std::errc{}) return fail("bad number");
+    pos = static_cast<std::size_t>(r.ptr - text.data());
+    *out = JsonValue(v);
+    return true;
+  }
+};
+
+} // namespace
+
+std::optional<JsonValue> JsonValue::parse(std::string_view text, std::string* error) {
+  Parser p{text, 0, {}};
+  JsonValue v;
+  if (!p.parse_value(&v)) {
+    if (error) *error = p.error;
+    return std::nullopt;
+  }
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    if (error) *error = "trailing garbage at offset " + std::to_string(p.pos);
+    return std::nullopt;
+  }
+  return v;
+}
+
+} // namespace daelite::sim

@@ -1,0 +1,99 @@
+#pragma once
+// Minimal JSON document model and writer for machine-readable metrics.
+//
+// Every experiment artifact (batch runs, bench tables, CI regression
+// baselines) serializes through this layer so results can be diffed by
+// tools instead of scraped from stdout. Two properties matter more than
+// generality:
+//   * deterministic output — objects preserve insertion order and numbers
+//     format via shortest-round-trip std::to_chars, so the same run
+//     produces byte-identical documents regardless of thread count;
+//   * no external dependency — the container ships no JSON library.
+// A small recursive-descent parser is included for round-trip tests and
+// for tools that diff previously emitted metrics.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace daelite::sim {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  JsonValue(double v) : kind_(Kind::kNumber), num_(v) {}
+  JsonValue(int v) : kind_(Kind::kNumber), num_(v) {}
+  JsonValue(unsigned v) : kind_(Kind::kNumber), num_(v) {}
+  JsonValue(std::int64_t v) : kind_(Kind::kNumber), num_(static_cast<double>(v)) {}
+  JsonValue(std::uint64_t v) : kind_(Kind::kNumber), num_(static_cast<double>(v)) {}
+  JsonValue(const char* s) : kind_(Kind::kString), str_(s) {}
+  JsonValue(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+
+  static JsonValue array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return num_; }
+  const std::string& as_string() const { return str_; }
+
+  /// Array element count / object member count.
+  std::size_t size() const {
+    return kind_ == Kind::kArray ? items_.size() : kind_ == Kind::kObject ? members_.size() : 0;
+  }
+
+  /// Append to an array (converts a null value into an array first).
+  void push_back(JsonValue v);
+  const JsonValue& at(std::size_t i) const { return items_[i]; }
+
+  /// Object insert-or-lookup, preserving insertion order (converts a null
+  /// value into an object first).
+  JsonValue& operator[](const std::string& key);
+  /// Lookup without insertion; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const { return members_; }
+
+  /// Serialize. indent < 0 is compact single-line; indent >= 0 pretty-prints
+  /// with that many spaces per level. Output is fully deterministic.
+  std::string dump(int indent = -1) const;
+
+  /// Parse a complete document; trailing non-whitespace is an error.
+  static std::optional<JsonValue> parse(std::string_view text, std::string* error = nullptr);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Escape a string for embedding in a JSON document (no surrounding quotes).
+std::string json_escape(std::string_view s);
+
+/// Deterministic number formatting: integral doubles in [-2^53, 2^53] print
+/// without a decimal point, everything else via shortest-round-trip.
+std::string json_number(double v);
+
+} // namespace daelite::sim

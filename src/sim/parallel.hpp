@@ -1,0 +1,88 @@
+#pragma once
+// Batch-level parallelism: a fixed-size thread pool and an ordered
+// parallel-for used to run many independent Kernel simulations at once.
+//
+// The simulation kernel itself stays single-threaded and deterministic;
+// parallelism lives strictly above it — one kernel per job, no shared
+// mutable state between jobs. Results are collected by job index, so a
+// batch produces identical output whether it ran on 1 thread or 16
+// (the determinism contract the CI metrics diff relies on).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace daelite::sim {
+
+/// Fixed set of worker threads draining a FIFO task queue. Destruction
+/// waits for already-submitted tasks to finish.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueue a task; the future reports completion or rethrows the task's
+  /// exception.
+  std::future<void> submit(std::function<void()> fn);
+
+  /// Block until the queue is empty and every worker is idle.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;       ///< wakes workers
+  std::condition_variable idle_cv_;  ///< wakes wait_idle()
+  std::deque<std::packaged_task<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Sensible default worker count for batch jobs (>= 1).
+std::size_t default_job_count();
+
+/// Run job(0..n-1) across up to `threads` workers and return the results in
+/// job order. `threads <= 1` runs inline on the caller's thread — handy for
+/// the `--jobs 1` determinism baseline. If any job throws, the first
+/// exception (by job index) is rethrown after all workers have stopped.
+template <typename R>
+std::vector<R> parallel_map(std::size_t n, std::size_t threads,
+                            const std::function<R(std::size_t)>& job) {
+  std::vector<R> results(n);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) results[i] = job(i);
+    return results;
+  }
+  std::vector<std::exception_ptr> errors(n);
+  {
+    ThreadPool pool(threads < n ? threads : (n ? n : 1));
+    for (std::size_t i = 0; i < n; ++i) {
+      pool.submit([&, i] {
+        try {
+          results[i] = job(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+  return results;
+}
+
+} // namespace daelite::sim

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "sim/json.hpp"
+
 namespace daelite::sim {
 
 std::uint64_t Histogram::quantile(double q) const {
@@ -15,6 +17,36 @@ std::uint64_t Histogram::quantile(double q) const {
     if (seen >= target) return static_cast<std::uint64_t>(i);
   }
   return static_cast<std::uint64_t>(max());
+}
+
+JsonValue to_json(const Counter& c) {
+  JsonValue v = JsonValue::object();
+  v["value"] = c.value();
+  return v;
+}
+
+JsonValue to_json(const ScalarStat& s) {
+  JsonValue v = JsonValue::object();
+  v["count"] = s.count();
+  v["sum"] = s.sum();
+  v["mean"] = s.mean();
+  v["min"] = s.min();
+  v["max"] = s.max();
+  v["variance"] = s.variance();
+  return v;
+}
+
+JsonValue to_json(const Histogram& h) {
+  JsonValue v = JsonValue::object();
+  v["count"] = h.count();
+  v["mean"] = h.mean();
+  v["min"] = h.min();
+  v["max"] = h.max();
+  v["overflow"] = h.overflow();
+  v["p50"] = h.quantile(0.50);
+  v["p90"] = h.quantile(0.90);
+  v["p99"] = h.quantile(0.99);
+  return v;
 }
 
 } // namespace daelite::sim

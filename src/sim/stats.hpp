@@ -12,6 +12,20 @@
 
 namespace daelite::sim {
 
+class JsonValue;
+
+/// Monotonic event counter — the simplest observable. Exists (rather than a
+/// bare uint64) so counters serialize uniformly with the other stats.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  void reset() { value_ = 0; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
 /// Accumulates count / sum / min / max / sum-of-squares of a scalar sample
 /// stream; derives mean and population variance.
 class ScalarStat {
@@ -83,5 +97,13 @@ class Histogram {
   std::uint64_t overflow_ = 0;
   ScalarStat scalar_;
 };
+
+// JSON serialization hooks (see sim/json.hpp) — every stats primitive maps
+// to one object so batch runs and benches emit a uniform schema.
+JsonValue to_json(const Counter& c);
+JsonValue to_json(const ScalarStat& s);
+/// Summary form: count/mean/min/max/overflow plus p50/p90/p99 quantiles
+/// (bucket contents are summarized, not dumped).
+JsonValue to_json(const Histogram& h);
 
 } // namespace daelite::sim

@@ -1,0 +1,155 @@
+#include "soc/runner.hpp"
+
+#include <algorithm>
+
+#include "alloc/dimension.hpp"
+#include "daelite/network.hpp"
+#include "sim/random.hpp"
+
+namespace daelite::soc {
+
+namespace {
+
+std::string topology_name(const Scenario& sc) {
+  switch (sc.kind) {
+    case Scenario::TopologyKind::kMesh:
+      return "mesh " + std::to_string(sc.width) + "x" + std::to_string(sc.height);
+    case Scenario::TopologyKind::kTorus:
+      return "torus " + std::to_string(sc.width) + "x" + std::to_string(sc.height);
+    case Scenario::TopologyKind::kRing:
+      return "ring " + std::to_string(sc.width);
+  }
+  return "?";
+}
+
+} // namespace
+
+analysis::NetworkReport run_scenario(const RunSpec& spec) {
+  analysis::NetworkReport report;
+  Scenario sc = spec.scenario;
+  if (spec.slots_override) sc.slots = *spec.slots_override;
+  if (spec.run_cycles_override) sc.run_cycles = *spec.run_cycles_override;
+
+  report.label = spec.label.empty() ? topology_name(sc) : spec.label;
+  report.topology = topology_name(sc);
+  report.clock_mhz = sc.clock_mhz;
+  report.seed = spec.seed;
+  report.run_cycles = sc.run_cycles;
+
+  // Scenario coordinates come from user-written files; reject anything
+  // outside the grid before build() indexes with them.
+  const int grid_h = sc.kind == Scenario::TopologyKind::kRing ? 1 : sc.height;
+  const auto in_grid = [&](const std::pair<int, int>& c) {
+    return c.first >= 0 && c.first < sc.width && c.second >= 0 && c.second < grid_h;
+  };
+  const auto coord_error = [&](const std::string& what, const std::pair<int, int>& c) {
+    report.error = what + ": coordinate " + std::to_string(c.first) + "," +
+                   std::to_string(c.second) + " outside " + topology_name(sc);
+  };
+  if (!in_grid(sc.host)) {
+    coord_error("host", sc.host);
+    return report;
+  }
+  for (const Scenario::RawConnection& c : sc.raw) {
+    if (!in_grid(c.src)) {
+      coord_error("connection '" + c.name + "'", c.src);
+      return report;
+    }
+    for (const auto& d : c.dsts) {
+      if (!in_grid(d)) {
+        coord_error("connection '" + c.name + "'", d);
+        return report;
+      }
+    }
+  }
+
+  topo::Mesh mesh = sc.build();
+
+  // A nonzero seed permutes the order connections reach the allocator
+  // (Fisher–Yates over the spec list) — slot assignment is greedy and
+  // order-dependent, so this is a real design-space axis.
+  if (spec.seed != 0 && sc.connections.size() > 1) {
+    sim::Xoshiro256 rng(spec.seed);
+    for (std::size_t i = sc.connections.size() - 1; i > 0; --i)
+      std::swap(sc.connections[i], sc.connections[rng.below(i + 1)]);
+  }
+
+  const alloc::NocClocking clk{sc.clock_mhz, 4};
+  const std::vector<std::uint32_t> candidates =
+      sc.slots ? std::vector<std::uint32_t>{*sc.slots} : std::vector<std::uint32_t>{8, 16, 32};
+  std::string error;
+  auto dim = alloc::dimension_network(mesh.topo, sc.connections, clk, candidates, &error);
+  if (!dim) {
+    report.error = "dimensioning failed: " + error;
+    return report;
+  }
+  report.slots = dim->params.num_slots;
+  report.schedule_utilization = dim->schedule_utilization;
+
+  sim::Kernel kernel;
+  hw::DaeliteNetwork::Options opt;
+  opt.tdm = dim->params;
+  opt.cfg_root = mesh.ni(sc.host.first, sc.host.second);
+  hw::DaeliteNetwork net(kernel, mesh.topo, opt);
+  if (spec.on_network) spec.on_network(kernel, net);
+
+  std::vector<hw::ConnectionHandle> handles;
+  for (const auto& c : dim->allocation.connections) handles.push_back(net.open_connection(c));
+  report.cfg_cycles = net.run_config();
+
+  // Saturated traffic: sources push as fast as the NI accepts, sinks drain
+  // every cycle; delivered words per destination measure achieved bandwidth.
+  std::vector<std::vector<std::uint64_t>> delivered(handles.size());
+  for (std::size_t i = 0; i < handles.size(); ++i)
+    delivered[i].assign(handles[i].conn.request.dst_nis.size(), 0);
+  for (sim::Cycle c = 0; c < sc.run_cycles; ++c) {
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      hw::Ni& src = net.ni(handles[i].conn.request.src_ni);
+      while (src.tx_push(handles[i].src_tx_q, 1)) {
+      }
+      for (std::size_t d = 0; d < delivered[i].size(); ++d) {
+        hw::Ni& dst = net.ni(handles[i].conn.request.dst_nis[d]);
+        while (dst.rx_pop(handles[i].dst_rx_qs[d])) ++delivered[i][d];
+      }
+    }
+    kernel.step();
+  }
+
+  bool all_met = true;
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    std::uint64_t min_words = delivered[i].empty() ? 0 : delivered[i][0];
+    for (auto w : delivered[i]) min_words = std::min(min_words, w);
+    const double mbps = static_cast<double>(min_words) / static_cast<double>(sc.run_cycles) *
+                        clk.link_mbytes_per_s();
+    analysis::ConnectionOutcome out;
+    out.name = dim->connections[i].spec.name;
+    out.request_slots = dim->connections[i].request_slots;
+    out.response_slots = dim->connections[i].response_slots;
+    out.contract_mbps = dim->connections[i].spec.bandwidth_mbytes_per_s;
+    out.measured_mbps = mbps;
+    out.worst_latency_ns = dim->connections[i].worst_latency_ns;
+    out.met = mbps + 1.0 >= out.contract_mbps;
+    all_met = all_met && out.met;
+    report.connections.push_back(std::move(out));
+  }
+
+  alloc::SlotAllocator reporter(mesh.topo, dim->params);
+  for (const auto& c : dim->allocation.connections) {
+    reporter.restore(c.request);
+    if (c.has_response) reporter.restore(c.response);
+  }
+  report.schedule = analysis::summarize_schedule(mesh.topo, reporter.schedule());
+  report.links = analysis::link_usage(mesh.topo, reporter.schedule());
+  report.links.erase(std::find_if(report.links.begin(), report.links.end(),
+                                  [](const analysis::LinkUsage& u) { return u.reserved == 0; }),
+                     report.links.end());
+
+  report.router_drops = net.total_router_drops();
+  report.ni_drops = net.total_ni_drops();
+  report.rx_overflow = net.total_rx_overflow();
+  report.ok = all_met && report.router_drops == 0 && report.ni_drops == 0 &&
+              report.rx_overflow == 0;
+  return report;
+}
+
+} // namespace daelite::soc

@@ -1,0 +1,50 @@
+#pragma once
+// End-to-end scenario execution as a library call.
+//
+// Everything tools/daelite_sim.cpp used to do inline — dimension,
+// instantiate, configure through the broadcast tree, drive saturated
+// traffic, measure — factored out so the batch runner (tools/
+// daelite_batch.cpp) can execute many RunSpecs concurrently, one Kernel
+// per job. A RunSpec is a Scenario plus the sweep axes a batch varies:
+// slot-table size, allocation-order seed, and run length.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "analysis/network_report.hpp"
+#include "soc/scenario.hpp"
+
+namespace daelite::hw {
+class DaeliteNetwork;
+}
+
+namespace daelite::sim {
+class Kernel;
+}
+
+namespace daelite::soc {
+
+struct RunSpec {
+  std::string label;  ///< job name carried into the report ("" -> scenario summary)
+  Scenario scenario;
+  std::optional<std::uint32_t> slots_override;   ///< pin the wheel size
+  std::optional<sim::Cycle> run_cycles_override; ///< shorten/lengthen the run
+  /// seed != 0 shuffles the order connections are presented to the
+  /// allocator (deterministically) — slot assignment is order-dependent,
+  /// so seeds explore the allocation design space. seed == 0 keeps file
+  /// order.
+  std::uint64_t seed = 0;
+  /// Invoked once the network exists, before configuration — attach VCD
+  /// probes or extra instrumentation here. Objects the hook creates must
+  /// outlive the run_scenario() call.
+  std::function<void(sim::Kernel&, hw::DaeliteNetwork&)> on_network;
+};
+
+/// Execute one spec to completion. Never throws on scenario-level problems:
+/// dimensioning or build failures come back as a report with `ok == false`
+/// and the diagnostic in `error`.
+analysis::NetworkReport run_scenario(const RunSpec& spec);
+
+} // namespace daelite::soc

@@ -1,0 +1,129 @@
+// The JSON layer carries every machine-readable metric, so the writer's
+// escaping, number formatting and ordering guarantees — and the parser
+// used to diff emitted documents — are pinned here.
+
+#include <gtest/gtest.h>
+
+#include "sim/json.hpp"
+#include "sim/stats.hpp"
+
+namespace daelite::sim {
+namespace {
+
+TEST(JsonEscape, ControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(json_escape(std::string("nul\x01") + "x"), "nul\\u0001x");
+  // UTF-8 multibyte sequences pass through untouched.
+  EXPECT_EQ(json_escape("æther"), "æther");
+}
+
+TEST(JsonNumber, IntegralDoublesPrintWithoutPoint) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(42.0), "42");
+  EXPECT_EQ(json_number(-7.0), "-7");
+  EXPECT_EQ(json_number(2.5), "2.5");
+  EXPECT_EQ(JsonValue(std::uint64_t{20000}).dump(), "20000");
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+}
+
+TEST(JsonValue, ObjectPreservesInsertionOrder) {
+  JsonValue v = JsonValue::object();
+  v["zebra"] = 1;
+  v["apple"] = 2;
+  v["mid"] = "x";
+  EXPECT_EQ(v.dump(), "{\"zebra\":1,\"apple\":2,\"mid\":\"x\"}");
+  // Insert-or-lookup updates in place, not append.
+  v["apple"] = 3;
+  EXPECT_EQ(v.dump(), "{\"zebra\":1,\"apple\":3,\"mid\":\"x\"}");
+}
+
+TEST(JsonValue, NestedDumpCompactAndPretty) {
+  JsonValue v = JsonValue::object();
+  v["ok"] = true;
+  JsonValue arr = JsonValue::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  arr.push_back(JsonValue{});
+  v["items"] = std::move(arr);
+  EXPECT_EQ(v.dump(), "{\"ok\":true,\"items\":[1,\"two\",null]}");
+  EXPECT_EQ(v.dump(2),
+            "{\n  \"ok\": true,\n  \"items\": [\n    1,\n    \"two\",\n    null\n  ]\n}");
+}
+
+TEST(JsonValue, RoundTripThroughParser) {
+  JsonValue v = JsonValue::object();
+  v["name"] = "weird \"chars\"\n\t\\";
+  v["pi"] = 3.14159;
+  v["big"] = std::uint64_t{1} << 40;
+  v["neg"] = -12;
+  v["flag"] = false;
+  JsonValue inner = JsonValue::object();
+  inner["empty_arr"] = JsonValue::array();
+  inner["empty_obj"] = JsonValue::object();
+  v["inner"] = std::move(inner);
+
+  const std::string text = v.dump(2);
+  std::string error;
+  auto parsed = JsonValue::parse(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  // Re-dumping the parse reproduces the original bytes: writer and parser
+  // agree on escaping, number formatting and member order.
+  EXPECT_EQ(parsed->dump(2), text);
+  EXPECT_EQ(parsed->find("name")->as_string(), "weird \"chars\"\n\t\\");
+  EXPECT_DOUBLE_EQ(parsed->find("pi")->as_number(), 3.14159);
+}
+
+TEST(JsonValue, ParserRejectsGarbage) {
+  std::string error;
+  EXPECT_FALSE(JsonValue::parse("{\"a\":}", &error).has_value());
+  EXPECT_FALSE(JsonValue::parse("[1,2", &error).has_value());
+  EXPECT_FALSE(JsonValue::parse("\"unterminated", &error).has_value());
+  EXPECT_FALSE(JsonValue::parse("{} trailing", &error).has_value());
+  EXPECT_FALSE(JsonValue::parse("", &error).has_value());
+}
+
+TEST(JsonValue, ParserHandlesEscapes) {
+  auto parsed = JsonValue::parse("\"a\\u0041\\n\\\\\"");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->as_string(), "aA\n\\");
+}
+
+TEST(StatsToJson, CounterAndScalarStat) {
+  Counter c;
+  c.inc();
+  c.inc(9);
+  EXPECT_EQ(to_json(c).dump(), "{\"value\":10}");
+
+  ScalarStat s;
+  s.add(1.0);
+  s.add(3.0);
+  const JsonValue v = to_json(s);
+  EXPECT_EQ(v.find("count")->as_number(), 2);
+  EXPECT_EQ(v.find("sum")->as_number(), 4);
+  EXPECT_EQ(v.find("mean")->as_number(), 2);
+  EXPECT_EQ(v.find("min")->as_number(), 1);
+  EXPECT_EQ(v.find("max")->as_number(), 3);
+  EXPECT_EQ(v.find("variance")->as_number(), 1);
+}
+
+TEST(StatsToJson, HistogramQuantiles) {
+  Histogram h(16);
+  for (std::uint64_t i = 0; i < 10; ++i) h.add(i);
+  h.add(100); // overflow bucket
+  const JsonValue v = to_json(h);
+  EXPECT_EQ(v.find("count")->as_number(), 11);
+  EXPECT_EQ(v.find("overflow")->as_number(), 1);
+  EXPECT_EQ(v.find("p50")->as_number(), 5);
+  EXPECT_EQ(v.find("max")->as_number(), 100);
+}
+
+} // namespace
+} // namespace daelite::sim

@@ -1,31 +1,31 @@
 // daelite_sim — command-line scenario driver.
 //
-//   daelite_sim <scenario file> [--vcd out.vcd] [--quiet]
+//   daelite_sim <scenario file> [--vcd out.vcd] [--json out.json] [--quiet]
 //
-// Executes a scenario end to end: parse, dimension (choosing the wheel
-// size unless the scenario pins one), instantiate the daelite network,
-// configure every connection through the broadcast tree, drive saturated
-// traffic for the requested number of cycles, and print the bandwidth /
-// latency report plus schedule utilization. Returns nonzero if any
-// contract is missed or any flit is dropped.
+// Executes a scenario end to end through soc::run_scenario(): parse,
+// dimension (choosing the wheel size unless the scenario pins one),
+// instantiate the daelite network, configure every connection through the
+// broadcast tree, drive saturated traffic for the requested number of
+// cycles, and print the bandwidth / latency report plus schedule
+// utilization. Returns nonzero if any contract is missed or any flit is
+// dropped. --json additionally writes the metrics document the batch
+// runner (daelite_batch) emits for whole sweeps.
 
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
-#include "alloc/dimension.hpp"
-#include "analysis/network_report.hpp"
-#include "analysis/report.hpp"
-#include "daelite/network.hpp"
 #include "daelite/vcd_probes.hpp"
-#include "soc/scenario.hpp"
+#include "sim/json.hpp"
+#include "soc/runner.hpp"
 
 using namespace daelite;
 
 namespace {
 
 int usage() {
-  std::cerr << "usage: daelite_sim <scenario file> [--vcd out.vcd] [--quiet]\n"
+  std::cerr << "usage: daelite_sim <scenario file> [--vcd out.vcd] [--json out.json] [--quiet]\n"
                "see src/soc/scenario.hpp for the scenario grammar\n";
   return 2;
 }
@@ -35,10 +35,13 @@ int usage() {
 int main(int argc, char** argv) {
   std::string scenario_path;
   std::string vcd_path;
+  std::string json_path;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--vcd") == 0 && i + 1 < argc) {
       vcd_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
     } else if (argv[i][0] == '-') {
@@ -55,29 +58,13 @@ int main(int argc, char** argv) {
     std::cerr << "daelite_sim: " << error << "\n";
     return 2;
   }
-  topo::Mesh mesh = scenario->build();
 
-  // Dimension.
-  const alloc::NocClocking clk{scenario->clock_mhz, 4};
-  const std::vector<std::uint32_t> candidates =
-      scenario->slots ? std::vector<std::uint32_t>{*scenario->slots}
-                      : std::vector<std::uint32_t>{8, 16, 32};
-  auto dim = alloc::dimension_network(mesh.topo, scenario->connections, clk, candidates, &error);
-  if (!dim) {
-    std::cerr << "daelite_sim: dimensioning failed: " << error << "\n";
-    return 1;
-  }
-  if (!quiet)
-    std::cout << "wheel: " << dim->params.num_slots << " slots, utilization "
-              << analysis::pct(dim->schedule_utilization) << "\n";
+  soc::RunSpec spec;
+  spec.label = scenario_path;
+  spec.scenario = *scenario;
 
-  // Instantiate + configure.
-  sim::Kernel kernel;
-  hw::DaeliteNetwork::Options opt;
-  opt.tdm = dim->params;
-  opt.cfg_root = mesh.ni(scenario->host.first, scenario->host.second);
-  hw::DaeliteNetwork net(kernel, mesh.topo, opt);
-
+  // VCD probes attach once the network exists; the writer and sampler live
+  // here so they survive until the run finishes.
   std::ofstream vcd_os;
   std::unique_ptr<sim::VcdWriter> vcd;
   std::unique_ptr<hw::VcdSampler> sampler;
@@ -87,65 +74,27 @@ int main(int argc, char** argv) {
       std::cerr << "daelite_sim: cannot open " << vcd_path << "\n";
       return 2;
     }
-    vcd = std::make_unique<sim::VcdWriter>(vcd_os);
-    hw::attach_network_probes(*vcd, net);
-    sampler = std::make_unique<hw::VcdSampler>(kernel, *vcd);
+    spec.on_network = [&](sim::Kernel& kernel, hw::DaeliteNetwork& net) {
+      vcd = std::make_unique<sim::VcdWriter>(vcd_os);
+      hw::attach_network_probes(*vcd, net);
+      sampler = std::make_unique<hw::VcdSampler>(kernel, *vcd);
+    };
   }
 
-  std::vector<hw::ConnectionHandle> handles;
-  for (const auto& c : dim->allocation.connections) handles.push_back(net.open_connection(c));
-  const sim::Cycle cfg_cycles = net.run_config();
-  if (!quiet)
-    std::cout << "configured " << handles.size() << " connections in " << cfg_cycles
-              << " cycles\n";
+  const analysis::NetworkReport report = soc::run_scenario(spec);
+  if (!report.error.empty()) {
+    std::cerr << "daelite_sim: " << report.error << "\n";
+    return 1;
+  }
+  if (!quiet) analysis::print_report(std::cout, report);
 
-  // Saturated traffic.
-  std::vector<std::vector<std::uint64_t>> delivered(handles.size());
-  for (std::size_t i = 0; i < handles.size(); ++i)
-    delivered[i].assign(handles[i].conn.request.dst_nis.size(), 0);
-  for (sim::Cycle c = 0; c < scenario->run_cycles; ++c) {
-    for (std::size_t i = 0; i < handles.size(); ++i) {
-      hw::Ni& src = net.ni(handles[i].conn.request.src_ni);
-      while (src.tx_push(handles[i].src_tx_q, 1)) {
-      }
-      for (std::size_t d = 0; d < delivered[i].size(); ++d) {
-        hw::Ni& dst = net.ni(handles[i].conn.request.dst_nis[d]);
-        while (dst.rx_pop(handles[i].dst_rx_qs[d])) ++delivered[i][d];
-      }
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::cerr << "daelite_sim: cannot open " << json_path << "\n";
+      return 2;
     }
-    kernel.step();
+    os << report.to_json().dump(2) << "\n";
   }
-
-  // Report.
-  analysis::TextTable t("connection results (" + std::to_string(scenario->run_cycles) +
-                        " cycles, saturated sources)");
-  t.set_header({"connection", "slots", "contract MB/s", "measured MB/s", "verdict"});
-  bool ok = true;
-  for (std::size_t i = 0; i < handles.size(); ++i) {
-    std::uint64_t min_words = delivered[i][0];
-    for (auto w : delivered[i]) min_words = std::min(min_words, w);
-    const double mbps = static_cast<double>(min_words) /
-                        static_cast<double>(scenario->run_cycles) * clk.link_mbytes_per_s();
-    const bool met = mbps + 1.0 >= dim->connections[i].spec.bandwidth_mbytes_per_s;
-    ok = ok && met;
-    t.add_row({dim->connections[i].spec.name, std::to_string(dim->connections[i].request_slots),
-               analysis::fmt(dim->connections[i].spec.bandwidth_mbytes_per_s, 0),
-               analysis::fmt(mbps, 0), met ? "met" : "VIOLATED"});
-  }
-  if (!quiet) {
-    t.print(std::cout);
-    std::cout << "router drops: " << net.total_router_drops()
-              << ", NI drops: " << net.total_ni_drops()
-              << ", rx overflow: " << net.total_rx_overflow() << "\n\n";
-    alloc::SlotAllocator reporter(mesh.topo, dim->params);
-    for (const auto& c : dim->allocation.connections) {
-      reporter.restore(c.request);
-      if (c.has_response) reporter.restore(c.response);
-    }
-    analysis::print_link_usage(std::cout, mesh.topo, reporter.schedule(), 8);
-  }
-  ok = ok && net.total_router_drops() == 0 && net.total_ni_drops() == 0 &&
-       net.total_rx_overflow() == 0;
-  if (!quiet) std::cout << (ok ? "OK\n" : "FAILED\n");
-  return ok ? 0 : 1;
+  return report.ok ? 0 : 1;
 }
