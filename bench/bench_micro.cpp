@@ -10,6 +10,7 @@
 #include "alloc/usecase.hpp"
 #include "daelite/network.hpp"
 #include "sim/random.hpp"
+#include "sim/trace.hpp"
 #include "topology/generators.hpp"
 #include "topology/path.hpp"
 
@@ -63,6 +64,55 @@ void BM_KernelCyclesLoaded4x4(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_KernelCyclesLoaded4x4);
+
+// The disabled record() path must be branch-only — simulations run with
+// tracing off by default and may not pay for instrumentation.
+void BM_TracerRecordDisabled(benchmark::State& state) {
+  sim::Tracer t(false);
+  std::uint64_t cycle = 0;
+  for (auto _ : state) {
+    t.record(cycle++, 0, sim::TraceEvent::kFlitInject, 1, 2);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TracerRecordDisabled);
+
+void BM_TracerRecordEnabled(benchmark::State& state) {
+  sim::Tracer t(true, 1u << 16);
+  const auto c = t.intern("bench");
+  std::uint64_t cycle = 0;
+  for (auto _ : state) {
+    t.record(cycle++, c, sim::TraceEvent::kFlitInject, 1, 2);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TracerRecordEnabled);
+
+void BM_KernelCyclesLoaded4x4Traced(benchmark::State& state) {
+  const auto mesh = topo::make_mesh(4, 4);
+  sim::Kernel k;
+  sim::Tracer tracer(true, 1u << 16);
+  k.set_tracer(&tracer);
+  hw::DaeliteNetwork::Options opt;
+  opt.tdm = tdm::daelite_params(16);
+  opt.cfg_root = mesh.ni(0, 0);
+  hw::DaeliteNetwork net(k, mesh.topo, opt);
+  alloc::SlotAllocator alloc(mesh.topo, opt.tdm);
+  alloc::UseCase uc;
+  uc.connections.push_back({"c", mesh.ni(0, 0), {mesh.ni(3, 3)}, 1, 1});
+  auto a = alloc::allocate_use_case(alloc, uc);
+  auto h = net.open_connection(a->connections[0]);
+  net.run_config();
+  for (auto _ : state) {
+    net.ni(h.conn.request.src_ni).tx_push(h.src_tx_q, 1);
+    k.step();
+    net.ni(h.conn.request.dst_nis[0]).rx_pop(h.dst_rx_qs[0]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KernelCyclesLoaded4x4Traced);
 
 void BM_ShortestPath8x8(benchmark::State& state) {
   const auto mesh = topo::make_mesh(8, 8);

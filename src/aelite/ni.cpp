@@ -106,6 +106,9 @@ void Ni::tick() {
       out.inject_cycle = now();
       last_tx_channel_ = tx_q;
       last_tx_cycle_ = now();
+      ++stats_.link_busy_slots;
+      trace(sim::TraceEvent::kFlitInject, tx_q, can_send);
+      if (out.sop && out.credit > 0) trace(sim::TraceEvent::kCreditSend, tx_q, out.credit);
     } else {
       last_tx_channel_ = tdm::kNoChannel;
     }
@@ -124,27 +127,35 @@ void Ni::tick() {
       if (current_rx_queue_ < rx_.size() && rx_[current_rx_queue_].paired_tx != 0xFF) {
         tx_[rx_[current_rx_queue_].paired_tx].space.add(in.credit);
         rx_[current_rx_queue_].stats.credits_received += in.credit;
+        trace(sim::TraceEvent::kCreditReceive, current_rx_queue_, in.credit);
       }
     }
   } else if (current_rx_queue_ == 0xFF) {
     ++stats_.rx_orphan_flits;
+    trace(sim::TraceEvent::kFlitDrop, slot);
     return;
   }
   if (current_rx_queue_ >= rx_.size()) {
     ++stats_.rx_unknown_queue;
+    trace(sim::TraceEvent::kFlitDrop, slot, current_rx_queue_);
     return;
   }
   auto& ch = rx_[current_rx_queue_];
   for (std::uint32_t i = 0; i < in.payload_count; ++i) {
     if (ch.queue.next_size() >= params_.queue_capacity) {
       ++stats_.rx_overflow;
+      trace(sim::TraceEvent::kRxOverflow, current_rx_queue_);
       continue;
     }
     ch.queue.push(in.payload[i]);
     ++ch.stats.words_received;
   }
-  if (in.inject_cycle != sim::kNoCycle && in.payload_count > 0)
-    stats_.latency.add(now() - in.inject_cycle);
+  if (in.inject_cycle != sim::kNoCycle && in.payload_count > 0) {
+    const sim::Cycle lat = now() - in.inject_cycle;
+    stats_.latency.add(lat);
+    ch.latency.add(lat);
+    trace(sim::TraceEvent::kFlitDeliver, current_rx_queue_, lat);
+  }
 }
 
 } // namespace daelite::aelite

@@ -47,6 +47,7 @@ class Ni : public sim::Component {
     std::uint64_t rx_overflow = 0;
     std::uint64_t rx_orphan_flits = 0; ///< continuation before any header
     std::uint64_t tx_stalled_slots = 0;
+    std::uint64_t link_busy_slots = 0; ///< slots a valid flit left on the NI->router link
     sim::Histogram latency{4096};
   };
 
@@ -76,6 +77,7 @@ class Ni : public sim::Component {
   const Stats& stats() const { return stats_; }
   const ChannelStats& tx_stats(std::size_t q) const { return tx_[q].stats; }
   const ChannelStats& rx_stats(std::size_t q) const { return rx_[q].stats; }
+  const sim::Histogram& rx_latency(std::size_t q) const { return rx_[q].latency; }
 
   void tick() override;
 
@@ -95,6 +97,7 @@ class Ni : public sim::Component {
     sim::CounterReg pending;
     std::uint8_t paired_tx = 0xFF;
     ChannelStats stats;
+    sim::Histogram latency{1024}; ///< end-to-end word latency into this queue
   };
 
   Params params_;

@@ -22,6 +22,7 @@ Router::Router(sim::Kernel& k, std::string name, std::size_t num_inputs, std::si
     r.force(kNoRoute);
     own(r);
   }
+  forwarded_per_out_.resize(num_outputs, 0);
 }
 
 void Router::tick() {
@@ -62,11 +63,14 @@ void Router::tick() {
   for (auto& [out, f] : forwards) {
     if (driven[out]) {
       ++stats_.collisions;
+      trace(sim::TraceEvent::kCollision, out);
       continue;
     }
     driven[out] = true;
     outputs_[out].set(f);
     ++stats_.flits_forwarded;
+    ++forwarded_per_out_[out];
+    trace(sim::TraceEvent::kFlitForward, out);
   }
 }
 

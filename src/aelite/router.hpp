@@ -45,6 +45,10 @@ class Router : public sim::Component {
   std::size_t num_outputs() const { return outputs_.size(); }
   const Stats& stats() const { return stats_; }
 
+  /// Flits forwarded onto one output port's link — the per-link TDM
+  /// occupancy counter (stats().flits_forwarded aggregates all outputs).
+  std::uint64_t forwarded_on(std::size_t out_port) const { return forwarded_per_out_[out_port]; }
+
   void tick() override;
 
  private:
@@ -54,6 +58,7 @@ class Router : public sim::Component {
   /// Route state per input: output port of the packet in flight.
   std::vector<sim::Reg<std::uint8_t>> route_state_;
   Stats stats_;
+  std::vector<std::uint64_t> forwarded_per_out_; ///< per-output-link forwarded flits
 };
 
 } // namespace daelite::aelite

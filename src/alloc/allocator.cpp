@@ -61,9 +61,26 @@ void SlotAllocator::commit(const RouteTree& route) {
   }
 }
 
+bool SlotAllocator::valid_spec(const ChannelSpec& spec) const {
+  // A zero-bandwidth channel must not "succeed": committing an empty route
+  // burns a ChannelId and bumps live_channels_ for a channel release()
+  // can never decrement (release_channel frees 0 slots).
+  if (spec.slots_required == 0) return false;
+  if (spec.dst_nis.empty()) return false;
+  if (spec.src_ni >= topo_->node_count() || !topo_->is_ni(spec.src_ni)) return false;
+  for (std::size_t i = 0; i < spec.dst_nis.size(); ++i) {
+    const topo::NodeId dst = spec.dst_nis[i];
+    if (dst >= topo_->node_count() || !topo_->is_ni(dst)) return false;
+    if (dst == spec.src_ni) return false;
+    for (std::size_t j = i + 1; j < spec.dst_nis.size(); ++j)
+      if (spec.dst_nis[j] == dst) return false;
+  }
+  return true;
+}
+
 std::optional<RouteTree> SlotAllocator::allocate_on_path(const topo::Path& path,
                                                          std::uint32_t slots_required) {
-  if (path.empty()) return std::nullopt;
+  if (path.empty() || slots_required == 0) return std::nullopt;
   RouteTree shape = RouteTree::from_path(*topo_, path, {}, tdm::kNoChannel);
   const auto avail = free_inject_slots(shape);
   auto slots = choose_slots(avail, slots_required);
@@ -98,8 +115,7 @@ void SlotAllocator::release(const RouteTree& route) {
 }
 
 std::optional<RouteTree> SlotAllocator::allocate(const ChannelSpec& spec) {
-  assert(!spec.dst_nis.empty());
-  assert(topo_->is_ni(spec.src_ni));
+  if (!valid_spec(spec)) return std::nullopt;
   if (spec.dst_nis.size() == 1) return allocate_unicast(spec);
   return allocate_multicast(spec);
 }

@@ -48,12 +48,20 @@ class SlotAllocator {
   const topo::Topology& topology() const { return *topo_; }
 
   /// Allocate a channel (unicast or multicast). Returns the route with a
-  /// fresh ChannelId, or nullopt if no path/slot combination fits.
+  /// fresh ChannelId, or nullopt if the spec is invalid (see valid_spec)
+  /// or no path/slot combination fits.
   std::optional<RouteTree> allocate(const ChannelSpec& spec);
 
   /// Allocate along a caller-chosen path (slots only). Used by tests and
-  /// by the multipath allocator.
+  /// by the multipath allocator. Rejects empty paths and zero-slot
+  /// requests (a zero-bandwidth channel would leak ChannelIds and
+  /// live-channel accounting).
   std::optional<RouteTree> allocate_on_path(const topo::Path& path, std::uint32_t slots_required);
+
+  /// A spec is allocatable only if it asks for at least one slot, names a
+  /// valid source NI and at least one destination NI, and its destination
+  /// list contains no duplicates and not the source.
+  bool valid_spec(const ChannelSpec& spec) const;
 
   /// Free every reservation of the route's channel.
   void release(const RouteTree& route);

@@ -9,6 +9,10 @@ namespace daelite::alloc {
 
 std::optional<MultipathRoute> MultipathAllocator::allocate(const ChannelSpec& spec) {
   assert(spec.dst_nis.size() == 1 && "multipath applies to unicast channels");
+  // Mirror the base allocator's spec validation: a zero-slot request would
+  // otherwise fall through the single-path attempt and "succeed" with an
+  // empty part list.
+  if (!base_->valid_spec(spec)) return std::nullopt;
 
   // Prefer a single path when one fits — multipath is the fallback that
   // combines residual capacity, never a replacement that fragments it.

@@ -26,7 +26,9 @@ std::optional<UseCaseAllocation> allocate_use_case(SlotAllocator& alloc, const U
     }
     conn.request = std::move(*r);
 
-    if (spec.dst_nis.size() == 1) {
+    // response_slots == 0 means "no response channel" — a zero-slot
+    // allocation must not be attempted (the allocator rejects it).
+    if (spec.dst_nis.size() == 1 && spec.response_slots > 0) {
       ChannelSpec resp;
       resp.src_ni = spec.dst_nis[0];
       resp.dst_nis = {spec.src_ni};

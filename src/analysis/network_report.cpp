@@ -41,6 +41,7 @@ sim::JsonValue NetworkReport::to_json() const {
     jc["measured_mbps"] = c.measured_mbps;
     jc["worst_latency_ns"] = c.worst_latency_ns;
     jc["met"] = c.met;
+    jc["latency_cycles"] = sim::to_json(c.latency);
     conns.push_back(std::move(jc));
   }
   v["connections"] = std::move(conns);
@@ -53,6 +54,9 @@ sim::JsonValue NetworkReport::to_json() const {
     jl["reserved"] = u.reserved;
     jl["total"] = u.total;
     jl["utilization"] = u.utilization();
+    jl["busy_slots"] = u.busy_slots;
+    jl["slots_elapsed"] = u.slots_elapsed;
+    jl["measured_utilization"] = u.measured_utilization();
     jlinks.push_back(std::move(jl));
   }
   v["links"] = std::move(jlinks);
@@ -92,6 +96,17 @@ void print_report(std::ostream& os, const NetworkReport& r, std::size_t top_link
   }
   lt.print(os);
   os << (r.ok ? "OK\n" : "FAILED\n");
+}
+
+void print_connection_latency(std::ostream& os, const NetworkReport& r) {
+  TextTable t("per-connection latency (cycles)");
+  t.set_header({"connection", "words", "min", "p50", "p90", "p99", "max"});
+  for (const ConnectionOutcome& c : r.connections) {
+    t.add_row({c.name, std::to_string(c.latency.count()), fmt(c.latency.min(), 0),
+               std::to_string(c.latency.quantile(0.50)), std::to_string(c.latency.quantile(0.90)),
+               std::to_string(c.latency.quantile(0.99)), fmt(c.latency.max(), 0)});
+  }
+  t.print(os);
 }
 
 std::vector<LinkUsage> link_usage(const topo::Topology& t, const tdm::Schedule& s) {

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/stats.hpp"
 #include "sim/types.hpp"
 #include "tdm/schedule.hpp"
 #include "topology/graph.hpp"
@@ -28,8 +29,16 @@ struct LinkUsage {
   std::string to;
   std::size_t reserved = 0;
   std::uint32_t total = 0;
+  std::uint64_t busy_slots = 0;    ///< slots a valid flit actually crossed the link
+  std::uint64_t slots_elapsed = 0; ///< TDM slots elapsed in the measured window
 
   double utilization() const { return total ? static_cast<double>(reserved) / total : 0.0; }
+  /// Measured occupancy of the run (busy slots / elapsed slots), as opposed
+  /// to the schedule-reservation ratio above. 0 when nothing was measured.
+  double measured_utilization() const {
+    return slots_elapsed ? static_cast<double>(busy_slots) / static_cast<double>(slots_elapsed)
+                         : 0.0;
+  }
 };
 
 /// Per-link reservation summary, sorted by descending utilization.
@@ -54,6 +63,9 @@ struct ConnectionOutcome {
   double measured_mbps = 0.0;
   double worst_latency_ns = 0.0;
   bool met = false;
+  /// End-to-end word latency (cycles) across all of the connection's
+  /// destination queues — per-connection quantiles in the JSON report.
+  sim::Histogram latency{1024};
 };
 
 /// Everything one scenario run produced, in machine-readable form — the
@@ -83,6 +95,9 @@ struct NetworkReport {
 
 /// Human-readable rendering of a report (the daelite_sim text output).
 void print_report(std::ostream& os, const NetworkReport& r, std::size_t top_links = 8);
+
+/// Per-connection latency quantile table (the --per-connection text output).
+void print_connection_latency(std::ostream& os, const NetworkReport& r);
 
 /// Print the top-n busiest links as a table.
 void print_link_usage(std::ostream& os, const topo::Topology& t, const tdm::Schedule& s,

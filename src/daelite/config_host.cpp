@@ -15,6 +15,13 @@ void ConfigModule::enqueue_packet(std::vector<std::uint8_t> words, bool is_path,
   queue_.push(Packet{std::move(words), is_path, expects_response});
 }
 
+void ConfigModule::enqueue_marker(sim::TraceEvent event, std::uint64_t arg) {
+  Packet p;
+  p.marker = event;
+  p.marker_arg = arg;
+  queue_.push(std::move(p));
+}
+
 bool ConfigModule::idle() const {
   return !streaming_ && queue_.size() == 0 && queue_.pending_pushes() == 0 &&
          cooldown_left_ == 0 && !awaiting_response_;
@@ -37,17 +44,27 @@ void ConfigModule::tick() {
     return;
   }
 
-  if (!streaming_ && queue_.poppable() > 0) {
-    current_ = queue_.pop();
+  // Markers consume no stream cycles: drain any run of them (emitting
+  // their trace records at the current cycle) until a real packet starts.
+  while (!streaming_ && queue_.poppable() > 0) {
+    Packet p = queue_.pop();
+    if (p.marker != sim::TraceEvent::kNone) {
+      trace(p.marker, p.marker_arg);
+      continue;
+    }
+    current_ = std::move(p);
     index_ = 0;
     streaming_ = true;
   }
 
   if (streaming_) {
+    if (index_ == 0)
+      trace(sim::TraceEvent::kCfgPacketBegin, packets_sent_, current_.words.size());
     fwd_out_.set(CfgWord{true, current_.words[index_]});
     ++words_sent_;
     if (++index_ == current_.words.size()) {
       streaming_ = false;
+      trace(sim::TraceEvent::kCfgPacketEnd, packets_sent_);
       ++packets_sent_;
       if (current_.is_path) cooldown_left_ = params_.cool_down_cycles;
       if (current_.expects_response) awaiting_response_ = true;

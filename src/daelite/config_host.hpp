@@ -45,6 +45,12 @@ class ConfigModule : public sim::Component {
   void enqueue_packet(std::vector<std::uint8_t> words, bool is_path,
                       bool expects_response = false);
 
+  /// Enqueue a trace marker: a zero-word pseudo-packet that consumes no
+  /// cycles and emits one trace record when the stream reaches it. Used to
+  /// turn connection set-up / tear-down sequences into timeline spans with
+  /// cycle-accurate start/end (the paper's Table-3 set-up times).
+  void enqueue_marker(sim::TraceEvent event, std::uint64_t arg = 0);
+
   /// True when every enqueued packet has been fully serialized, the
   /// cool-down elapsed, and no response is outstanding. Words may still be
   /// propagating down the tree — allow 2*depth cycles of drain.
@@ -67,6 +73,8 @@ class ConfigModule : public sim::Component {
     std::vector<std::uint8_t> words;
     bool is_path = false;
     bool expects_response = false;
+    sim::TraceEvent marker = sim::TraceEvent::kNone; ///< != kNone: zero-cycle trace marker
+    std::uint64_t marker_arg = 0;
   };
 
   Params params_;

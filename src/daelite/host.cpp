@@ -21,7 +21,9 @@ std::optional<HostController::OpenResult> HostController::open(topo::NodeId src,
   }
   conn.request = std::move(*r);
 
-  if (dsts.size() == 1) {
+  // response_slots == 0 means "no response channel" — a zero-slot
+  // allocation must not be attempted (the allocator rejects it).
+  if (dsts.size() == 1 && response_slots > 0) {
     alloc::ChannelSpec resp;
     resp.src_ni = dsts[0];
     resp.dst_nis = {src};

@@ -130,6 +130,8 @@ ConnectionHandle DaeliteNetwork::open_connection(const alloc::AllocatedConnectio
   ConnectionHandle h;
   h.conn = conn;
   const alloc::RouteTree& req = conn.request;
+  const std::uint64_t seq = setup_seq_++;
+  config_module_->enqueue_marker(sim::TraceEvent::kSetupBegin, seq);
 
   h.src_tx_q = alloc_tx_queue(req.src_ni);
   for (topo::NodeId dst : req.dst_nis) h.dst_rx_qs.push_back(alloc_rx_queue(dst));
@@ -165,11 +167,14 @@ ConnectionHandle DaeliteNetwork::open_connection(const alloc::AllocatedConnectio
     config_module_->enqueue_packet(
         encode_set_flags(src_id, h.src_tx_q, kFlagTxEnabled | kFlagFlowCtrlOff), false);
   }
+  config_module_->enqueue_marker(sim::TraceEvent::kSetupEnd, seq);
   return h;
 }
 
 void DaeliteNetwork::close_connection(const ConnectionHandle& h) {
   const alloc::RouteTree& req = h.conn.request;
+  const std::uint64_t seq = teardown_seq_++;
+  config_module_->enqueue_marker(sim::TraceEvent::kTeardownBegin, seq);
   // Disable the sources first, then clear the tables.
   config_module_->enqueue_packet(encode_set_flags(cfg_ids_.at(req.src_ni), h.src_tx_q, 0), false);
   if (h.conn.has_response) {
@@ -186,6 +191,7 @@ void DaeliteNetwork::close_connection(const ConnectionHandle& h) {
     free_tx_queue(req.dst_nis[0], h.dst_tx_q);
     free_rx_queue(req.src_ni, h.src_rx_q);
   }
+  config_module_->enqueue_marker(sim::TraceEvent::kTeardownEnd, seq);
 }
 
 bool DaeliteNetwork::config_idle() const { return config_module_->idle(); }

@@ -125,6 +125,9 @@ class DaeliteNetwork {
 
   std::map<topo::NodeId, std::vector<bool>> tx_queue_used_;
   std::map<topo::NodeId, std::vector<bool>> rx_queue_used_;
+
+  std::uint64_t setup_seq_ = 0;    ///< trace-span sequence numbers (arg0 of the
+  std::uint64_t teardown_seq_ = 0; ///< kSetup*/kTeardown* marker records)
 };
 
 } // namespace daelite::hw

@@ -82,6 +82,7 @@ void Ni::tick() {
       ++ch.stats.flits_sent;
       out.debug_channel = ch.debug_channel;
       out.debug_seq = ch.seq++;
+      trace(sim::TraceEvent::kFlitInject, tx_q, can_send);
     }
 
     // Piggyback credits of the paired rx channel (3 wires * W cycles).
@@ -93,10 +94,14 @@ void Ni::tick() {
         out.credit = c;
         prx.pending.sub(c);
         ch.stats.credits_sent += c;
+        trace(sim::TraceEvent::kCreditSend, tx_q, c);
       }
     }
     out.valid = can_send > 0 || out.credit > 0;
-    if (out.valid) out.inject_cycle = now();
+    if (out.valid) {
+      out.inject_cycle = now();
+      ++stats_.link_busy_slots;
+    }
   }
   output_.set(out);
 
@@ -106,6 +111,7 @@ void Ni::tick() {
   const tdm::ChannelId rx_q = table_.rx_channel(slot);
   if (rx_q == tdm::kNoChannel || rx_q >= rx_.size()) {
     ++stats_.flits_dropped;
+    trace(sim::TraceEvent::kFlitDrop, slot);
     return;
   }
   auto& ch = rx_[rx_q];
@@ -114,18 +120,24 @@ void Ni::tick() {
     if (!in.data_valid[i]) continue;
     if (ch.queue.next_size() >= params_.queue_capacity) {
       ++stats_.rx_overflow;
+      trace(sim::TraceEvent::kRxOverflow, rx_q);
       continue;
     }
     ch.queue.push(in.data[i]);
     ++ch.stats.words_received;
   }
-  if (in.inject_cycle != sim::kNoCycle && in.any_data())
-    stats_.latency.add(now() - in.inject_cycle);
+  if (in.inject_cycle != sim::kNoCycle && in.any_data()) {
+    const sim::Cycle lat = now() - in.inject_cycle;
+    stats_.latency.add(lat);
+    ch.latency.add(lat);
+    trace(sim::TraceEvent::kFlitDeliver, rx_q, lat);
+  }
 
   if (in.credit > 0) {
     if (ch.paired_tx != kCfgNoQueue && ch.paired_tx < tx_.size()) {
       tx_[ch.paired_tx].space.add(in.credit);
       ch.stats.credits_received += in.credit;
+      trace(sim::TraceEvent::kCreditReceive, rx_q, in.credit);
     } else {
       ++stats_.credits_lost;
     }
@@ -139,8 +151,10 @@ void Ni::cfg_apply_path(std::uint64_t slot_mask, std::uint8_t port_word, bool se
   const std::uint8_t queue = port_word & kCfgQueueMask;
   if (queue >= params_.num_channels) {
     ++stats_.cfg_errors;
+    trace(sim::TraceEvent::kCfgError, port_word);
     return;
   }
+  trace(sim::TraceEvent::kTableWrite, slot_mask, port_word | (setup ? 0x100u : 0u));
   for (tdm::Slot s = 0; s < params_.tdm.num_slots; ++s) {
     if ((slot_mask & (1ull << s)) == 0) continue;
     if (is_tx) {

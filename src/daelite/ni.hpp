@@ -50,6 +50,7 @@ class Ni : public sim::Component, public ConfigTarget {
     std::uint64_t credits_lost = 0;   ///< credit arrived on an unpaired rx channel
     std::uint64_t cfg_errors = 0;
     std::uint64_t tx_stalled_slots = 0; ///< owned slot unused for lack of credits
+    std::uint64_t link_busy_slots = 0;  ///< valid flits driven onto the output link
     sim::Histogram latency{4096};       ///< flit network latency, cycles
   };
 
@@ -94,6 +95,9 @@ class Ni : public sim::Component, public ConfigTarget {
   const Stats& stats() const { return stats_; }
   const ChannelStats& tx_stats(std::size_t q) const { return tx_[q].stats; }
   const ChannelStats& rx_stats(std::size_t q) const { return rx_[q].stats; }
+  /// End-to-end flit latency of one rx channel — the per-connection view
+  /// (stats().latency aggregates every channel of the NI).
+  const sim::Histogram& rx_latency(std::size_t q) const { return rx_[q].latency; }
 
   void tick() override;
 
@@ -124,6 +128,7 @@ class Ni : public sim::Component, public ConfigTarget {
     sim::CounterReg pending;                ///< delivered words awaiting credit return
     std::uint8_t paired_tx = kCfgNoQueue;   ///< tx queue refilled by arriving credits
     ChannelStats stats;
+    sim::Histogram latency{1024};           ///< flit network latency, cycles
   };
 
   std::uint8_t cfg_id_;

@@ -24,6 +24,7 @@ Router::Router(sim::Kernel& k, std::string name, std::uint8_t cfg_id, std::size_
   assert(num_inputs <= 8 && num_outputs <= 8 && "port ids are 3 bits in config words");
   for (auto& o : outputs_) own(o);
   consumed_.resize(num_inputs, false);
+  forwarded_per_out_.resize(num_outputs, 0);
 }
 
 void Router::tick() {
@@ -39,6 +40,8 @@ void Router::tick() {
       if (f.valid) {
         consumed_[in] = true;
         ++stats_.flits_forwarded;
+        ++forwarded_per_out_[o];
+        trace(sim::TraceEvent::kFlitForward, o, in);
       }
     }
     outputs_[o].set(f);
@@ -48,6 +51,7 @@ void Router::tick() {
     ++stats_.flits_in;
     if (!consumed_[i]) {
       ++stats_.flits_dropped;
+      trace(sim::TraceEvent::kFlitDrop, slot, i);
       sim::log_debug(name(), "dropped flit at input ", i, " slot ", slot,
                      " (no slot-table entry)");
     }
@@ -57,6 +61,7 @@ void Router::tick() {
 void Router::cfg_apply_path(std::uint64_t slot_mask, std::uint8_t port_word, bool setup) {
   const std::uint8_t in = router_in_port(port_word);
   const std::uint8_t out = router_out_port(port_word);
+  trace(sim::TraceEvent::kTableWrite, slot_mask, port_word | (setup ? 0x100u : 0u));
   for (tdm::Slot s = 0; s < params_.num_slots; ++s) {
     if ((slot_mask & (1ull << s)) == 0) continue;
     if (setup) {

@@ -55,6 +55,10 @@ class Router : public sim::Component, public ConfigTarget {
   std::size_t num_inputs() const { return inputs_.size(); }
   std::size_t num_outputs() const { return outputs_.size(); }
 
+  /// Flits forwarded onto one output port's link — the per-link TDM
+  /// occupancy counter (stats().flits_forwarded aggregates all outputs).
+  std::uint64_t forwarded_on(std::size_t out_port) const { return forwarded_per_out_[out_port]; }
+
   void tick() override;
 
   // ConfigTarget
@@ -82,6 +86,7 @@ class Router : public sim::Component, public ConfigTarget {
   std::vector<sim::Reg<Flit>> outputs_;
   ConfigAgent cfg_agent_;
   Stats stats_;
+  std::vector<std::uint64_t> forwarded_per_out_; ///< per-output-link forwarded flits
   std::vector<bool> consumed_; ///< per-tick scratch: inputs consumed this slot
 };
 

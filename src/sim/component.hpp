@@ -16,14 +16,15 @@
 // delay through every Reg.
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "sim/kernel.hpp"
+#include "sim/trace.hpp"
 #include "sim/types.hpp"
 
 namespace daelite::sim {
-
-class Kernel;
 
 /// Type-erased register interface so a Component can commit all of its
 /// registers generically.
@@ -92,10 +93,32 @@ class Component {
   /// Declare a member Reg as part of this component's sequential state.
   void own(RegBase& reg) { regs_.push_back(&reg); }
 
+  /// Append a structured trace record under this component's name. With no
+  /// tracer attached (or a disabled one) this is a branch or two and no
+  /// stores — cheap enough to leave in every model's hot path.
+  void trace(TraceEvent event, std::uint64_t arg0 = 0, std::uint64_t arg1 = 0) const {
+    Tracer* t = kernel_->tracer();
+    if (t == nullptr || !t->enabled()) return;
+    if (trace_owner_ != t) { // interned id is per-tracer; revalidate on swap
+      trace_id_ = t->intern(name_);
+      trace_owner_ = t;
+    }
+    t->record(kernel_->now(), trace_id_, event, arg0, arg1);
+  }
+
+  /// True when trace() would record — guards event argument computation
+  /// too expensive for the hot path.
+  bool tracing() const {
+    const Tracer* t = kernel_->tracer();
+    return t != nullptr && t->enabled();
+  }
+
  private:
   Kernel* kernel_;
   std::string name_;
   std::vector<RegBase*> regs_;
+  mutable std::uint32_t trace_id_ = 0;          ///< interned lazily on first trace()
+  mutable const Tracer* trace_owner_ = nullptr; ///< tracer trace_id_ belongs to
 };
 
 } // namespace daelite::sim

@@ -14,6 +14,7 @@
 namespace daelite::sim {
 
 class Component;
+class Tracer;
 
 class Kernel {
  public:
@@ -38,6 +39,13 @@ class Kernel {
 
   std::size_t component_count() const { return components_.size(); }
 
+  /// Attach a structured event tracer (sim/trace.hpp). The kernel does not
+  /// own it; pass nullptr to detach. Components check this pointer on
+  /// every trace() call, so attaching before or after construction both
+  /// work — attach before for complete traces.
+  void set_tracer(Tracer* t) { tracer_ = t; }
+  Tracer* tracer() const { return tracer_; }
+
  private:
   friend class Component;
   void add(Component* c) { components_.push_back(c); }
@@ -45,6 +53,7 @@ class Kernel {
 
   std::vector<Component*> components_;
   Cycle now_ = 0;
+  Tracer* tracer_ = nullptr;
 };
 
 } // namespace daelite::sim

@@ -10,7 +10,11 @@ std::uint64_t Histogram::quantile(double q) const {
   const std::uint64_t n = count();
   if (n == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
-  const auto target = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n)));
+  // "At least q of the samples are <= v" needs at least one sample even at
+  // q = 0 — an unclamped target of 0 would return bucket 0 regardless of
+  // where the smallest sample actually lies.
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n))));
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     seen += buckets_[i];

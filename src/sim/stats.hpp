@@ -26,35 +26,57 @@ class Counter {
   std::uint64_t value_ = 0;
 };
 
-/// Accumulates count / sum / min / max / sum-of-squares of a scalar sample
-/// stream; derives mean and population variance.
+/// Accumulates count / sum / min / max of a scalar sample stream; derives
+/// mean and population variance via Welford's online algorithm (the naive
+/// sum-of-squares formula cancels catastrophically for large means and can
+/// go negative; Welford's M2 is a sum of squared deviations and cannot).
 class ScalarStat {
  public:
   void add(double v) {
     ++count_;
     sum_ += v;
-    sum_sq_ += v * v;
+    const double delta = v - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (v - mean_);
     min_ = std::min(min_, v);
     max_ = std::max(max_, v);
+  }
+
+  /// Fold another stream into this one (Chan et al. parallel combine).
+  void merge(const ScalarStat& o) {
+    if (o.count_ == 0) return;
+    if (count_ == 0) {
+      *this = o;
+      return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(o.count_);
+    const double delta = o.mean_ - mean_;
+    mean_ += delta * n2 / (n1 + n2);
+    m2_ += o.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+    count_ += o.count_;
+    sum_ += o.sum_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
   }
 
   void reset() { *this = ScalarStat{}; }
 
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
-  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double mean() const { return count_ ? mean_ : 0.0; }
   double min() const { return count_ ? min_ : 0.0; }
   double max() const { return count_ ? max_ : 0.0; }
   double variance() const {
     if (count_ == 0) return 0.0;
-    const double m = mean();
-    return sum_sq_ / static_cast<double>(count_) - m * m;
+    return std::max(0.0, m2_ / static_cast<double>(count_));
   }
 
  private:
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
-  double sum_sq_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0; ///< sum of squared deviations from the running mean
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
 };
@@ -78,6 +100,21 @@ class Histogram {
     std::fill(buckets_.begin(), buckets_.end(), 0);
     overflow_ = 0;
     scalar_.reset();
+  }
+
+  /// Fold another histogram into this one. Buckets beyond this histogram's
+  /// capacity land in the overflow bucket.
+  void merge(const Histogram& o) {
+    for (std::size_t i = 0; i < o.buckets_.size(); ++i) {
+      if (o.buckets_[i] == 0) continue;
+      if (i < buckets_.size()) {
+        buckets_[i] += o.buckets_[i];
+      } else {
+        overflow_ += o.buckets_[i];
+      }
+    }
+    overflow_ += o.overflow_;
+    scalar_.merge(o.scalar_);
   }
 
   std::uint64_t count() const { return scalar_.count(); }

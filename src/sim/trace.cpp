@@ -1,28 +1,96 @@
 #include "sim/trace.hpp"
 
 #include <ostream>
-#include <utility>
 
 namespace daelite::sim {
 
-void Tracer::record(Cycle cycle, std::string source, std::string event, std::string detail) {
-  if (!enabled_) return;
-  records_.push_back(TraceRecord{cycle, std::move(source), std::move(event), std::move(detail)});
+std::string_view trace_event_name(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::kNone: return "none";
+    case TraceEvent::kFlitInject: return "inject";
+    case TraceEvent::kFlitDeliver: return "deliver";
+    case TraceEvent::kFlitDrop: return "drop";
+    case TraceEvent::kFlitForward: return "forward";
+    case TraceEvent::kRxOverflow: return "rx.overflow";
+    case TraceEvent::kCreditSend: return "credit.send";
+    case TraceEvent::kCreditReceive: return "credit.recv";
+    case TraceEvent::kTableWrite: return "cfg.write";
+    case TraceEvent::kCfgError: return "cfg.error";
+    case TraceEvent::kCollision: return "collision";
+    case TraceEvent::kSetupBegin:
+    case TraceEvent::kSetupEnd: return "setup";
+    case TraceEvent::kTeardownBegin:
+    case TraceEvent::kTeardownEnd: return "teardown";
+    case TraceEvent::kCfgPacketBegin:
+    case TraceEvent::kCfgPacketEnd: return "cfg.packet";
+    case TraceEvent::kPhaseBegin:
+    case TraceEvent::kPhaseEnd: return "phase";
+  }
+  return "?";
 }
 
-std::size_t Tracer::count(std::string_view event) const {
+char trace_event_phase(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::kSetupBegin:
+    case TraceEvent::kTeardownBegin:
+    case TraceEvent::kCfgPacketBegin:
+    case TraceEvent::kPhaseBegin: return 'B';
+    case TraceEvent::kSetupEnd:
+    case TraceEvent::kTeardownEnd:
+    case TraceEvent::kCfgPacketEnd:
+    case TraceEvent::kPhaseEnd: return 'E';
+    default: return 'i';
+  }
+}
+
+Tracer::CompId Tracer::intern(std::string_view name) {
+  const auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  const auto id = static_cast<CompId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+const std::string& Tracer::name(CompId id) const {
+  static const std::string kUnknown;
+  return id < names_.size() ? names_[id] : kUnknown;
+}
+
+std::vector<TraceRecord> Tracer::snapshot() const {
+  std::vector<TraceRecord> out;
+  out.reserve(ring_.size());
+  for_each([&](const TraceRecord& r) { out.push_back(r); });
+  return out;
+}
+
+void Tracer::clear() {
+  ring_.clear();
+  head_ = 0;
+  dropped_ = 0;
+}
+
+std::size_t Tracer::count(TraceEvent event) const {
   std::size_t n = 0;
-  for (const auto& r : records_)
+  for (const TraceRecord& r : ring_)
     if (r.event == event) ++n;
   return n;
 }
 
+std::size_t Tracer::count(std::string_view event) const {
+  std::size_t n = 0;
+  for (const TraceRecord& r : ring_)
+    if (trace_event_name(r.event) == event) ++n;
+  return n;
+}
+
 void Tracer::dump(std::ostream& os) const {
-  for (const auto& r : records_) {
-    os << r.cycle << ' ' << r.source << ' ' << r.event;
-    if (!r.detail.empty()) os << " : " << r.detail;
-    os << '\n';
-  }
+  for_each([&](const TraceRecord& r) {
+    os << r.cycle << ' ' << name(r.comp) << ' ' << trace_event_name(r.event);
+    const char ph = trace_event_phase(r.event);
+    if (ph != 'i') os << (ph == 'B' ? ".begin" : ".end");
+    os << ' ' << r.arg0 << ' ' << r.arg1 << '\n';
+  });
 }
 
 } // namespace daelite::sim

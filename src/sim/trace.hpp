@@ -1,47 +1,150 @@
 #pragma once
-// Lightweight event tracing: components append (cycle, source, event,
-// detail) records; tests and examples inspect or dump them. This replaces
-// waveform dumping for a software model — the records are the observable
-// micro-architectural events (flit injected, slot-table written, credit
-// returned, ...).
+// Structured event tracing: components append fixed-size binary records
+// (cycle, interned component id, event enum, two 64-bit args) to a bounded
+// ring buffer. This replaces waveform dumping for a software model — the
+// records are the observable micro-architectural events (flit injected,
+// slot-table written, credit returned, set-up span, ...).
+//
+// Design constraints, in order:
+//   * the disabled path must cost one predictable branch — benches run with
+//     tracing off and must not pay for it;
+//   * the enabled path is a handful of stores into a preallocated ring, no
+//     allocation and no string formatting per event (names are interned
+//     once per component);
+//   * memory is bounded: the ring holds at most `capacity` records and
+//     overwrites the oldest once full (`dropped()` counts the overwritten
+//     ones), so a week-long run cannot exhaust memory;
+//   * records carry enough structure for tools: sim::write_chrome_trace
+//     (trace_sink.hpp) exports any tracer to a Chrome trace_event JSON.
+//
+// One Tracer belongs to one Kernel (one simulation job); it is not
+// thread-safe and must not be shared across jobs.
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/types.hpp"
 
 namespace daelite::sim {
 
+/// Every traceable micro-architectural event. Spans come in Begin/End
+/// pairs; everything else is a point event.
+enum class TraceEvent : std::uint16_t {
+  kNone = 0,
+  // Point events (args documented per emitter).
+  kFlitInject,     ///< NI departure: arg0 = tx queue, arg1 = words sent
+  kFlitDeliver,    ///< NI arrival: arg0 = rx queue, arg1 = latency (cycles)
+  kFlitDrop,       ///< arrival in a slot with no mapping: arg0 = slot
+  kFlitForward,    ///< router copy: arg0 = output port, arg1 = input port
+  kRxOverflow,     ///< word lost to a full rx queue: arg0 = rx queue
+  kCreditSend,     ///< arg0 = tx queue carrying them, arg1 = credits
+  kCreditReceive,  ///< arg0 = rx queue they arrived on, arg1 = credits
+  kTableWrite,     ///< config applied: arg0 = slot mask, arg1 = port word
+  kCfgError,       ///< malformed / misaddressed config op
+  kCollision,      ///< aelite: two inputs claimed one output, arg0 = output
+  // Span events.
+  kSetupBegin,     ///< connection set-up streaming: arg0 = connection seq
+  kSetupEnd,
+  kTeardownBegin,  ///< connection tear-down streaming: arg0 = connection seq
+  kTeardownEnd,
+  kCfgPacketBegin, ///< one configuration packet: arg0 = packet seq, arg1 = words
+  kCfgPacketEnd,
+  kPhaseBegin,     ///< run phase: arg0 = interned phase-name id
+  kPhaseEnd,
+};
+
+/// Short stable tag for an event ("inject", "setup", ...). Begin/End pairs
+/// share one tag; tools distinguish them via trace_event_phase().
+std::string_view trace_event_name(TraceEvent e);
+
+/// 'B' (span begin), 'E' (span end) or 'i' (instant) — the Chrome
+/// trace_event phase letter of the record.
+char trace_event_phase(TraceEvent e);
+
+/// One binary trace record: 32 bytes, POD, no ownership.
 struct TraceRecord {
   Cycle cycle = 0;
-  std::string source; ///< component name
-  std::string event;  ///< short event tag, e.g. "inject", "cfg.write"
-  std::string detail; ///< free-form payload description
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+  std::uint32_t comp = 0; ///< interned component id (Tracer::name())
+  TraceEvent event = TraceEvent::kNone;
 };
 
 class Tracer {
  public:
+  using CompId = std::uint32_t;
+  static constexpr std::size_t kDefaultCapacity = 1u << 20; ///< records (32 MiB)
+
   /// A disabled tracer drops records (the default for benches).
-  explicit Tracer(bool enabled = true) : enabled_(enabled) {}
+  explicit Tracer(bool enabled = true, std::size_t capacity = kDefaultCapacity)
+      : enabled_(enabled), capacity_(capacity ? capacity : 1) {}
 
   void set_enabled(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
+  std::size_t capacity() const { return capacity_; }
 
-  void record(Cycle cycle, std::string source, std::string event, std::string detail = {});
+  /// Intern a component (or label) name; stable id for the tracer's
+  /// lifetime. Call once at set-up, not per event.
+  CompId intern(std::string_view name);
 
-  const std::vector<TraceRecord>& records() const { return records_; }
-  void clear() { records_.clear(); }
+  /// Name of an interned id (empty for unknown ids).
+  const std::string& name(CompId id) const;
+  std::size_t interned_count() const { return names_.size(); }
 
-  /// Count records whose event tag equals `event`.
+  /// Append one record. The disabled path is a single branch; the enabled
+  /// path is a few stores into the ring (grows lazily up to capacity, then
+  /// wraps, overwriting the oldest record).
+  void record(Cycle cycle, CompId comp, TraceEvent event, std::uint64_t arg0 = 0,
+              std::uint64_t arg1 = 0) {
+    if (!enabled_) return;
+    if (ring_.size() < capacity_) {
+      ring_.push_back(TraceRecord{cycle, arg0, arg1, comp, event});
+      return;
+    }
+    ring_[head_] = TraceRecord{cycle, arg0, arg1, comp, event};
+    if (++head_ == capacity_) head_ = 0;
+    ++dropped_;
+  }
+
+  /// Records currently held (<= capacity()).
+  std::size_t size() const { return ring_.size(); }
+  /// Records overwritten after the ring filled up.
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Visit records oldest-first.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t i = head_; i < ring_.size(); ++i) f(ring_[i]);
+    for (std::size_t i = 0; i < head_; ++i) f(ring_[i]);
+  }
+
+  /// Oldest-first copy (tests and small exports).
+  std::vector<TraceRecord> snapshot() const;
+
+  void clear();
+
+  /// Count records of one event kind.
+  std::size_t count(TraceEvent event) const;
+
+  /// Back-compat: count records whose event tag equals `event` (Begin/End
+  /// pairs share a tag, so count("setup") counts both ends of every span).
   std::size_t count(std::string_view event) const;
 
-  /// Write all records, one per line, to `os`.
+  /// Back-compat: write all records, one text line per record, to `os`.
   void dump(std::ostream& os) const;
 
  private:
   bool enabled_;
-  std::vector<TraceRecord> records_;
+  std::size_t capacity_;
+  std::size_t head_ = 0; ///< next overwrite position once the ring is full
+  std::uint64_t dropped_ = 0;
+  std::vector<TraceRecord> ring_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, CompId> ids_;
 };
 
 } // namespace daelite::sim

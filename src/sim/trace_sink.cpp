@@ -1,0 +1,98 @@
+#include "sim/trace_sink.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "sim/json.hpp"
+
+namespace daelite::sim {
+
+namespace {
+
+/// Display name of one record. Phase spans are named by their interned
+/// label (arg0); connection spans carry the connection sequence number so
+/// concurrent set-ups stay distinguishable in the viewer.
+std::string record_name(const Tracer& t, const TraceRecord& r) {
+  switch (r.event) {
+    case TraceEvent::kPhaseBegin:
+    case TraceEvent::kPhaseEnd: {
+      const std::string& label = t.name(static_cast<Tracer::CompId>(r.arg0));
+      return label.empty() ? std::string(trace_event_name(r.event)) : label;
+    }
+    case TraceEvent::kSetupBegin:
+    case TraceEvent::kSetupEnd:
+    case TraceEvent::kTeardownBegin:
+    case TraceEvent::kTeardownEnd:
+      return std::string(trace_event_name(r.event)) + " #" + std::to_string(r.arg0);
+    default:
+      return std::string(trace_event_name(r.event));
+  }
+}
+
+} // namespace
+
+JsonValue chrome_trace_json(const Tracer& t, const ChromeTraceOptions& options) {
+  JsonValue events = JsonValue::array();
+
+  // Metadata: name the process and one synthetic thread per component.
+  {
+    JsonValue m = JsonValue::object();
+    m["name"] = "process_name";
+    m["ph"] = "M";
+    m["pid"] = 0;
+    m["tid"] = 0;
+    JsonValue args = JsonValue::object();
+    args["name"] = options.process_name;
+    m["args"] = std::move(args);
+    events.push_back(std::move(m));
+  }
+  for (std::size_t id = 0; id < t.interned_count(); ++id) {
+    JsonValue m = JsonValue::object();
+    m["name"] = "thread_name";
+    m["ph"] = "M";
+    m["pid"] = 0;
+    m["tid"] = static_cast<std::uint64_t>(id);
+    JsonValue args = JsonValue::object();
+    args["name"] = t.name(static_cast<Tracer::CompId>(id));
+    m["args"] = std::move(args);
+    events.push_back(std::move(m));
+  }
+
+  t.for_each([&](const TraceRecord& r) {
+    JsonValue e = JsonValue::object();
+    e["name"] = record_name(t, r);
+    const char ph = trace_event_phase(r.event);
+    e["ph"] = std::string(1, ph);
+    e["ts"] = r.cycle;
+    e["pid"] = 0;
+    e["tid"] = static_cast<std::uint64_t>(r.comp);
+    if (ph == 'i') e["s"] = "t"; // thread-scoped instant
+    if (ph != 'E') {             // 'E' args would duplicate the 'B' ones
+      JsonValue args = JsonValue::object();
+      args["arg0"] = r.arg0;
+      args["arg1"] = r.arg1;
+      e["args"] = std::move(args);
+    }
+    events.push_back(std::move(e));
+  });
+
+  JsonValue doc = JsonValue::object();
+  doc["traceEvents"] = std::move(events);
+  doc["displayTimeUnit"] = "ns";
+  if (t.dropped() > 0) doc["droppedEvents"] = t.dropped();
+  return doc;
+}
+
+void write_chrome_trace(std::ostream& os, const Tracer& t, const ChromeTraceOptions& options) {
+  os << chrome_trace_json(t, options).dump() << "\n";
+}
+
+bool write_chrome_trace_file(const std::string& path, const Tracer& t,
+                             const ChromeTraceOptions& options) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_chrome_trace(os, t, options);
+  return os.good();
+}
+
+} // namespace daelite::sim

@@ -1,0 +1,41 @@
+#pragma once
+// Trace exporters: turn a Tracer's binary ring into files tools understand.
+//
+// The only format currently supported is the Chrome trace_event JSON
+// ("JSON Object Format": {"traceEvents": [...]}), which chrome://tracing
+// and Perfetto open directly. Mapping:
+//   * one process (pid 0) per tracer, one "thread" (tid) per interned
+//     component, named via 'M' (metadata) events;
+//   * span records (setup / teardown / cfg.packet / phase) become 'B'/'E'
+//     duration events, so connection set-up shows as a timeline slice;
+//   * everything else becomes a thread-scoped instant ('i') event;
+//   * ts is the simulation cycle (displayTimeUnit "ns": 1 cycle renders as
+//     1 ns; wall-clock time never enters the document, so exports are
+//     byte-deterministic for a deterministic simulation).
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace daelite::sim {
+
+class JsonValue;
+
+struct ChromeTraceOptions {
+  std::string process_name = "daelite"; ///< shown as the pid row label
+};
+
+/// Build the Chrome trace document for `t` (oldest record first).
+JsonValue chrome_trace_json(const Tracer& t, const ChromeTraceOptions& options = {});
+
+/// Serialize chrome_trace_json() to `os` (compact, one trailing newline).
+void write_chrome_trace(std::ostream& os, const Tracer& t,
+                        const ChromeTraceOptions& options = {});
+
+/// Convenience: write to `path`; returns false if the file cannot be
+/// opened (the caller owns error reporting).
+bool write_chrome_trace_file(const std::string& path, const Tracer& t,
+                             const ChromeTraceOptions& options = {});
+
+} // namespace daelite::sim

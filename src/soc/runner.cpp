@@ -5,6 +5,7 @@
 #include "alloc/dimension.hpp"
 #include "daelite/network.hpp"
 #include "sim/random.hpp"
+#include "sim/trace.hpp"
 
 namespace daelite::soc {
 
@@ -87,15 +88,27 @@ analysis::NetworkReport run_scenario(const RunSpec& spec) {
   report.schedule_utilization = dim->schedule_utilization;
 
   sim::Kernel kernel;
+  kernel.set_tracer(spec.tracer);
   hw::DaeliteNetwork::Options opt;
   opt.tdm = dim->params;
   opt.cfg_root = mesh.ni(sc.host.first, sc.host.second);
   hw::DaeliteNetwork net(kernel, mesh.topo, opt);
   if (spec.on_network) spec.on_network(kernel, net);
 
+  // Phase spans: the runner's own coarse timeline on top of the per-element
+  // event stream (the config module emits the per-connection set-up spans).
+  sim::Tracer* tr = (spec.tracer != nullptr && spec.tracer->enabled()) ? spec.tracer : nullptr;
+  const std::uint32_t scen_id = tr ? tr->intern("scenario") : 0;
+  const auto phase_mark = [&](sim::TraceEvent e, std::string_view label) {
+    if (tr) tr->record(kernel.now(), scen_id, e, tr->intern(label));
+  };
+
+  phase_mark(sim::TraceEvent::kPhaseBegin, "configure");
   std::vector<hw::ConnectionHandle> handles;
   for (const auto& c : dim->allocation.connections) handles.push_back(net.open_connection(c));
   report.cfg_cycles = net.run_config();
+  phase_mark(sim::TraceEvent::kPhaseEnd, "configure");
+  phase_mark(sim::TraceEvent::kPhaseBegin, "traffic");
 
   // Saturated traffic: sources push as fast as the NI accepts, sinks drain
   // every cycle; delivered words per destination measure achieved bandwidth.
@@ -114,6 +127,7 @@ analysis::NetworkReport run_scenario(const RunSpec& spec) {
     }
     kernel.step();
   }
+  phase_mark(sim::TraceEvent::kPhaseEnd, "traffic");
 
   bool all_met = true;
   for (std::size_t i = 0; i < handles.size(); ++i) {
@@ -130,6 +144,11 @@ analysis::NetworkReport run_scenario(const RunSpec& spec) {
     out.worst_latency_ns = dim->connections[i].worst_latency_ns;
     out.met = mbps + 1.0 >= out.contract_mbps;
     all_met = all_met && out.met;
+    // End-to-end latency over every destination queue of the connection.
+    for (std::size_t d = 0; d < handles[i].dst_rx_qs.size(); ++d) {
+      const hw::Ni& dst = net.ni(handles[i].conn.request.dst_nis[d]);
+      out.latency.merge(dst.rx_latency(handles[i].dst_rx_qs[d]));
+    }
     report.connections.push_back(std::move(out));
   }
 
@@ -143,6 +162,17 @@ analysis::NetworkReport run_scenario(const RunSpec& spec) {
   report.links.erase(std::find_if(report.links.begin(), report.links.end(),
                                   [](const analysis::LinkUsage& u) { return u.reserved == 0; }),
                      report.links.end());
+
+  // Measured per-link occupancy: slots in which a valid flit actually
+  // crossed the link, from the upstream element's per-output counter.
+  const std::uint64_t slots_elapsed = sc.run_cycles / dim->params.words_per_slot;
+  for (analysis::LinkUsage& u : report.links) {
+    const topo::Link& link = mesh.topo.link(u.link);
+    u.busy_slots = mesh.topo.is_router(link.src)
+                       ? net.router(link.src).forwarded_on(link.src_port)
+                       : net.ni(link.src).stats().link_busy_slots;
+    u.slots_elapsed = slots_elapsed;
+  }
 
   report.router_drops = net.total_router_drops();
   report.ni_drops = net.total_ni_drops();

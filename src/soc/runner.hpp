@@ -22,6 +22,7 @@ class DaeliteNetwork;
 
 namespace daelite::sim {
 class Kernel;
+class Tracer;
 }
 
 namespace daelite::soc {
@@ -40,6 +41,10 @@ struct RunSpec {
   /// probes or extra instrumentation here. Objects the hook creates must
   /// outlive the run_scenario() call.
   std::function<void(sim::Kernel&, hw::DaeliteNetwork&)> on_network;
+  /// Non-null: attach this tracer to the job's kernel. Every hardware
+  /// element records into it and the runner adds configure/traffic phase
+  /// spans; export with sim::write_chrome_trace(). Must outlive the call.
+  sim::Tracer* tracer = nullptr;
 };
 
 /// Execute one spec to completion. Never throws on scenario-level problems:

@@ -221,6 +221,99 @@ TEST(SlotAllocator, MulticastTreeSharesTrunkLinks) {
   EXPECT_EQ(r->edges.size(), 6u);
 }
 
+TEST(SlotAllocator, RejectsInvalidSpecs) {
+  const auto m = topo::make_mesh(3, 3);
+  SlotAllocator alloc(m.topo, tdm::daelite_params(8));
+  ChannelSpec spec;
+  spec.src_ni = m.ni(0, 0);
+  spec.dst_nis = {m.ni(2, 2)};
+
+  // Zero bandwidth must fail cleanly, not commit an empty reservation: the
+  // old behaviour burned a ChannelId and bumped the live-channel count for
+  // a channel release() could never free.
+  spec.slots_required = 0;
+  EXPECT_FALSE(alloc.valid_spec(spec));
+  EXPECT_FALSE(alloc.allocate(spec).has_value());
+  EXPECT_EQ(alloc.allocated_channels(), 0u);
+  EXPECT_DOUBLE_EQ(alloc.schedule().utilization(), 0.0);
+
+  spec.slots_required = 1;
+  spec.dst_nis = {};
+  EXPECT_FALSE(alloc.allocate(spec).has_value());
+  spec.dst_nis = {spec.src_ni}; // destination == source
+  EXPECT_FALSE(alloc.allocate(spec).has_value());
+  spec.dst_nis = {m.ni(2, 2), m.ni(2, 2)}; // duplicate destination
+  EXPECT_FALSE(alloc.allocate(spec).has_value());
+  spec.dst_nis = {m.router(1, 1)}; // router is not a valid endpoint
+  EXPECT_FALSE(alloc.allocate(spec).has_value());
+
+  // The rejections left no residue.
+  spec.dst_nis = {m.ni(2, 2)};
+  const auto r = alloc.allocate(spec);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->channel, 0u); // no ChannelId was burned by the failures
+  EXPECT_EQ(alloc.allocated_channels(), 1u);
+}
+
+TEST(SlotAllocator, AllocateOnPathRejectsDegenerateRequests) {
+  const auto m = topo::make_mesh(3, 3);
+  SlotAllocator alloc(m.topo, tdm::daelite_params(8));
+  EXPECT_FALSE(alloc.allocate_on_path(topo::Path{}, 1).has_value());
+  const topo::Path p = path_between(m.topo, m.ni(0, 0), m.ni(2, 2));
+  EXPECT_FALSE(alloc.allocate_on_path(p, 0).has_value());
+  EXPECT_EQ(alloc.allocated_channels(), 0u);
+  EXPECT_TRUE(alloc.allocate_on_path(p, 1).has_value());
+}
+
+TEST(SlotAllocator, MulticastReleaseAndRestoreAccounting) {
+  const auto m = topo::make_mesh(4, 4);
+  SlotAllocator alloc(m.topo, tdm::daelite_params(16));
+  ChannelSpec spec;
+  spec.src_ni = m.ni(0, 0);
+  spec.dst_nis = {m.ni(3, 0), m.ni(0, 3), m.ni(3, 3)};
+  spec.slots_required = 2;
+  const auto r = alloc.allocate(spec);
+  ASSERT_TRUE(r.has_value());
+  // One live channel for the whole tree, not one per destination.
+  EXPECT_EQ(alloc.allocated_channels(), 1u);
+  const std::size_t reservations = alloc.schedule().reservations_of(r->channel);
+  EXPECT_EQ(reservations, 2u * r->edges.size());
+
+  alloc.release(*r);
+  EXPECT_EQ(alloc.allocated_channels(), 0u);
+  EXPECT_DOUBLE_EQ(alloc.schedule().utilization(), 0.0);
+  // Releasing an already-released route must not underflow the count.
+  alloc.release(*r);
+  EXPECT_EQ(alloc.allocated_channels(), 0u);
+
+  // Restore re-reserves the identical (link, slot, channel) set.
+  ASSERT_TRUE(alloc.restore(*r));
+  EXPECT_EQ(alloc.allocated_channels(), 1u);
+  EXPECT_EQ(alloc.schedule().reservations_of(r->channel), reservations);
+}
+
+TEST(SlotAllocator, RestoreRollsBackOnConflict) {
+  const auto m = topo::make_mesh(4, 4);
+  SlotAllocator alloc(m.topo, tdm::daelite_params(16));
+  ChannelSpec spec;
+  spec.src_ni = m.ni(0, 0);
+  spec.dst_nis = {m.ni(3, 0), m.ni(3, 3)};
+  spec.slots_required = 2;
+  const auto r = alloc.allocate(spec);
+  ASSERT_TRUE(r.has_value());
+  alloc.release(*r);
+
+  // Steal one of the released (link, slot) pairs for another channel.
+  const RouteEdge& e = r->edges.front();
+  const tdm::Slot stolen = alloc.params().slot_at_link(r->inject_slots[0], e.depth);
+  ASSERT_TRUE(alloc.reserve_raw(e.link, stolen, r->channel + 1));
+
+  // Restore must fail and leave none of its own reservations behind.
+  EXPECT_FALSE(alloc.restore(*r));
+  EXPECT_EQ(alloc.allocated_channels(), 0u);
+  EXPECT_EQ(alloc.schedule().reservations_of(r->channel), 0u);
+}
+
 TEST(SlotAllocator, FirstFitPicksLowestSlots) {
   const auto m = topo::make_mesh(2, 2);
   alloc::AllocatorOptions opt;

@@ -254,20 +254,93 @@ TEST(Histogram, OverflowBucket) {
   EXPECT_EQ(h.max(), 100.0);
 }
 
+TEST(Histogram, QuantileZeroIsMinimum) {
+  // Regression: ceil(0 * n) == 0 made quantile(0.0) scan for a cumulative
+  // count of 0, which the first non-empty bucket always satisfies — so a
+  // stream with no samples below 5 reported quantile(0.0) == 0 instead of 5.
+  Histogram h(16);
+  for (std::uint64_t v = 5; v <= 9; ++v) h.add(v);
+  EXPECT_EQ(h.quantile(0.0), 5u);
+  EXPECT_EQ(h.quantile(0.0), static_cast<std::uint64_t>(h.min()));
+  EXPECT_EQ(h.quantile(1.0), 9u);
+}
+
+TEST(Histogram, MergeCombinesBucketsAndOverflow) {
+  Histogram a(8);
+  Histogram b(16);
+  a.add(1);
+  a.add(2);
+  b.add(2);
+  b.add(12); // beyond a's capacity: must land in a's overflow
+  b.add(200);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_EQ(a.bucket(2), 2u);
+  EXPECT_EQ(a.overflow(), 2u);
+  EXPECT_EQ(a.min(), 1.0);
+  EXPECT_EQ(a.max(), 200.0);
+}
+
+TEST(ScalarStat, WelfordVarianceIsStableForLargeMeans) {
+  // Regression: the old sum-of-squares formula (E[x^2] - E[x]^2) cancels
+  // catastrophically when the mean dwarfs the spread and could go negative.
+  ScalarStat s;
+  const double base = 1e9;
+  for (double d : {0.0, 1.0, 2.0}) s.add(base + d);
+  EXPECT_GE(s.variance(), 0.0);
+  // Population variance of {0,1,2} is 2/3 regardless of offset.
+  EXPECT_NEAR(s.variance(), 2.0 / 3.0, 1e-3);
+  EXPECT_NEAR(s.mean(), base + 1.0, 1e-3);
+}
+
+TEST(ScalarStat, VarianceNeverNegative) {
+  ScalarStat s;
+  for (int i = 0; i < 100; ++i) s.add(1e12 + 0.1);
+  EXPECT_GE(s.variance(), 0.0);
+  EXPECT_NEAR(s.variance(), 0.0, 1e-3);
+}
+
+TEST(ScalarStat, MergeMatchesSequentialFeed) {
+  ScalarStat a;
+  ScalarStat b;
+  ScalarStat all;
+  for (int i = 0; i < 10; ++i) {
+    a.add(i);
+    all.add(i);
+  }
+  for (int i = 50; i < 70; ++i) {
+    b.add(i);
+    all.add(i);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
 TEST(Tracer, RecordsAndCounts) {
   Tracer t;
-  t.record(1, "a", "inject", "x");
-  t.record(2, "b", "inject");
-  t.record(3, "a", "deliver");
-  EXPECT_EQ(t.records().size(), 3u);
+  const auto a = t.intern("a");
+  const auto b = t.intern("b");
+  t.record(1, a, TraceEvent::kFlitInject, 7);
+  t.record(2, b, TraceEvent::kFlitInject);
+  t.record(3, a, TraceEvent::kFlitDeliver);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.count(TraceEvent::kFlitInject), 2u);
   EXPECT_EQ(t.count("inject"), 2u);
-  EXPECT_EQ(t.count("deliver"), 1u);
+  EXPECT_EQ(t.count(TraceEvent::kFlitDeliver), 1u);
+  EXPECT_EQ(t.name(a), "a");
+  EXPECT_EQ(t.intern("a"), a); // interning is idempotent
 }
 
 TEST(Tracer, DisabledDropsRecords) {
   Tracer t(false);
-  t.record(1, "a", "e");
-  EXPECT_TRUE(t.records().empty());
+  t.record(1, 0, TraceEvent::kFlitInject);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
 }
 
 TEST(Vcd, HeaderDeclaresSignalsInScopes) {

@@ -1,0 +1,225 @@
+// Structured tracer, Chrome trace_event export, and the end-to-end
+// observability wiring: scenario runs must produce one set-up span per
+// connection, per-connection latency histograms and measured per-link
+// occupancy, all bounded by the tracer's ring capacity.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/json.hpp"
+#include "sim/trace.hpp"
+#include "sim/trace_sink.hpp"
+#include "soc/runner.hpp"
+
+using namespace daelite;
+using namespace daelite::sim;
+
+TEST(Tracer, RingIsBoundedAndKeepsNewest) {
+  Tracer t(true, 4);
+  const auto c = t.intern("c");
+  for (Cycle i = 0; i < 10; ++i) t.record(i, c, TraceEvent::kFlitInject, i);
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.capacity(), 4u);
+  EXPECT_EQ(t.dropped(), 6u);
+  // Oldest-first iteration over the surviving (newest) records.
+  const auto snap = t.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].cycle, i + 6);
+    EXPECT_EQ(snap[i].arg0, i + 6);
+  }
+}
+
+TEST(Tracer, ClearEmptiesTheRing) {
+  Tracer t(true, 2);
+  const auto c = t.intern("c");
+  for (Cycle i = 0; i < 5; ++i) t.record(i, c, TraceEvent::kFlitInject);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+  t.record(9, c, TraceEvent::kFlitDeliver);
+  const auto snap = t.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].cycle, 9u);
+}
+
+TEST(Tracer, SpanTagCountsBothEnds) {
+  Tracer t;
+  t.record(1, 0, TraceEvent::kSetupBegin, 0);
+  t.record(5, 0, TraceEvent::kSetupEnd, 0);
+  t.record(6, 0, TraceEvent::kTeardownBegin, 0);
+  EXPECT_EQ(t.count(TraceEvent::kSetupBegin), 1u);
+  EXPECT_EQ(t.count(TraceEvent::kSetupEnd), 1u);
+  EXPECT_EQ(t.count("setup"), 2u); // tag is shared by Begin/End
+  EXPECT_EQ(t.count("teardown"), 1u);
+  std::ostringstream os;
+  t.dump(os);
+  EXPECT_NE(os.str().find("setup"), std::string::npos);
+}
+
+TEST(ChromeTrace, DocumentParsesAndMapsPhases) {
+  Tracer t;
+  const auto ni = t.intern("ni00");
+  t.record(5, ni, TraceEvent::kFlitInject, 1, 2);
+  t.record(7, ni, TraceEvent::kSetupBegin, 3);
+  t.record(9, ni, TraceEvent::kSetupEnd, 3);
+
+  const JsonValue doc = chrome_trace_json(t);
+  std::string err;
+  const auto parsed = JsonValue::parse(doc.dump(), &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+
+  const JsonValue* ev = parsed->find("traceEvents");
+  ASSERT_NE(ev, nullptr);
+  ASSERT_TRUE(ev->is_array());
+  // process_name + one thread_name + three records.
+  ASSERT_EQ(ev->size(), 5u);
+  EXPECT_EQ(ev->at(0).find("ph")->as_string(), "M");
+  EXPECT_EQ(ev->at(1).find("args")->find("name")->as_string(), "ni00");
+
+  const JsonValue& inject = ev->at(2);
+  EXPECT_EQ(inject.find("name")->as_string(), "inject");
+  EXPECT_EQ(inject.find("ph")->as_string(), "i");
+  EXPECT_EQ(inject.find("ts")->as_number(), 5.0);
+  EXPECT_EQ(inject.find("args")->find("arg1")->as_number(), 2.0);
+
+  const JsonValue& begin = ev->at(3);
+  EXPECT_EQ(begin.find("name")->as_string(), "setup #3");
+  EXPECT_EQ(begin.find("ph")->as_string(), "B");
+  const JsonValue& end = ev->at(4);
+  EXPECT_EQ(end.find("name")->as_string(), "setup #3");
+  EXPECT_EQ(end.find("ph")->as_string(), "E");
+  EXPECT_EQ(end.find("ts")->as_number(), 9.0);
+}
+
+TEST(ChromeTrace, ReportsDroppedEvents) {
+  Tracer t(true, 2);
+  for (Cycle i = 0; i < 5; ++i) t.record(i, 0, TraceEvent::kFlitInject);
+  const JsonValue doc = chrome_trace_json(t);
+  const JsonValue* dropped = doc.find("droppedEvents");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_EQ(dropped->as_number(), 3.0);
+}
+
+namespace {
+
+soc::Scenario small_scenario() {
+  soc::Scenario sc;
+  sc.kind = soc::Scenario::TopologyKind::kMesh;
+  sc.width = 2;
+  sc.height = 2;
+  sc.host = {0, 0};
+  sc.slots = 16;
+  sc.run_cycles = 2000;
+  soc::Scenario::RawConnection a;
+  a.name = "stream";
+  a.src = {0, 0};
+  a.dsts = {{1, 1}};
+  a.bandwidth = 100.0;
+  sc.raw.push_back(a);
+  soc::Scenario::RawConnection b;
+  b.name = "bcast";
+  b.src = {1, 0};
+  b.dsts = {{0, 1}, {1, 1}};
+  b.bandwidth = 50.0;
+  sc.raw.push_back(b);
+  return sc;
+}
+
+} // namespace
+
+TEST(RunScenarioTrace, OneSetupSpanPerConnection) {
+  Tracer tracer;
+  soc::RunSpec spec;
+  spec.label = "trace-test";
+  spec.scenario = small_scenario();
+  spec.tracer = &tracer;
+  const analysis::NetworkReport report = soc::run_scenario(spec);
+  ASSERT_EQ(report.error, "");
+  ASSERT_EQ(report.connections.size(), 2u);
+
+  // The config module emitted one cycle-accurate set-up span per connection
+  // (the acceptance criterion for the paper's Table-3 set-up timing).
+  EXPECT_EQ(tracer.count(TraceEvent::kSetupBegin), report.connections.size());
+  EXPECT_EQ(tracer.count(TraceEvent::kSetupEnd), report.connections.size());
+  // Runner phases: configure + traffic.
+  EXPECT_EQ(tracer.count(TraceEvent::kPhaseBegin), 2u);
+  EXPECT_EQ(tracer.count(TraceEvent::kPhaseEnd), 2u);
+  // Hardware events flowed into the same ring.
+  EXPECT_GT(tracer.count(TraceEvent::kTableWrite), 0u);
+  EXPECT_GT(tracer.count(TraceEvent::kFlitInject), 0u);
+  EXPECT_GT(tracer.count(TraceEvent::kFlitDeliver), 0u);
+
+  // The export is parseable and non-trivial.
+  std::ostringstream os;
+  write_chrome_trace(os, tracer);
+  std::string err;
+  const auto doc = JsonValue::parse(os.str(), &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  const JsonValue* ev = doc->find("traceEvents");
+  ASSERT_NE(ev, nullptr);
+  EXPECT_GT(ev->size(), 10u);
+}
+
+TEST(RunScenarioTrace, ExportIsDeterministic) {
+  std::string dumps[2];
+  for (auto& dump : dumps) {
+    Tracer tracer;
+    soc::RunSpec spec;
+    spec.scenario = small_scenario();
+    spec.tracer = &tracer;
+    const auto report = soc::run_scenario(spec);
+    ASSERT_EQ(report.error, "");
+    dump = chrome_trace_json(tracer).dump();
+  }
+  EXPECT_EQ(dumps[0], dumps[1]);
+}
+
+TEST(RunScenarioTrace, ReportCarriesLatencyAndLinkOccupancy) {
+  soc::RunSpec spec;
+  spec.scenario = small_scenario();
+  const analysis::NetworkReport report = soc::run_scenario(spec);
+  ASSERT_EQ(report.error, "");
+  ASSERT_EQ(report.connections.size(), 2u);
+
+  for (const auto& c : report.connections) {
+    EXPECT_GT(c.latency.count(), 0u) << c.name;
+    EXPECT_GE(c.latency.quantile(0.99), c.latency.quantile(0.50)) << c.name;
+    EXPECT_EQ(c.latency.quantile(0.0), static_cast<std::uint64_t>(c.latency.min())) << c.name;
+  }
+  ASSERT_FALSE(report.links.empty());
+  bool any_busy = false;
+  for (const auto& l : report.links) {
+    EXPECT_GT(l.slots_elapsed, 0u);
+    EXPECT_LE(l.measured_utilization(), 1.0);
+    any_busy = any_busy || l.busy_slots > 0;
+  }
+  EXPECT_TRUE(any_busy);
+
+  // The JSON report exposes both new sections.
+  const JsonValue v = report.to_json();
+  const JsonValue* conns = v.find("connections");
+  ASSERT_NE(conns, nullptr);
+  ASSERT_GT(conns->size(), 0u);
+  const JsonValue* lat = conns->at(0).find("latency_cycles");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_NE(lat->find("p50"), nullptr);
+  EXPECT_NE(lat->find("p99"), nullptr);
+  const JsonValue* links = v.find("links");
+  ASSERT_NE(links, nullptr);
+  ASSERT_GT(links->size(), 0u);
+  EXPECT_NE(links->at(0).find("busy_slots"), nullptr);
+  EXPECT_NE(links->at(0).find("measured_utilization"), nullptr);
+}
+
+TEST(RunScenarioTrace, DisabledTracerRecordsNothing) {
+  Tracer tracer(false);
+  soc::RunSpec spec;
+  spec.scenario = small_scenario();
+  spec.tracer = &tracer;
+  const auto report = soc::run_scenario(spec);
+  ASSERT_EQ(report.error, "");
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}

@@ -9,6 +9,8 @@
 //   --mesh WxHs,...    add synthetic corner-stress scenarios on these mesh
 //                      sizes (e.g. 3x3,4x4; suffix 't' for torus: 4x4t)
 //   --run-cycles C     override the run length of every job
+//   --trace DIR        write one Chrome trace_event file per job into DIR
+//   --per-connection   print per-job connection latency tables on stderr
 //   --list             print the expanded job list and exit
 //   --quiet            suppress per-job progress lines on stderr
 //
@@ -20,16 +22,20 @@
 // Exit status: 0 if every job met its contracts, 1 otherwise, 2 on usage
 // or spec errors.
 
+#include <cctype>
 #include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <vector>
 
 #include "sim/json.hpp"
 #include "sim/parallel.hpp"
+#include "sim/trace_sink.hpp"
 #include "soc/runner.hpp"
 
 using namespace daelite;
@@ -45,9 +51,21 @@ int usage() {
          "  --seeds K        sweep allocation-order seeds 1..K\n"
          "  --mesh WxH[t],.. add synthetic corner-stress scenarios (t = torus)\n"
          "  --run-cycles C   override run length for every job\n"
+         "  --trace DIR      one Chrome trace_event file per job in DIR\n"
+         "  --per-connection per-job connection latency tables on stderr\n"
          "  --list           print the expanded job list and exit\n"
          "  --quiet          no per-job progress on stderr\n";
   return 2;
+}
+
+/// Job label -> file name: anything outside [A-Za-z0-9._-] becomes '_', so
+/// "video[slots=16]" maps to the same file at any --jobs value.
+std::string trace_file_name(const std::string& label) {
+  std::string s = label;
+  for (char& c : s)
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '-' && c != '_' && c != '.')
+      c = '_';
+  return s + ".trace.json";
 }
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -126,6 +144,8 @@ int main(int argc, char** argv) {
   std::uint64_t seeds = 0;
   std::vector<std::string> mesh_specs;
   std::optional<sim::Cycle> run_cycles;
+  std::string trace_dir;
+  bool per_connection = false;
   bool list_only = false;
   bool quiet = false;
   std::vector<std::string> scenario_paths;
@@ -170,6 +190,12 @@ int main(int argc, char** argv) {
       const char* v = need("--run-cycles");
       if (!v) return usage();
       run_cycles = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      const char* v = need("--trace");
+      if (!v) return usage();
+      trace_dir = v;
+    } else if (std::strcmp(argv[i], "--per-connection") == 0) {
+      per_connection = true;
     } else if (std::strcmp(argv[i], "--list") == 0) {
       list_only = true;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
@@ -249,22 +275,47 @@ int main(int argc, char** argv) {
   }
 
   // --- Run -------------------------------------------------------------------
+  if (!trace_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(trace_dir, ec);
+    if (ec) {
+      std::cerr << "daelite_batch: cannot create " << trace_dir << ": " << ec.message() << "\n";
+      return 2;
+    }
+  }
   std::mutex progress_mu;
   std::size_t done = 0;
   const auto t0 = std::chrono::steady_clock::now();
   const auto results = sim::parallel_map<analysis::NetworkReport>(
       specs.size(), jobs, [&](std::size_t i) {
+        // Each job records into its own tracer and writes its own file, so
+        // trace output is per-label and identical at any --jobs value.
+        soc::RunSpec spec = specs[i];
+        std::unique_ptr<sim::Tracer> tracer;
+        if (!trace_dir.empty()) {
+          tracer = std::make_unique<sim::Tracer>();
+          spec.tracer = tracer.get();
+        }
         analysis::NetworkReport r;
         try {
-          r = soc::run_scenario(specs[i]);
+          r = soc::run_scenario(spec);
         } catch (const std::exception& e) {
-          r.label = specs[i].label;
+          r.label = spec.label;
           r.error = std::string("exception: ") + e.what();
         }
-        if (!quiet) {
+        if (tracer != nullptr) {
+          const std::string path = trace_dir + "/" + trace_file_name(spec.label);
+          if (!sim::write_chrome_trace_file(path, *tracer)) {
+            std::lock_guard<std::mutex> lock(progress_mu);
+            std::cerr << "daelite_batch: cannot write " << path << "\n";
+          }
+        }
+        if (!quiet || per_connection) {
           std::lock_guard<std::mutex> lock(progress_mu);
-          std::cerr << "[" << ++done << "/" << specs.size() << "] " << r.label << ": "
-                    << (r.ok ? "ok" : r.error.empty() ? "CONTRACT VIOLATED" : r.error) << "\n";
+          if (!quiet)
+            std::cerr << "[" << ++done << "/" << specs.size() << "] " << r.label << ": "
+                      << (r.ok ? "ok" : r.error.empty() ? "CONTRACT VIOLATED" : r.error) << "\n";
+          if (per_connection && r.error.empty()) analysis::print_connection_latency(std::cerr, r);
         }
         return r;
       });

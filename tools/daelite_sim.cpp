@@ -1,6 +1,7 @@
 // daelite_sim — command-line scenario driver.
 //
-//   daelite_sim <scenario file> [--vcd out.vcd] [--json out.json] [--quiet]
+//   daelite_sim <scenario file> [--vcd out.vcd] [--json out.json]
+//               [--trace out.trace.json] [--per-connection] [--quiet]
 //
 // Executes a scenario end to end through soc::run_scenario(): parse,
 // dimension (choosing the wheel size unless the scenario pins one),
@@ -9,7 +10,10 @@
 // cycles, and print the bandwidth / latency report plus schedule
 // utilization. Returns nonzero if any contract is missed or any flit is
 // dropped. --json additionally writes the metrics document the batch
-// runner (daelite_batch) emits for whole sweeps.
+// runner (daelite_batch) emits for whole sweeps. --trace records every
+// hardware event into a bounded ring and writes a Chrome trace_event file
+// (open in chrome://tracing or Perfetto). --per-connection prints the
+// per-connection latency quantile table.
 
 #include <cstring>
 #include <fstream>
@@ -18,6 +22,7 @@
 
 #include "daelite/vcd_probes.hpp"
 #include "sim/json.hpp"
+#include "sim/trace_sink.hpp"
 #include "soc/runner.hpp"
 
 using namespace daelite;
@@ -25,7 +30,8 @@ using namespace daelite;
 namespace {
 
 int usage() {
-  std::cerr << "usage: daelite_sim <scenario file> [--vcd out.vcd] [--json out.json] [--quiet]\n"
+  std::cerr << "usage: daelite_sim <scenario file> [--vcd out.vcd] [--json out.json]\n"
+               "                   [--trace out.trace.json] [--per-connection] [--quiet]\n"
                "see src/soc/scenario.hpp for the scenario grammar\n";
   return 2;
 }
@@ -36,12 +42,18 @@ int main(int argc, char** argv) {
   std::string scenario_path;
   std::string vcd_path;
   std::string json_path;
+  std::string trace_path;
+  bool per_connection = false;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--vcd") == 0 && i + 1 < argc) {
       vcd_path = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--per-connection") == 0) {
+      per_connection = true;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
     } else if (argv[i][0] == '-') {
@@ -62,6 +74,12 @@ int main(int argc, char** argv) {
   soc::RunSpec spec;
   spec.label = scenario_path;
   spec.scenario = *scenario;
+
+  std::unique_ptr<sim::Tracer> tracer;
+  if (!trace_path.empty()) {
+    tracer = std::make_unique<sim::Tracer>();
+    spec.tracer = tracer.get();
+  }
 
   // VCD probes attach once the network exists; the writer and sampler live
   // here so they survive until the run finishes.
@@ -87,6 +105,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (!quiet) analysis::print_report(std::cout, report);
+  if (per_connection) analysis::print_connection_latency(std::cout, report);
 
   if (!json_path.empty()) {
     std::ofstream os(json_path);
@@ -95,6 +114,10 @@ int main(int argc, char** argv) {
       return 2;
     }
     os << report.to_json().dump(2) << "\n";
+  }
+  if (tracer != nullptr && !sim::write_chrome_trace_file(trace_path, *tracer)) {
+    std::cerr << "daelite_sim: cannot open " << trace_path << "\n";
+    return 2;
   }
   return report.ok ? 0 : 1;
 }
