@@ -59,7 +59,9 @@ struct DaeliteRig {
 
   DaeliteRig(int w, int h, std::uint32_t slots,
              alloc::SlotPolicy policy = alloc::SlotPolicy::kSpread,
-             std::size_t queue_cap = 32) {
+             std::size_t queue_cap = 32,
+             sim::Scheduler scheduler = sim::Scheduler::kStride)
+      : kernel(scheduler) {
     mesh = topo::make_mesh(w, h);
     hw::DaeliteNetwork::Options opt;
     opt.tdm = tdm::daelite_params(slots);

@@ -7,7 +7,14 @@ namespace daelite::aelite {
 
 AeliteConfigHost::AeliteConfigHost(sim::Kernel& k, std::string name, const topo::Topology& topo,
                                    topo::NodeId host_ni, Params params)
-    : sim::Component(k, std::move(name)), topo_(&topo), host_ni_(host_ni), params_(params) {
+    // Slot-stride cadence is exact here: departures happen at reserved
+    // slot starts (multiples of words_per_slot) and every flight length is
+    // hop_cycles * distance with hop_cycles % words_per_slot == 0, so all
+    // arrival/response cycles are slot starts too.
+    : sim::Component(k, std::move(name), sim::Cadence{params.tdm.words_per_slot, 0}),
+      topo_(&topo),
+      host_ni_(host_ni),
+      params_(params) {
   assert(params_.tdm.valid());
   topo::PathFinder finder(topo);
   for (topo::NodeId n = 0; n < topo.node_count(); ++n) {

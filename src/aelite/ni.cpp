@@ -6,7 +6,7 @@
 namespace daelite::aelite {
 
 Ni::Ni(sim::Kernel& k, std::string name, Params params)
-    : sim::Component(k, std::move(name)),
+    : sim::Component(k, std::move(name), sim::Cadence{params.tdm.words_per_slot, 0}),
       params_(params),
       table_(params.tdm.num_slots),
       tx_(params.num_channels),
@@ -38,6 +38,7 @@ bool Ni::tx_push(std::size_t q, std::uint32_t word) {
   auto& ch = tx_[q];
   if (ch.queue.next_size() >= params_.queue_capacity) return false;
   ch.queue.push(word);
+  external_write();
   return true;
 }
 
@@ -45,6 +46,7 @@ std::optional<std::uint32_t> Ni::rx_pop(std::size_t q) {
   auto& ch = rx_[q];
   if (ch.queue.poppable() == 0) return std::nullopt;
   ch.pending.add(1);
+  external_write();
   return ch.queue.pop();
 }
 

@@ -10,7 +10,7 @@ constexpr std::uint8_t kNoRoute = 0xFF;
 
 Router::Router(sim::Kernel& k, std::string name, std::size_t num_inputs, std::size_t num_outputs,
                tdm::TdmParams params)
-    : sim::Component(k, std::move(name)),
+    : sim::Component(k, std::move(name), sim::Cadence{params.words_per_slot, 0}),
       params_(params),
       inputs_(num_inputs, nullptr),
       outputs_(num_outputs),

@@ -22,6 +22,9 @@ namespace daelite::analysis {
 
 /// 7-bit configuration words of one path packet for a segment with
 /// `elements` entries: header + mask words + 2/element + end marker.
+/// Assumes single-word element ids, i.e. networks of up to 126 elements
+/// (the paper's scale); larger networks spend 2 extra words per escaped
+/// id (see daelite/config.hpp).
 constexpr std::uint32_t path_packet_words(std::uint32_t elements, std::uint32_t num_slots) {
   return 1 + (num_slots + 6) / 7 + 2 * elements + 1;
 }

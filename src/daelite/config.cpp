@@ -1,6 +1,7 @@
 #include "daelite/config.hpp"
 
 #include <cassert>
+#include <initializer_list>
 
 namespace daelite::hw {
 
@@ -73,23 +74,23 @@ void ConfigAgent::process_word(std::uint8_t w) {
         case CfgOp::kSetFlags:
           op_ = static_cast<CfgOp>(w);
           args_.clear();
-          args_needed_ = 3;
-          state_ = State::kArgs;
+          args_needed_ = 2; // arguments after the element id
+          state_ = State::kArgId;
           ++packets_seen_;
           break;
         case CfgOp::kReadCredit:
         case CfgOp::kReadFlags:
           op_ = static_cast<CfgOp>(w);
           args_.clear();
-          args_needed_ = 2;
-          state_ = State::kArgs;
+          args_needed_ = 1;
+          state_ = State::kArgId;
           ++packets_seen_;
           break;
         case CfgOp::kBusWrite:
           op_ = static_cast<CfgOp>(w);
           args_.clear();
-          args_needed_ = 4;
-          state_ = State::kArgs;
+          args_needed_ = 3;
+          state_ = State::kArgId;
           ++packets_seen_;
           break;
         default:
@@ -109,8 +110,19 @@ void ConfigAgent::process_word(std::uint8_t w) {
         state_ = State::kIdle;
         break;
       }
+      if (w == kCfgIdEscape) {
+        pending_id_ = 0;
+        ext_words_left_ = 2;
+        state_ = State::kPairIdExt;
+        break;
+      }
       pending_id_ = w;
       state_ = State::kPairSecond;
+      break;
+    }
+    case State::kPairIdExt: {
+      pending_id_ = static_cast<std::uint16_t>((pending_id_ << 7) | (w & 0x7F));
+      if (--ext_words_left_ == 0) state_ = State::kPairSecond;
       break;
     }
     case State::kPairSecond: {
@@ -123,29 +135,45 @@ void ConfigAgent::process_word(std::uint8_t w) {
       state_ = State::kPairFirst;
       break;
     }
+    case State::kArgId: {
+      if (w == kCfgIdEscape) {
+        pending_id_ = 0;
+        ext_words_left_ = 2;
+        state_ = State::kArgIdExt;
+        break;
+      }
+      pending_id_ = w;
+      state_ = State::kArgs;
+      break;
+    }
+    case State::kArgIdExt: {
+      pending_id_ = static_cast<std::uint16_t>((pending_id_ << 7) | (w & 0x7F));
+      if (--ext_words_left_ == 0) state_ = State::kArgs;
+      break;
+    }
     case State::kArgs: {
       args_.push_back(w);
       if (args_.size() < args_needed_) break;
-      if (args_[0] == target_->cfg_id()) {
+      if (pending_id_ == target_->cfg_id()) {
         switch (op_) {
           case CfgOp::kWriteCredit:
-            target_->cfg_write_credit(args_[1], args_[2]);
+            target_->cfg_write_credit(args_[0], args_[1]);
             break;
           case CfgOp::kReadCredit:
-            resp_queue_.push_back(static_cast<std::uint8_t>(target_->cfg_read_credit(args_[1]) & 0x7F));
+            resp_queue_.push_back(static_cast<std::uint8_t>(target_->cfg_read_credit(args_[0]) & 0x7F));
             break;
           case CfgOp::kReadFlags:
-            resp_queue_.push_back(static_cast<std::uint8_t>(target_->cfg_read_flags(args_[1]) & 0x7F));
+            resp_queue_.push_back(static_cast<std::uint8_t>(target_->cfg_read_flags(args_[0]) & 0x7F));
             break;
           case CfgOp::kSetPair:
-            target_->cfg_set_pair(args_[1], args_[2]);
+            target_->cfg_set_pair(args_[0], args_[1]);
             break;
           case CfgOp::kSetFlags:
-            target_->cfg_set_flags(args_[1], args_[2]);
+            target_->cfg_set_flags(args_[0], args_[1]);
             break;
           case CfgOp::kBusWrite:
-            target_->cfg_bus_write(args_[1],
-                                   static_cast<std::uint16_t>((args_[2] << 7) | args_[3]));
+            target_->cfg_bus_write(args_[0],
+                                   static_cast<std::uint16_t>((args_[1] << 7) | args_[2]));
             break;
           default:
             ++protocol_errors_;
@@ -161,11 +189,21 @@ void ConfigAgent::process_word(std::uint8_t w) {
 // --- Host-side encoding ------------------------------------------------------
 
 CfgIdMap assign_cfg_ids(const topo::Topology& t) {
-  assert(t.node_count() <= 126 && "7-bit configuration ids support up to 126 elements");
+  assert(t.node_count() <= kCfgMaxId && "14-bit escaped configuration id space exhausted");
   CfgIdMap ids;
   for (topo::NodeId n = 0; n < t.node_count(); ++n)
-    ids[n] = static_cast<std::uint8_t>(n + 1); // 0 is reserved for padding
+    ids[n] = static_cast<std::uint16_t>(n + 1); // 0 is reserved for the escape/padding
   return ids;
+}
+
+void append_cfg_id(std::vector<std::uint8_t>& words, std::uint16_t id) {
+  if (id <= kCfgMaxDirectId) {
+    words.push_back(static_cast<std::uint8_t>(id));
+    return;
+  }
+  words.push_back(kCfgIdEscape);
+  words.push_back(static_cast<std::uint8_t>((id >> 7) & 0x7F));
+  words.push_back(static_cast<std::uint8_t>(id & 0x7F));
 }
 
 std::vector<std::uint8_t> encode_path_packet(const alloc::CfgSegment& seg,
@@ -182,7 +220,7 @@ std::vector<std::uint8_t> encode_path_packet(const alloc::CfgSegment& seg,
     words.push_back(static_cast<std::uint8_t>((mask >> (7 * i)) & 0x7F));
 
   for (const alloc::CfgElement& el : seg.elements) {
-    words.push_back(ids.at(el.node));
+    append_cfg_id(words, ids.at(el.node));
     if (el.is_ni) {
       words.push_back(el.is_source_ni ? encode_ni_port(true, el.out_port)
                                       : encode_ni_port(false, el.in_port));
@@ -194,33 +232,44 @@ std::vector<std::uint8_t> encode_path_packet(const alloc::CfgSegment& seg,
   return words;
 }
 
-std::vector<std::uint8_t> encode_write_credit(std::uint8_t ni_id, std::uint8_t queue,
+namespace {
+std::vector<std::uint8_t> encode_arg_op(CfgOp op, std::uint16_t ni_id,
+                                        std::initializer_list<std::uint8_t> args) {
+  std::vector<std::uint8_t> words{static_cast<std::uint8_t>(op)};
+  append_cfg_id(words, ni_id);
+  words.insert(words.end(), args);
+  return words;
+}
+} // namespace
+
+std::vector<std::uint8_t> encode_write_credit(std::uint16_t ni_id, std::uint8_t queue,
                                               std::uint8_t value) {
-  return {static_cast<std::uint8_t>(CfgOp::kWriteCredit), ni_id, queue, value};
+  return encode_arg_op(CfgOp::kWriteCredit, ni_id, {queue, value});
 }
 
-std::vector<std::uint8_t> encode_read_credit(std::uint8_t ni_id, std::uint8_t queue) {
-  return {static_cast<std::uint8_t>(CfgOp::kReadCredit), ni_id, queue};
+std::vector<std::uint8_t> encode_read_credit(std::uint16_t ni_id, std::uint8_t queue) {
+  return encode_arg_op(CfgOp::kReadCredit, ni_id, {queue});
 }
 
-std::vector<std::uint8_t> encode_read_flags(std::uint8_t ni_id, std::uint8_t queue) {
-  return {static_cast<std::uint8_t>(CfgOp::kReadFlags), ni_id, queue};
+std::vector<std::uint8_t> encode_read_flags(std::uint16_t ni_id, std::uint8_t queue) {
+  return encode_arg_op(CfgOp::kReadFlags, ni_id, {queue});
 }
 
-std::vector<std::uint8_t> encode_set_pair(std::uint8_t ni_id, std::uint8_t tx_queue,
+std::vector<std::uint8_t> encode_set_pair(std::uint16_t ni_id, std::uint8_t tx_queue,
                                           std::uint8_t rx_queue) {
-  return {static_cast<std::uint8_t>(CfgOp::kSetPair), ni_id, tx_queue, rx_queue};
+  return encode_arg_op(CfgOp::kSetPair, ni_id, {tx_queue, rx_queue});
 }
 
-std::vector<std::uint8_t> encode_set_flags(std::uint8_t ni_id, std::uint8_t queue,
+std::vector<std::uint8_t> encode_set_flags(std::uint16_t ni_id, std::uint8_t queue,
                                            std::uint8_t flags) {
-  return {static_cast<std::uint8_t>(CfgOp::kSetFlags), ni_id, queue, flags};
+  return encode_arg_op(CfgOp::kSetFlags, ni_id, {queue, flags});
 }
 
-std::vector<std::uint8_t> encode_bus_write(std::uint8_t ni_id, std::uint8_t addr,
+std::vector<std::uint8_t> encode_bus_write(std::uint16_t ni_id, std::uint8_t addr,
                                            std::uint16_t value) {
-  return {static_cast<std::uint8_t>(CfgOp::kBusWrite), ni_id, addr,
-          static_cast<std::uint8_t>((value >> 7) & 0x7F), static_cast<std::uint8_t>(value & 0x7F)};
+  return encode_arg_op(CfgOp::kBusWrite, ni_id,
+                       {addr, static_cast<std::uint8_t>((value >> 7) & 0x7F),
+                        static_cast<std::uint8_t>(value & 0x7F)});
 }
 
 } // namespace daelite::hw

@@ -20,7 +20,10 @@
 // Word encoding (7 bits, parameters of the paper's experiments: up to 64
 // network elements, router arity up to 7, end-to-end buffers up to 63
 // words):
-//   element id : 1..126 (0 = padding/nop, 127 = end-of-packet marker)
+//   element id : 1..126 direct (0 = padding/nop, 127 = end-of-packet marker);
+//                larger networks escape with a 0 word followed by two words
+//                carrying a 14-bit id (hi then lo), so streams for networks
+//                of up to 126 elements stay byte-identical to the paper's
 //   router port word : [6]=0 spare, [5:3]=input port, [2:0]=output port
 //   NI port word     : [6]=1 for tx (source NI), 0 for rx; [5:0]=queue index
 //   credit value     : [5:0]
@@ -58,6 +61,9 @@ enum class CfgOp : std::uint8_t {
 };
 
 inline constexpr std::uint8_t kCfgEndOfPacket = 0x7F;
+inline constexpr std::uint8_t kCfgIdEscape = 0;       ///< prefix of a two-word 14-bit id
+inline constexpr std::uint16_t kCfgMaxDirectId = 126; ///< largest single-word element id
+inline constexpr std::uint16_t kCfgMaxId = 0x3FFF;    ///< largest escaped (14-bit) id
 inline constexpr std::uint8_t kCfgNiTxBit = 0x40;     ///< NI port word: tx flag
 inline constexpr std::uint8_t kCfgQueueMask = 0x3F;   ///< NI port word: queue field
 inline constexpr std::uint8_t kCfgNoQueue = 0x3F;     ///< sentinel: no paired queue
@@ -84,7 +90,7 @@ class ConfigTarget {
  public:
   virtual ~ConfigTarget() = default;
 
-  virtual std::uint8_t cfg_id() const = 0;
+  virtual std::uint16_t cfg_id() const = 0;
   virtual bool cfg_is_ni() const = 0;
 
   /// Apply one matched (slots, ports) pair. `slot_mask` bit s set = slot s
@@ -130,8 +136,11 @@ class ConfigAgent : public sim::Component {
     kIdle,
     kMask,       // receiving slot-mask words
     kPairFirst,  // expecting element id or end marker
+    kPairIdExt,  // escaped two-word id inside a path packet
     kPairSecond, // expecting port/config word
-    kArgs,       // fixed-argument ops (credit/pair/flags/bus)
+    kArgId,      // fixed-argument ops: expecting the element id
+    kArgIdExt,   // fixed-argument ops: escaped two-word id
+    kArgs,       // fixed-argument ops: remaining arguments after the id
   };
 
   void process_word(std::uint8_t w);
@@ -158,7 +167,8 @@ class ConfigAgent : public sim::Component {
   CfgOp op_ = CfgOp::kNop;
   std::uint64_t mask_ = 0;
   std::uint32_t mask_words_left_ = 0;
-  std::uint8_t pending_id_ = 0;
+  std::uint16_t pending_id_ = 0;
+  std::uint8_t ext_words_left_ = 0; ///< escaped-id words still expected
   std::vector<std::uint8_t> args_;
   std::uint32_t args_needed_ = 0;
 
@@ -174,11 +184,17 @@ constexpr std::uint32_t cfg_mask_words(std::uint32_t num_slots) { return (num_sl
 
 // --- Host-side packet encoding ----------------------------------------------
 
-/// Map from topology node to its 7-bit configuration id.
-using CfgIdMap = std::map<topo::NodeId, std::uint8_t>;
+/// Map from topology node to its configuration id (single-word 1..126,
+/// escaped two-word beyond that).
+using CfgIdMap = std::map<topo::NodeId, std::uint16_t>;
 
-/// Assign ids 1..126 in node-id order. Throws via assert if > 126 elements.
+/// Assign ids 1.. in node-id order. Throws via assert if the 14-bit id
+/// space (kCfgMaxId elements) is exceeded.
 CfgIdMap assign_cfg_ids(const topo::Topology& t);
+
+/// Append an element id to a word stream: one word for ids 1..126, the
+/// 0-escape plus two 7-bit words (hi, lo) beyond.
+void append_cfg_id(std::vector<std::uint8_t>& words, std::uint16_t id);
 
 /// Encode one path segment into a configuration packet (7-bit words,
 /// without host-write padding). setup=false encodes a tear-down.
@@ -186,15 +202,15 @@ std::vector<std::uint8_t> encode_path_packet(const alloc::CfgSegment& seg,
                                              const tdm::TdmParams& params, const CfgIdMap& ids,
                                              bool setup);
 
-std::vector<std::uint8_t> encode_write_credit(std::uint8_t ni_id, std::uint8_t queue,
+std::vector<std::uint8_t> encode_write_credit(std::uint16_t ni_id, std::uint8_t queue,
                                               std::uint8_t value);
-std::vector<std::uint8_t> encode_read_credit(std::uint8_t ni_id, std::uint8_t queue);
-std::vector<std::uint8_t> encode_read_flags(std::uint8_t ni_id, std::uint8_t queue);
-std::vector<std::uint8_t> encode_set_pair(std::uint8_t ni_id, std::uint8_t tx_queue,
+std::vector<std::uint8_t> encode_read_credit(std::uint16_t ni_id, std::uint8_t queue);
+std::vector<std::uint8_t> encode_read_flags(std::uint16_t ni_id, std::uint8_t queue);
+std::vector<std::uint8_t> encode_set_pair(std::uint16_t ni_id, std::uint8_t tx_queue,
                                           std::uint8_t rx_queue);
-std::vector<std::uint8_t> encode_set_flags(std::uint8_t ni_id, std::uint8_t queue,
+std::vector<std::uint8_t> encode_set_flags(std::uint16_t ni_id, std::uint8_t queue,
                                            std::uint8_t flags);
-std::vector<std::uint8_t> encode_bus_write(std::uint8_t ni_id, std::uint8_t addr,
+std::vector<std::uint8_t> encode_bus_write(std::uint16_t ni_id, std::uint8_t addr,
                                            std::uint16_t value);
 
 } // namespace daelite::hw

@@ -8,11 +8,24 @@ ConfigModule::ConfigModule(sim::Kernel& k, std::string name, Params params)
   own(fwd_out_);
 }
 
+void ConfigModule::manage_tree(std::vector<sim::Component*> agents, sim::Cycle drain) {
+  tree_agents_ = std::move(agents);
+  tree_drain_ = drain;
+}
+
+void ConfigModule::wake_tree() {
+  idle_since_ = sim::kNoCycle;
+  kernel().wake(*this);
+  for (sim::Component* a : tree_agents_) kernel().wake(*a);
+}
+
 void ConfigModule::enqueue_packet(std::vector<std::uint8_t> words, bool is_path,
                                   bool expects_response) {
   // Host 32-bit writes carry 4 configuration words each; pad the tail.
   while (words.size() % 4 != 0) words.push_back(static_cast<std::uint8_t>(CfgOp::kNop));
   queue_.push(Packet{std::move(words), is_path, expects_response});
+  external_write();
+  wake_tree();
 }
 
 void ConfigModule::enqueue_marker(sim::TraceEvent event, std::uint64_t arg) {
@@ -20,11 +33,32 @@ void ConfigModule::enqueue_marker(sim::TraceEvent event, std::uint64_t arg) {
   p.marker = event;
   p.marker_arg = arg;
   queue_.push(std::move(p));
+  external_write();
+  wake_tree();
 }
 
 bool ConfigModule::idle() const {
   return !streaming_ && queue_.size() == 0 && queue_.pending_pushes() == 0 &&
-         cooldown_left_ == 0 && !awaiting_response_;
+         now() >= cooldown_until_ && !awaiting_response_;
+}
+
+void ConfigModule::maybe_sleep() {
+  // Only entered with fwd_out_ driven invalid this tick (which still
+  // commits this cycle), so the tree sees no word while we sleep.
+  if (!idle()) {
+    idle_since_ = sim::kNoCycle;
+    return;
+  }
+  if (idle_since_ == sim::kNoCycle) idle_since_ = now();
+  const sim::Cycle quiet_at = idle_since_ + tree_drain_;
+  if (now() >= quiet_at) {
+    // The last word left the module tree_drain_ cycles ago: every agent
+    // has forwarded and applied it, all tree registers are invalid.
+    for (sim::Component* a : tree_agents_) kernel().suspend(*a);
+    sleep(); // until the next enqueue_* wakes the tree
+  } else {
+    sleep_until(quiet_at);
+  }
 }
 
 void ConfigModule::tick() {
@@ -34,9 +68,12 @@ void ConfigModule::tick() {
     awaiting_response_ = false;
   }
 
-  if (cooldown_left_ > 0) {
-    --cooldown_left_;
+  if (now() < cooldown_until_) {
     fwd_out_.set(CfgWord{});
+    // Nothing can start before the cool-down elapses; the response path is
+    // only live when awaiting (then the arrival cycle is not ours to know,
+    // so stay awake and keep polling resp_in_).
+    if (!awaiting_response_) sleep_until(cooldown_until_);
     return;
   }
   if (awaiting_response_) {
@@ -66,11 +103,14 @@ void ConfigModule::tick() {
       streaming_ = false;
       trace(sim::TraceEvent::kCfgPacketEnd, packets_sent_);
       ++packets_sent_;
-      if (current_.is_path) cooldown_left_ = params_.cool_down_cycles;
+      // Cool-down ticks span the next cool_down_cycles cycles; streaming
+      // may resume the cycle after.
+      if (current_.is_path) cooldown_until_ = now() + 1 + params_.cool_down_cycles;
       if (current_.expects_response) awaiting_response_ = true;
     }
   } else {
     fwd_out_.set(CfgWord{});
+    maybe_sleep();
   }
 }
 

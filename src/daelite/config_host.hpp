@@ -60,6 +60,14 @@ class ConfigModule : public sim::Component {
   /// element to have processed the last word (2 cycles/hop + 1 to apply).
   static sim::Cycle drain_cycles(std::uint32_t tree_depth) { return 2ull * tree_depth + 2; }
 
+  /// Hand the module the configuration tree it feeds: once the module has
+  /// been idle for `drain` cycles (use drain_cycles(max tree depth)), every
+  /// agent is provably quiescent — all tree registers invalid, FSMs idle —
+  /// and the module suspends them (and itself) under the stride scheduler.
+  /// enqueue_packet()/enqueue_marker() wake the whole tree again. Purely a
+  /// scheduling optimisation: simulated behaviour is unchanged.
+  void manage_tree(std::vector<sim::Component*> agents, sim::Cycle drain);
+
   const std::vector<std::uint8_t>& responses() const { return responses_; }
   void clear_responses() { responses_.clear(); }
 
@@ -82,12 +90,23 @@ class ConfigModule : public sim::Component {
   sim::Reg<CfgWord> fwd_out_;
   const sim::Reg<CfgWord>* resp_in_ = nullptr;
 
+  void wake_tree();
+  void maybe_sleep();
+
   // Streaming state — only this component mutates it, during its tick.
   Packet current_;
   std::size_t index_ = 0;
   bool streaming_ = false;
-  std::uint32_t cooldown_left_ = 0;
+  /// First cycle after the post-packet cool-down (absolute, so the module
+  /// behaves identically whether it ticks through the cool-down or sleeps
+  /// across it under the stride scheduler).
+  sim::Cycle cooldown_until_ = 0;
   bool awaiting_response_ = false;
+
+  // Managed configuration tree (see manage_tree()).
+  std::vector<sim::Component*> tree_agents_;
+  sim::Cycle tree_drain_ = 0;
+  sim::Cycle idle_since_ = sim::kNoCycle;
 
   std::vector<std::uint8_t> responses_;
   std::uint64_t words_sent_ = 0;

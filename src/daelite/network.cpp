@@ -61,6 +61,15 @@ DaeliteNetwork::DaeliteNetwork(sim::Kernel& k, const topo::Topology& topo, Optio
     }
   }
   config_module_->connect_resp(&agent_of(cfg_tree_.root).resp_out());
+
+  // Let the module suspend the whole (otherwise per-cycle) configuration
+  // tree once it has drained — the dominant scheduling win on large
+  // meshes, where agents are half of all components.
+  std::vector<sim::Component*> agents;
+  agents.reserve(cfg_tree_.bfs_order.size());
+  for (topo::NodeId n : cfg_tree_.bfs_order) agents.push_back(&agent_of(n));
+  config_module_->manage_tree(std::move(agents),
+                              ConfigModule::drain_cycles(cfg_tree_.max_depth()));
 }
 
 // --- Queue management ----------------------------------------------------------
@@ -148,8 +157,8 @@ ConnectionHandle DaeliteNetwork::open_connection(const alloc::AllocatedConnectio
     post_route_setup(req, h.src_tx_q, h.dst_rx_qs);
     post_route_setup(conn.response, h.dst_tx_q, {h.src_rx_q});
 
-    const std::uint8_t src_id = cfg_ids_.at(req.src_ni);
-    const std::uint8_t dst_id = cfg_ids_.at(dst);
+    const std::uint16_t src_id = cfg_ids_.at(req.src_ni);
+    const std::uint16_t dst_id = cfg_ids_.at(dst);
     const auto cap = static_cast<std::uint8_t>(
         std::min<std::size_t>(options_.ni_queue_capacity, 63)); // 6-bit credit values
     config_module_->enqueue_packet(encode_set_pair(src_id, h.src_tx_q, h.src_rx_q), false);
@@ -162,7 +171,7 @@ ConnectionHandle DaeliteNetwork::open_connection(const alloc::AllocatedConnectio
     // Multicast: no response channel, flow control disabled (paper §IV:
     // "the default flow-control mechanism cannot be used").
     post_route_setup(req, h.src_tx_q, h.dst_rx_qs);
-    const std::uint8_t src_id = cfg_ids_.at(req.src_ni);
+    const std::uint16_t src_id = cfg_ids_.at(req.src_ni);
     config_module_->enqueue_packet(encode_set_pair(src_id, h.src_tx_q, kCfgNoQueue), false);
     config_module_->enqueue_packet(
         encode_set_flags(src_id, h.src_tx_q, kFlagTxEnabled | kFlagFlowCtrlOff), false);

@@ -7,8 +7,12 @@
 
 namespace daelite::hw {
 
-Ni::Ni(sim::Kernel& k, std::string name, std::uint8_t cfg_id, Params params)
-    : sim::Component(k, name),
+Ni::Ni(sim::Kernel& k, std::string name, std::uint16_t cfg_id, Params params)
+    // Slot-boundary cadence: the NI's tick only acts at slot starts. The
+    // shell-facing tx_push/rx_pop mutate queue registers on arbitrary
+    // cycles and report external_write() so those land on the same clock
+    // edge as under the per-cycle reference scheduler.
+    : sim::Component(k, name, sim::Cadence{params.tdm.words_per_slot, 0}),
       cfg_id_(cfg_id),
       params_(params),
       table_(params.tdm.num_slots),
@@ -35,6 +39,7 @@ bool Ni::tx_push(std::size_t q, std::uint32_t word) {
   auto& ch = tx_[q];
   if (ch.queue.next_size() >= params_.queue_capacity) return false;
   ch.queue.push(word);
+  external_write();
   return true;
 }
 
@@ -48,12 +53,25 @@ std::optional<std::uint32_t> Ni::rx_pop(std::size_t q) {
   auto& ch = rx_[q];
   if (ch.queue.poppable() == 0) return std::nullopt;
   ch.pending.add(1); // the word is now "delivered"; credit it back
+  external_write();
   return ch.queue.pop();
 }
 
 void Ni::set_pair_direct(std::size_t tx_q, std::size_t rx_q) {
   tx_[tx_q].paired_rx = static_cast<std::uint8_t>(rx_q);
   rx_[rx_q].paired_tx = static_cast<std::uint8_t>(tx_q);
+}
+
+bool Ni::quiescent() const {
+  if (output_.get().valid) return false;
+  if (input_ != nullptr && input_->get().valid) return false;
+  for (const TxChannel& ch : tx_) {
+    if (ch.queue.size() != 0 || ch.queue.pending_pushes() != 0) return false;
+  }
+  for (const RxChannel& ch : rx_) {
+    if (ch.pending.get() != 0) return false;
+  }
+  return true;
 }
 
 void Ni::tick() {

@@ -54,7 +54,7 @@ class Ni : public sim::Component, public ConfigTarget {
     sim::Histogram latency{4096};       ///< flit network latency, cycles
   };
 
-  Ni(sim::Kernel& k, std::string name, std::uint8_t cfg_id, Params params);
+  Ni(sim::Kernel& k, std::string name, std::uint16_t cfg_id, Params params);
 
   /// Wire the NI's network input to the router output register feeding it.
   void connect_input(const sim::Reg<Flit>* src) { input_ = src; }
@@ -100,9 +100,14 @@ class Ni : public sim::Component, public ConfigTarget {
   const sim::Histogram& rx_latency(std::size_t q) const { return rx_[q].latency; }
 
   void tick() override;
+  /// Nothing queued to send, no credits owed, no flit on the input or
+  /// output register: the tick would only rewrite an invalid output.
+  /// (Non-empty rx queues do not block quiescence — tick never reads them;
+  /// they drain through rx_pop, which reports an external write.)
+  bool quiescent() const override;
 
   // --- ConfigTarget -----------------------------------------------------------
-  std::uint8_t cfg_id() const override { return cfg_id_; }
+  std::uint16_t cfg_id() const override { return cfg_id_; }
   bool cfg_is_ni() const override { return true; }
   void cfg_apply_path(std::uint64_t slot_mask, std::uint8_t port_word, bool setup) override;
   void cfg_write_credit(std::uint8_t queue, std::uint8_t value) override;
@@ -131,7 +136,7 @@ class Ni : public sim::Component, public ConfigTarget {
     sim::Histogram latency{1024};           ///< flit network latency, cycles
   };
 
-  std::uint8_t cfg_id_;
+  std::uint16_t cfg_id_;
   Params params_;
   tdm::NiSlotTable table_;
   const sim::Reg<Flit>* input_ = nullptr;

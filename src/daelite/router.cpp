@@ -6,9 +6,12 @@
 
 namespace daelite::hw {
 
-Router::Router(sim::Kernel& k, std::string name, std::uint8_t cfg_id, std::size_t num_inputs,
+Router::Router(sim::Kernel& k, std::string name, std::uint16_t cfg_id, std::size_t num_inputs,
                std::size_t num_outputs, tdm::TdmParams params)
-    : sim::Component(k, name),
+    // The router only acts on slot boundaries, so it registers a tick
+    // stride of words_per_slot; the guard in tick() stays for the
+    // reference scheduler, which dispatches every cycle.
+    : sim::Component(k, name, sim::Cadence{params.words_per_slot, 0}),
       cfg_id_(cfg_id),
       params_(params),
       table_(num_outputs, params.num_slots),
@@ -56,6 +59,16 @@ void Router::tick() {
                      " (no slot-table entry)");
     }
   }
+}
+
+bool Router::quiescent() const {
+  for (const sim::Reg<Flit>* in : inputs_) {
+    if (in != nullptr && in->get().valid) return false;
+  }
+  for (const sim::Reg<Flit>& o : outputs_) {
+    if (o.get().valid) return false;
+  }
+  return true;
 }
 
 void Router::cfg_apply_path(std::uint64_t slot_mask, std::uint8_t port_word, bool setup) {

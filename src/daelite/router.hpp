@@ -35,7 +35,7 @@ class Router : public sim::Component, public ConfigTarget {
     std::uint64_t cfg_errors = 0;      ///< NI-only config ops addressed to this router
   };
 
-  Router(sim::Kernel& k, std::string name, std::uint8_t cfg_id, std::size_t num_inputs,
+  Router(sim::Kernel& k, std::string name, std::uint16_t cfg_id, std::size_t num_inputs,
          std::size_t num_outputs, tdm::TdmParams params);
 
   /// Wire input port `in_port` to the output register of the upstream
@@ -60,9 +60,12 @@ class Router : public sim::Component, public ConfigTarget {
   std::uint64_t forwarded_on(std::size_t out_port) const { return forwarded_per_out_[out_port]; }
 
   void tick() override;
+  /// No flit on any wired input or output register: forwarding would only
+  /// rewrite invalid flits, touching no counter and recording no trace.
+  bool quiescent() const override;
 
   // ConfigTarget
-  std::uint8_t cfg_id() const override { return cfg_id_; }
+  std::uint16_t cfg_id() const override { return cfg_id_; }
   bool cfg_is_ni() const override { return false; }
   void cfg_apply_path(std::uint64_t slot_mask, std::uint8_t port_word, bool setup) override;
   void cfg_write_credit(std::uint8_t, std::uint8_t) override { ++stats_.cfg_errors; }
@@ -79,7 +82,7 @@ class Router : public sim::Component, public ConfigTarget {
   void cfg_bus_write(std::uint8_t, std::uint16_t) override { ++stats_.cfg_errors; }
 
  private:
-  std::uint8_t cfg_id_;
+  std::uint16_t cfg_id_;
   tdm::TdmParams params_;
   tdm::RouterSlotTable table_;
   std::vector<const sim::Reg<Flit>*> inputs_;

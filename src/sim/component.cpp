@@ -6,8 +6,10 @@
 
 namespace daelite::sim {
 
-Component::Component(Kernel& kernel, std::string name)
-    : kernel_(&kernel), name_(std::move(name)) {
+Component::Component(Kernel& kernel, std::string name, Cadence cadence)
+    : kernel_(&kernel), name_(std::move(name)), cadence_(cadence) {
+  if (cadence_.stride == 0) cadence_.stride = 1;
+  cadence_.phase %= cadence_.stride;
   kernel_->add(this);
 }
 

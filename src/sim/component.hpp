@@ -68,9 +68,17 @@ class Reg : public RegBase {
 
 /// Base class for every modelled hardware block. Registers itself with the
 /// Kernel on construction and deregisters on destruction.
+///
+/// A component declares a tick Cadence at construction: hardware that only
+/// acts on TDM slot boundaries (routers, NIs) registers stride
+/// words_per_slot so the stride scheduler never dispatches it on the
+/// intermediate cycles its tick() would early-return from. State mutated
+/// from outside tick() (queue pushes/pops, config enqueues) must be
+/// followed by external_write() so the mutation commits at the end of the
+/// current cycle regardless of the component's cadence.
 class Component {
  public:
-  Component(Kernel& kernel, std::string name);
+  Component(Kernel& kernel, std::string name, Cadence cadence = {});
   virtual ~Component();
 
   Component(const Component&) = delete;
@@ -85,11 +93,45 @@ class Component {
 
   const std::string& name() const { return name_; }
   Kernel& kernel() const { return *kernel_; }
+  const Cadence& cadence() const { return cadence_; }
+
+  /// False while suspended/sleeping under the stride scheduler.
+  bool active() const { return active_; }
+
+  /// Quiescence hint for the stride scheduler's whole-network fast-forward.
+  /// Return true only when BOTH hold:
+  ///   (a) every register this component shares with consumers currently
+  ///       holds its "nothing" value (invalid flit, empty queue, zero
+  ///       counter), and
+  ///   (b) given that every register it reads also holds "nothing", its
+  ///       tick() changes no observable state: no counters, no trace
+  ///       records, and every written register keeps a "nothing" value.
+  /// When every active component is quiescent (and no external write is
+  /// pending), Kernel::run()/run_until() may skip the span wholesale —
+  /// by induction the network state cannot change until a wake or an
+  /// external write. The default (false) opts out: components that
+  /// generate stimulus or sample state every cycle must never be skipped.
+  virtual bool quiescent() const { return false; }
 
   /// Current simulation cycle (committed time; increments after commit).
   Cycle now() const;
 
  protected:
+  /// Call after mutating this component's registers from outside its own
+  /// tick() (e.g. a queue push from the runner or a shell): schedules a
+  /// commit at the end of the current cycle even if the component is not
+  /// due, so the mutation lands on the same clock edge as it would under
+  /// the per-cycle reference scheduler.
+  void external_write() { kernel_->notify_external_write(this); }
+
+  /// Leave the schedule from the next cycle until `wake_at` (the current
+  /// cycle still commits). Only sleep when provably quiescent: all owned
+  /// registers stable and tick() a no-op until the wake cycle.
+  void sleep_until(Cycle wake_at) { kernel_->sleep(*this, wake_at); }
+
+  /// Sleep until some external event calls Kernel::wake(*this).
+  void sleep() { kernel_->suspend(*this); }
+
   /// Declare a member Reg as part of this component's sequential state.
   void own(RegBase& reg) { regs_.push_back(&reg); }
 
@@ -114,9 +156,16 @@ class Component {
   }
 
  private:
+  friend class Kernel;
+
   Kernel* kernel_;
   std::string name_;
   std::vector<RegBase*> regs_;
+  Cadence cadence_;
+  std::uint32_t index_ = 0;    ///< slot in the kernel's registry
+  bool active_ = true;         ///< false while suspended/sleeping
+  bool touch_pending_ = false; ///< external write awaiting end-of-cycle commit
+  Cycle wake_at_ = kNoCycle;
   mutable std::uint32_t trace_id_ = 0;          ///< interned lazily on first trace()
   mutable const Tracer* trace_owner_ = nullptr; ///< tracer trace_id_ belongs to
 };

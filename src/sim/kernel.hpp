@@ -1,11 +1,31 @@
 #pragma once
-// The simulation kernel: a flat registry of Components and the cycle loop.
+// The simulation kernel: a registry of Components and the cycle loop.
 //
 // One Kernel models one synchronous clock domain (the paper's daelite
 // prototype is fully synchronous; aelite's mesochronous links are out of
 // scope, as in the paper's experiments).
+//
+// Two schedulers are provided:
+//
+//   kStride    — the default. Each component registers a tick cadence
+//                (stride + phase offset); the kernel precomputes per-residue
+//                activation lists over the least common multiple of all
+//                strides and dispatches only the components due in the
+//                current cycle. Components may additionally sleep until a
+//                known cycle (or indefinitely, woken by an external event),
+//                and externally mutated components (NI queue pushes/pops,
+//                config enqueues) are committed at the end of the cycle of
+//                the mutation via the touched list. run()/run_until()
+//                fast-forward now_ across spans where no component is due.
+//   kReference — the original per-cycle loop: every component ticks and
+//                commits every cycle, cadences and sleeps are ignored.
+//                Kept as the oracle for the byte-identity ctests.
+//
+// Both schedulers dispatch components in registration order within a cycle,
+// so trace record order and interned trace ids are identical between them.
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -16,28 +36,70 @@ namespace daelite::sim {
 class Component;
 class Tracer;
 
+/// Which cycle loop a Kernel runs. See file comment.
+enum class Scheduler { kStride, kReference };
+
+/// A component's tick/commit cadence: due at cycles where
+/// cycle % stride == phase. The default (stride 1) is "every cycle".
+struct Cadence {
+  std::uint32_t stride = 1;
+  std::uint32_t phase = 0;
+};
+
 class Kernel {
  public:
-  Kernel() = default;
+  explicit Kernel(Scheduler scheduler = Scheduler::kStride)
+      : scheduler_(scheduler) {}
 
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
+
+  Scheduler scheduler() const { return scheduler_; }
 
   /// Current cycle number. Cycle N covers the Nth tick/commit pair;
   /// now() increments after the commit phase.
   Cycle now() const { return now_; }
 
-  /// Advance exactly one cycle: tick all components, then commit all.
+  /// Advance exactly one cycle: tick all due components, then commit.
   void step();
 
-  /// Advance n cycles.
+  /// Advance n cycles. Under the stride scheduler, spans where no
+  /// component is due (and none has a pending external write) are
+  /// fast-forwarded without per-cycle work; so are spans where every
+  /// active component certifies its tick a no-op (Component::quiescent()),
+  /// e.g. a fully drained network carrying only empty slots.
   void run(Cycle n);
 
-  /// Advance until pred() is true (checked after each cycle) or max_cycles
-  /// elapse. Returns true if the predicate fired.
+  /// Advance until pred() is true (checked after each cycle boundary) or
+  /// max_cycles elapse. Returns true iff the predicate fired within the
+  /// budget; on timeout the predicate is NOT re-evaluated and the call
+  /// returns false with now() == start + max_cycles.
+  ///
+  /// Contract under the stride scheduler: idle spans are fast-forwarded,
+  /// so a predicate's value may only change at cycles where some component
+  /// is dispatched or woken (this holds for any predicate over committed
+  /// component state, and for time-dependent predicates such as
+  /// ConfigModule::idle() whose flip cycle coincides with the component's
+  /// own wake cycle). Predicates violating this may be observed late.
   bool run_until(const std::function<bool()>& pred, Cycle max_cycles);
 
-  std::size_t component_count() const { return components_.size(); }
+  /// Number of live (not yet destroyed) components.
+  std::size_t component_count() const { return live_count_; }
+
+  /// Deactivate a component until wake(): it stops ticking and committing
+  /// from the next cycle on. The caller asserts the component is quiescent
+  /// (its registers hold values that re-committing would not change and
+  /// its tick is a no-op while suspended). No-op under kReference.
+  void suspend(Component& c) { sleep_component(c, kNoCycle); }
+
+  /// Put a component to sleep until cycle wake_at (it still commits the
+  /// current cycle). No-op under kReference or when wake_at is next cycle.
+  void sleep(Component& c, Cycle wake_at) { sleep_component(c, wake_at); }
+
+  /// Reactivate a suspended/sleeping component from the next dispatch
+  /// point (the cycle of the call if invoked between steps, the next
+  /// cycle if invoked mid-step). No-op when already active.
+  void wake(Component& c);
 
   /// Attach a structured event tracer (sim/trace.hpp). The kernel does not
   /// own it; pass nullptr to detach. Components check this pointer on
@@ -48,10 +110,58 @@ class Kernel {
 
  private:
   friend class Component;
-  void add(Component* c) { components_.push_back(c); }
-  void remove(Component* c);
 
-  std::vector<Component*> components_;
+  /// Longest supported precomputed schedule. Components whose stride does
+  /// not divide the (capped) period fall back to a per-cycle residue check.
+  static constexpr Cycle kMaxPeriod = 4096;
+
+  void add(Component* c);
+  /// Deferred removal: tombstone the slot now, sweep between cycles —
+  /// safe to call from inside tick()/commit() (components destroying
+  /// other components, or themselves, mid-phase).
+  void remove(Component* c);
+  /// Register c for a commit at the end of the current cycle because its
+  /// state was mutated outside its own tick (queue push/pop from a shell,
+  /// the runner, or a host). No-op under kReference.
+  void notify_external_write(Component* c);
+
+  void sleep_component(Component& c, Cycle wake_at);
+  void wake_due();
+  void rebuild_schedule();
+  void sweep_tombstones();
+  bool due_now(const Component& c, Cycle cycle) const;
+  bool cycle_is_idle(Cycle cycle) const;
+  /// True when every active component certifies quiescence (see
+  /// Component::quiescent()) — the network state is a fixed point and
+  /// run()/run_until() may skip ahead to the next wake or budget end.
+  bool all_quiescent() const;
+  /// First cycle in [from, limit) where a scheduled or guarded component
+  /// is due; limit if none (the due table is periodic, so scanning one
+  /// period is exhaustive).
+  Cycle next_due_cycle(Cycle from, Cycle limit) const;
+  void step_reference();
+  void step_stride();
+  /// Shared by run()/run_until(): advance one dispatch point, either by
+  /// executing the current cycle or by fast-forwarding to the next cycle
+  /// (< end) where anything is due. Returns the kernel to a state where
+  /// now() has advanced by at least one.
+  void advance_or_skip(Cycle end);
+
+  Scheduler scheduler_;
+  std::vector<Component*> components_; ///< registration order; null = tombstone
+  std::size_t live_count_ = 0;
+  bool has_tombstones_ = false;
+
+  // Precomputed dispatch schedule (stride scheduler only).
+  bool schedule_dirty_ = true;
+  Cycle period_ = 1;
+  std::vector<std::vector<std::uint32_t>> due_; ///< per residue, ascending indices
+  std::vector<std::uint32_t> guarded_;          ///< stride doesn't divide period_
+  std::vector<std::uint32_t> guarded_due_;      ///< per-cycle scratch of due guarded
+  std::vector<std::uint32_t> touched_;          ///< pending end-of-cycle commits
+  std::size_t sleeping_count_ = 0;
+  Cycle next_wake_ = kNoCycle;
+
   Cycle now_ = 0;
   Tracer* tracer_ = nullptr;
 };

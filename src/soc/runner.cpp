@@ -87,7 +87,7 @@ analysis::NetworkReport run_scenario(const RunSpec& spec) {
   report.slots = dim->params.num_slots;
   report.schedule_utilization = dim->schedule_utilization;
 
-  sim::Kernel kernel;
+  sim::Kernel kernel(spec.scheduler);
   kernel.set_tracer(spec.tracer);
   hw::DaeliteNetwork::Options opt;
   opt.tdm = dim->params;

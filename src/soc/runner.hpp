@@ -14,6 +14,7 @@
 #include <string>
 
 #include "analysis/network_report.hpp"
+#include "sim/kernel.hpp"
 #include "soc/scenario.hpp"
 
 namespace daelite::hw {
@@ -21,7 +22,6 @@ class DaeliteNetwork;
 }
 
 namespace daelite::sim {
-class Kernel;
 class Tracer;
 }
 
@@ -37,6 +37,10 @@ struct RunSpec {
   /// so seeds explore the allocation design space. seed == 0 keeps file
   /// order.
   std::uint64_t seed = 0;
+  /// Cycle-loop implementation for the job's kernel. The stride scheduler
+  /// and the per-cycle reference produce byte-identical reports and traces
+  /// (a ctest diffs them); kReference exists as the oracle for that check.
+  sim::Scheduler scheduler = sim::Scheduler::kStride;
   /// Invoked once the network exists, before configuration — attach VCD
   /// probes or extra instrumentation here. Objects the hook creates must
   /// outlive the run_scenario() call.

@@ -27,9 +27,14 @@ struct TdmParams {
   std::uint32_t words_per_slot = 2; ///< daelite default; aelite uses 3
   std::uint32_t hop_cycles = 2;     ///< per-hop latency in cycles
 
+  /// Slot masks throughout the stack (SlotAllocator, config packets,
+  /// Router::cfg_apply_path's `1ull << s`) are 64-bit, so a wheel can hold
+  /// at most 64 slots; larger values would shift out of range (UB).
+  static constexpr std::uint32_t kMaxSlots = 64;
+
   constexpr bool valid() const {
-    return num_slots >= 1 && words_per_slot >= 1 && hop_cycles >= 1 &&
-           hop_cycles % words_per_slot == 0;
+    return num_slots >= 1 && num_slots <= kMaxSlots && words_per_slot >= 1 &&
+           hop_cycles >= 1 && hop_cycles % words_per_slot == 0;
   }
 
   /// Slots a flit advances per hop.

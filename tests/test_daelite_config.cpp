@@ -19,7 +19,7 @@ using namespace daelite::hw;
 /// Records every ConfigTarget call.
 class MockTarget : public ConfigTarget {
  public:
-  explicit MockTarget(std::uint8_t id, bool is_ni = false) : id_(id), is_ni_(is_ni) {}
+  explicit MockTarget(std::uint16_t id, bool is_ni = false) : id_(id), is_ni_(is_ni) {}
 
   struct PathCall {
     std::uint64_t mask;
@@ -27,7 +27,7 @@ class MockTarget : public ConfigTarget {
     bool setup;
   };
 
-  std::uint8_t cfg_id() const override { return id_; }
+  std::uint16_t cfg_id() const override { return id_; }
   bool cfg_is_ni() const override { return is_ni_; }
   void cfg_apply_path(std::uint64_t mask, std::uint8_t ports, bool setup) override {
     path_calls.push_back({mask, ports, setup});
@@ -46,7 +46,7 @@ class MockTarget : public ConfigTarget {
   std::vector<std::pair<std::uint8_t, std::uint16_t>> bus_writes;
 
  private:
-  std::uint8_t id_;
+  std::uint16_t id_;
   bool is_ni_;
 };
 
@@ -116,6 +116,52 @@ TEST(Encoding, NiPortWordDistinguishesTxAndRx) {
   EXPECT_EQ(encode_ni_port(true, 5) & kCfgNiTxBit, kCfgNiTxBit);
   EXPECT_EQ(encode_ni_port(false, 5) & kCfgNiTxBit, 0);
   EXPECT_EQ(encode_ni_port(true, 5) & kCfgQueueMask, 5);
+}
+
+TEST(Encoding, ExtendedIdsEscapeBeyond126) {
+  // Ids up to 126 keep the paper's single-word form; beyond that the
+  // encoder emits the 0-escape plus a two-word 14-bit id. Regression for
+  // networks of more than 126 elements (e.g. an 8x8 mesh = 128), whose ids
+  // previously overflowed the 7-bit space silently in NDEBUG builds.
+  std::vector<std::uint8_t> w;
+  append_cfg_id(w, 126);
+  EXPECT_EQ(w, (std::vector<std::uint8_t>{126}));
+  w.clear();
+  append_cfg_id(w, 127);
+  EXPECT_EQ(w, (std::vector<std::uint8_t>{kCfgIdEscape, 0, 127}));
+  w.clear();
+  append_cfg_id(w, 300);
+  EXPECT_EQ(w, (std::vector<std::uint8_t>{kCfgIdEscape, 300 >> 7, 300 & 0x7F}));
+
+  EXPECT_EQ(encode_write_credit(300, 2, 33),
+            (std::vector<std::uint8_t>{static_cast<std::uint8_t>(CfgOp::kWriteCredit),
+                                       kCfgIdEscape, 300 >> 7, 300 & 0x7F, 2, 33}));
+
+  // A path packet mixing a direct and an escaped id.
+  alloc::CfgSegment seg;
+  seg.slots_at_head = {0};
+  seg.elements = {alloc::CfgElement{/*node=*/1, 0, 0, /*is_ni=*/true, /*src=*/false},
+                  alloc::CfgElement{/*node=*/0, 0, 0, true, /*src=*/true}};
+  CfgIdMap ids{{0, 10}, {1, 200}};
+  const auto words = encode_path_packet(seg, tdm::daelite_params(8), ids, true);
+  const std::vector<std::uint8_t> expected = {
+      static_cast<std::uint8_t>(CfgOp::kSetupPath), 0b1, 0,
+      kCfgIdEscape, 200 >> 7, 200 & 0x7F, encode_ni_port(false, 0),
+      10, encode_ni_port(true, 0),
+      kCfgEndOfPacket,
+  };
+  EXPECT_EQ(words, expected);
+}
+
+TEST(Encoding, AssignCfgIdsCoverLargeTopologies) {
+  topo::Topology t;
+  for (int i = 0; i < 130; ++i) t.add_router("r" + std::to_string(i));
+  const auto ids = assign_cfg_ids(t);
+  EXPECT_EQ(ids.size(), 130u);
+  for (const auto& [node, id] : ids) {
+    EXPECT_GE(id, 1);
+    EXPECT_LE(id, 130);
+  }
 }
 
 TEST(Encoding, AssignCfgIdsAreUniqueNonZero) {
@@ -220,6 +266,41 @@ TEST_F(AgentFixture, PaddingNopsBetweenPacketsAreIgnored) {
   ASSERT_EQ(t2.credit_writes.size(), 1u);
   EXPECT_EQ(t2.credit_writes[0], (std::pair<std::uint8_t, std::uint8_t>{2, 33}));
   EXPECT_EQ(a1.protocol_errors(), 0u);
+}
+
+TEST(AgentExtendedId, EscapedIdsMatchAndKeepStreamInSync) {
+  // An element whose id needs the two-word escape must match escaped ids
+  // in both path packets and fixed-argument ops, ignore escaped ids of
+  // other elements without losing stream sync, and still ignore direct
+  // ids (which can never exceed 126).
+  const tdm::TdmParams params = tdm::daelite_params(8);
+  sim::Kernel k;
+  WordSource src{k};
+  MockTarget target{300};
+  ConfigAgent agent{k, "a", target, params};
+  agent.connect_parent(&src.out());
+
+  std::vector<std::uint8_t> words = {
+      static_cast<std::uint8_t>(CfgOp::kSetupPath), 0b1, 0,
+      kCfgIdEscape, 301 >> 7, 301 & 0x7F, encode_router_ports(1, 1), // other element
+      kCfgIdEscape, 300 >> 7, 300 & 0x7F, encode_router_ports(2, 3), // this element
+      kCfgEndOfPacket};
+  const auto credit = encode_write_credit(300, 4, 17);
+  words.insert(words.end(), credit.begin(), credit.end());
+  const auto other = encode_set_flags(301, 1, 1);
+  words.insert(words.end(), other.begin(), other.end());
+  src.queue_words(words);
+  k.run(words.size() + 10);
+
+  ASSERT_EQ(target.path_calls.size(), 1u);
+  // Second pair: the head mask {0} has rotated once to {7}.
+  EXPECT_EQ(target.path_calls[0].mask, 1ull << 7);
+  EXPECT_EQ(target.path_calls[0].ports, encode_router_ports(2, 3));
+  ASSERT_EQ(target.credit_writes.size(), 1u);
+  EXPECT_EQ(target.credit_writes[0], (std::pair<std::uint8_t, std::uint8_t>{4, 17}));
+  EXPECT_TRUE(target.flags.empty());
+  EXPECT_EQ(agent.protocol_errors(), 0u);
+  EXPECT_EQ(agent.packets_seen(), 3u);
 }
 
 TEST_F(AgentFixture, ForwardPipelineIsTwoCyclesPerHop) {

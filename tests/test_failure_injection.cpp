@@ -62,14 +62,14 @@ TEST_F(NetFixture, PacketForUnknownElementConfiguresNothing) {
 }
 
 TEST_F(NetFixture, CreditOpAddressedToRouterCountsError) {
-  const std::uint8_t router_id = net->cfg_ids().at(mesh.router(0, 0));
+  const std::uint16_t router_id = net->cfg_ids().at(mesh.router(0, 0));
   net->config_module().enqueue_packet(encode_write_credit(router_id, 0, 5), false);
   run_cfg();
   EXPECT_EQ(net->router(mesh.router(0, 0)).stats().cfg_errors, 1u);
 }
 
 TEST_F(NetFixture, OutOfRangeQueueCountsNiError) {
-  const std::uint8_t ni_id = net->cfg_ids().at(mesh.ni(1, 0));
+  const std::uint16_t ni_id = net->cfg_ids().at(mesh.ni(1, 0));
   net->config_module().enqueue_packet(encode_write_credit(ni_id, 62, 5), false);
   run_cfg();
   EXPECT_EQ(net->ni(mesh.ni(1, 0)).stats().cfg_errors, 1u);
@@ -143,8 +143,8 @@ TEST_F(NetFixture, ConflictingTableEntryIsObservableNotFatal) {
 TEST_F(NetFixture, ResponsePathCollisionIsCounted) {
   // Two simultaneous read responses violate the one-outstanding-request
   // protocol; the convergence logic must count the collision.
-  const std::uint8_t id_a = net->cfg_ids().at(mesh.ni(1, 0));
-  const std::uint8_t id_b = net->cfg_ids().at(mesh.ni(0, 1));
+  const std::uint16_t id_a = net->cfg_ids().at(mesh.ni(1, 0));
+  const std::uint16_t id_b = net->cfg_ids().at(mesh.ni(0, 1));
   // Issue two reads back-to-back *without* waiting for responses (abuse
   // the module by marking them as not expecting responses).
   net->config_module().enqueue_packet(encode_read_credit(id_a, 0), false, false);

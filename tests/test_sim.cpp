@@ -12,7 +12,9 @@
 #include "sim/trace.hpp"
 #include "sim/vcd.hpp"
 
+#include <memory>
 #include <sstream>
+#include <vector>
 
 namespace {
 
@@ -74,6 +76,163 @@ TEST(Kernel, ComponentRegistryTracksLifetime) {
     EXPECT_EQ(k.component_count(), 1u);
   }
   EXPECT_EQ(k.component_count(), 0u);
+}
+
+/// Records the cycle of every dispatched tick (cadence-aware).
+class StridedTicker : public Component {
+ public:
+  StridedTicker(Kernel& k, std::string name, Cadence c) : Component(k, std::move(name), c) {}
+  void tick() override { cycles.push_back(now()); }
+  std::vector<Cycle> cycles;
+};
+
+TEST(Kernel, StrideCadenceDispatchesOnResidue) {
+  Kernel k;
+  StridedTicker t(k, "t", Cadence{4, 1});
+  k.run(13); // cycles 0..12: due where cycle % 4 == 1
+  EXPECT_EQ(t.cycles, (std::vector<Cycle>{1, 5, 9}));
+  EXPECT_EQ(k.now(), 13u); // fast-forward still lands exactly on the budget
+}
+
+TEST(Kernel, ReferenceSchedulerIgnoresCadence) {
+  Kernel k(Scheduler::kReference);
+  StridedTicker t(k, "t", Cadence{4, 1});
+  k.run(8);
+  EXPECT_EQ(t.cycles.size(), 8u); // every cycle: the tick's own guard decides
+}
+
+/// Owns a second component and destroys it from inside tick() — the
+/// kernel must defer the removal (tombstone) and keep dispatching the
+/// rest of the cycle safely.
+class Destroyer : public Component {
+ public:
+  Destroyer(Kernel& k, std::string name, Cycle at) : Component(k, std::move(name)), at_(at) {
+    victim_ = std::make_unique<Counter>(kernel(), this->name() + ".victim");
+  }
+  void tick() override {
+    if (now() == at_) victim_.reset();
+  }
+
+ private:
+  Cycle at_;
+  std::unique_ptr<Counter> victim_;
+};
+
+TEST(Kernel, DestroyingComponentFromTickIsDeferred) {
+  // Regression: remove() used to splice the registry mid-iteration, so a
+  // component destroying another from tick() invalidated the dispatch
+  // loop. `tail` registers after the victim: its registry slot shifts
+  // when the tombstone is swept, and it must not lose a single tick.
+  for (Scheduler s : {Scheduler::kStride, Scheduler::kReference}) {
+    Kernel k(s);
+    Destroyer d(k, "d", 3);
+    Counter tail(k, "tail");
+    EXPECT_EQ(k.component_count(), 3u);
+    k.run(10);
+    EXPECT_EQ(k.component_count(), 2u);
+    EXPECT_EQ(tail.value().get(), 10);
+    EXPECT_EQ(k.now(), 10u);
+  }
+}
+
+TEST(Kernel, RunUntilTimeoutDoesNotReevaluatePredicate) {
+  // Regression: the timeout path used to call pred() a second time after
+  // the budget elapsed, so side-effecting predicates fired twice.
+  for (Scheduler s : {Scheduler::kStride, Scheduler::kReference}) {
+    Kernel k(s);
+    Counter c(k, "c"); // keeps every cycle non-idle under kStride
+    int calls = 0;
+    const bool fired = k.run_until(
+        [&] {
+          ++calls;
+          return false;
+        },
+        7);
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(k.now(), 7u);
+    EXPECT_EQ(calls, 7); // once per cycle boundary, never re-evaluated
+  }
+}
+
+/// A queue owner with a slow cadence, mutated from outside tick().
+class SlotBuffer : public Component {
+ public:
+  SlotBuffer(Kernel& k, std::string name, std::uint32_t stride)
+      : Component(k, std::move(name), Cadence{stride, 0}) {
+    own(queue_);
+  }
+  void push(int v) {
+    queue_.push(v);
+    external_write();
+  }
+  const FifoReg<int>& queue() const { return queue_; }
+  void tick() override {}
+
+ private:
+  FifoReg<int> queue_;
+};
+
+TEST(Kernel, ExternalWriteCommitsAtEndOfCurrentCycle) {
+  Kernel k;
+  SlotBuffer b(k, "b", 8); // due only at cycles % 8 == 0
+  Counter c(k, "c");       // keeps the kernel stepping cycle by cycle
+  k.step();                // now == 1: b is not due for another 7 cycles
+  b.push(42);
+  EXPECT_EQ(b.queue().size(), 0u); // pre-edge: not yet committed
+  k.step(); // cycle 1 commits the touched component despite its cadence
+  EXPECT_EQ(b.queue().size(), 1u);
+}
+
+/// Sleeps after its first tick until a fixed wake cycle.
+class Napper : public Component {
+ public:
+  Napper(Kernel& k, std::string name, Cycle wake) : Component(k, std::move(name)), wake_(wake) {}
+  void tick() override {
+    ticks.push_back(now());
+    if (now() == 0) sleep_until(wake_);
+  }
+  std::vector<Cycle> ticks;
+
+ private:
+  Cycle wake_;
+};
+
+TEST(Kernel, SleepUntilResumesAtExactWakeCycle) {
+  Kernel k;
+  Napper n(k, "n", 50);
+  k.run(60);
+  ASSERT_EQ(n.ticks.size(), 11u); // cycle 0, then 50..59
+  EXPECT_EQ(n.ticks[0], 0u);
+  EXPECT_EQ(n.ticks[1], 50u);
+  EXPECT_EQ(k.now(), 60u);
+}
+
+/// Due every cycle but certifies its tick is a no-op (quiescent).
+class QuiescentBlock : public Component {
+ public:
+  using Component::Component;
+  void tick() override { ++ticks; }
+  bool quiescent() const override { return true; }
+  int ticks = 0;
+};
+
+TEST(Kernel, QuiescentNetworkFastForwardsWholeSpans) {
+  Kernel k;
+  QuiescentBlock q(k, "q");
+  k.run(100000); // all active components quiescent: skipped wholesale
+  EXPECT_EQ(k.now(), 100000u);
+  EXPECT_EQ(q.ticks, 0);
+  k.step(); // step() never skips
+  EXPECT_EQ(q.ticks, 1);
+}
+
+TEST(Kernel, NonQuiescentComponentBlocksFastForward) {
+  Kernel k;
+  QuiescentBlock q(k, "q");
+  Counter c(k, "c"); // default quiescent() == false
+  k.run(10);
+  EXPECT_EQ(q.ticks, 10);
+  EXPECT_EQ(c.value().get(), 10);
 }
 
 TEST(Reg, HoldsValueAcrossCyclesWithoutSet) {

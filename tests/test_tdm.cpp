@@ -40,6 +40,16 @@ TEST(TdmParams, InvalidWhenWordsDontDivideHop) {
   EXPECT_FALSE(p.valid());
 }
 
+TEST(TdmParams, SlotCountBoundedBySlotMaskWidth) {
+  // Regression: slot masks are uint64_t and slot s is addressed as
+  // 1ull << s, so num_slots > 64 is undefined behaviour downstream.
+  // valid() must reject it at the parameter level.
+  EXPECT_TRUE((TdmParams{TdmParams::kMaxSlots, 2, 2}.valid()));
+  EXPECT_FALSE((TdmParams{TdmParams::kMaxSlots + 1, 2, 2}.valid()));
+  EXPECT_FALSE((TdmParams{128, 2, 2}.valid()));
+  EXPECT_FALSE((TdmParams{0, 2, 2}.valid()));
+}
+
 TEST(TdmParams, SlotOfCycle) {
   const TdmParams p = daelite_params(4); // wheel = 8 cycles
   EXPECT_EQ(p.slot_of_cycle(0), 0u);

@@ -51,6 +51,7 @@ int usage() {
          "  --seeds K        sweep allocation-order seeds 1..K\n"
          "  --mesh WxH[t],.. add synthetic corner-stress scenarios (t = torus)\n"
          "  --run-cycles C   override run length for every job\n"
+         "  --scheduler S    kernel cycle loop: stride (default) | reference\n"
          "  --trace DIR      one Chrome trace_event file per job in DIR\n"
          "  --per-connection per-job connection latency tables on stderr\n"
          "  --list           print the expanded job list and exit\n"
@@ -144,6 +145,7 @@ int main(int argc, char** argv) {
   std::uint64_t seeds = 0;
   std::vector<std::string> mesh_specs;
   std::optional<sim::Cycle> run_cycles;
+  sim::Scheduler scheduler = sim::Scheduler::kStride;
   std::string trace_dir;
   bool per_connection = false;
   bool list_only = false;
@@ -190,6 +192,16 @@ int main(int argc, char** argv) {
       const char* v = need("--run-cycles");
       if (!v) return usage();
       run_cycles = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--scheduler") == 0) {
+      const char* v = need("--scheduler");
+      if (!v) return usage();
+      if (std::strcmp(v, "stride") == 0) {
+        scheduler = sim::Scheduler::kStride;
+      } else if (std::strcmp(v, "reference") == 0) {
+        scheduler = sim::Scheduler::kReference;
+      } else {
+        return usage();
+      }
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       const char* v = need("--trace");
       if (!v) return usage();
@@ -260,6 +272,7 @@ int main(int argc, char** argv) {
         spec.slots_override = slots;
         spec.run_cycles_override = run_cycles;
         spec.seed = seed;
+        spec.scheduler = scheduler;
         std::string label = b.name;
         if (slots) label += "[slots=" + std::to_string(*slots) + "]";
         if (seed) label += "[seed=" + std::to_string(seed) + "]";

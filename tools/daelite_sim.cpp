@@ -2,6 +2,7 @@
 //
 //   daelite_sim <scenario file> [--vcd out.vcd] [--json out.json]
 //               [--trace out.trace.json] [--per-connection] [--quiet]
+//               [--scheduler stride|reference]
 //
 // Executes a scenario end to end through soc::run_scenario(): parse,
 // dimension (choosing the wheel size unless the scenario pins one),
@@ -13,7 +14,9 @@
 // runner (daelite_batch) emits for whole sweeps. --trace records every
 // hardware event into a bounded ring and writes a Chrome trace_event file
 // (open in chrome://tracing or Perfetto). --per-connection prints the
-// per-connection latency quantile table.
+// per-connection latency quantile table. --scheduler selects the kernel's
+// cycle loop: the default stride scheduler, or the per-cycle reference
+// loop whose reports and traces must be byte-identical (CI diffs them).
 
 #include <cstring>
 #include <fstream>
@@ -32,6 +35,7 @@ namespace {
 int usage() {
   std::cerr << "usage: daelite_sim <scenario file> [--vcd out.vcd] [--json out.json]\n"
                "                   [--trace out.trace.json] [--per-connection] [--quiet]\n"
+               "                   [--scheduler stride|reference]\n"
                "see src/soc/scenario.hpp for the scenario grammar\n";
   return 2;
 }
@@ -45,6 +49,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   bool per_connection = false;
   bool quiet = false;
+  sim::Scheduler scheduler = sim::Scheduler::kStride;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--vcd") == 0 && i + 1 < argc) {
       vcd_path = argv[++i];
@@ -56,6 +61,15 @@ int main(int argc, char** argv) {
       per_connection = true;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
+    } else if (std::strcmp(argv[i], "--scheduler") == 0 && i + 1 < argc) {
+      const std::string v = argv[++i];
+      if (v == "stride") {
+        scheduler = sim::Scheduler::kStride;
+      } else if (v == "reference") {
+        scheduler = sim::Scheduler::kReference;
+      } else {
+        return usage();
+      }
     } else if (argv[i][0] == '-') {
       return usage();
     } else {
@@ -74,6 +88,7 @@ int main(int argc, char** argv) {
   soc::RunSpec spec;
   spec.label = scenario_path;
   spec.scenario = *scenario;
+  spec.scheduler = scheduler;
 
   std::unique_ptr<sim::Tracer> tracer;
   if (!trace_path.empty()) {
