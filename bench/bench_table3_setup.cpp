@@ -70,7 +70,10 @@ int main(int argc, char** argv) {
                                                true};
     const auto a_ideal = ahost.ideal_setup_cycles(req);
     const auto id = ahost.post_setup(req);
-    ak.run_until([&] { return ahost.idle(); }, 1000000);
+    if (!ak.run_until([&] { return ahost.idle(); }, 1000000)) {
+      std::cerr << "error: aelite set-up for " << c.label << " did not complete\n";
+      return 1;
+    }
     const auto a_measured = ahost.completion_cycle(id);
 
     t.add_row({c.label, std::to_string(ideal), std::to_string(measured), std::to_string(a_ideal),
@@ -101,7 +104,10 @@ int main(int argc, char** argv) {
     aelite::AeliteConfigHost ahost(ak, "cfg", amesh.topo, amesh.ni(0, 0),
                                    {tdm::aelite_params(kSlots), 0});
     const auto id = ahost.post_setup({amesh.ni(0, 1), amesh.ni(2, 2), slots, slots, true});
-    ak.run_until([&] { return ahost.idle(); }, 1000000);
+    if (!ak.run_until([&] { return ahost.idle(); }, 1000000)) {
+      std::cerr << "error: aelite set-up (" << slots << " slots) did not complete\n";
+      return 1;
+    }
 
     s.add_row({std::to_string(slots), std::to_string(measured),
                std::to_string(ahost.completion_cycle(id))});

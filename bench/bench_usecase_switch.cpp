@@ -72,7 +72,10 @@ int main() {
       const auto dst = nis[static_cast<std::size_t>((i * 3 + 7) % nis.size())];
       ahost.post_setup({src, dst, 2, 1, true});
     }
-    ak.run_until([&] { return ahost.idle(); }, 10'000'000);
+    if (!ak.run_until([&] { return ahost.idle(); }, 10'000'000)) {
+      std::cerr << "error: aelite use-case switch did not complete\n";
+      return 1;
+    }
     const sim::Cycle aelite_cycles = ak.now();
 
     t.add_row({std::to_string(n) + " + " + std::to_string(n),

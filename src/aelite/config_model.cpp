@@ -14,7 +14,8 @@ AeliteConfigHost::AeliteConfigHost(sim::Kernel& k, std::string name, const topo:
     : sim::Component(k, std::move(name), sim::Cadence{params.tdm.words_per_slot, 0}),
       topo_(&topo),
       host_ni_(host_ni),
-      params_(params) {
+      params_(params),
+      rng_(params_.fault_seed) {
   assert(params_.tdm.valid());
   topo::PathFinder finder(topo);
   for (topo::NodeId n = 0; n < topo.node_count(); ++n) {
@@ -82,9 +83,15 @@ void AeliteConfigHost::tick() {
       // The remote NI answers in its next reserved (response) slot; the
       // answer then flies back.
       const sim::Cycle resp_tx = next_reserved_slot(it->arrives_at + 1);
-      pending_responses_.push_back(Flight{
-          it->msg,
-          resp_tx + static_cast<sim::Cycle>(params_.tdm.hop_cycles) * distance(it->msg.target)});
+      const sim::Cycle back_at =
+          resp_tx + static_cast<sim::Cycle>(params_.tdm.hop_cycles) * distance(it->msg.target);
+      if (params_.response_loss_rate > 0.0 && rng_.chance(params_.response_loss_rate)) {
+        // Response lost in the network; the host's watchdog fires one
+        // wheel after the expected arrival.
+        lost_.push_back(Flight{it->msg, back_at + params_.tdm.wheel_cycles()});
+      } else {
+        pending_responses_.push_back(Flight{it->msg, back_at});
+      }
     } else {
       // Write applied on arrival.
       auto& left = remaining_.at(it->msg.request_id);
@@ -102,6 +109,29 @@ void AeliteConfigHost::tick() {
     auto& left = remaining_.at(it->msg.request_id);
     if (--left == 0) completed_[it->msg.request_id] = now();
     it = pending_responses_.erase(it);
+  }
+
+  // Host-side watchdog on lost responses: time out and re-issue the read
+  // (it re-serializes through the reserved slot like any other message),
+  // or give the message up once the retry budget is exhausted so the
+  // request still completes — degraded, never deadlocked.
+  for (auto it = lost_.begin(); it != lost_.end();) {
+    if (it->arrives_at > now()) {
+      ++it;
+      continue;
+    }
+    ++timeouts_;
+    Msg m = it->msg;
+    if (m.attempt < params_.max_retries) {
+      ++m.attempt;
+      ++retries_;
+      outgoing_.push_back(m);
+    } else {
+      ++aborted_;
+      auto& left = remaining_.at(m.request_id);
+      if (--left == 0) completed_[m.request_id] = now();
+    }
+    it = lost_.erase(it);
   }
 }
 

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "sim/component.hpp"
+#include "sim/random.hpp"
 #include "tdm/params.hpp"
 #include "topology/graph.hpp"
 #include "topology/path.hpp"
@@ -39,6 +40,13 @@ class AeliteConfigHost : public sim::Component {
   struct Params {
     tdm::TdmParams tdm = tdm::aelite_params(16);
     tdm::Slot reserved_slot = 0;
+    // Fault model (appended; brace-init call sites keep the defaults).
+    // Each confirmation read response is lost with this probability; the
+    // host times out one wheel after the expected arrival and re-issues
+    // the read, up to max_retries times, before giving the message up.
+    double response_loss_rate = 0.0;
+    std::uint64_t fault_seed = 1;
+    std::uint32_t max_retries = 3;
   };
 
   struct SetupRequest {
@@ -56,7 +64,14 @@ class AeliteConfigHost : public sim::Component {
   /// Returns a request id.
   std::uint32_t post_setup(const SetupRequest& req);
 
-  bool idle() const { return outgoing_.empty() && in_flight_.empty() && pending_responses_.empty(); }
+  bool idle() const {
+    return outgoing_.empty() && in_flight_.empty() && pending_responses_.empty() && lost_.empty();
+  }
+
+  // Watchdog counters (all zero while response_loss_rate == 0).
+  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t aborted() const { return aborted_; }
 
   /// Completion cycle of request `id` (kNoCycle while outstanding).
   sim::Cycle completion_cycle(std::uint32_t id) const;
@@ -76,6 +91,7 @@ class AeliteConfigHost : public sim::Component {
     std::uint32_t request_id = 0;
     topo::NodeId target = topo::kInvalidNode;
     bool is_read = false;
+    std::uint8_t attempt = 0; ///< re-issues of this read so far
   };
   struct Flight {
     Msg msg;
@@ -97,6 +113,12 @@ class AeliteConfigHost : public sim::Component {
   std::deque<Msg> outgoing_;
   std::vector<Flight> in_flight_;          ///< requests travelling to targets
   std::vector<Flight> pending_responses_;  ///< read responses travelling back
+  std::vector<Flight> lost_;               ///< dropped responses; arrives_at = host deadline
+
+  sim::Xoshiro256 rng_;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t aborted_ = 0;
 
   std::map<std::uint32_t, std::uint32_t> remaining_; ///< msgs left per request
   std::map<std::uint32_t, sim::Cycle> completed_;

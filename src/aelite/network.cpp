@@ -137,4 +137,46 @@ std::uint64_t AeliteNetwork::total_payload_words() const {
   return n;
 }
 
+namespace {
+
+// Flips land in a carried payload word when one exists, else in the header
+// credit field; stuck-at sets the same bits. Dropping clears the slot.
+struct AeliteFlitFaultPolicy {
+  static constexpr std::uint32_t kBits =
+      32 * static_cast<std::uint32_t>(AeliteFlit::kWordsPerSlot);
+  static bool present(const AeliteFlit& f) { return f.valid; }
+  static void flip(AeliteFlit& f, std::uint32_t bit) {
+    const std::uint32_t b = bit % 32;
+    const std::uint32_t w = (bit / 32) % AeliteFlit::kWordsPerSlot;
+    if (f.payload_count != 0) {
+      f.payload[w % f.payload_count] ^= 1u << b;
+      return;
+    }
+    f.credit = static_cast<std::uint8_t>(f.credit ^ (1u << (b % 6)));
+  }
+  static void force_one(AeliteFlit& f, std::uint32_t bit) {
+    const std::uint32_t b = bit % 32;
+    const std::uint32_t w = (bit / 32) % AeliteFlit::kWordsPerSlot;
+    if (f.payload_count != 0) {
+      f.payload[w % f.payload_count] |= 1u << b;
+      return;
+    }
+    f.credit = static_cast<std::uint8_t>(f.credit | (1u << (b % 6)));
+  }
+};
+
+} // namespace
+
+void AeliteNetwork::attach_fault_lines(sim::FaultInjector& injector) {
+  // Fresh flits land on link registers only at slot-aligned cycles.
+  const auto stride = static_cast<std::uint32_t>(options_.tdm.words_per_slot);
+  for (topo::LinkId l = 0; l < topo_->link_count(); ++l) {
+    const topo::Link& link = topo_->link(l);
+    sim::Reg<AeliteFlit>& reg = topo_->is_router(link.src)
+                                    ? routers_.at(link.src)->output_reg(link.src_port)
+                                    : nis_.at(link.src)->output_reg();
+    injector.watch<AeliteFlitFaultPolicy>(sim::FaultClass::kAelite, reg, stride, 0);
+  }
+}
+
 } // namespace daelite::aelite

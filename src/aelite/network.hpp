@@ -17,6 +17,7 @@
 #include "aelite/router.hpp"
 #include "alloc/allocator.hpp"
 #include "alloc/usecase.hpp"
+#include "sim/fault.hpp"
 #include "sim/kernel.hpp"
 #include "topology/graph.hpp"
 
@@ -71,6 +72,11 @@ class AeliteNetwork {
   std::uint64_t total_rx_overflow() const;
   std::uint64_t total_header_words() const;
   std::uint64_t total_payload_words() const;
+
+  /// Register every data link (topology order) with an injector as
+  /// sim::FaultClass::kAelite lines. The injector must have been
+  /// constructed after this network so it commits last in the cycle.
+  void attach_fault_lines(sim::FaultInjector& injector);
 
  private:
   std::uint8_t alloc_queue(std::map<topo::NodeId, std::vector<bool>>& pool, topo::NodeId ni);

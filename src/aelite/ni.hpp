@@ -55,6 +55,7 @@ class Ni : public sim::Component {
 
   void connect_input(const sim::Reg<AeliteFlit>* src) { input_ = src; }
   const sim::Reg<AeliteFlit>& output_reg() const { return output_; }
+  sim::Reg<AeliteFlit>& output_reg() { return output_; }
 
   const Params& params() const { return params_; }
   tdm::NiSlotTable& table() { return table_; } ///< tx entries only

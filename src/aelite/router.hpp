@@ -40,6 +40,7 @@ class Router : public sim::Component {
     inputs_[in_port] = src;
   }
   const sim::Reg<AeliteFlit>& output_reg(std::size_t out_port) const { return outputs_[out_port]; }
+  sim::Reg<AeliteFlit>& output_reg(std::size_t out_port) { return outputs_[out_port]; }
 
   std::size_t num_inputs() const { return inputs_.size(); }
   std::size_t num_outputs() const { return outputs_.size(); }

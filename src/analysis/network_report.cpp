@@ -65,6 +65,23 @@ sim::JsonValue NetworkReport::to_json() const {
   drops["ni"] = ni_drops;
   drops["rx_overflow"] = rx_overflow;
   v["drops"] = std::move(drops);
+  if (health.should_emit()) {
+    JsonValue h = JsonValue::object();
+    h["config_ok"] = health.config_ok;
+    h["protocol_errors"] = health.protocol_errors;
+    h["cfg_errors"] = health.cfg_errors;
+    h["timeouts"] = health.timeouts;
+    h["retries"] = health.retries;
+    h["aborted"] = health.aborted;
+    h["faults_injected"] = health.faults_injected;
+    h["words_dropped"] = health.words_dropped;
+    h["words_flipped"] = health.words_flipped;
+    h["words_stuck"] = health.words_stuck;
+    h["words_killed"] = health.words_killed;
+    h["words_sent"] = health.words_sent;
+    h["words_delivered"] = health.words_delivered;
+    v["health"] = std::move(h);
+  }
   return v;
 }
 
@@ -85,7 +102,15 @@ void print_report(std::ostream& os, const NetworkReport& r, std::size_t top_link
   }
   t.print(os);
   os << "router drops: " << r.router_drops << ", NI drops: " << r.ni_drops
-     << ", rx overflow: " << r.rx_overflow << "\n\n";
+     << ", rx overflow: " << r.rx_overflow << "\n";
+  if (r.health.should_emit()) {
+    os << "health: config " << (r.health.config_ok ? "ok" : "DID NOT CONVERGE")
+       << ", protocol errors " << r.health.protocol_errors << ", timeouts " << r.health.timeouts
+       << ", retries " << r.health.retries << ", aborted " << r.health.aborted
+       << ", faults injected " << r.health.faults_injected << ", delivered "
+       << r.health.words_delivered << "/" << r.health.words_sent << " words\n";
+  }
+  os << "\n";
   TextTable lt("Busiest links (reserved slots / wheel)");
   lt.set_header({"link", "from", "to", "reserved", "utilization"});
   for (std::size_t i = 0; i < std::min(top_links, r.links.size()); ++i) {

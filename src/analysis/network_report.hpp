@@ -68,6 +68,35 @@ struct ConnectionOutcome {
   sim::Histogram latency{1024};
 };
 
+/// Fault/recovery accounting for one run: detection counters (config-agent
+/// protocol errors across routers AND NIs, element cfg errors), the host
+/// watchdog's timeout/retry/abort counts, everything the fault injector
+/// did, and the delivered-vs-sent word balance. Emitted as the report's
+/// `health` JSON object only when enabled (a fault plan was active) or a
+/// counter is nonzero, so clean zero-fault reports stay byte-identical to
+/// pre-health ones.
+struct HealthSummary {
+  bool enabled = false;   ///< a fault plan / injector was attached
+  bool config_ok = true;  ///< run_config() converged (false: kNoCycle)
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t cfg_errors = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t words_dropped = 0;
+  std::uint64_t words_flipped = 0;
+  std::uint64_t words_stuck = 0;
+  std::uint64_t words_killed = 0;
+  std::uint64_t words_sent = 0;
+  std::uint64_t words_delivered = 0;
+
+  bool should_emit() const {
+    return enabled || !config_ok || protocol_errors != 0 || cfg_errors != 0 || timeouts != 0 ||
+           retries != 0 || aborted != 0;
+  }
+};
+
 /// Everything one scenario run produced, in machine-readable form — the
 /// unit of output of soc::run_scenario() and the element type of a
 /// daelite_batch results document. A failed run (parse / dimensioning /
@@ -88,7 +117,8 @@ struct NetworkReport {
   std::uint64_t router_drops = 0;
   std::uint64_t ni_drops = 0;
   std::uint64_t rx_overflow = 0;
-  bool ok = false; ///< all contracts met, nothing dropped
+  HealthSummary health;
+  bool ok = false; ///< all contracts met, nothing dropped, config converged
 
   sim::JsonValue to_json() const;
 };

@@ -142,6 +142,14 @@ void ConfigAgent::process_word(std::uint8_t w) {
         state_ = State::kArgIdExt;
         break;
       }
+      if (w == kCfgEndOfPacket) {
+        // A truncated fixed-argument packet (its id word was lost or
+        // corrupted into the end marker). Count and resync: 0x7F is never
+        // a legal element id.
+        ++protocol_errors_;
+        state_ = State::kIdle;
+        break;
+      }
       pending_id_ = w;
       state_ = State::kArgs;
       break;

@@ -123,6 +123,8 @@ class ConfigAgent : public sim::Component {
 
   const sim::Reg<CfgWord>& fwd_out() const { return fwd_out_; }
   const sim::Reg<CfgWord>& resp_out() const { return resp_out_; }
+  sim::Reg<CfgWord>& fwd_out() { return fwd_out_; }
+  sim::Reg<CfgWord>& resp_out() { return resp_out_; }
 
   void tick() override;
 

@@ -1,5 +1,7 @@
 #include "daelite/config_host.hpp"
 
+#include <algorithm>
+
 namespace daelite::hw {
 
 ConfigModule::ConfigModule(sim::Kernel& k, std::string name, Params params)
@@ -39,7 +41,7 @@ void ConfigModule::enqueue_marker(sim::TraceEvent event, std::uint64_t arg) {
 
 bool ConfigModule::idle() const {
   return !streaming_ && queue_.size() == 0 && queue_.pending_pushes() == 0 &&
-         now() >= cooldown_until_ && !awaiting_response_;
+         now() >= cooldown_until_ && !awaiting_response_ && !retry_pending_;
 }
 
 void ConfigModule::maybe_sleep() {
@@ -66,6 +68,31 @@ void ConfigModule::tick() {
   if (resp_in_ != nullptr && resp_in_->get().valid) {
     responses_.push_back(resp_in_->get().data);
     awaiting_response_ = false;
+    response_deadline_ = sim::kNoCycle;
+    attempt_ = 0;
+  }
+
+  // Watchdog: the outstanding request's response never arrived. Retry it
+  // after a quiet interval (re-sending a configuration packet is
+  // idempotent: set/clear operations overwrite, reads re-read), or give it
+  // up once the retry budget is spent so the stream cannot deadlock.
+  if (awaiting_response_ && response_deadline_ != sim::kNoCycle && now() >= response_deadline_) {
+    ++timeouts_;
+    trace(sim::TraceEvent::kCfgTimeout, attempt_);
+    awaiting_response_ = false;
+    response_deadline_ = sim::kNoCycle;
+    if (attempt_ < params_.max_retries) {
+      ++attempt_;
+      ++retries_;
+      retry_pending_ = true;
+      cooldown_until_ =
+          std::max(cooldown_until_, now() + 1 + params_.retry_cool_down_cycles);
+      trace(sim::TraceEvent::kCfgRetry, attempt_);
+    } else {
+      ++aborted_;
+      attempt_ = 0;
+      trace(sim::TraceEvent::kCfgAbort);
+    }
   }
 
   if (now() < cooldown_until_) {
@@ -79,6 +106,15 @@ void ConfigModule::tick() {
   if (awaiting_response_) {
     fwd_out_.set(CfgWord{});
     return;
+  }
+
+  // A timed-out request retries ahead of anything still queued, preserving
+  // the one-outstanding-request order the response path depends on.
+  if (!streaming_ && retry_pending_) {
+    current_ = last_request_;
+    index_ = 0;
+    streaming_ = true;
+    retry_pending_ = false;
   }
 
   // Markers consume no stream cycles: drain any run of them (emitting
@@ -106,7 +142,12 @@ void ConfigModule::tick() {
       // Cool-down ticks span the next cool_down_cycles cycles; streaming
       // may resume the cycle after.
       if (current_.is_path) cooldown_until_ = now() + 1 + params_.cool_down_cycles;
-      if (current_.expects_response) awaiting_response_ = true;
+      if (current_.expects_response) {
+        awaiting_response_ = true;
+        last_request_ = current_;
+        if (params_.response_timeout_cycles != 0)
+          response_deadline_ = now() + params_.response_timeout_cycles;
+      }
     }
   } else {
     fwd_out_.set(CfgWord{});

@@ -29,12 +29,23 @@ class ConfigModule : public sim::Component {
  public:
   struct Params {
     std::uint32_t cool_down_cycles = 4;
+    /// Response watchdog: cycles to wait for a read response after the last
+    /// word of the requesting packet left the module. 0 disables the
+    /// watchdog (the module then blocks forever on a lost response — the
+    /// pre-watchdog behaviour, kept for protocol-level tests).
+    std::uint32_t response_timeout_cycles = 0;
+    /// Re-sends of a timed-out request before giving up on it.
+    std::uint32_t max_retries = 3;
+    /// Quiet cycles between a timeout and its retry, letting any
+    /// straggling response drain off the tree before the request repeats.
+    std::uint32_t retry_cool_down_cycles = 4;
   };
 
   ConfigModule(sim::Kernel& k, std::string name, Params params);
 
   /// Serial output feeding the root node of the configuration tree.
   const sim::Reg<CfgWord>& fwd_out() const { return fwd_out_; }
+  sim::Reg<CfgWord>& fwd_out() { return fwd_out_; }
 
   /// Wire the root node's response output back to the module.
   void connect_resp(const sim::Reg<CfgWord>* root_resp) { resp_in_ = root_resp; }
@@ -74,6 +85,11 @@ class ConfigModule : public sim::Component {
   std::uint64_t words_sent() const { return words_sent_; }
   std::uint64_t packets_sent() const { return packets_sent_; }
 
+  // Watchdog counters (all zero while the watchdog is disabled).
+  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t aborted() const { return aborted_; }
+
   void tick() override;
 
  private:
@@ -102,6 +118,17 @@ class ConfigModule : public sim::Component {
   /// across it under the stride scheduler).
   sim::Cycle cooldown_until_ = 0;
   bool awaiting_response_ = false;
+
+  // Watchdog state: the last response-expecting packet (kept for re-send),
+  // its running attempt count, and the absolute deadline of the current
+  // outstanding request (kNoCycle when none / watchdog disabled).
+  Packet last_request_;
+  bool retry_pending_ = false;
+  std::uint32_t attempt_ = 0;
+  sim::Cycle response_deadline_ = sim::kNoCycle;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t aborted_ = 0;
 
   // Managed configuration tree (see manage_tree()).
   std::vector<sim::Component*> tree_agents_;

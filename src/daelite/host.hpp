@@ -26,7 +26,9 @@ class HostController {
 
   struct OpenResult {
     ConnectionHandle handle;
-    sim::Cycle config_cycles = 0; ///< cycles spent streaming configuration
+    /// Cycles spent streaming configuration, or sim::kNoCycle when the
+    /// configuration stream did not converge (see run_config()).
+    sim::Cycle config_cycles = 0;
   };
 
   /// Allocate and configure a connection, running the kernel until the

@@ -45,8 +45,18 @@ DaeliteNetwork::DaeliteNetwork(sim::Kernel& k, const topo::Topology& topo, Optio
   }
 
   // Host configuration module + broadcast tree wiring.
-  config_module_ = std::make_unique<ConfigModule>(
-      k, "cfg_host", ConfigModule::Params{options_.cool_down_cycles});
+  ConfigModule::Params cfg_params;
+  cfg_params.cool_down_cycles = options_.cool_down_cycles;
+  if (options_.cfg_watchdog) {
+    // A read response round-trips in ~4*depth+6 cycles after the request's
+    // last word; the derived default adds slack for the host-write padding.
+    cfg_params.response_timeout_cycles = options_.cfg_response_timeout != 0
+                                             ? options_.cfg_response_timeout
+                                             : 4 * cfg_tree_.max_depth() + 16;
+    cfg_params.max_retries = options_.cfg_max_retries;
+    cfg_params.retry_cool_down_cycles = options_.cool_down_cycles;
+  }
+  config_module_ = std::make_unique<ConfigModule>(k, "cfg_host", cfg_params);
 
   auto agent_of = [&](topo::NodeId n) -> ConfigAgent& {
     return topo.is_router(n) ? routers_.at(n)->config_agent() : nis_.at(n)->config_agent();
@@ -207,10 +217,13 @@ bool DaeliteNetwork::config_idle() const { return config_module_->idle(); }
 
 sim::Cycle DaeliteNetwork::run_config(sim::Cycle max_cycles) {
   const sim::Cycle start = kernel_->now();
-  const bool ok =
-      kernel_->run_until([this] { return config_module_->idle(); }, max_cycles);
-  assert(ok && "configuration did not complete");
-  (void)ok;
+  if (!kernel_->run_until([this] { return config_module_->idle(); }, max_cycles)) {
+    // Configuration did not converge inside the budget (e.g. a lost read
+    // response with the watchdog disabled). This used to be an assert that
+    // NDEBUG builds silently swallowed; the sentinel forces every caller
+    // to decide.
+    return sim::kNoCycle;
+  }
   kernel_->run(ConfigModule::drain_cycles(cfg_tree_.max_depth()));
   return kernel_->now() - start;
 }
@@ -282,6 +295,95 @@ std::uint64_t DaeliteNetwork::total_cfg_errors() const {
   for (const auto& [id, r] : routers_) n += r->stats().cfg_errors;
   for (const auto& [id, ni] : nis_) n += ni->stats().cfg_errors;
   return n;
+}
+
+std::uint64_t DaeliteNetwork::total_protocol_errors() const {
+  std::uint64_t n = 0;
+  for (const auto& [id, r] : routers_) n += r->config_agent().protocol_errors();
+  for (const auto& [id, ni] : nis_) n += ni->config_agent().protocol_errors();
+  return n;
+}
+
+// --- Fault injection -----------------------------------------------------------------
+
+namespace {
+
+// 4x32 data words + valid flags + credit; flips land in a carried data
+// word when one exists (first preference: the word the bit addresses),
+// else in the low credit bits so the corruption stays observable.
+struct FlitFaultPolicy {
+  static constexpr std::uint32_t kBits = 128;
+  static bool present(const Flit& f) { return f.valid; }
+  static void flip(Flit& f, std::uint32_t bit) {
+    const std::uint32_t w = (bit / 32) % Flit::kMaxWords;
+    const std::uint32_t b = bit % 32;
+    if (f.data_valid[w]) {
+      f.data[w] ^= 1u << b;
+      return;
+    }
+    for (std::uint32_t i = 0; i < Flit::kMaxWords; ++i) {
+      if (f.data_valid[i]) {
+        f.data[i] ^= 1u << b;
+        return;
+      }
+    }
+    f.credit ^= 1u << (b % 6);
+  }
+  static void force_one(Flit& f, std::uint32_t bit) {
+    const std::uint32_t w = (bit / 32) % Flit::kMaxWords;
+    const std::uint32_t b = bit % 32;
+    if (f.data_valid[w]) {
+      f.data[w] |= 1u << b;
+      return;
+    }
+    for (std::uint32_t i = 0; i < Flit::kMaxWords; ++i) {
+      if (f.data_valid[i]) {
+        f.data[i] |= 1u << b;
+        return;
+      }
+    }
+    f.credit |= 1u << (b % 6);
+  }
+};
+
+struct CfgWordFaultPolicy {
+  static constexpr std::uint32_t kBits = 7;
+  static bool present(const CfgWord& w) { return w.valid; }
+  static void flip(CfgWord& w, std::uint32_t bit) {
+    w.data = static_cast<std::uint8_t>(w.data ^ (1u << (bit % kBits)));
+  }
+  static void force_one(CfgWord& w, std::uint32_t bit) {
+    w.data = static_cast<std::uint8_t>(w.data | (1u << (bit % kBits)));
+  }
+};
+
+} // namespace
+
+void DaeliteNetwork::attach_fault_lines(sim::FaultInjector& injector, std::uint32_t class_mask) {
+  using sim::FaultClass;
+  if ((class_mask & sim::fault_class_bit(FaultClass::kData)) != 0) {
+    // Fresh flits land on link registers only at slot-aligned cycles.
+    const auto stride = static_cast<std::uint32_t>(options_.tdm.words_per_slot);
+    for (topo::LinkId l = 0; l < topo_->link_count(); ++l) {
+      const topo::Link& link = topo_->link(l);
+      sim::Reg<Flit>& reg = topo_->is_router(link.src)
+                                ? routers_.at(link.src)->output_reg(link.src_port)
+                                : nis_.at(link.src)->output_reg();
+      injector.watch<FlitFaultPolicy>(FaultClass::kData, reg, stride, 0);
+    }
+  }
+  auto agent_of = [&](topo::NodeId n) -> ConfigAgent& {
+    return topo_->is_router(n) ? routers_.at(n)->config_agent() : nis_.at(n)->config_agent();
+  };
+  if ((class_mask & sim::fault_class_bit(FaultClass::kCfgFwd)) != 0) {
+    injector.watch<CfgWordFaultPolicy>(FaultClass::kCfgFwd, config_module_->fwd_out());
+    for (topo::NodeId n : cfg_tree_.bfs_order)
+      injector.watch<CfgWordFaultPolicy>(FaultClass::kCfgFwd, agent_of(n).fwd_out());
+  }
+  if ((class_mask & sim::fault_class_bit(FaultClass::kCfgResp)) != 0) {
+    for (topo::NodeId n : cfg_tree_.bfs_order)
+      injector.watch<CfgWordFaultPolicy>(FaultClass::kCfgResp, agent_of(n).resp_out());
+  }
 }
 
 } // namespace daelite::hw

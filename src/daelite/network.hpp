@@ -25,6 +25,7 @@
 #include "daelite/config_host.hpp"
 #include "daelite/ni.hpp"
 #include "daelite/router.hpp"
+#include "sim/fault.hpp"
 #include "sim/kernel.hpp"
 #include "topology/graph.hpp"
 #include "topology/spanning_tree.hpp"
@@ -48,6 +49,14 @@ class DaeliteNetwork {
     std::size_t ni_queue_capacity = 32;
     topo::NodeId cfg_root = 0;           ///< element the config module attaches to
     std::uint32_t cool_down_cycles = 4;
+    /// Response watchdog on the configuration module. The timeout defaults
+    /// to a bound derived from the tree depth (a response round-trip takes
+    /// ~4*depth+6 cycles after the request's last word); override with
+    /// cfg_response_timeout != 0. cfg_watchdog = false restores the
+    /// pre-watchdog blocking behaviour (protocol tests).
+    bool cfg_watchdog = true;
+    std::uint32_t cfg_response_timeout = 0; ///< 0: derive from tree depth
+    std::uint32_t cfg_max_retries = 3;
   };
 
   DaeliteNetwork(sim::Kernel& k, const topo::Topology& topo, Options options);
@@ -82,7 +91,10 @@ class DaeliteNetwork {
   /// deepest tree node.
   bool config_idle() const;
 
-  /// Run the kernel until config_idle() (with drain). Returns cycles spent.
+  /// Run the kernel until config_idle() (with drain). Returns cycles
+  /// spent, or sim::kNoCycle if the configuration did not converge within
+  /// max_cycles (e.g. a lost read response with the watchdog disabled) —
+  /// callers must check, in NDEBUG builds too.
   sim::Cycle run_config(sim::Cycle max_cycles = 1'000'000);
 
   // --- Direct (test) configuration --------------------------------------------
@@ -105,6 +117,18 @@ class DaeliteNetwork {
   std::uint64_t total_ni_drops() const;
   std::uint64_t total_rx_overflow() const;
   std::uint64_t total_cfg_errors() const;
+  /// Config-agent protocol errors across routers AND NIs (the report's
+  /// `health.protocol_errors` — NI agents used to be invisible).
+  std::uint64_t total_protocol_errors() const;
+
+  // --- Fault injection ---------------------------------------------------------
+
+  /// Register every link of the selected classes (kData: data links in
+  /// topology order; kCfgFwd/kCfgResp: configuration tree in BFS order)
+  /// with an injector. The injector must have been constructed after this
+  /// network so it commits last in the cycle.
+  void attach_fault_lines(sim::FaultInjector& injector,
+                          std::uint32_t class_mask = sim::kAllFaultClasses);
 
  private:
   /// (segments, queue words) shared by setup and teardown.

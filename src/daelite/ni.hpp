@@ -59,6 +59,7 @@ class Ni : public sim::Component, public ConfigTarget {
   /// Wire the NI's network input to the router output register feeding it.
   void connect_input(const sim::Reg<Flit>* src) { input_ = src; }
   const sim::Reg<Flit>& output_reg() const { return output_; }
+  sim::Reg<Flit>& output_reg() { return output_; }
 
   ConfigAgent& config_agent() { return cfg_agent_; }
   const Params& params() const { return params_; }

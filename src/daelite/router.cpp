@@ -74,6 +74,15 @@ bool Router::quiescent() const {
 void Router::cfg_apply_path(std::uint64_t slot_mask, std::uint8_t port_word, bool setup) {
   const std::uint8_t in = router_in_port(port_word);
   const std::uint8_t out = router_out_port(port_word);
+  // The 3-bit port fields can decode to ports this router does not have
+  // (a corrupted word, or a packet for a differently-shaped router whose
+  // id matched after corruption). A real decoder has no wires past its
+  // port count; reject and count instead of indexing past the table.
+  if (out >= outputs_.size() || in >= inputs_.size()) {
+    ++stats_.cfg_errors;
+    trace(sim::TraceEvent::kCfgError, port_word);
+    return;
+  }
   trace(sim::TraceEvent::kTableWrite, slot_mask, port_word | (setup ? 0x100u : 0u));
   for (tdm::Slot s = 0; s < params_.num_slots; ++s) {
     if ((slot_mask & (1ull << s)) == 0) continue;

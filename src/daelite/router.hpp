@@ -43,6 +43,7 @@ class Router : public sim::Component, public ConfigTarget {
   void connect_input(std::size_t in_port, const sim::Reg<Flit>* src) { inputs_[in_port] = src; }
 
   const sim::Reg<Flit>& output_reg(std::size_t out_port) const { return outputs_[out_port]; }
+  sim::Reg<Flit>& output_reg(std::size_t out_port) { return outputs_[out_port]; }
 
   ConfigAgent& config_agent() { return cfg_agent_; }
 

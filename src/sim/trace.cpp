@@ -25,6 +25,10 @@ std::string_view trace_event_name(TraceEvent e) {
     case TraceEvent::kCfgPacketEnd: return "cfg.packet";
     case TraceEvent::kPhaseBegin:
     case TraceEvent::kPhaseEnd: return "phase";
+    case TraceEvent::kCfgTimeout: return "cfg.timeout";
+    case TraceEvent::kCfgRetry: return "cfg.retry";
+    case TraceEvent::kCfgAbort: return "cfg.abort";
+    case TraceEvent::kFaultInject: return "fault";
   }
   return "?";
 }

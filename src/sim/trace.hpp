@@ -55,6 +55,11 @@ enum class TraceEvent : std::uint16_t {
   kCfgPacketEnd,
   kPhaseBegin,     ///< run phase: arg0 = interned phase-name id
   kPhaseEnd,
+  // Point events appended later (keep enum values stable for exports).
+  kCfgTimeout,     ///< watchdog: response deadline passed, arg0 = attempt
+  kCfgRetry,       ///< watchdog: request re-queued, arg0 = attempt
+  kCfgAbort,       ///< watchdog: retries exhausted, request abandoned
+  kFaultInject,    ///< injected fault: arg0 = FaultClass, arg1 = Kind
 };
 
 /// Short stable tag for an event ("inject", "setup", ...). Begin/End pairs

@@ -95,6 +95,16 @@ analysis::NetworkReport run_scenario(const RunSpec& spec) {
   hw::DaeliteNetwork net(kernel, mesh.topo, opt);
   if (spec.on_network) spec.on_network(kernel, net);
 
+  // The injector is constructed after every network element so it commits
+  // last each cycle (it corrupts freshly committed link values). Absent a
+  // plan nothing is constructed and the run is byte-identical to a
+  // pre-fault-injection build.
+  std::optional<sim::FaultInjector> injector;
+  if (spec.fault_plan.enabled()) {
+    injector.emplace(kernel, "fault", spec.fault_plan);
+    net.attach_fault_lines(*injector);
+  }
+
   // Phase spans: the runner's own coarse timeline on top of the per-element
   // event stream (the config module emits the per-connection set-up spans).
   sim::Tracer* tr = (spec.tracer != nullptr && spec.tracer->enabled()) ? spec.tracer : nullptr;
@@ -106,7 +116,23 @@ analysis::NetworkReport run_scenario(const RunSpec& spec) {
   phase_mark(sim::TraceEvent::kPhaseBegin, "configure");
   std::vector<hw::ConnectionHandle> handles;
   for (const auto& c : dim->allocation.connections) handles.push_back(net.open_connection(c));
+  if (injector) {
+    // One verification read per connection: under faults the response path
+    // (and the module's watchdog) is part of what set-up time measures.
+    for (const hw::ConnectionHandle& h : handles) {
+      net.config_module().enqueue_packet(
+          hw::encode_read_flags(net.cfg_ids().at(h.conn.request.src_ni), h.src_tx_q),
+          /*is_path=*/false, /*expects_response=*/true);
+    }
+  }
   report.cfg_cycles = net.run_config();
+  if (report.cfg_cycles == sim::kNoCycle) {
+    // The stream never converged (possible only with the watchdog off).
+    // Keep going — partial configuration is itself the observable — but
+    // flag it so ok == false and the health section says why.
+    report.health.config_ok = false;
+    report.cfg_cycles = kernel.now();
+  }
   phase_mark(sim::TraceEvent::kPhaseEnd, "configure");
   phase_mark(sim::TraceEvent::kPhaseBegin, "traffic");
 
@@ -177,8 +203,33 @@ analysis::NetworkReport run_scenario(const RunSpec& spec) {
   report.router_drops = net.total_router_drops();
   report.ni_drops = net.total_ni_drops();
   report.rx_overflow = net.total_rx_overflow();
+
+  report.health.enabled = injector.has_value();
+  report.health.protocol_errors = net.total_protocol_errors();
+  report.health.cfg_errors = net.total_cfg_errors();
+  report.health.timeouts = net.config_module().timeouts();
+  report.health.retries = net.config_module().retries();
+  report.health.aborted = net.config_module().aborted();
+  if (injector) {
+    const sim::FaultCounters& fc = injector->counters();
+    report.health.faults_injected = fc.injected;
+    report.health.words_dropped = fc.dropped;
+    report.health.words_flipped = fc.flipped;
+    report.health.words_stuck = fc.stuck;
+    report.health.words_killed = fc.killed;
+  }
+  for (topo::NodeId n = 0; n < mesh.topo.node_count(); ++n) {
+    if (!mesh.topo.is_ni(n)) continue;
+    const hw::Ni& ni = net.ni(n);
+    for (std::size_t q = 0; q < net.options().ni_channels; ++q) {
+      report.health.words_sent += ni.tx_stats(q).words_sent;
+      report.health.words_delivered += ni.rx_stats(q).words_received;
+    }
+  }
+
   report.ok = all_met && report.router_drops == 0 && report.ni_drops == 0 &&
-              report.rx_overflow == 0;
+              report.rx_overflow == 0 && report.health.config_ok &&
+              report.health.aborted == 0;
   return report;
 }
 

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "analysis/network_report.hpp"
+#include "sim/fault.hpp"
 #include "sim/kernel.hpp"
 #include "soc/scenario.hpp"
 
@@ -49,6 +50,12 @@ struct RunSpec {
   /// element records into it and the runner adds configure/traffic phase
   /// spans; export with sim::write_chrome_trace(). Must outlive the call.
   sim::Tracer* tracer = nullptr;
+  /// Enabled: the runner builds a per-job FaultInjector over every data and
+  /// configuration link, appends one verification read per connection (so
+  /// the response path and watchdog are exercised), and fills the report's
+  /// `health` section. Each job owns its injector, so fault streams are
+  /// reproducible across --jobs counts.
+  sim::FaultPlan fault_plan;
 };
 
 /// Execute one spec to completion. Never throws on scenario-level problems:

@@ -4,11 +4,16 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/network_report.hpp"
 #include "daelite/config.hpp"
 #include "daelite/config_host.hpp"
 #include "daelite/network.hpp"
 #include "alloc/usecase.hpp"
 #include "alloc/allocator.hpp"
+#include "sim/fault.hpp"
+#include "sim/json.hpp"
+#include "sim/parallel.hpp"
+#include "soc/runner.hpp"
 #include "topology/generators.hpp"
 
 namespace {
@@ -163,6 +168,145 @@ TEST_F(NetFixture, ResponsePathCollisionIsCounted) {
   }
   const std::size_t responses = net->config_module().responses().size();
   EXPECT_GE(responses + collisions, 1u);
+}
+
+// --- Deterministic link faults + watchdog ------------------------------------
+
+sim::FaultPlan plan_from(const std::string& text) {
+  sim::FaultPlan plan;
+  std::string err;
+  EXPECT_TRUE(sim::FaultPlan::parse_text(text, &plan, &err)) << err;
+  return plan;
+}
+
+TEST_F(NetFixture, WatchdogRetriesDroppedResponse) {
+  // Drop the first response word anywhere on the tree: the module's
+  // watchdog must time out, re-send the read, and complete on the retry.
+  sim::FaultInjector injector(kernel, "fault", plan_from("drop cfg_resp 0"));
+  net->attach_fault_lines(injector);
+
+  const std::uint16_t ni_id = net->cfg_ids().at(mesh.ni(1, 0));
+  net->config_module().enqueue_packet(encode_read_credit(ni_id, 0), false,
+                                      /*expects_response=*/true);
+  const sim::Cycle done = net->run_config();
+  ASSERT_NE(done, sim::kNoCycle);
+
+  EXPECT_EQ(net->config_module().timeouts(), 1u);
+  EXPECT_EQ(net->config_module().retries(), 1u);
+  EXPECT_EQ(net->config_module().aborted(), 0u);
+  ASSERT_EQ(net->config_module().responses().size(), 1u);
+  EXPECT_EQ(injector.counters(sim::FaultClass::kCfgResp).dropped, 1u);
+}
+
+TEST_F(NetFixture, ExhaustedRetriesAbortWithCounters) {
+  // Kill the response path outright: every attempt times out, the module
+  // aborts the request after max_retries and the stream still converges
+  // (no deadlock), with the failure visible in the counters.
+  sim::FaultInjector injector(kernel, "fault", plan_from("kill cfg_resp 0 1000000"));
+  net->attach_fault_lines(injector);
+
+  const std::uint16_t ni_id = net->cfg_ids().at(mesh.ni(1, 0));
+  net->config_module().enqueue_packet(encode_read_credit(ni_id, 0), false,
+                                      /*expects_response=*/true);
+  const sim::Cycle done = net->run_config();
+  ASSERT_NE(done, sim::kNoCycle);
+
+  const auto& m = net->config_module();
+  EXPECT_EQ(m.retries(), 3u);            // default max_retries
+  EXPECT_EQ(m.timeouts(), 4u);           // original + each retry timed out
+  EXPECT_EQ(m.aborted(), 1u);
+  EXPECT_TRUE(m.responses().empty());
+  EXPECT_GT(injector.counters(sim::FaultClass::kCfgResp).killed, 0u);
+}
+
+TEST_F(NetFixture, DataBitFlipChangesWordsNotSchedule) {
+  // A single-event upset on a data link corrupts the payload word but must
+  // not change how many words arrive or where they go.
+  alloc::SlotAllocator alloc(mesh.topo, net->options().tdm);
+  alloc::ChannelSpec spec;
+  spec.src_ni = mesh.ni(0, 0);
+  spec.dst_nis = {mesh.ni(1, 0)};
+  spec.slots_required = 1;
+  const auto route = alloc.allocate(spec);
+  ASSERT_TRUE(route.has_value());
+  net->program_route_direct(*route, 0, {0});
+
+  sim::FaultInjector injector(kernel, "fault", plan_from("flip data 0 3"));
+  net->attach_fault_lines(injector);
+
+  Ni& src = net->ni(mesh.ni(0, 0));
+  Ni& dst = net->ni(mesh.ni(1, 0));
+  src.set_credit_direct(0, 8);
+  src.tx_push(0, 0xA5);
+  kernel.run(4 * net->options().tdm.wheel_cycles());
+
+  ASSERT_EQ(dst.rx_level(0), 1u);
+  const auto got = dst.rx_pop(0);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 0xA5u ^ (1u << 3)); // exactly the planned bit differs
+  EXPECT_EQ(net->total_router_drops(), 0u);
+  EXPECT_EQ(net->total_ni_drops(), 0u);
+  EXPECT_EQ(injector.counters(sim::FaultClass::kData).flipped, 1u);
+}
+
+TEST(FaultDeterminism, IdenticalSeedAcrossJobCounts) {
+  // The same fault seed must produce byte-identical reports regardless of
+  // how many worker threads execute the batch (each job owns its injector).
+  soc::Scenario sc;
+  sc.kind = soc::Scenario::TopologyKind::kMesh;
+  sc.width = 3;
+  sc.height = 3;
+  sc.host = {1, 1};
+  sc.run_cycles = 1500;
+  soc::Scenario::RawConnection a{"a", {0, 0}, {{2, 2}}, 150.0};
+  soc::Scenario::RawConnection b{"b", {2, 0}, {{0, 2}, {0, 0}}, 40.0};
+  sc.raw = {a, b};
+
+  const auto run_jobs = [&](std::size_t threads) {
+    return sim::parallel_map<analysis::NetworkReport>(4, threads, [&](std::size_t i) {
+      soc::RunSpec spec;
+      spec.label = "job" + std::to_string(i);
+      spec.scenario = sc;
+      spec.fault_plan.seed = 7;
+      spec.fault_plan.rate = 0.002;
+      return soc::run_scenario(spec);
+    });
+  };
+  const auto serial = run_jobs(1);
+  const auto parallel = run_jobs(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].to_json().dump(2), parallel[i].to_json().dump(2)) << "job " << i;
+    EXPECT_TRUE(serial[i].health.enabled);
+    EXPECT_GT(serial[i].health.faults_injected, 0u) << "rate 0.002 should inject on a 1500-cycle run";
+  }
+}
+
+TEST(OutstandingRead, StrideMatchesReferenceAndNeverCertifiesFixedPoint) {
+  // Watchdog off + response path dead: the read stays outstanding forever.
+  // The stride scheduler's quiescence fast-forward must not certify a
+  // fixed point (the module is waiting, not done): run_config() times out
+  // at the same cycle under both schedulers and reports non-convergence.
+  sim::Cycle now_at_exit[2] = {0, 0};
+  int idx = 0;
+  for (sim::Scheduler sched : {sim::Scheduler::kStride, sim::Scheduler::kReference}) {
+    topo::Mesh mesh = topo::make_mesh(2, 2);
+    sim::Kernel kernel(sched);
+    DaeliteNetwork::Options opt;
+    opt.tdm = tdm::daelite_params(8);
+    opt.cfg_root = mesh.ni(0, 0);
+    opt.cfg_watchdog = false; // pre-watchdog behaviour: block forever
+    DaeliteNetwork net(kernel, mesh.topo, opt);
+    sim::FaultInjector injector(kernel, "fault", plan_from("kill cfg_resp 0 1000000"));
+    net.attach_fault_lines(injector);
+
+    net.config_module().enqueue_packet(
+        encode_read_credit(net.cfg_ids().at(mesh.ni(1, 0)), 0), false,
+        /*expects_response=*/true);
+    EXPECT_EQ(net.run_config(5000), sim::kNoCycle) << "scheduler " << idx;
+    now_at_exit[idx++] = kernel.now();
+  }
+  EXPECT_EQ(now_at_exit[0], now_at_exit[1]);
 }
 
 } // namespace

@@ -53,6 +53,9 @@ int usage() {
          "  --run-cycles C   override run length for every job\n"
          "  --scheduler S    kernel cycle loop: stride (default) | reference\n"
          "  --trace DIR      one Chrome trace_event file per job in DIR\n"
+         "  --fault-seed N   seed for fault injection (with --fault-rate/plan)\n"
+         "  --fault-rate R   per-word fault probability in [0,1] on every link\n"
+         "  --fault-plan F   fault-plan file (see src/sim/fault.hpp)\n"
          "  --per-connection per-job connection latency tables on stderr\n"
          "  --list           print the expanded job list and exit\n"
          "  --quiet          no per-job progress on stderr\n";
@@ -146,6 +149,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> mesh_specs;
   std::optional<sim::Cycle> run_cycles;
   sim::Scheduler scheduler = sim::Scheduler::kStride;
+  sim::FaultPlan fault_plan;
   std::string trace_dir;
   bool per_connection = false;
   bool list_only = false;
@@ -206,6 +210,26 @@ int main(int argc, char** argv) {
       const char* v = need("--trace");
       if (!v) return usage();
       trace_dir = v;
+    } else if (std::strcmp(argv[i], "--fault-seed") == 0) {
+      const char* v = need("--fault-seed");
+      if (!v) return usage();
+      fault_plan.seed = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--fault-rate") == 0) {
+      const char* v = need("--fault-rate");
+      if (!v) return usage();
+      fault_plan.rate = std::strtod(v, nullptr);
+      if (fault_plan.rate < 0.0 || fault_plan.rate > 1.0) {
+        std::cerr << "daelite_batch: --fault-rate must be in [0,1]\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--fault-plan") == 0) {
+      const char* v = need("--fault-plan");
+      if (!v) return usage();
+      std::string ferr;
+      if (!sim::FaultPlan::parse_file(v, &fault_plan, &ferr)) {
+        std::cerr << "daelite_batch: " << ferr << "\n";
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--per-connection") == 0) {
       per_connection = true;
     } else if (std::strcmp(argv[i], "--list") == 0) {
@@ -273,6 +297,7 @@ int main(int argc, char** argv) {
         spec.run_cycles_override = run_cycles;
         spec.seed = seed;
         spec.scheduler = scheduler;
+        spec.fault_plan = fault_plan;
         std::string label = b.name;
         if (slots) label += "[slots=" + std::to_string(*slots) + "]";
         if (seed) label += "[seed=" + std::to_string(seed) + "]";

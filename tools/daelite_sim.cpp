@@ -3,6 +3,7 @@
 //   daelite_sim <scenario file> [--vcd out.vcd] [--json out.json]
 //               [--trace out.trace.json] [--per-connection] [--quiet]
 //               [--scheduler stride|reference]
+//               [--fault-seed N] [--fault-rate R] [--fault-plan file]
 //
 // Executes a scenario end to end through soc::run_scenario(): parse,
 // dimension (choosing the wheel size unless the scenario pins one),
@@ -17,7 +18,11 @@
 // per-connection latency quantile table. --scheduler selects the kernel's
 // cycle loop: the default stride scheduler, or the per-cycle reference
 // loop whose reports and traces must be byte-identical (CI diffs them).
+// --fault-rate / --fault-plan enable deterministic fault injection on the
+// data and configuration links (see sim/fault.hpp for the plan grammar);
+// the report then carries a `health` section.
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -36,7 +41,9 @@ int usage() {
   std::cerr << "usage: daelite_sim <scenario file> [--vcd out.vcd] [--json out.json]\n"
                "                   [--trace out.trace.json] [--per-connection] [--quiet]\n"
                "                   [--scheduler stride|reference]\n"
-               "see src/soc/scenario.hpp for the scenario grammar\n";
+               "                   [--fault-seed N] [--fault-rate R] [--fault-plan file]\n"
+               "see src/soc/scenario.hpp for the scenario grammar and\n"
+               "src/sim/fault.hpp for the fault-plan grammar\n";
   return 2;
 }
 
@@ -50,6 +57,7 @@ int main(int argc, char** argv) {
   bool per_connection = false;
   bool quiet = false;
   sim::Scheduler scheduler = sim::Scheduler::kStride;
+  sim::FaultPlan fault_plan;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--vcd") == 0 && i + 1 < argc) {
       vcd_path = argv[++i];
@@ -70,6 +78,21 @@ int main(int argc, char** argv) {
       } else {
         return usage();
       }
+    } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
+      fault_plan.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--fault-rate") == 0 && i + 1 < argc) {
+      fault_plan.rate = std::strtod(argv[++i], nullptr);
+      if (fault_plan.rate < 0.0 || fault_plan.rate > 1.0) {
+        std::cerr << "daelite_sim: --fault-rate must be in [0,1]\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--fault-plan") == 0 && i + 1 < argc) {
+      // The file may also set seed/rate; CLI flags given later still win.
+      std::string ferr;
+      if (!sim::FaultPlan::parse_file(argv[++i], &fault_plan, &ferr)) {
+        std::cerr << "daelite_sim: " << ferr << "\n";
+        return 2;
+      }
     } else if (argv[i][0] == '-') {
       return usage();
     } else {
@@ -89,6 +112,7 @@ int main(int argc, char** argv) {
   spec.label = scenario_path;
   spec.scenario = *scenario;
   spec.scheduler = scheduler;
+  spec.fault_plan = fault_plan;
 
   std::unique_ptr<sim::Tracer> tracer;
   if (!trace_path.empty()) {
