@@ -1,0 +1,363 @@
+// bench_recovery — self-healing recovery latency vs the aelite mirror.
+//
+// The paper's argument for fast connection set-up (§V, Table III) is
+// usually framed as a bring-up cost, but it pays off again every time the
+// NoC must *re*-configure — and a link failure mid-run is exactly that.
+// This bench kills one link on a live connection's route (deterministic
+// `kill data@<link>` fault plan, seed 42), lets the recovery subsystem
+// (soc/health.hpp + runner repair) detect, quarantine, tear down and
+// re-set up the connection on a detour, and measures detection-to-restored
+// latency in cycles. Three experiments:
+//
+//  1. Recovery latency vs path length: one saturated connection of
+//     increasing hop count on an 8x2 mesh, mid-route link killed. daelite
+//     recovery grows with path length (broadcast-tree config depth + first
+//     delivery on the detour) and sits orders below the aelite mirror.
+//  2. Recovery latency vs slot-table size: same connection, wheels of
+//     8/16/32 slots. daelite stays nearly flat; the aelite mirror pays one
+//     reserved slot per wheel per register write, so its tear-down +
+//     set-up cost grows with the slot count twice over (more messages,
+//     each on a longer wheel).
+//  3. Delivered-bandwidth timeline: the same run truncated at successive
+//     lengths (every prefix of a deterministic run is identical, so
+//     delivered-word deltas between truncations ARE the per-window
+//     bandwidth) — traffic flows, collapses at the kill, and is restored
+//     on the detour within the same window or the next.
+//
+// The aelite mirror is handicapped in aelite's favour: it pays only the
+// serial tear-down + set-up stream (AeliteConfigHost::post_teardown +
+// post_setup), with detection and first-delivery time not counted, while
+// the daelite number is the full detection-to-restored latency. The bench
+// exits nonzero if any kill goes undetected, any connection is not
+// restored, or daelite fails to beat the mirror.
+
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aelite/config_model.hpp"
+#include "alloc/dimension.hpp"
+#include "analysis/report.hpp"
+#include "common.hpp"
+#include "sim/fault.hpp"
+#include "sim/json.hpp"
+#include "soc/runner.hpp"
+
+using namespace daelite;
+using namespace daelite::bench;
+using analysis::TextTable;
+using analysis::fmt;
+using sim::JsonValue;
+
+namespace {
+
+constexpr std::uint64_t kFaultSeed = 42;
+constexpr sim::Cycle kRunCycles = 20000;
+constexpr sim::Cycle kKillCycle = 5000; ///< absolute; config is long done
+
+// One saturated unicast along row 0 of a W x 2 mesh, host on row 1 so the
+// detour row stays available. Hop count of the request route is d + 2
+// (NI -> router, d router hops, router -> NI).
+soc::Scenario victim_scenario(int w, int d, std::uint32_t slots, sim::Cycle run_cycles) {
+  soc::Scenario sc;
+  sc.kind = soc::Scenario::TopologyKind::kMesh;
+  sc.width = w;
+  sc.height = 2;
+  sc.slots = slots;
+  sc.host = {0, 1};
+  sc.run_cycles = run_cycles;
+  soc::Scenario::RawConnection c;
+  c.name = "victim";
+  c.src = {0, 0};
+  c.dsts.push_back({d, 0});
+  c.bandwidth = 150.0;
+  sc.raw.push_back(std::move(c));
+  return sc;
+}
+
+// The route the runner will allocate, reproduced by running the same
+// deterministic dimensioning (seed 0 keeps file order). Returns the
+// mid-route link to kill plus the dimensioned slot counts the aelite
+// mirror must re-program.
+struct Victim {
+  std::uint64_t kill_link = 0;
+  std::uint32_t hops = 0; ///< request-route edges
+  std::uint32_t request_slots = 0;
+  std::uint32_t response_slots = 0;
+};
+
+std::optional<Victim> discover_victim(soc::Scenario sc) {
+  topo::Mesh mesh = sc.build();
+  const alloc::NocClocking clk{sc.clock_mhz, 4};
+  std::string why;
+  auto dim = alloc::dimension_network(mesh.topo, sc.connections, clk, {*sc.slots}, &why);
+  if (!dim) {
+    std::cerr << "bench_recovery: dimensioning failed: " << why << "\n";
+    return std::nullopt;
+  }
+  const alloc::AllocatedConnection& c = dim->allocation.connections.front();
+  Victim v;
+  v.hops = static_cast<std::uint32_t>(c.request.edges.size());
+  v.kill_link = c.request.edges[c.request.edges.size() / 2].link;
+  v.request_slots = dim->connections.front().request_slots;
+  v.response_slots = dim->connections.front().response_slots;
+  return v;
+}
+
+soc::RunSpec recovery_spec(soc::Scenario sc, std::uint64_t kill_link) {
+  soc::RunSpec spec;
+  spec.label = "recovery";
+  spec.scenario = std::move(sc);
+  spec.fault_plan.seed = kFaultSeed;
+  sim::FaultDirective kill;
+  kill.kind = sim::FaultDirective::Kind::kKill;
+  kill.cls = sim::FaultClass::kData;
+  kill.line_index = static_cast<std::int64_t>(kill_link);
+  kill.from = kKillCycle;
+  kill.to = sim::kNoCycle; // the link never comes back; the detour must hold
+  spec.fault_plan.directives.push_back(kill);
+  spec.recovery.enabled = true;
+  return spec;
+}
+
+/// aelite mirror of one repair: tear down the broken connection and set it
+/// up again, both serialized through the host's reserved slot (one
+/// register write or read per TDM wheel). Returns the cycle the stream
+/// completes, starting from an idle host at cycle 0.
+sim::Cycle aelite_reconfig_cycles(int w, int d, std::uint32_t slots, std::uint32_t request_slots,
+                                  std::uint32_t response_slots) {
+  soc::Scenario sc = victim_scenario(w, d, slots, 0);
+  topo::Mesh mesh = sc.build();
+  sim::Kernel k;
+  aelite::AeliteConfigHost::Params p;
+  p.tdm = tdm::aelite_params(slots);
+  aelite::AeliteConfigHost host(k, "ahost", mesh.topo, mesh.ni(0, 1), p);
+  aelite::AeliteConfigHost::SetupRequest req;
+  req.src_ni = mesh.ni(0, 0);
+  req.dst_ni = mesh.ni(d, 0);
+  req.request_slots = request_slots;
+  req.response_slots = response_slots;
+  const std::uint32_t td = host.post_teardown(req);
+  const std::uint32_t su = host.post_setup(req);
+  if (!k.run_until([&] { return host.idle(); }, 10'000'000)) {
+    std::cerr << "bench_recovery: aelite reconfiguration did not complete\n";
+    return sim::kNoCycle;
+  }
+  return std::max(host.completion_cycle(td), host.completion_cycle(su));
+}
+
+/// Common validity checks on one recovery run; prints a diagnostic and
+/// returns false on the first violated expectation.
+bool check_recovered(const analysis::NetworkReport& r, std::uint64_t kill_link,
+                     const std::string& what) {
+  const auto fail = [&](const std::string& msg) {
+    std::cerr << "bench_recovery: " << what << ": " << msg << "\n";
+    return false;
+  };
+  if (!r.error.empty()) return fail("run failed: " + r.error);
+  if (r.recovery.dead_links.size() != 1) {
+    return fail("expected 1 dead-link verdict, got " +
+                std::to_string(r.recovery.dead_links.size()));
+  }
+  if (r.recovery.dead_links.front().link != kill_link)
+    return fail("verdict names link " + std::to_string(r.recovery.dead_links.front().link) +
+                ", killed " + std::to_string(kill_link));
+  if (r.recovery.quarantined != std::vector<std::uint64_t>{kill_link})
+    return fail("quarantine set is not exactly the killed link");
+  if (r.recovery.events.size() != 1)
+    return fail("expected 1 recovery event, got " + std::to_string(r.recovery.events.size()));
+  const analysis::RecoveryEvent& ev = r.recovery.events.front();
+  if (ev.trigger != "link_dead") return fail("trigger is '" + ev.trigger + "', not link_dead");
+  if (!ev.restored) return fail("connection was not restored");
+  if (ev.latency_cycles() == 0) return fail("zero recovery latency");
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+
+  constexpr int kWidth = 8;
+  bool bad = false;
+
+  // -- 1. recovery latency vs path length (slots fixed at 16) --------------
+  const std::vector<int> distances = quick ? std::vector<int>{2, 4, 7}
+                                           : std::vector<int>{1, 2, 3, 4, 5, 6, 7};
+  TextTable pt("recovery latency vs path length (8x2 mesh, S=16, mid-route link killed)");
+  pt.set_header({"hops", "detour", "kill link", "detected", "restored in", "aelite td+su",
+                 "speedup"});
+  JsonValue prows = JsonValue::array();
+  sim::Cycle first_latency = 0, last_latency = 0;
+  for (int d : distances) {
+    soc::Scenario sc = victim_scenario(kWidth, d, 16, kRunCycles);
+    const auto v = discover_victim(sc);
+    if (!v) return 1;
+    const analysis::NetworkReport r = soc::run_scenario(recovery_spec(sc, v->kill_link));
+    if (!check_recovered(r, v->kill_link, "path sweep d=" + std::to_string(d))) {
+      bad = true;
+      continue;
+    }
+    const analysis::RecoveryEvent& ev = r.recovery.events.front();
+    const sim::Cycle ae = aelite_reconfig_cycles(kWidth, d, 16, v->request_slots,
+                                                 v->response_slots);
+    if (ae == sim::kNoCycle) return 1;
+    const sim::Cycle lat = ev.latency_cycles();
+    if (d == distances.front()) first_latency = lat;
+    if (d == distances.back()) last_latency = lat;
+    if (lat >= ae) {
+      std::cerr << "bench_recovery: d=" << d << ": daelite recovery (" << lat
+                << ") does not beat the aelite mirror (" << ae << ")\n";
+      bad = true;
+    }
+    pt.add_row({std::to_string(ev.hops_before), std::to_string(ev.hops_after),
+                std::to_string(v->kill_link), std::to_string(ev.detected_cycle),
+                std::to_string(lat) + " cyc", std::to_string(ae) + " cyc",
+                fmt(static_cast<double>(ae) / static_cast<double>(lat), 1) + "x"});
+    JsonValue row = JsonValue::object();
+    row["distance"] = static_cast<std::uint64_t>(d);
+    row["hops_before"] = ev.hops_before;
+    row["hops_after"] = ev.hops_after;
+    row["kill_link"] = v->kill_link;
+    row["detected_cycle"] = ev.detected_cycle;
+    row["reconfigured_cycle"] = ev.reconfigured_cycle;
+    row["restored_cycle"] = ev.restored_cycle;
+    row["latency_cycles"] = lat;
+    row["aelite_reconfig_cycles"] = ae;
+    row["speedup"] = static_cast<double>(ae) / static_cast<double>(lat);
+    prows.push_back(std::move(row));
+  }
+  pt.print(std::cout);
+  std::cout << "\n";
+  if (!bad && last_latency <= first_latency) {
+    std::cerr << "bench_recovery: recovery latency does not grow with path length ("
+              << first_latency << " -> " << last_latency << ")\n";
+    bad = true;
+  }
+
+  // -- 2. recovery latency vs slot-table size (path fixed) ------------------
+  const std::vector<std::uint32_t> slot_counts =
+      quick ? std::vector<std::uint32_t>{8, 32} : std::vector<std::uint32_t>{8, 16, 32};
+  const int kSlotSweepDistance = 5;
+  TextTable st("recovery latency vs slot count (8x2 mesh, 5-router path)");
+  st.set_header({"slots", "daelite restored in", "aelite td+su", "speedup"});
+  JsonValue srows = JsonValue::array();
+  sim::Cycle d_min = 0, d_max = 0, a_min = 0, a_max = 0;
+  for (std::uint32_t slots : slot_counts) {
+    soc::Scenario sc = victim_scenario(kWidth, kSlotSweepDistance, slots, kRunCycles);
+    const auto v = discover_victim(sc);
+    if (!v) return 1;
+    const analysis::NetworkReport r = soc::run_scenario(recovery_spec(sc, v->kill_link));
+    if (!check_recovered(r, v->kill_link, "slot sweep S=" + std::to_string(slots))) {
+      bad = true;
+      continue;
+    }
+    const sim::Cycle lat = r.recovery.events.front().latency_cycles();
+    const sim::Cycle ae = aelite_reconfig_cycles(kWidth, kSlotSweepDistance, slots,
+                                                 v->request_slots, v->response_slots);
+    if (ae == sim::kNoCycle) return 1;
+    if (slots == slot_counts.front()) { d_min = lat; a_min = ae; }
+    if (slots == slot_counts.back()) { d_max = lat; a_max = ae; }
+    if (lat >= ae) {
+      std::cerr << "bench_recovery: S=" << slots << ": daelite recovery (" << lat
+                << ") does not beat the aelite mirror (" << ae << ")\n";
+      bad = true;
+    }
+    st.add_row({std::to_string(slots), std::to_string(lat) + " cyc", std::to_string(ae) + " cyc",
+                fmt(static_cast<double>(ae) / static_cast<double>(lat), 1) + "x"});
+    JsonValue row = JsonValue::object();
+    row["slots"] = slots;
+    row["request_slots"] = v->request_slots;
+    row["latency_cycles"] = lat;
+    row["aelite_reconfig_cycles"] = ae;
+    row["speedup"] = static_cast<double>(ae) / static_cast<double>(lat);
+    srows.push_back(std::move(row));
+  }
+  st.print(std::cout);
+  std::cout << "\n";
+  // daelite recovery must be (close to) slot-count independent; the aelite
+  // mirror pays more messages on a longer wheel, so its growth dominates.
+  if (!bad && d_min != 0 && a_min != 0) {
+    const double d_growth = static_cast<double>(d_max) / static_cast<double>(d_min);
+    const double a_growth = static_cast<double>(a_max) / static_cast<double>(a_min);
+    if (d_growth >= a_growth) {
+      std::cerr << "bench_recovery: daelite latency grows with slot count as fast as aelite ("
+                << fmt(d_growth, 2) << "x vs " << fmt(a_growth, 2) << "x)\n";
+      bad = true;
+    }
+  }
+
+  // -- 3. delivered-bandwidth timeline around the kill ----------------------
+  // Deterministic runs are prefix-identical, so truncating the same spec at
+  // successive lengths and differencing delivered-word counts measures the
+  // bandwidth of each window — no in-run sampling hooks needed.
+  const sim::Cycle window = quick ? 4000 : 2000;
+  const int kTimelineDistance = 5;
+  soc::Scenario base = victim_scenario(kWidth, kTimelineDistance, 16, kRunCycles);
+  const auto tv = discover_victim(base);
+  if (!tv) return 1;
+  TextTable tt("delivered words per window (kill @" + std::to_string(kKillCycle) + ")");
+  tt.set_header({"window", "delivered", "words/cycle"});
+  JsonValue trows = JsonValue::array();
+  std::uint64_t prev = 0;
+  std::vector<std::uint64_t> deltas;
+  for (sim::Cycle end = window; end <= kRunCycles; end += window) {
+    soc::RunSpec spec = recovery_spec(base, tv->kill_link);
+    spec.run_cycles_override = end;
+    const analysis::NetworkReport r = soc::run_scenario(spec);
+    if (!r.error.empty()) {
+      std::cerr << "bench_recovery: timeline run failed: " << r.error << "\n";
+      return 1;
+    }
+    const std::uint64_t delivered = r.health.words_delivered;
+    if (delivered < prev) {
+      std::cerr << "bench_recovery: delivered words not prefix-monotonic at " << end << "\n";
+      bad = true;
+    }
+    const std::uint64_t delta = delivered - prev;
+    deltas.push_back(delta);
+    tt.add_row({"[" + std::to_string(end - window) + "," + std::to_string(end) + ")",
+                std::to_string(delta),
+                fmt(static_cast<double>(delta) / static_cast<double>(window), 3)});
+    JsonValue row = JsonValue::object();
+    row["window_end"] = end;
+    row["delivered_total"] = delivered;
+    row["delivered_delta"] = delta;
+    row["words_per_cycle"] = static_cast<double>(delta) / static_cast<double>(window);
+    trows.push_back(std::move(row));
+    prev = delivered;
+  }
+  tt.print(std::cout);
+  // The pre-kill steady state must be re-established after the repair: the
+  // final window's bandwidth within 50% of the first full-rate window's.
+  if (deltas.size() >= 3) {
+    const std::uint64_t steady = deltas[1]; // window 0 pays configuration
+    const std::uint64_t final_bw = deltas.back();
+    if (final_bw * 2 < steady) {
+      std::cerr << "bench_recovery: bandwidth not restored after repair (" << final_bw << " vs "
+                << steady << " steady)\n";
+      bad = true;
+    }
+  }
+
+  const std::string json_path = json_out_path(argc, argv, "recovery");
+  if (!json_path.empty()) {
+    JsonValue doc = JsonValue::object();
+    doc["fault_seed"] = kFaultSeed;
+    doc["quick"] = quick;
+    doc["kill_cycle"] = kKillCycle;
+    doc["path_sweep"] = std::move(prows);
+    doc["slot_sweep"] = std::move(srows);
+    doc["timeline"] = std::move(trows);
+    if (!write_bench_json(json_path, "recovery", std::move(doc))) {
+      std::cerr << "bench_recovery: cannot write " << json_path << "\n";
+      return 2;
+    }
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return bad ? 1 : 0;
+}

@@ -35,6 +35,33 @@ std::uint32_t AeliteConfigHost::message_count(const SetupRequest& req) {
   return src_writes + dst_writes + reads;
 }
 
+std::uint32_t AeliteConfigHost::teardown_message_count(const SetupRequest& req) {
+  // Per NI: disable flag + one clearing write per slot-table entry + path
+  // register; plus one confirmation read per NI.
+  const std::uint32_t src_writes = 1 + req.request_slots + 1;
+  const std::uint32_t dst_writes = 1 + req.response_slots + 1;
+  const std::uint32_t reads = req.with_readback ? 2 : 0;
+  return src_writes + dst_writes + reads;
+}
+
+std::uint32_t AeliteConfigHost::post_teardown(const SetupRequest& req) {
+  const std::uint32_t id = next_id_++;
+  auto push = [&](topo::NodeId target, bool is_read) {
+    outgoing_.push_back(Msg{id, target, is_read});
+  };
+  // Disable first at the source (stop injection), then the destination,
+  // then the clearing writes; read-backs confirm the tables are clear
+  // before the slots may be re-allocated.
+  for (std::uint32_t i = 0; i < 1 + req.request_slots + 1; ++i) push(req.src_ni, false);
+  for (std::uint32_t i = 0; i < 1 + req.response_slots + 1; ++i) push(req.dst_ni, false);
+  if (req.with_readback) {
+    push(req.src_ni, true);
+    push(req.dst_ni, true);
+  }
+  remaining_[id] = teardown_message_count(req);
+  return id;
+}
+
 std::uint32_t AeliteConfigHost::post_setup(const SetupRequest& req) {
   const std::uint32_t id = next_id_++;
   auto push = [&](topo::NodeId target, bool is_read) {

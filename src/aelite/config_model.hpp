@@ -64,6 +64,15 @@ class AeliteConfigHost : public sim::Component {
   /// Returns a request id.
   std::uint32_t post_setup(const SetupRequest& req);
 
+  /// Queue the tear-down sequence for one connection: disable flag, one
+  /// clearing write per slot-table entry and the path register of each
+  /// involved NI (plus confirmation reads), all serialized through the
+  /// host's reserved slot like any other config traffic. aelite recovery
+  /// pays this *and* a full post_setup through the data network — the cost
+  /// daelite's broadcast tree removes (recovery-time gap of
+  /// bench_recovery).
+  std::uint32_t post_teardown(const SetupRequest& req);
+
   bool idle() const {
     return outgoing_.empty() && in_flight_.empty() && pending_responses_.empty() && lost_.empty();
   }
@@ -79,6 +88,10 @@ class AeliteConfigHost : public sim::Component {
   /// Number of messages (writes + reads) a setup needs — the "ideal" cost
   /// driver. Exposed for the analytic Table III column.
   static std::uint32_t message_count(const SetupRequest& req);
+
+  /// Messages a tear-down needs (no credit re-initialization, otherwise
+  /// the same per-entry write structure as set-up).
+  static std::uint32_t teardown_message_count(const SetupRequest& req);
 
   /// Analytic lower bound on setup cycles: messages serialized at one per
   /// wheel plus the final delivery flight time and read round trip.

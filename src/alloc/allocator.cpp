@@ -81,6 +81,11 @@ bool SlotAllocator::valid_spec(const ChannelSpec& spec) const {
 std::optional<RouteTree> SlotAllocator::allocate_on_path(const topo::Path& path,
                                                          std::uint32_t slots_required) {
   if (path.empty() || slots_required == 0) return std::nullopt;
+  // The path finder never proposes quarantined links, but caller-chosen
+  // paths (tests, the multipath allocator's precomputed candidates) must
+  // hit the same wall.
+  for (topo::LinkId l : path.links)
+    if (is_quarantined(l)) return std::nullopt;
   RouteTree shape = RouteTree::from_path(*topo_, path, {}, tdm::kNoChannel);
   const auto avail = free_inject_slots(shape);
   auto slots = choose_slots(avail, slots_required);
@@ -106,6 +111,8 @@ bool SlotAllocator::restore(const RouteTree& route) {
     }
   }
   ++live_channels_;
+  if (route.channel != tdm::kNoChannel && route.channel >= next_channel_)
+    next_channel_ = route.channel + 1;
   return true;
 }
 
@@ -114,10 +121,46 @@ void SlotAllocator::release(const RouteTree& route) {
   if (freed > 0 && live_channels_ > 0) --live_channels_;
 }
 
+void SlotAllocator::quarantine_link(topo::LinkId link) {
+  if (quarantined_.size() != topo_->link_count()) quarantined_.resize(topo_->link_count(), false);
+  if (link < quarantined_.size()) quarantined_[link] = true;
+  finder_.exclude_link(link);
+}
+
+void SlotAllocator::clear_quarantine() {
+  quarantined_.assign(quarantined_.size(), false);
+  finder_.clear_exclusions();
+}
+
+std::vector<topo::LinkId> SlotAllocator::quarantined_links() const {
+  std::vector<topo::LinkId> out;
+  for (topo::LinkId l = 0; l < quarantined_.size(); ++l)
+    if (quarantined_[l]) out.push_back(l);
+  return out;
+}
+
 std::optional<RouteTree> SlotAllocator::allocate(const ChannelSpec& spec) {
-  if (!valid_spec(spec)) return std::nullopt;
-  if (spec.dst_nis.size() == 1) return allocate_unicast(spec);
-  return allocate_multicast(spec);
+#ifndef NDEBUG
+  const tdm::ChannelId pre_next = next_channel_;
+  const std::size_t pre_live = live_channels_;
+#endif
+  std::optional<RouteTree> r;
+  if (valid_spec(spec)) {
+    r = spec.dst_nis.size() == 1 ? allocate_unicast(spec) : allocate_multicast(spec);
+  }
+#ifndef NDEBUG
+  // The no-leak invariant release() depends on: a failed allocation burns
+  // no ChannelId and bumps no live-channel count; a successful one claims
+  // exactly one of each.
+  if (!r) {
+    assert(next_channel_ == pre_next && live_channels_ == pre_live &&
+           "failed allocation leaked a ChannelId or live-channel count");
+  } else {
+    assert(next_channel_ == pre_next + 1 && live_channels_ == pre_live + 1 &&
+           r->channel == pre_next && "allocation must claim exactly one fresh ChannelId");
+  }
+#endif
+  return r;
 }
 
 std::optional<RouteTree> SlotAllocator::allocate_unicast(const ChannelSpec& spec) {

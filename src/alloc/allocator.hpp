@@ -75,8 +75,27 @@ class SlotAllocator {
   /// Re-reserve a previously released route exactly as it was (same
   /// channel id, same slots). Returns false and rolls back if any of its
   /// (link, slot) pairs has been taken in the meantime. Used by the
-  /// use-case switching flow to restore state after a failed switch.
+  /// use-case switching flow to restore state after a failed switch, and
+  /// by the recovery runner to mirror the dimensioned allocation into a
+  /// live allocator — so it also advances the fresh-ChannelId watermark
+  /// past the restored channel (a later allocate() must never hand out an
+  /// id that would alias a restored route's reservations).
   bool restore(const RouteTree& route);
+
+  // --- Link quarantine ---------------------------------------------------------
+
+  /// Exclude a link from every future allocation (health-monitor verdict:
+  /// the link drops or corrupts words). Existing reservations that cross
+  /// the link are untouched — tearing the affected connections down and
+  /// re-allocating them around the quarantine is the recovery runner's
+  /// job. Idempotent.
+  void quarantine_link(topo::LinkId link);
+  void clear_quarantine();
+  bool is_quarantined(topo::LinkId link) const {
+    return link < quarantined_.size() && quarantined_[link];
+  }
+  /// Quarantined link ids, ascending (the report's `recovery.quarantined`).
+  std::vector<topo::LinkId> quarantined_links() const;
 
   /// Injection slots currently available for the given route tree shape.
   std::vector<tdm::Slot> free_inject_slots(const RouteTree& shape) const;
@@ -107,6 +126,7 @@ class SlotAllocator {
   topo::PathFinder finder_;
   tdm::ChannelId next_channel_ = 0;
   std::size_t live_channels_ = 0;
+  std::vector<bool> quarantined_; ///< empty until the first quarantine
 };
 
 } // namespace daelite::alloc

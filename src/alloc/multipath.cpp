@@ -36,7 +36,9 @@ std::optional<MultipathRoute> MultipathAllocator::allocate(const ChannelSpec& sp
         std::min<std::size_t>(avail.size(), remaining));
     if (take == 0) continue;
     auto part = base_->allocate_on_path(p, take);
-    assert(part.has_value());
+    // The local finder above knows nothing of the base allocator's link
+    // quarantine, so a candidate path can be rejected wholesale here.
+    if (!part) continue;
     remaining -= take;
     route.parts.push_back(std::move(*part));
   }

@@ -41,6 +41,10 @@ sim::JsonValue NetworkReport::to_json() const {
     jc["measured_mbps"] = c.measured_mbps;
     jc["worst_latency_ns"] = c.worst_latency_ns;
     jc["met"] = c.met;
+    if (health.should_emit()) {
+      jc["corrupt_words"] = c.corrupt_words;
+      jc["lost_words"] = c.lost_words;
+    }
     jc["latency_cycles"] = sim::to_json(c.latency);
     conns.push_back(std::move(jc));
   }
@@ -80,7 +84,43 @@ sim::JsonValue NetworkReport::to_json() const {
     h["words_killed"] = health.words_killed;
     h["words_sent"] = health.words_sent;
     h["words_delivered"] = health.words_delivered;
+    h["corrupt_words"] = health.corrupt_words;
+    h["lost_words"] = health.lost_words;
     v["health"] = std::move(h);
+  }
+  if (recovery.should_emit()) {
+    JsonValue r = JsonValue::object();
+    r["missing_flits"] = recovery.missing_flits;
+    r["parity_errors"] = recovery.parity_errors;
+    JsonValue dead = JsonValue::array();
+    for (const DeadLinkVerdict& d : recovery.dead_links) {
+      JsonValue jd = JsonValue::object();
+      jd["link"] = d.link;
+      jd["cycle"] = d.cycle;
+      jd["evidence"] = d.evidence;
+      dead.push_back(std::move(jd));
+    }
+    r["dead_links"] = std::move(dead);
+    JsonValue q = JsonValue::array();
+    for (std::uint64_t l : recovery.quarantined) q.push_back(sim::JsonValue(l));
+    r["quarantined"] = std::move(q);
+    JsonValue evs = JsonValue::array();
+    for (const RecoveryEvent& e : recovery.events) {
+      JsonValue je = JsonValue::object();
+      je["connection"] = e.connection;
+      je["link"] = e.link;
+      je["trigger"] = e.trigger;
+      je["detected_cycle"] = e.detected_cycle;
+      je["reconfigured_cycle"] = e.reconfigured_cycle;
+      je["restored_cycle"] = e.restored_cycle;
+      je["restored"] = e.restored;
+      je["latency_cycles"] = e.latency_cycles();
+      je["hops_before"] = e.hops_before;
+      je["hops_after"] = e.hops_after;
+      evs.push_back(std::move(je));
+    }
+    r["events"] = std::move(evs);
+    v["recovery"] = std::move(r);
   }
   return v;
 }
@@ -109,6 +149,25 @@ void print_report(std::ostream& os, const NetworkReport& r, std::size_t top_link
        << ", retries " << r.health.retries << ", aborted " << r.health.aborted
        << ", faults injected " << r.health.faults_injected << ", delivered "
        << r.health.words_delivered << "/" << r.health.words_sent << " words\n";
+  }
+  if (r.recovery.should_emit()) {
+    std::size_t restored = 0;
+    for (const RecoveryEvent& e : r.recovery.events)
+      if (e.restored) ++restored;
+    os << "recovery: " << r.recovery.dead_links.size() << " dead links, "
+       << r.recovery.quarantined.size() << " quarantined, " << restored << "/"
+       << r.recovery.events.size() << " connections restored";
+    for (const RecoveryEvent& e : r.recovery.events) {
+      os << "\n  " << e.connection << ": link " << e.link << " (" << e.trigger << ") detected @"
+         << e.detected_cycle;
+      if (e.restored) {
+        os << ", restored in " << e.latency_cycles() << " cycles (" << e.hops_before << " -> "
+           << e.hops_after << " hops)";
+      } else {
+        os << ", NOT RESTORED";
+      }
+    }
+    os << "\n";
   }
   os << "\n";
   TextTable lt("Busiest links (reserved slots / wheel)");

@@ -63,6 +63,12 @@ struct ConnectionOutcome {
   double measured_mbps = 0.0;
   double worst_latency_ns = 0.0;
   bool met = false;
+  /// End-to-end integrity verdicts of the connection's destination NIs
+  /// (request direction): words whose sideband parity mismatched, and
+  /// words the rolling sequence proved lost. Survives queue re-binding
+  /// across a recovery. Emitted only when the health section is.
+  std::uint64_t corrupt_words = 0;
+  std::uint64_t lost_words = 0;
   /// End-to-end word latency (cycles) across all of the connection's
   /// destination queues — per-connection quantiles in the JSON report.
   sim::Histogram latency{1024};
@@ -90,11 +96,55 @@ struct HealthSummary {
   std::uint64_t words_killed = 0;
   std::uint64_t words_sent = 0;
   std::uint64_t words_delivered = 0;
+  /// End-to-end integrity totals over every NI rx channel (parity
+  /// mismatches / sideband sequence gaps counted at the destinations).
+  std::uint64_t corrupt_words = 0;
+  std::uint64_t lost_words = 0;
 
   bool should_emit() const {
     return enabled || !config_ok || protocol_errors != 0 || cfg_errors != 0 || timeouts != 0 ||
            retries != 0 || aborted != 0;
   }
+};
+
+/// One dead-link verdict from the health monitor (soc::HealthMonitor),
+/// mirrored into the report without a soc dependency.
+struct DeadLinkVerdict {
+  std::uint64_t link = 0;
+  sim::Cycle cycle = 0;        ///< epoch boundary the verdict fired at
+  std::uint64_t evidence = 0;  ///< cumulative missing flits + parity errors
+};
+
+/// One connection the runner tore down and re-set up around a quarantined
+/// link. Cycles are absolute; `restored` is false when re-allocation,
+/// re-configuration or delivery never completed within the run.
+struct RecoveryEvent {
+  std::string connection;
+  std::uint64_t link = 0;           ///< quarantined link that triggered it
+  std::string trigger;              ///< "link_dead" or "integrity"
+  sim::Cycle detected_cycle = 0;
+  sim::Cycle reconfigured_cycle = 0; ///< tear-down + set-up stream drained
+  sim::Cycle restored_cycle = 0;     ///< first word delivered to every dst
+  bool restored = false;
+  std::uint32_t hops_before = 0;     ///< request-route edges, old route
+  std::uint32_t hops_after = 0;      ///< request-route edges, new route
+
+  /// The headline metric: detection-to-restored, in cycles.
+  sim::Cycle latency_cycles() const { return restored ? restored_cycle - detected_cycle : 0; }
+};
+
+/// The report's `recovery` section — emitted only when the runner ran with
+/// recovery enabled, so every other run's JSON is byte-identical to a
+/// pre-recovery build.
+struct RecoverySummary {
+  bool enabled = false;
+  std::uint64_t missing_flits = 0;   ///< monitor: produced minus observed
+  std::uint64_t parity_errors = 0;   ///< monitor: on-wire parity failures
+  std::vector<DeadLinkVerdict> dead_links;
+  std::vector<std::uint64_t> quarantined; ///< link ids, ascending
+  std::vector<RecoveryEvent> events;
+
+  bool should_emit() const { return enabled; }
 };
 
 /// Everything one scenario run produced, in machine-readable form — the
@@ -118,6 +168,7 @@ struct NetworkReport {
   std::uint64_t ni_drops = 0;
   std::uint64_t rx_overflow = 0;
   HealthSummary health;
+  RecoverySummary recovery;
   bool ok = false; ///< all contracts met, nothing dropped, config converged
 
   sim::JsonValue to_json() const;

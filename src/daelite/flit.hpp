@@ -13,6 +13,7 @@
 // measurement, ordering checks); no hardware behaviour depends on them.
 
 #include <array>
+#include <bit>
 #include <cstdint>
 
 #include "sim/types.hpp"
@@ -28,6 +29,14 @@ struct Flit {
   std::array<std::uint32_t, kMaxWords> data{};
   std::array<bool, kMaxWords> data_valid{};
   std::uint32_t credit = 0;  ///< assembled value of the credit wires over the slot
+
+  /// End-to-end integrity sideband, one byte per carried word: bit 0 is
+  /// the word's even parity, bits 1..7 a rolling per-tx-channel sequence
+  /// number. Models dedicated check wires alongside the 32 data wires —
+  /// the fault injector corrupts payload, not the sideband, which is
+  /// exactly what lets destination NIs and the link health monitor turn
+  /// silent flips/drops into attributable corrupt/lost word counts.
+  std::array<std::uint8_t, kMaxWords> integrity{};
 
   // Modelling metadata.
   tdm::ChannelId debug_channel = tdm::kNoChannel;
@@ -47,5 +56,24 @@ struct Flit {
     return n;
   }
 };
+
+/// The integrity sideband's sequence numbers roll over modulo this (7 bits
+/// of the tag byte), so a burst of up to 127 consecutive lost words is
+/// counted exactly.
+inline constexpr std::uint32_t kIntegritySeqPeriod = 128;
+
+/// Sideband byte for one word: even parity in bit 0, sequence in bits 1..7.
+inline std::uint8_t integrity_tag(std::uint32_t word, std::uint8_t seq) {
+  return static_cast<std::uint8_t>(((seq & 0x7Fu) << 1) |
+                                   (static_cast<std::uint32_t>(std::popcount(word)) & 1u));
+}
+
+inline bool integrity_parity_ok(std::uint32_t word, std::uint8_t tag) {
+  return (tag & 1u) == (static_cast<std::uint32_t>(std::popcount(word)) & 1u);
+}
+
+inline std::uint8_t integrity_seq_of(std::uint8_t tag) {
+  return static_cast<std::uint8_t>(tag >> 1);
+}
 
 } // namespace daelite::hw

@@ -297,6 +297,20 @@ std::uint64_t DaeliteNetwork::total_cfg_errors() const {
   return n;
 }
 
+std::uint64_t DaeliteNetwork::total_corrupt_words() const {
+  std::uint64_t n = 0;
+  for (const auto& [id, ni] : nis_)
+    for (std::size_t q = 0; q < options_.ni_channels; ++q) n += ni->rx_stats(q).corrupt_words;
+  return n;
+}
+
+std::uint64_t DaeliteNetwork::total_lost_words() const {
+  std::uint64_t n = 0;
+  for (const auto& [id, ni] : nis_)
+    for (std::size_t q = 0; q < options_.ni_channels; ++q) n += ni->rx_stats(q).lost_words;
+  return n;
+}
+
 std::uint64_t DaeliteNetwork::total_protocol_errors() const {
   std::uint64_t n = 0;
   for (const auto& [id, r] : routers_) n += r->config_agent().protocol_errors();

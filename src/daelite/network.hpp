@@ -120,6 +120,10 @@ class DaeliteNetwork {
   /// Config-agent protocol errors across routers AND NIs (the report's
   /// `health.protocol_errors` — NI agents used to be invisible).
   std::uint64_t total_protocol_errors() const;
+  /// End-to-end integrity verdicts summed over every NI rx channel
+  /// (per-word parity mismatches / sideband sequence gaps).
+  std::uint64_t total_corrupt_words() const;
+  std::uint64_t total_lost_words() const;
 
   // --- Fault injection ---------------------------------------------------------
 

@@ -93,6 +93,8 @@ void Ni::tick() {
     for (std::uint32_t i = 0; i < can_send; ++i) {
       out.data[i] = ch.queue.pop();
       out.data_valid[i] = true;
+      out.integrity[i] = integrity_tag(out.data[i], ch.integrity_seq);
+      ch.integrity_seq = static_cast<std::uint8_t>((ch.integrity_seq + 1) % kIntegritySeqPeriod);
     }
     if (can_send > 0) {
       if (ch.flow_ctrl) ch.space.sub(can_send);
@@ -136,6 +138,17 @@ void Ni::tick() {
   ++ch.stats.flits_received;
   for (std::uint32_t i = 0; i < in.num_words; ++i) {
     if (!in.data_valid[i]) continue;
+    // End-to-end integrity: parity catches in-flight flips, sequence gaps
+    // catch dropped/killed words (the gap is the exact count while a burst
+    // stays under the 7-bit roll-over).
+    if (!integrity_parity_ok(in.data[i], in.integrity[i])) ++ch.stats.corrupt_words;
+    const std::uint8_t seq = integrity_seq_of(in.integrity[i]);
+    if (ch.expected_seq >= 0 && seq != ch.expected_seq) {
+      ch.stats.lost_words +=
+          (seq + kIntegritySeqPeriod - static_cast<std::uint32_t>(ch.expected_seq)) %
+          kIntegritySeqPeriod;
+    }
+    ch.expected_seq = static_cast<std::int16_t>((seq + 1) % kIntegritySeqPeriod);
     if (ch.queue.next_size() >= params_.queue_capacity) {
       ++stats_.rx_overflow;
       trace(sim::TraceEvent::kRxOverflow, rx_q);
@@ -173,6 +186,15 @@ void Ni::cfg_apply_path(std::uint64_t slot_mask, std::uint8_t port_word, bool se
     return;
   }
   trace(sim::TraceEvent::kTableWrite, slot_mask, port_word | (setup ? 0x100u : 0u));
+  // (Re-)programming a route resynchronizes the integrity sideband: the tx
+  // side restarts its rolling sequence, the rx side forgets its
+  // expectation, so a recovered (or reused) queue does not report the
+  // route switch itself as loss.
+  if (is_tx) {
+    tx_[queue].integrity_seq = 0;
+  } else {
+    rx_[queue].expected_seq = -1;
+  }
   for (tdm::Slot s = 0; s < params_.tdm.num_slots; ++s) {
     if ((slot_mask & (1ull << s)) == 0) continue;
     if (is_tx) {

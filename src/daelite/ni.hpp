@@ -42,6 +42,12 @@ class Ni : public sim::Component, public ConfigTarget {
     std::uint64_t flits_received = 0;
     std::uint64_t credits_sent = 0;
     std::uint64_t credits_received = 0;
+    // End-to-end integrity (rx side): checked against the per-word
+    // parity/sequence sideband the source NI stamps. Counted at the wire,
+    // before the overflow check, so a fault is attributable even when the
+    // corrupted word also failed to queue.
+    std::uint64_t corrupt_words = 0; ///< parity mismatch on an arrived word
+    std::uint64_t lost_words = 0;    ///< sequence gaps (dropped/killed upstream)
   };
 
   struct Stats {
@@ -126,6 +132,7 @@ class Ni : public sim::Component, public ConfigTarget {
     bool enabled = true;
     bool flow_ctrl = true;                  ///< false for multicast sources
     std::uint64_t seq = 0;
+    std::uint8_t integrity_seq = 0;         ///< rolling 7-bit sideband sequence
     tdm::ChannelId debug_channel = tdm::kNoChannel;
     ChannelStats stats;
   };
@@ -133,6 +140,7 @@ class Ni : public sim::Component, public ConfigTarget {
     sim::FifoReg<std::uint32_t> queue;
     sim::CounterReg pending;                ///< delivered words awaiting credit return
     std::uint8_t paired_tx = kCfgNoQueue;   ///< tx queue refilled by arriving credits
+    std::int16_t expected_seq = -1;         ///< next sideband sequence (-1: unsynced)
     ChannelStats stats;
     sim::Histogram latency{1024};           ///< flit network latency, cycles
   };

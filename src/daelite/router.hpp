@@ -58,7 +58,11 @@ class Router : public sim::Component, public ConfigTarget {
 
   /// Flits forwarded onto one output port's link — the per-link TDM
   /// occupancy counter (stats().flits_forwarded aggregates all outputs).
-  std::uint64_t forwarded_on(std::size_t out_port) const { return forwarded_per_out_[out_port]; }
+  /// Returned by reference: the health monitor keeps a pointer and reads
+  /// epoch deltas from it.
+  const std::uint64_t& forwarded_on(std::size_t out_port) const {
+    return forwarded_per_out_[out_port];
+  }
 
   void tick() override;
   /// No flit on any wired input or output register: forwarding would only

@@ -1,5 +1,6 @@
 #include "sim/fault.hpp"
 
+#include <charconv>
 #include <fstream>
 #include <sstream>
 
@@ -35,6 +36,15 @@ bool fail(std::string* error, std::size_t line_no, const std::string& msg) {
   return false;
 }
 
+// Strict unsigned parse: the whole token, digits only. operator>> into an
+// unsigned accepts "-5" by wrapping it through modular arithmetic — a
+// negative word index silently became a directive that never fires.
+bool parse_u64_token(std::string_view tok, std::uint64_t* v) {
+  if (tok.empty()) return false;
+  const auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), *v);
+  return ec == std::errc{} && p == tok.data() + tok.size();
+}
+
 } // namespace
 
 bool FaultPlan::parse(std::istream& in, FaultPlan* out, std::string* error) {
@@ -49,15 +59,28 @@ bool FaultPlan::parse(std::istream& in, FaultPlan* out, std::string* error) {
     std::string word;
     if (!(ls >> word)) continue; // blank / comment-only line
 
-    const auto read_class = [&](FaultClass* cls) {
+    const auto read_class = [&](FaultDirective* d) {
       std::string tok;
-      if (!(ls >> tok) || !parse_fault_class(tok, cls))
+      if (!(ls >> tok))
+        return fail(error, line_no, "expected a fault class (data|cfg_fwd|cfg_resp|aelite)");
+      std::string_view cls_tok = tok;
+      if (const auto at = cls_tok.find('@'); at != std::string_view::npos) {
+        std::uint64_t idx = 0;
+        if (!parse_u64_token(cls_tok.substr(at + 1), &idx))
+          return fail(error, line_no, "expected a line index after '@' in '" + tok + "'");
+        d->line_index = static_cast<std::int64_t>(idx);
+        cls_tok = cls_tok.substr(0, at);
+      }
+      if (!parse_fault_class(cls_tok, &d->cls))
         return fail(error, line_no,
                     "expected a fault class (data|cfg_fwd|cfg_resp|aelite), got '" + tok + "'");
       return true;
     };
     const auto read_u64 = [&](std::uint64_t* v, const char* what) {
-      if (!(ls >> *v)) return fail(error, line_no, std::string("expected ") + what);
+      std::string tok;
+      if (!(ls >> tok)) return fail(error, line_no, std::string("expected ") + what);
+      if (!parse_u64_token(tok, v))
+        return fail(error, line_no, std::string("expected ") + what + ", got '" + tok + "'");
       return true;
     };
 
@@ -69,7 +92,7 @@ bool FaultPlan::parse(std::istream& in, FaultPlan* out, std::string* error) {
     } else if (word == "drop" || word == "flip") {
       FaultDirective d;
       d.kind = word == "drop" ? FaultDirective::Kind::kDrop : FaultDirective::Kind::kFlip;
-      if (!read_class(&d.cls)) return false;
+      if (!read_class(&d)) return false;
       if (!read_u64(&d.nth, "a word index")) return false;
       if (d.kind == FaultDirective::Kind::kFlip) {
         std::uint64_t bit = 0;
@@ -80,20 +103,29 @@ bool FaultPlan::parse(std::istream& in, FaultPlan* out, std::string* error) {
     } else if (word == "stuck") {
       FaultDirective d;
       d.kind = FaultDirective::Kind::kStuck;
-      if (!read_class(&d.cls)) return false;
+      if (!read_class(&d)) return false;
       std::uint64_t bit = 0;
       if (!read_u64(&bit, "a bit index")) return false;
       d.bit = static_cast<std::uint32_t>(bit);
-      if (ls >> d.from) { // optional window
+      std::string tok;
+      if (ls >> tok) { // optional window
+        if (!parse_u64_token(tok, &d.from))
+          return fail(error, line_no, "expected a window start, got '" + tok + "'");
         if (!read_u64(&d.to, "a window end")) return false;
+        if (d.to <= d.from)
+          return fail(error, line_no, "empty window: end " + std::to_string(d.to) +
+                                          " must exceed start " + std::to_string(d.from));
       }
       plan.directives.push_back(d);
     } else if (word == "kill") {
       FaultDirective d;
       d.kind = FaultDirective::Kind::kKill;
-      if (!read_class(&d.cls)) return false;
+      if (!read_class(&d)) return false;
       if (!read_u64(&d.from, "a window start")) return false;
       if (!read_u64(&d.to, "a window end")) return false;
+      if (d.to <= d.from)
+        return fail(error, line_no, "empty window: end " + std::to_string(d.to) +
+                                        " must exceed start " + std::to_string(d.from));
       plan.directives.push_back(d);
     } else {
       return fail(error, line_no, "unknown directive '" + word + "'");
@@ -144,6 +176,8 @@ void FaultInjector::add_line(FaultClass cls, std::unique_ptr<FaultLine> line,
   l.cls = cls;
   l.stride = word_stride == 0 ? 1 : word_stride;
   l.phase = word_phase % l.stride;
+  for (const Line& other : lines_)
+    if (other.cls == cls) ++l.class_index;
   lines_.push_back(std::move(l));
 }
 
@@ -156,6 +190,8 @@ bool FaultInjector::quiescent() const {
 void FaultInjector::inject(Line& l, FaultCounters& cc) {
   FaultLine& line = *l.line;
   const std::uint64_t word = cc.words_seen;
+  const std::uint64_t line_word = l.words_seen;
+  ++l.words_seen;
   ++cc.words_seen;
   ++total_.words_seen;
 
@@ -193,10 +229,13 @@ void FaultInjector::inject(Line& l, FaultCounters& cc) {
   for (std::size_t i = 0; i < plan_.directives.size(); ++i) {
     const FaultDirective& d = plan_.directives[i];
     if (d.cls != l.cls) continue;
+    if (d.line_index >= 0 && static_cast<std::uint64_t>(d.line_index) != l.class_index) continue;
+    // With an `@` line restriction, nth counts that line's words only.
+    const std::uint64_t nth_word = d.line_index >= 0 ? line_word : word;
     switch (d.kind) {
       case FaultDirective::Kind::kDrop:
       case FaultDirective::Kind::kFlip:
-        if (!directive_done_[i] && d.nth == word) {
+        if (!directive_done_[i] && d.nth == nth_word) {
           directive_done_[i] = true;
           apply(d.kind, d.bit);
         }

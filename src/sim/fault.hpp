@@ -59,11 +59,19 @@ bool parse_fault_class(std::string_view token, FaultClass* out);
 /// One targeted fault. Drop/flip fire once, on the nth word (0-based,
 /// counted per class across all of the class's lines in attachment order);
 /// stuck/kill act on every word of the class inside [from, to).
+///
+/// A class token may carry a line suffix, `<class>@<index>`, restricting
+/// the directive to one watched line (0-based within the class, in
+/// attachment order — for daelite data links the index IS the topology
+/// LinkId). With a line restriction, drop/flip count `nth` over that
+/// line's words only. `kill data@7 1000 2000` is the single-link failure
+/// the recovery subsystem routes around.
 struct FaultDirective {
   enum class Kind : std::uint8_t { kDrop, kFlip, kStuck, kKill };
   Kind kind = Kind::kDrop;
   FaultClass cls = FaultClass::kData;
-  std::uint64_t nth = 0;  ///< drop/flip: which word of the class
+  std::int64_t line_index = -1; ///< -1: every line of the class
+  std::uint64_t nth = 0;  ///< drop/flip: which word of the class (or line)
   std::uint32_t bit = 0;  ///< flip/stuck: bit index (reduced mod line width)
   Cycle from = 0;         ///< stuck/kill: window start (inclusive)
   Cycle to = kNoCycle;    ///< stuck/kill: window end (exclusive)
@@ -78,7 +86,11 @@ struct FaultDirective {
 ///   flip  <class> <nth> <bit>
 ///   stuck <class> <bit> [<from> <to>]
 ///   kill  <class> <from> <to>
-/// with <class> one of: data, cfg_fwd, cfg_resp, aelite.
+/// with <class> one of: data, cfg_fwd, cfg_resp, aelite, optionally
+/// suffixed `@<line>` to target a single watched line of the class.
+/// Malformed input — unknown directives or classes, non-numeric or
+/// negative numbers, windows with to <= from, trailing tokens — is
+/// rejected with a line + token diagnostic, never silently ignored.
 struct FaultPlan {
   std::uint64_t seed = 1;
   double rate = 0.0;
@@ -191,6 +203,8 @@ class FaultInjector : public Component {
     FaultClass cls = FaultClass::kData;
     std::uint32_t stride = 1;
     std::uint32_t phase = 0;
+    std::uint64_t class_index = 0; ///< position within the class (directive `@` target)
+    std::uint64_t words_seen = 0;  ///< line-local word count (nth with `@`)
   };
 
   void inject(Line& l, FaultCounters& cc);

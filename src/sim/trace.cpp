@@ -29,6 +29,9 @@ std::string_view trace_event_name(TraceEvent e) {
     case TraceEvent::kCfgRetry: return "cfg.retry";
     case TraceEvent::kCfgAbort: return "cfg.abort";
     case TraceEvent::kFaultInject: return "fault";
+    case TraceEvent::kLinkDead: return "link.dead";
+    case TraceEvent::kRecoveryBegin:
+    case TraceEvent::kRecoveryEnd: return "recovery";
   }
   return "?";
 }
@@ -38,11 +41,13 @@ char trace_event_phase(TraceEvent e) {
     case TraceEvent::kSetupBegin:
     case TraceEvent::kTeardownBegin:
     case TraceEvent::kCfgPacketBegin:
-    case TraceEvent::kPhaseBegin: return 'B';
+    case TraceEvent::kPhaseBegin:
+    case TraceEvent::kRecoveryBegin: return 'B';
     case TraceEvent::kSetupEnd:
     case TraceEvent::kTeardownEnd:
     case TraceEvent::kCfgPacketEnd:
-    case TraceEvent::kPhaseEnd: return 'E';
+    case TraceEvent::kPhaseEnd:
+    case TraceEvent::kRecoveryEnd: return 'E';
     default: return 'i';
   }
 }

@@ -60,6 +60,10 @@ enum class TraceEvent : std::uint16_t {
   kCfgRetry,       ///< watchdog: request re-queued, arg0 = attempt
   kCfgAbort,       ///< watchdog: retries exhausted, request abandoned
   kFaultInject,    ///< injected fault: arg0 = FaultClass, arg1 = Kind
+  // Recovery events appended later (keep enum values stable for exports).
+  kLinkDead,       ///< health monitor verdict: arg0 = link id, arg1 = evidence
+  kRecoveryBegin,  ///< connection re-route span: arg0 = event seq, arg1 = link id
+  kRecoveryEnd,    ///< arg0 = event seq, arg1 = detection-to-restored cycles
 };
 
 /// Short stable tag for an event ("inject", "setup", ...). Begin/End pairs

@@ -1,15 +1,41 @@
 #include "soc/runner.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <vector>
 
 #include "alloc/dimension.hpp"
 #include "daelite/network.hpp"
 #include "sim/random.hpp"
 #include "sim/trace.hpp"
+#include "soc/health.hpp"
 
 namespace daelite::soc {
 
 namespace {
+
+/// Runner-side state machine of one connection's self-healing.
+struct ConnRecovery {
+  enum class Phase {
+    kHealthy,        ///< delivering (or not yet touched by a fault)
+    kReconfiguring,  ///< tear-down + set-up stream in flight
+    kWaiting,        ///< reconfigured; waiting for delivery to every dst
+    kDead,           ///< repair failed — connection abandoned, queues freed
+  };
+  Phase phase = Phase::kHealthy;
+  std::size_t event = 0;       ///< index into report.recovery.events
+  sim::Cycle detected = 0;
+  std::uint64_t abort_base = 0; ///< config-module abort count at repair start
+  std::vector<std::uint64_t> delivered_baseline;
+  /// Integrity accounting that survives queue re-binding: totals saved
+  /// from closed incarnations plus per-destination baselines of the
+  /// current queue binding (a reused queue id keeps its old counters).
+  std::uint64_t saved_corrupt = 0;
+  std::uint64_t saved_lost = 0;
+  std::vector<std::uint64_t> base_corrupt;
+  std::vector<std::uint64_t> base_lost;
+  std::uint64_t alarm_base = 0; ///< integrity total already acted upon
+};
 
 std::string topology_name(const Scenario& sc) {
   switch (sc.kind) {
@@ -105,6 +131,19 @@ analysis::NetworkReport run_scenario(const RunSpec& spec) {
     net.attach_fault_lines(*injector);
   }
 
+  // The health monitor is constructed after the injector so its commit()
+  // runs last and observes the corrupted values downstream consumers will
+  // read. Without recovery nothing is constructed and the run is
+  // byte-identical to a build without the subsystem.
+  std::optional<HealthMonitor> monitor;
+  if (spec.recovery.enabled) {
+    HealthMonitor::Options mo;
+    mo.epoch_cycles = spec.recovery.epoch_cycles;
+    mo.suspect_threshold = spec.recovery.suspect_threshold;
+    mo.dead_threshold = spec.recovery.dead_threshold;
+    monitor.emplace(kernel, "health", net, mo);
+  }
+
   // Phase spans: the runner's own coarse timeline on top of the per-element
   // event stream (the config module emits the per-connection set-up spans).
   sim::Tracer* tr = (spec.tracer != nullptr && spec.tracer->enabled()) ? spec.tracer : nullptr;
@@ -136,13 +175,183 @@ analysis::NetworkReport run_scenario(const RunSpec& spec) {
   phase_mark(sim::TraceEvent::kPhaseEnd, "configure");
   phase_mark(sim::TraceEvent::kPhaseBegin, "traffic");
 
+  // Live allocator mirror for recovery: the dimensioned allocation
+  // restored route by route, so mid-run re-allocation sees the real
+  // residual capacity and hands out ChannelIds that alias nothing.
+  std::optional<alloc::SlotAllocator> live;
+  if (spec.recovery.enabled) {
+    live.emplace(mesh.topo, dim->params);
+    for (const auto& c : dim->allocation.connections) {
+      live->restore(c.request);
+      if (c.has_response) live->restore(c.response);
+    }
+  }
+
   // Saturated traffic: sources push as fast as the NI accepts, sinks drain
   // every cycle; delivered words per destination measure achieved bandwidth.
   std::vector<std::vector<std::uint64_t>> delivered(handles.size());
-  for (std::size_t i = 0; i < handles.size(); ++i)
-    delivered[i].assign(handles[i].conn.request.dst_nis.size(), 0);
+  std::vector<ConnRecovery> rec(handles.size());
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const std::size_t dsts = handles[i].conn.request.dst_nis.size();
+    delivered[i].assign(dsts, 0);
+    rec[i].base_corrupt.assign(dsts, 0);
+    rec[i].base_lost.assign(dsts, 0);
+  }
+
+  // Cumulative end-to-end integrity verdicts of one connection's
+  // destinations, robust to queue re-binding across repairs.
+  const auto integrity_total = [&](std::size_t i) {
+    std::uint64_t total = rec[i].saved_corrupt + rec[i].saved_lost;
+    if (rec[i].phase == ConnRecovery::Phase::kDead) return total; // queues freed
+    for (std::size_t d = 0; d < delivered[i].size(); ++d) {
+      const auto& rs =
+          net.ni(handles[i].conn.request.dst_nis[d]).rx_stats(handles[i].dst_rx_qs[d]);
+      total += rs.corrupt_words - rec[i].base_corrupt[d];
+      total += rs.lost_words - rec[i].base_lost[d];
+    }
+    return total;
+  };
+  const auto route_links = [&](std::size_t i) {
+    std::vector<topo::LinkId> links;
+    for (const alloc::RouteEdge& e : handles[i].conn.request.edges) links.push_back(e.link);
+    if (handles[i].conn.has_response)
+      for (const alloc::RouteEdge& e : handles[i].conn.response.edges) links.push_back(e.link);
+    return links;
+  };
+  const std::uint32_t rec_id = tr ? tr->intern("recovery") : 0;
+
+  // Tear the connection down and re-set it up around the quarantine while
+  // traffic keeps flowing: the set-up stream rides the broadcast tree, so
+  // repair cost scales with path length, not slot count (the paper's
+  // fast-set-up argument replayed as fast *recovery*).
+  const auto start_recovery = [&](std::size_t i, topo::LinkId link, const char* trigger,
+                                  sim::Cycle detect_cycle) {
+    ConnRecovery& st = rec[i];
+    analysis::RecoveryEvent ev;
+    ev.connection = dim->connections[i].spec.name;
+    ev.link = link;
+    ev.trigger = trigger;
+    ev.detected_cycle = detect_cycle;
+    ev.hops_before = static_cast<std::uint32_t>(handles[i].conn.request.edges.size());
+
+    // Drain and account the dying incarnation: stale words must not fake a
+    // "restored" verdict, and the freed queues' integrity counters survive
+    // into the per-connection totals.
+    for (std::size_t d = 0; d < delivered[i].size(); ++d) {
+      hw::Ni& dst = net.ni(handles[i].conn.request.dst_nis[d]);
+      while (dst.rx_pop(handles[i].dst_rx_qs[d])) ++delivered[i][d];
+      const auto& rs = dst.rx_stats(handles[i].dst_rx_qs[d]);
+      st.saved_corrupt += rs.corrupt_words - rec[i].base_corrupt[d];
+      st.saved_lost += rs.lost_words - rec[i].base_lost[d];
+    }
+    net.close_connection(handles[i]);
+    live->release(handles[i].conn.request);
+    if (handles[i].conn.has_response) live->release(handles[i].conn.response);
+
+    const alloc::ConnectionSpec& cs = handles[i].conn.spec;
+    const bool want_resp = handles[i].conn.has_response;
+    auto new_req = live->allocate({cs.src_ni, cs.dst_nis, cs.request_slots});
+    std::optional<alloc::RouteTree> new_resp;
+    if (new_req && want_resp) {
+      new_resp = live->allocate({cs.dst_nis[0], {cs.src_ni}, cs.response_slots});
+      if (!new_resp) {
+        live->release(*new_req);
+        new_req.reset();
+      }
+    }
+    st.event = report.recovery.events.size();
+    st.detected = detect_cycle;
+    st.alarm_base = st.saved_corrupt + st.saved_lost;
+    if (!new_req) {
+      // No route around the quarantine: the connection stays down.
+      st.phase = ConnRecovery::Phase::kDead;
+      report.recovery.events.push_back(std::move(ev));
+      return;
+    }
+    alloc::AllocatedConnection nc;
+    nc.id = handles[i].conn.id;
+    nc.spec = cs;
+    nc.request = std::move(*new_req);
+    nc.has_response = want_resp;
+    if (want_resp) nc.response = std::move(*new_resp);
+    ev.hops_after = static_cast<std::uint32_t>(nc.request.edges.size());
+    handles[i] = net.open_connection(nc);
+    for (std::size_t d = 0; d < delivered[i].size(); ++d) {
+      const auto& rs =
+          net.ni(handles[i].conn.request.dst_nis[d]).rx_stats(handles[i].dst_rx_qs[d]);
+      rec[i].base_corrupt[d] = rs.corrupt_words;
+      rec[i].base_lost[d] = rs.lost_words;
+    }
+    st.phase = ConnRecovery::Phase::kReconfiguring;
+    st.abort_base = net.config_module().aborted();
+    if (tr) tr->record(kernel.now(), rec_id, sim::TraceEvent::kRecoveryBegin, st.event, link);
+    report.recovery.events.push_back(std::move(ev));
+  };
+
+  // Post-step recovery poll: collect verdicts, quarantine, repair, and
+  // advance in-flight repairs. Pure bookkeeping on committed kernel state,
+  // so it is identical under both schedulers and any --jobs count.
+  const auto poll_recovery = [&]() {
+    for (const DeadLinkEvent& de : monitor->take_dead_events()) {
+      report.recovery.dead_links.push_back({de.link, de.cycle, de.evidence});
+      live->quarantine_link(de.link);
+      for (std::size_t i = 0; i < handles.size(); ++i) {
+        if (rec[i].phase != ConnRecovery::Phase::kHealthy) continue;
+        const auto links = route_links(i);
+        if (std::find(links.begin(), links.end(), de.link) != links.end())
+          start_recovery(i, de.link, "link_dead", de.cycle);
+      }
+    }
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      ConnRecovery& st = rec[i];
+      switch (st.phase) {
+        case ConnRecovery::Phase::kHealthy: {
+          // End-to-end integrity alarm: repair even without a dead-link
+          // verdict, provided the monitor can pin a suspect on the route.
+          if (integrity_total(i) - st.alarm_base < spec.recovery.integrity_threshold) break;
+          const auto suspects = monitor->suspects_among(route_links(i));
+          if (suspects.empty()) break; // not localizable (yet)
+          for (topo::LinkId l : suspects)
+            if (!live->is_quarantined(l)) live->quarantine_link(l);
+          start_recovery(i, suspects.front(), "integrity", kernel.now());
+          break;
+        }
+        case ConnRecovery::Phase::kReconfiguring: {
+          analysis::RecoveryEvent& ev = report.recovery.events[st.event];
+          if (net.config_module().aborted() > st.abort_base ||
+              kernel.now() - st.detected > spec.recovery.reconfig_timeout) {
+            st.phase = ConnRecovery::Phase::kDead; // watchdog gave up on the stream
+          } else if (net.config_idle()) {
+            ev.reconfigured_cycle = kernel.now();
+            st.delivered_baseline = delivered[i];
+            st.phase = ConnRecovery::Phase::kWaiting;
+          }
+          break;
+        }
+        case ConnRecovery::Phase::kWaiting: {
+          bool all = true;
+          for (std::size_t d = 0; d < delivered[i].size(); ++d)
+            all = all && delivered[i][d] > st.delivered_baseline[d];
+          if (!all) break;
+          analysis::RecoveryEvent& ev = report.recovery.events[st.event];
+          ev.restored = true;
+          ev.restored_cycle = kernel.now();
+          st.alarm_base = integrity_total(i); // words lost mid-repair are acted upon
+          if (tr)
+            tr->record(kernel.now(), rec_id, sim::TraceEvent::kRecoveryEnd, st.event,
+                       ev.restored_cycle - ev.detected_cycle);
+          st.phase = ConnRecovery::Phase::kHealthy;
+          break;
+        }
+        case ConnRecovery::Phase::kDead:
+          break;
+      }
+    }
+  };
+
   for (sim::Cycle c = 0; c < sc.run_cycles; ++c) {
     for (std::size_t i = 0; i < handles.size(); ++i) {
+      if (rec[i].phase == ConnRecovery::Phase::kDead) continue; // queues freed
       hw::Ni& src = net.ni(handles[i].conn.request.src_ni);
       while (src.tx_push(handles[i].src_tx_q, 1)) {
       }
@@ -152,6 +361,7 @@ analysis::NetworkReport run_scenario(const RunSpec& spec) {
       }
     }
     kernel.step();
+    if (monitor) poll_recovery();
   }
   phase_mark(sim::TraceEvent::kPhaseEnd, "traffic");
 
@@ -170,6 +380,30 @@ analysis::NetworkReport run_scenario(const RunSpec& spec) {
     out.worst_latency_ns = dim->connections[i].worst_latency_ns;
     out.met = mbps + 1.0 >= out.contract_mbps;
     all_met = all_met && out.met;
+    // Per-connection integrity verdicts; integrity_total() accounts for
+    // queue re-binding across repairs (a plain sum would double-count
+    // reused queue ids).
+    if (spec.recovery.enabled) {
+      std::uint64_t corrupt = rec[i].saved_corrupt;
+      std::uint64_t lost = rec[i].saved_lost;
+      if (rec[i].phase != ConnRecovery::Phase::kDead) {
+        for (std::size_t d = 0; d < delivered[i].size(); ++d) {
+          const auto& rs =
+              net.ni(handles[i].conn.request.dst_nis[d]).rx_stats(handles[i].dst_rx_qs[d]);
+          corrupt += rs.corrupt_words - rec[i].base_corrupt[d];
+          lost += rs.lost_words - rec[i].base_lost[d];
+        }
+      }
+      out.corrupt_words = corrupt;
+      out.lost_words = lost;
+    } else {
+      for (std::size_t d = 0; d < delivered[i].size(); ++d) {
+        const auto& rs =
+            net.ni(handles[i].conn.request.dst_nis[d]).rx_stats(handles[i].dst_rx_qs[d]);
+        out.corrupt_words += rs.corrupt_words;
+        out.lost_words += rs.lost_words;
+      }
+    }
     // End-to-end latency over every destination queue of the connection.
     for (std::size_t d = 0; d < handles[i].dst_rx_qs.size(); ++d) {
       const hw::Ni& dst = net.ni(handles[i].conn.request.dst_nis[d]);
@@ -178,13 +412,19 @@ analysis::NetworkReport run_scenario(const RunSpec& spec) {
     report.connections.push_back(std::move(out));
   }
 
+  // The live allocator already tracks post-recovery routes; without
+  // recovery, rebuild the dimensioned allocation (identical content — the
+  // same restore() sequence).
   alloc::SlotAllocator reporter(mesh.topo, dim->params);
-  for (const auto& c : dim->allocation.connections) {
-    reporter.restore(c.request);
-    if (c.has_response) reporter.restore(c.response);
+  if (!live) {
+    for (const auto& c : dim->allocation.connections) {
+      reporter.restore(c.request);
+      if (c.has_response) reporter.restore(c.response);
+    }
   }
-  report.schedule = analysis::summarize_schedule(mesh.topo, reporter.schedule());
-  report.links = analysis::link_usage(mesh.topo, reporter.schedule());
+  const tdm::Schedule& final_schedule = live ? live->schedule() : reporter.schedule();
+  report.schedule = analysis::summarize_schedule(mesh.topo, final_schedule);
+  report.links = analysis::link_usage(mesh.topo, final_schedule);
   report.links.erase(std::find_if(report.links.begin(), report.links.end(),
                                   [](const analysis::LinkUsage& u) { return u.reserved == 0; }),
                      report.links.end());
@@ -225,6 +465,15 @@ analysis::NetworkReport run_scenario(const RunSpec& spec) {
       report.health.words_sent += ni.tx_stats(q).words_sent;
       report.health.words_delivered += ni.rx_stats(q).words_received;
     }
+  }
+  report.health.corrupt_words = net.total_corrupt_words();
+  report.health.lost_words = net.total_lost_words();
+
+  report.recovery.enabled = spec.recovery.enabled;
+  if (monitor) {
+    report.recovery.missing_flits = monitor->total_missing();
+    report.recovery.parity_errors = monitor->total_parity_errors();
+    for (topo::LinkId l : live->quarantined_links()) report.recovery.quarantined.push_back(l);
   }
 
   report.ok = all_met && report.router_drops == 0 && report.ni_drops == 0 &&

@@ -28,6 +28,31 @@ class Tracer;
 
 namespace daelite::soc {
 
+/// Self-healing configuration for run_scenario. When enabled, the runner
+/// attaches a HealthMonitor (src/soc/health.hpp) behind the fault
+/// injector, quarantines links the monitor declares dead, and repairs the
+/// affected connections mid-run: drain, tear down, re-allocate around the
+/// quarantine, re-set up through the broadcast tree while traffic keeps
+/// flowing, and time detection-to-restored in cycles. Results land in the
+/// report's `recovery` section; disabled runs are byte-identical to a
+/// build without recovery support.
+struct RecoveryOptions {
+  bool enabled = false;
+  /// HealthMonitor epoch in cycles (0: one TDM wheel) and verdict
+  /// thresholds on cumulative per-link evidence (missing flits + on-wire
+  /// parity errors).
+  std::uint32_t epoch_cycles = 0;
+  std::uint64_t suspect_threshold = 1;
+  std::uint64_t dead_threshold = 3;
+  /// A connection whose destinations accumulate this many corrupt + lost
+  /// words is repaired even without a dead-link verdict, provided the
+  /// monitor can localize a suspect link on its route to quarantine.
+  std::uint64_t integrity_threshold = 64;
+  /// Give up on a repair whose tear-down/set-up stream has not drained
+  /// after this many cycles (or when the config watchdog aborts it).
+  sim::Cycle reconfig_timeout = 100000;
+};
+
 struct RunSpec {
   std::string label;  ///< job name carried into the report ("" -> scenario summary)
   Scenario scenario;
@@ -56,6 +81,8 @@ struct RunSpec {
   /// `health` section. Each job owns its injector, so fault streams are
   /// reproducible across --jobs counts.
   sim::FaultPlan fault_plan;
+  /// Self-healing: see RecoveryOptions.
+  RecoveryOptions recovery;
 };
 
 /// Execute one spec to completion. Never throws on scenario-level problems:

@@ -50,6 +50,7 @@ Path PathFinder::shortest_weighted(NodeId from, NodeId to, std::span<const doubl
     for (LinkId l : topo_->node(u).out_links) {
       const double c = link_cost[l];
       if (std::isinf(c)) continue;
+      if (is_excluded(l)) continue;
       const NodeId v = topo_->link(l).dst;
       if (dist[u] + c < dist[v]) {
         dist[v] = dist[u] + c;
@@ -68,6 +69,11 @@ Path PathFinder::shortest_weighted(NodeId from, NodeId to, std::span<const doubl
   }
   std::reverse(p.links.begin(), p.links.end());
   return p;
+}
+
+void PathFinder::exclude_link(LinkId l) {
+  if (excluded_.size() != topo_->link_count()) excluded_.resize(topo_->link_count(), false);
+  if (l < excluded_.size()) excluded_[l] = true;
 }
 
 std::vector<Path> PathFinder::k_shortest(NodeId from, NodeId to, std::size_t k) const {

@@ -47,8 +47,17 @@ class PathFinder {
   /// order. Used by the multipath allocator ([29] in the paper).
   std::vector<Path> k_shortest(NodeId from, NodeId to, std::size_t k) const;
 
+  /// Persistently remove a link from every search (the allocator's link
+  /// quarantine). Enforced centrally in shortest_weighted — which shortest
+  /// and k_shortest build on — so no caller-supplied cost vector can
+  /// resurrect an excluded link.
+  void exclude_link(LinkId l);
+  void clear_exclusions() { excluded_.assign(excluded_.size(), false); }
+  bool is_excluded(LinkId l) const { return l < excluded_.size() && excluded_[l]; }
+
  private:
   const Topology* topo_;
+  std::vector<bool> excluded_; ///< empty until the first exclusion
 };
 
 } // namespace daelite::topo

@@ -510,4 +510,62 @@ TEST_P(AllocatorProperty, RandomChurnKeepsScheduleConsistent) {
 INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorProperty,
                          ::testing::Values(1ull, 2ull, 3ull, 42ull, 1234ull, 99999ull));
 
+// Same churn with random link quarantine/clearing mixed in: quarantine
+// must only constrain *new* allocations (live routes keep their slots),
+// fresh routes must avoid every currently-quarantined link, and after the
+// dust settles the allocator must be leak-free — releasing everything
+// returns the schedule to empty and the live-channel count to zero.
+TEST_P(AllocatorProperty, RandomChurnWithQuarantineStaysConsistentAndLeakFree) {
+  const auto m = topo::make_mesh(4, 4);
+  const tdm::TdmParams params = tdm::daelite_params(16);
+  SlotAllocator alloc(m.topo, params);
+  sim::Xoshiro256 rng(GetParam() * 7919 + 1);
+
+  const auto nis = m.all_nis();
+  std::vector<RouteTree> live;
+
+  for (int step = 0; step < 150; ++step) {
+    const double roll = static_cast<double>(rng.below(100)) / 100.0;
+    if (roll < 0.5 || live.empty()) {
+      ChannelSpec spec;
+      spec.src_ni = nis[rng.below(nis.size())];
+      do {
+        spec.dst_nis = {nis[rng.below(nis.size())]};
+      } while (spec.dst_nis[0] == spec.src_ni);
+      spec.slots_required = static_cast<std::uint32_t>(rng.range(1, 4));
+      if (auto r = alloc.allocate(spec)) {
+        for (const RouteEdge& e : r->edges)
+          ASSERT_FALSE(alloc.is_quarantined(e.link))
+              << "step " << step << ": route crosses quarantined link " << e.link;
+        live.push_back(std::move(*r));
+      }
+    } else if (roll < 0.75) {
+      const std::size_t idx = rng.below(live.size());
+      alloc.release(live[idx]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else if (roll < 0.9) {
+      alloc.quarantine_link(static_cast<topo::LinkId>(rng.below(m.topo.link_count())));
+      const auto q = alloc.quarantined_links();
+      ASSERT_TRUE(std::is_sorted(q.begin(), q.end()));
+    } else {
+      alloc.clear_quarantine();
+      ASSERT_TRUE(alloc.quarantined_links().empty());
+    }
+    ASSERT_EQ(validate_allocation(m.topo, params, alloc.schedule(), live), "")
+        << "at step " << step;
+  }
+
+  for (const RouteTree& r : live) alloc.release(r);
+  EXPECT_EQ(alloc.allocated_channels(), 0u);
+  EXPECT_DOUBLE_EQ(alloc.schedule().utilization(), 0.0);
+  // The wheel is fully reusable afterwards: a quarantine-free allocator
+  // state admits a fresh connection on any previously-quarantined link.
+  alloc.clear_quarantine();
+  ChannelSpec spec;
+  spec.src_ni = nis.front();
+  spec.dst_nis = {nis.back()};
+  spec.slots_required = 1;
+  EXPECT_TRUE(alloc.allocate(spec).has_value());
+}
+
 } // namespace

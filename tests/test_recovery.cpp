@@ -1,0 +1,249 @@
+// Tests for the self-healing subsystem: integrity sideband helpers,
+// targeted fault-plan parsing, link quarantine in the allocator, and the
+// end-to-end detect -> quarantine -> re-route -> restore flow through
+// soc::run_scenario, including its determinism across schedulers and
+// repeated runs.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "alloc/dimension.hpp"
+#include "daelite/flit.hpp"
+#include "sim/fault.hpp"
+#include "sim/json.hpp"
+#include "soc/runner.hpp"
+#include "topology/generators.hpp"
+
+namespace daelite {
+namespace {
+
+// --- Integrity sideband helpers ----------------------------------------------------
+
+TEST(Integrity, TagRoundTripsSequenceAndParity) {
+  for (std::uint8_t seq = 0; seq < hw::kIntegritySeqPeriod; ++seq) {
+    for (std::uint32_t word : {0u, 1u, 0xDEADBEEFu, 0xFFFFFFFFu}) {
+      const std::uint8_t tag = hw::integrity_tag(word, seq);
+      EXPECT_TRUE(hw::integrity_parity_ok(word, tag));
+      EXPECT_EQ(hw::integrity_seq_of(tag), seq);
+    }
+  }
+}
+
+TEST(Integrity, PayloadCorruptionFlipsParityVerdict) {
+  const std::uint32_t word = 0xCAFE0000u;
+  const std::uint8_t tag = hw::integrity_tag(word, 5);
+  // Any single-bit payload flip must be caught by the even-parity bit.
+  for (std::uint32_t bit = 0; bit < 32; ++bit)
+    EXPECT_FALSE(hw::integrity_parity_ok(word ^ (1u << bit), tag)) << "bit " << bit;
+}
+
+// --- Fault-plan parsing of targeted (per-line) directives --------------------------
+
+TEST(FaultPlanParse, AcceptsLineTargetedKill) {
+  sim::FaultPlan plan;
+  std::string err;
+  ASSERT_TRUE(sim::FaultPlan::parse_text("kill data@7 1000 2000\n", &plan, &err)) << err;
+  ASSERT_EQ(plan.directives.size(), 1u);
+  EXPECT_EQ(plan.directives[0].kind, sim::FaultDirective::Kind::kKill);
+  EXPECT_EQ(plan.directives[0].cls, sim::FaultClass::kData);
+  EXPECT_EQ(plan.directives[0].line_index, 7);
+  EXPECT_EQ(plan.directives[0].from, 1000u);
+  EXPECT_EQ(plan.directives[0].to, 2000u);
+}
+
+TEST(FaultPlanParse, RejectsMalformedDirectivesWithDiagnostics) {
+  const struct {
+    const char* text;
+    const char* needle; ///< expected fragment of the diagnostic
+  } cases[] = {
+      {"kill bogus 0 10\n", "bogus"},            // unknown class
+      {"kill data@x 0 10\n", "data@x"},          // non-numeric line index
+      {"kill data 10 10\n", "window"},           // to <= from
+      {"drop data 3 extra\n", "extra"},          // trailing tokens
+      {"flip data -1 0\n", "-1"},                // negative count
+      {"explode data 0\n", "explode"},           // unknown directive
+  };
+  for (const auto& c : cases) {
+    sim::FaultPlan plan;
+    std::string err;
+    EXPECT_FALSE(sim::FaultPlan::parse_text(c.text, &plan, &err)) << c.text;
+    EXPECT_NE(err.find("line 1"), std::string::npos) << c.text << " -> " << err;
+    EXPECT_NE(err.find(c.needle), std::string::npos) << c.text << " -> " << err;
+  }
+}
+
+// --- Allocator quarantine ----------------------------------------------------------
+
+TEST(Quarantine, AllocationAvoidsQuarantinedLinks) {
+  const auto m = topo::make_mesh(3, 3);
+  const tdm::TdmParams params = tdm::daelite_params(16);
+  alloc::SlotAllocator a(m.topo, params);
+
+  alloc::ChannelSpec spec;
+  spec.src_ni = m.ni(0, 0);
+  spec.dst_nis = {m.ni(2, 0)};
+  spec.slots_required = 2;
+  auto direct = a.allocate(spec);
+  ASSERT_TRUE(direct.has_value());
+
+  // Quarantine the route's router-to-router links (the first and last
+  // edges are the NI attachment links — the only way in and out of the
+  // endpoints); a fresh allocation must detour around the quarantine.
+  a.release(*direct);
+  ASSERT_GE(direct->edges.size(), 3u);
+  std::size_t quarantined = 0;
+  for (std::size_t i = 1; i + 1 < direct->edges.size(); ++i, ++quarantined)
+    a.quarantine_link(direct->edges[i].link);
+  EXPECT_TRUE(a.is_quarantined(direct->edges[1].link));
+  auto detour = a.allocate(spec);
+  ASSERT_TRUE(detour.has_value());
+  for (const alloc::RouteEdge& e : detour->edges)
+    EXPECT_FALSE(a.is_quarantined(e.link)) << "link " << e.link;
+
+  // quarantined_links() lists ascending ids; clearing re-opens the row.
+  const auto q = a.quarantined_links();
+  EXPECT_EQ(q.size(), quarantined);
+  EXPECT_TRUE(std::is_sorted(q.begin(), q.end()));
+  a.clear_quarantine();
+  EXPECT_TRUE(a.quarantined_links().empty());
+  a.release(*detour);
+  EXPECT_EQ(a.allocated_channels(), 0u);
+  EXPECT_DOUBLE_EQ(a.schedule().utilization(), 0.0);
+}
+
+// --- End-to-end recovery through run_scenario --------------------------------------
+
+soc::Scenario victim_scenario(int d, std::uint32_t slots) {
+  soc::Scenario sc;
+  sc.kind = soc::Scenario::TopologyKind::kMesh;
+  sc.width = 4;
+  sc.height = 2;
+  sc.slots = slots;
+  sc.host = {0, 1};
+  sc.run_cycles = 12000;
+  soc::Scenario::RawConnection c;
+  c.name = "victim";
+  c.src = {0, 0};
+  c.dsts.push_back({d, 0});
+  c.bandwidth = 150.0;
+  sc.raw.push_back(std::move(c));
+  return sc;
+}
+
+/// The link the runner will route the victim over, found by replaying the
+/// same deterministic dimensioning (seed 0 keeps file order).
+std::uint64_t victim_mid_link(soc::Scenario sc) {
+  topo::Mesh mesh = sc.build();
+  const alloc::NocClocking clk{sc.clock_mhz, 4};
+  auto dim = alloc::dimension_network(mesh.topo, sc.connections, clk, {*sc.slots});
+  EXPECT_TRUE(dim.has_value());
+  const auto& edges = dim->allocation.connections.front().request.edges;
+  return edges[edges.size() / 2].link;
+}
+
+soc::RunSpec kill_spec(soc::Scenario sc, std::uint64_t link, sim::Cycle at) {
+  soc::RunSpec spec;
+  spec.label = "recovery-test";
+  spec.scenario = std::move(sc);
+  spec.fault_plan.seed = 42;
+  sim::FaultDirective kill;
+  kill.kind = sim::FaultDirective::Kind::kKill;
+  kill.cls = sim::FaultClass::kData;
+  kill.line_index = static_cast<std::int64_t>(link);
+  kill.from = at;
+  kill.to = sim::kNoCycle;
+  spec.fault_plan.directives.push_back(kill);
+  spec.recovery.enabled = true;
+  return spec;
+}
+
+TEST(Recovery, KilledLinkIsDetectedQuarantinedAndRoutedAround) {
+  soc::Scenario sc = victim_scenario(3, 16);
+  const std::uint64_t link = victim_mid_link(sc);
+  const analysis::NetworkReport r = soc::run_scenario(kill_spec(sc, link, 4000));
+  ASSERT_TRUE(r.error.empty()) << r.error;
+
+  ASSERT_EQ(r.recovery.dead_links.size(), 1u);
+  EXPECT_EQ(r.recovery.dead_links[0].link, link);
+  EXPECT_GE(r.recovery.dead_links[0].cycle, 4000u);
+  EXPECT_GT(r.recovery.dead_links[0].evidence, 0u);
+  EXPECT_EQ(r.recovery.quarantined, std::vector<std::uint64_t>{link});
+
+  ASSERT_EQ(r.recovery.events.size(), 1u);
+  const analysis::RecoveryEvent& ev = r.recovery.events[0];
+  EXPECT_EQ(ev.connection, "victim");
+  EXPECT_EQ(ev.trigger, "link_dead");
+  EXPECT_TRUE(ev.restored);
+  EXPECT_GT(ev.latency_cycles(), 0u);
+  EXPECT_LT(ev.latency_cycles(), 2000u); // bounded, not "eventually"
+  // The detour must be at least as long as the direct route it replaces.
+  EXPECT_GE(ev.hops_after, ev.hops_before);
+  // Ordering: detected before reconfigured before restored.
+  EXPECT_LT(ev.detected_cycle, ev.reconfigured_cycle);
+  EXPECT_LE(ev.reconfigured_cycle, ev.restored_cycle);
+}
+
+TEST(Recovery, ArmedButFaultFreeRunStaysClean) {
+  soc::Scenario sc = victim_scenario(3, 16);
+  soc::RunSpec spec;
+  spec.label = "recovery-clean";
+  spec.scenario = sc;
+  spec.recovery.enabled = true;
+  const analysis::NetworkReport r = soc::run_scenario(spec);
+  ASSERT_TRUE(r.error.empty()) << r.error;
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.recovery.enabled);
+  EXPECT_EQ(r.recovery.missing_flits, 0u);
+  EXPECT_EQ(r.recovery.parity_errors, 0u);
+  EXPECT_TRUE(r.recovery.dead_links.empty());
+  EXPECT_TRUE(r.recovery.quarantined.empty());
+  EXPECT_TRUE(r.recovery.events.empty());
+}
+
+TEST(Recovery, ReportIsIdenticalAcrossSchedulersAndRuns) {
+  soc::Scenario sc = victim_scenario(3, 16);
+  const std::uint64_t link = victim_mid_link(sc);
+
+  soc::RunSpec spec = kill_spec(sc, link, 4000);
+  spec.scheduler = sim::Scheduler::kStride;
+  const std::string stride = soc::run_scenario(spec).to_json().dump(2);
+  const std::string stride_again = soc::run_scenario(spec).to_json().dump(2);
+  spec.scheduler = sim::Scheduler::kReference;
+  const std::string reference = soc::run_scenario(spec).to_json().dump(2);
+
+  EXPECT_EQ(stride, stride_again); // no hidden global state between jobs
+  EXPECT_EQ(stride, reference);    // fast-forward never skips a verdict
+}
+
+TEST(Recovery, IntegrityCountersSeeFlippedAndDroppedWords) {
+  // A single flipped payload word is a parity mismatch at the destination;
+  // a single dropped word is a sequence gap. Neither kills the link, so no
+  // recovery fires — detection is purely end-to-end.
+  soc::Scenario sc = victim_scenario(3, 16);
+  for (const bool flip : {true, false}) {
+    soc::RunSpec spec;
+    spec.label = flip ? "flip" : "drop";
+    spec.scenario = sc;
+    spec.fault_plan.seed = 42;
+    sim::FaultDirective d;
+    d.kind = flip ? sim::FaultDirective::Kind::kFlip : sim::FaultDirective::Kind::kDrop;
+    d.cls = sim::FaultClass::kData;
+    d.nth = 50;
+    spec.fault_plan.directives.push_back(d);
+    spec.recovery.enabled = true;
+    const analysis::NetworkReport r = soc::run_scenario(spec);
+    ASSERT_TRUE(r.error.empty()) << r.error;
+    if (flip) {
+      EXPECT_GE(r.health.corrupt_words, 1u);
+    } else {
+      EXPECT_GE(r.health.lost_words, 1u);
+    }
+    EXPECT_TRUE(r.recovery.events.empty());
+  }
+}
+
+} // namespace
+} // namespace daelite

@@ -9,6 +9,9 @@
 //   --mesh WxHs,...    add synthetic corner-stress scenarios on these mesh
 //                      sizes (e.g. 3x3,4x4; suffix 't' for torus: 4x4t)
 //   --run-cycles C     override the run length of every job
+//   --recover          arm the self-healing subsystem on every job (dead
+//                      links quarantined, connections re-routed mid-run;
+//                      reports carry a `recovery` section)
 //   --trace DIR        write one Chrome trace_event file per job into DIR
 //   --per-connection   print per-job connection latency tables on stderr
 //   --list             print the expanded job list and exit
@@ -56,6 +59,7 @@ int usage() {
          "  --fault-seed N   seed for fault injection (with --fault-rate/plan)\n"
          "  --fault-rate R   per-word fault probability in [0,1] on every link\n"
          "  --fault-plan F   fault-plan file (see src/sim/fault.hpp)\n"
+         "  --recover        arm the self-healing subsystem on every job\n"
          "  --per-connection per-job connection latency tables on stderr\n"
          "  --list           print the expanded job list and exit\n"
          "  --quiet          no per-job progress on stderr\n";
@@ -150,6 +154,7 @@ int main(int argc, char** argv) {
   std::optional<sim::Cycle> run_cycles;
   sim::Scheduler scheduler = sim::Scheduler::kStride;
   sim::FaultPlan fault_plan;
+  bool recover = false;
   std::string trace_dir;
   bool per_connection = false;
   bool list_only = false;
@@ -230,6 +235,8 @@ int main(int argc, char** argv) {
         std::cerr << "daelite_batch: " << ferr << "\n";
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--recover") == 0) {
+      recover = true;
     } else if (std::strcmp(argv[i], "--per-connection") == 0) {
       per_connection = true;
     } else if (std::strcmp(argv[i], "--list") == 0) {
@@ -298,6 +305,7 @@ int main(int argc, char** argv) {
         spec.seed = seed;
         spec.scheduler = scheduler;
         spec.fault_plan = fault_plan;
+        spec.recovery.enabled = recover;
         std::string label = b.name;
         if (slots) label += "[slots=" + std::to_string(*slots) + "]";
         if (seed) label += "[seed=" + std::to_string(seed) + "]";

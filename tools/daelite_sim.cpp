@@ -20,7 +20,11 @@
 // loop whose reports and traces must be byte-identical (CI diffs them).
 // --fault-rate / --fault-plan enable deterministic fault injection on the
 // data and configuration links (see sim/fault.hpp for the plan grammar);
-// the report then carries a `health` section.
+// the report then carries a `health` section. --recover additionally arms
+// the self-healing subsystem (soc/health.hpp + runner recovery): links the
+// health monitor declares dead are quarantined and the affected
+// connections are torn down and re-set up on a new route mid-run; the
+// report then carries a `recovery` section.
 
 #include <cstdlib>
 #include <cstring>
@@ -42,6 +46,7 @@ int usage() {
                "                   [--trace out.trace.json] [--per-connection] [--quiet]\n"
                "                   [--scheduler stride|reference]\n"
                "                   [--fault-seed N] [--fault-rate R] [--fault-plan file]\n"
+               "                   [--recover]\n"
                "see src/soc/scenario.hpp for the scenario grammar and\n"
                "src/sim/fault.hpp for the fault-plan grammar\n";
   return 2;
@@ -58,6 +63,7 @@ int main(int argc, char** argv) {
   bool quiet = false;
   sim::Scheduler scheduler = sim::Scheduler::kStride;
   sim::FaultPlan fault_plan;
+  bool recover = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--vcd") == 0 && i + 1 < argc) {
       vcd_path = argv[++i];
@@ -93,6 +99,8 @@ int main(int argc, char** argv) {
         std::cerr << "daelite_sim: " << ferr << "\n";
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--recover") == 0) {
+      recover = true;
     } else if (argv[i][0] == '-') {
       return usage();
     } else {
@@ -113,6 +121,7 @@ int main(int argc, char** argv) {
   spec.scenario = *scenario;
   spec.scheduler = scheduler;
   spec.fault_plan = fault_plan;
+  spec.recovery.enabled = recover;
 
   std::unique_ptr<sim::Tracer> tracer;
   if (!trace_path.empty()) {
