@@ -318,6 +318,27 @@ std::uint64_t DaeliteNetwork::total_protocol_errors() const {
   return n;
 }
 
+// --- Sharded execution ---------------------------------------------------------------
+
+void DaeliteNetwork::assign_shards(std::uint32_t shards) {
+  kernel_->set_shards(shards);
+  shards = kernel_->shards(); // after clamping
+  if (shards <= 1) {
+    for (auto& [id, r] : routers_) kernel_->assign_shard(*r, sim::Kernel::kNoShard);
+    for (auto& [id, ni] : nis_) kernel_->assign_shard(*ni, sim::Kernel::kNoShard);
+    return;
+  }
+  const std::size_t n = topo_->node_count();
+  for (topo::NodeId id = 0; id < n; ++id) {
+    const auto s = static_cast<std::uint32_t>(static_cast<std::uint64_t>(id) * shards / n);
+    if (topo_->is_router(id)) {
+      kernel_->assign_shard(*routers_.at(id), s);
+    } else {
+      kernel_->assign_shard(*nis_.at(id), s);
+    }
+  }
+}
+
 // --- Fault injection -----------------------------------------------------------------
 
 namespace {

@@ -125,6 +125,21 @@ class DaeliteNetwork {
   std::uint64_t total_corrupt_words() const;
   std::uint64_t total_lost_words() const;
 
+  // --- Sharded execution -------------------------------------------------------
+
+  /// Partition the mesh for sharded single-run parallelism: configure the
+  /// kernel for `shards` worker shards and assign every router and NI to a
+  /// contiguous band of node ids (row-major meshes shard into row bands, so
+  /// most links stay shard-internal and only band-boundary links cross).
+  /// Only the data-path elements are sharded — their ticks read committed
+  /// link registers and write their own state, the contract sharded
+  /// components must obey (sim/kernel.hpp). Config agents, the config
+  /// module, and any injector/monitor stay in the kernel's serial set,
+  /// preserving their single-threaded dispatch and commit order. shards <= 1
+  /// restores fully serial execution. Reports and traces are byte-identical
+  /// for every shard count; only wall-clock time changes.
+  void assign_shards(std::uint32_t shards);
+
   // --- Fault injection ---------------------------------------------------------
 
   /// Register every link of the selected classes (kData: data links in

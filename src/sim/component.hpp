@@ -137,15 +137,15 @@ class Component {
 
   /// Append a structured trace record under this component's name. With no
   /// tracer attached (or a disabled one) this is a branch or two and no
-  /// stores — cheap enough to leave in every model's hot path.
+  /// stores — cheap enough to leave in every model's hot path. The enabled
+  /// path goes through the kernel so records emitted inside a sharded
+  /// parallel phase are staged per thread and merged back in registration
+  /// order (Kernel::record_trace), keeping traces byte-identical across
+  /// shard counts.
   void trace(TraceEvent event, std::uint64_t arg0 = 0, std::uint64_t arg1 = 0) const {
     Tracer* t = kernel_->tracer();
     if (t == nullptr || !t->enabled()) return;
-    if (trace_owner_ != t) { // interned id is per-tracer; revalidate on swap
-      trace_id_ = t->intern(name_);
-      trace_owner_ = t;
-    }
-    t->record(kernel_->now(), trace_id_, event, arg0, arg1);
+    kernel_->record_trace(*this, *t, event, arg0, arg1);
   }
 
   /// True when trace() would record — guards event argument computation
@@ -163,6 +163,7 @@ class Component {
   std::vector<RegBase*> regs_;
   Cadence cadence_;
   std::uint32_t index_ = 0;    ///< slot in the kernel's registry
+  std::uint32_t shard_ = Kernel::kNoShard; ///< serial set unless assigned
   bool active_ = true;         ///< false while suspended/sleeping
   bool touch_pending_ = false; ///< external write awaiting end-of-cycle commit
   Cycle wake_at_ = kNoCycle;

@@ -23,10 +23,47 @@
 //
 // Both schedulers dispatch components in registration order within a cycle,
 // so trace record order and interned trace ids are identical between them.
+//
+// Sharded execution (stride scheduler only): set_shards(N > 1) partitions
+// the per-cycle bulk work across N threads inside this one Kernel run.
+// Components explicitly assigned a shard (assign_shard()) tick and commit
+// concurrently, one thread per shard; everything else — the "serial set" —
+// runs on the driving thread, after the parallel ticks and after the
+// parallel commits respectively. The contract a sharded component must
+// satisfy is exactly the two-phase register discipline the component model
+// already imposes:
+//
+//   * tick() reads only committed Reg state (its own and other
+//     components'), writes only its own next-state/private members, and
+//     calls no kernel service except trace();
+//   * commit() is the default register latch (no override that reads or
+//     writes another component).
+//
+// Routers and NIs satisfy this by construction; components with
+// cross-component tick or commit behaviour (config agents mutating their
+// host element, the fault injector corrupting committed link registers,
+// the health monitor sampling them, shells pushing into NI queues) stay in
+// the serial set, where the single-threaded dispatch order is preserved.
+// Because parallel ticks still read only state committed at the previous
+// edge, the result is cycle-for-cycle identical to the serial schedule;
+// trace records emitted inside parallel phases are staged per shard and
+// merged back in registration order, keeping traces and interned ids
+// byte-identical to an unsharded run (the ctests diff them).
+//
+// The TDM schedule is what makes this partitioning profitable: routers and
+// NIs act only at slot boundaries (stride words_per_slot), so dispatched
+// cycles alternate between empty ones (fast-forwarded) and slot starts
+// where the whole mesh is due at once — a wide, perfectly balanced
+// parallel region with one slot of guaranteed lookahead on every
+// cross-shard link (a flit committed into a boundary register this slot
+// cannot be observed by the downstream shard before the next one).
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -35,6 +72,7 @@ namespace daelite::sim {
 
 class Component;
 class Tracer;
+enum class TraceEvent : std::uint16_t;
 
 /// Which cycle loop a Kernel runs. See file comment.
 enum class Scheduler { kStride, kReference };
@@ -48,13 +86,28 @@ struct Cadence {
 
 class Kernel {
  public:
+  /// Shard id of components that run in the serial set (the default).
+  static constexpr std::uint32_t kNoShard = 0xFFFFFFFFu;
+
   explicit Kernel(Scheduler scheduler = Scheduler::kStride)
       : scheduler_(scheduler) {}
+  ~Kernel();
 
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
 
   Scheduler scheduler() const { return scheduler_; }
+
+  /// Number of shard workers (1 = fully serial execution, the default).
+  /// Call between steps only. Values are clamped to [1, 64]. No-op under
+  /// kReference (the oracle stays single-threaded by definition).
+  void set_shards(std::uint32_t n);
+  std::uint32_t shards() const { return shards_; }
+
+  /// Assign a component to shard `shard` in [0, shards()), or back to the
+  /// serial set with kNoShard. Only components obeying the sharded-tick
+  /// contract (see file comment) may be assigned. Call between steps only.
+  void assign_shard(Component& c, std::uint32_t shard);
 
   /// Current cycle number. Cycle N covers the Nth tick/commit pair;
   /// now() increments after the commit phase.
@@ -108,6 +161,20 @@ class Kernel {
   void set_tracer(Tracer* t) { tracer_ = t; }
   Tracer* tracer() const { return tracer_; }
 
+  /// One trace record emitted inside a staged dispatch phase, parked until
+  /// the phase joins. `key` is the registration index of the *dispatched*
+  /// component (an agent relaying into its host element stages under the
+  /// agent's slot, exactly where the record lands serially); records with
+  /// equal keys keep their emission order within one buffer. Public only
+  /// for the kernel-internal thread-local dispatch context.
+  struct StagedTrace {
+    std::uint32_t key;
+    const Component* emitter; ///< whose name the record carries
+    TraceEvent event;
+    std::uint64_t arg0;
+    std::uint64_t arg1;
+  };
+
  private:
   friend class Component;
 
@@ -125,6 +192,14 @@ class Kernel {
   /// the runner, or a host). No-op under kReference.
   void notify_external_write(Component* c);
 
+  /// Trace-record path shared by every Component::trace() call: appends
+  /// directly to `t` outside parallel phases, stages into the calling
+  /// shard's buffer inside them (merged back in registration order at the
+  /// phase join). Interned-id caching lives here so staged records resolve
+  /// their ids in merged order — identical to the serial interning order.
+  void record_trace(const Component& c, Tracer& t, TraceEvent event, std::uint64_t arg0,
+                    std::uint64_t arg1);
+
   void sleep_component(Component& c, Cycle wake_at);
   void wake_due();
   void rebuild_schedule();
@@ -141,11 +216,29 @@ class Kernel {
   Cycle next_due_cycle(Cycle from, Cycle limit) const;
   void step_reference();
   void step_stride();
+  /// The wide-dispatch cycle body when shards_ > 1 and the residue-`r` due
+  /// lists carry enough sharded work: two parallel rounds (tick, commit)
+  /// bracketing the serial set, with staged-trace merges at the joins.
+  void step_stride_parallel(std::size_t r);
   /// Shared by run()/run_until(): advance one dispatch point, either by
   /// executing the current cycle or by fast-forwarding to the next cycle
   /// (< end) where anything is due. Returns the kernel to a state where
   /// now() has advanced by at least one.
   void advance_or_skip(Cycle end);
+
+  // --- Sharded execution (see file comment) ----------------------------------
+  /// Run one parallel round: every worker (and the driving thread, as
+  /// shard 0) executes `phase` (0 = tick, 1 = commit) over its per-shard
+  /// due list, then all join.
+  void run_parallel_round(int phase);
+  void run_shard_list(const std::vector<std::uint32_t>& list, int phase,
+                      std::vector<StagedTrace>* stage);
+  /// Merge per-shard staged records (each ascending by key) into the
+  /// tracer in global registration order and clear the buffers.
+  void flush_staged_traces();
+  void start_workers();
+  void stop_workers();
+  void worker_loop(std::uint32_t shard);
 
   Scheduler scheduler_;
   std::vector<Component*> components_; ///< registration order; null = tombstone
@@ -161,6 +254,27 @@ class Kernel {
   std::vector<std::uint32_t> touched_;          ///< pending end-of-cycle commits
   std::size_t sleeping_count_ = 0;
   Cycle next_wake_ = kNoCycle;
+
+  // Shard partition of the due table (built only when shards_ > 1):
+  // due_shard_[r * shards_ + s] holds the shard-s subset of due_[r],
+  // due_serial_[r] the serial-set subset, both ascending.
+  std::uint32_t shards_ = 1;
+  std::vector<std::vector<std::uint32_t>> due_shard_;
+  std::vector<std::vector<std::uint32_t>> due_serial_;
+  std::vector<std::vector<StagedTrace>> stage_;   ///< per shard + one serial buffer
+  bool staging_ = false;      ///< inside a parallel phase with a live tracer
+  bool in_parallel_ = false;  ///< workers running (guards kernel services)
+
+  // Worker pool (lazily started by the first parallel cycle).
+  std::vector<std::thread> workers_;
+  std::mutex pool_mu_;
+  std::condition_variable pool_cv_;   ///< wakes workers on a new round
+  std::condition_variable done_cv_;   ///< wakes the driver when a round ends
+  std::uint64_t round_ = 0;           ///< generation counter of rounds
+  int round_phase_ = 0;               ///< 0 = tick, 1 = commit
+  std::size_t round_remaining_ = 0;
+  const std::vector<std::uint32_t>* round_lists_ = nullptr; ///< [shards_] due lists
+  bool pool_stop_ = false;
 
   Cycle now_ = 0;
   Tracer* tracer_ = nullptr;

@@ -1,12 +1,21 @@
 #include "sim/log.hpp"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace daelite::sim {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
-std::ostream* g_sink = &std::cerr;
+// Level and sink are read on every logging call from whichever thread is
+// dispatching components — shard workers inside one kernel and batch job
+// threads both log through here — so they are atomics, and the actual
+// stream insertion is serialized: most ostreams (ostringstream capture
+// sinks in tests, file sinks) are not safe for concurrent insertion, and
+// even for std::cerr the mutex keeps whole lines intact.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<std::ostream*> g_sink{&std::cerr};
+std::mutex g_write_mu;
 
 const char* level_tag(LogLevel lvl) {
   switch (lvl) {
@@ -20,14 +29,16 @@ const char* level_tag(LogLevel lvl) {
 }
 } // namespace
 
-LogLevel Log::level() { return g_level; }
-void Log::set_level(LogLevel lvl) { g_level = lvl; }
-void Log::set_sink(std::ostream* sink) { g_sink = sink; }
-std::ostream* Log::sink() { return g_sink; }
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
+void Log::set_level(LogLevel lvl) { g_level.store(lvl, std::memory_order_relaxed); }
+void Log::set_sink(std::ostream* sink) { g_sink.store(sink, std::memory_order_release); }
+std::ostream* Log::sink() { return g_sink.load(std::memory_order_acquire); }
 
 void Log::write(LogLevel lvl, std::string_view who, std::string_view msg) {
-  if (g_sink == nullptr) return;
-  (*g_sink) << '[' << level_tag(lvl) << "] " << who << ": " << msg << '\n';
+  std::lock_guard<std::mutex> lock(g_write_mu);
+  std::ostream* sink = g_sink.load(std::memory_order_acquire);
+  if (sink == nullptr) return;
+  (*sink) << '[' << level_tag(lvl) << "] " << who << ": " << msg << '\n';
 }
 
 } // namespace daelite::sim

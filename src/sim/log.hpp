@@ -21,8 +21,13 @@ enum class LogLevel : int {
   kTrace = 5,
 };
 
-/// Global log configuration. Not thread-safe by design: the kernel is
-/// single-threaded (one cycle at a time), matching the modelled hardware.
+/// Global log configuration. Thread-safe: level and sink are atomics and
+/// write() serializes the stream insertion, because components may log
+/// from shard worker threads (sim/kernel.hpp sharded execution) and from
+/// concurrent batch jobs (sim/parallel.hpp). set_sink() still must not
+/// destroy the old sink while other threads are logging — swap sinks only
+/// when the kernels using the logger are quiescent (tests do this between
+/// runs).
 class Log {
  public:
   static LogLevel level();

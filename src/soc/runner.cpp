@@ -119,6 +119,7 @@ analysis::NetworkReport run_scenario(const RunSpec& spec) {
   opt.tdm = dim->params;
   opt.cfg_root = mesh.ni(sc.host.first, sc.host.second);
   hw::DaeliteNetwork net(kernel, mesh.topo, opt);
+  if (spec.shards > 1) net.assign_shards(spec.shards);
   if (spec.on_network) spec.on_network(kernel, net);
 
   // The injector is constructed after every network element so it commits

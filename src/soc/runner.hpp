@@ -67,6 +67,13 @@ struct RunSpec {
   /// and the per-cycle reference produce byte-identical reports and traces
   /// (a ctest diffs them); kReference exists as the oracle for that check.
   sim::Scheduler scheduler = sim::Scheduler::kStride;
+  /// Shard count for single-run parallelism (stride scheduler only):
+  /// > 1 partitions the mesh's routers and NIs into contiguous node bands
+  /// that tick/commit concurrently inside this one kernel
+  /// (DaeliteNetwork::assign_shards). Reports and traces are byte-identical
+  /// for every value — the shard count is deliberately NOT recorded in the
+  /// report, so CI can diff --shards 1 against --shards N outputs.
+  std::uint32_t shards = 1;
   /// Invoked once the network exists, before configuration — attach VCD
   /// probes or extra instrumentation here. Objects the hook creates must
   /// outlive the run_scenario() call.

@@ -9,10 +9,12 @@
 #include <atomic>
 #include <chrono>
 #include <numeric>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 
 #include "sim/json.hpp"
+#include "sim/log.hpp"
 #include "sim/parallel.hpp"
 #include "soc/runner.hpp"
 
@@ -94,6 +96,36 @@ TEST(ThreadPool, WaitIdleBlocksUntilQuiescent) {
   auto fut = pool.submit([&] { ++ran; });
   fut.get();
   EXPECT_EQ(ran.load(), 25);
+}
+
+TEST(ThreadPool, ConcurrentLoggingIsRaceFreeAndLineAtomic) {
+  // Components log from shard worker threads and from concurrent batch
+  // jobs, so sim::Log must tolerate simultaneous write() calls into one
+  // sink: no torn lines, every line present (TSan additionally checks the
+  // absence of data races on the level/sink globals here).
+  std::ostringstream captured;
+  std::ostream* const old_sink = sim::Log::sink();
+  const sim::LogLevel old_level = sim::Log::level();
+  sim::Log::set_sink(&captured);
+  sim::Log::set_level(sim::LogLevel::kInfo);
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 64; ++i)
+      pool.submit([i] { sim::log_info("pool", "job ", i, " says hello"); });
+    pool.wait_idle();
+  }
+  sim::Log::set_sink(old_sink);
+  sim::Log::set_level(old_level);
+
+  std::istringstream lines(captured.str());
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.rfind("[INFO ] pool: job ", 0), 0u) << line;
+    EXPECT_NE(line.find(" says hello"), std::string::npos) << line;
+    ++count;
+  }
+  EXPECT_EQ(count, 64u);
 }
 
 // --- End-to-end determinism contract ----------------------------------------

@@ -9,6 +9,10 @@
 //   --mesh WxHs,...    add synthetic corner-stress scenarios on these mesh
 //                      sizes (e.g. 3x3,4x4; suffix 't' for torus: 4x4t)
 //   --run-cycles C     override the run length of every job
+//   --shards N         intra-simulation shard threads per job (default 1);
+//                      composes with --jobs — N shard workers inside each
+//                      of the concurrently running jobs. Output is
+//                      byte-identical at any --shards value (CI diffs it)
 //   --recover          arm the self-healing subsystem on every job (dead
 //                      links quarantined, connections re-routed mid-run;
 //                      reports carry a `recovery` section)
@@ -55,6 +59,7 @@ int usage() {
          "  --mesh WxH[t],.. add synthetic corner-stress scenarios (t = torus)\n"
          "  --run-cycles C   override run length for every job\n"
          "  --scheduler S    kernel cycle loop: stride (default) | reference\n"
+         "  --shards N       shard threads inside every job's simulation\n"
          "  --trace DIR      one Chrome trace_event file per job in DIR\n"
          "  --fault-seed N   seed for fault injection (with --fault-rate/plan)\n"
          "  --fault-rate R   per-word fault probability in [0,1] on every link\n"
@@ -153,6 +158,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> mesh_specs;
   std::optional<sim::Cycle> run_cycles;
   sim::Scheduler scheduler = sim::Scheduler::kStride;
+  std::uint32_t shards = 1;
   sim::FaultPlan fault_plan;
   bool recover = false;
   std::string trace_dir;
@@ -211,6 +217,11 @@ int main(int argc, char** argv) {
       } else {
         return usage();
       }
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      const char* v = need("--shards");
+      if (!v) return usage();
+      shards = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      if (shards == 0) shards = 1;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       const char* v = need("--trace");
       if (!v) return usage();
@@ -304,6 +315,7 @@ int main(int argc, char** argv) {
         spec.run_cycles_override = run_cycles;
         spec.seed = seed;
         spec.scheduler = scheduler;
+        spec.shards = shards;
         spec.fault_plan = fault_plan;
         spec.recovery.enabled = recover;
         std::string label = b.name;

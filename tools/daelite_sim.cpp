@@ -2,7 +2,7 @@
 //
 //   daelite_sim <scenario file> [--vcd out.vcd] [--json out.json]
 //               [--trace out.trace.json] [--per-connection] [--quiet]
-//               [--scheduler stride|reference]
+//               [--scheduler stride|reference] [--shards N]
 //               [--fault-seed N] [--fault-rate R] [--fault-plan file]
 //
 // Executes a scenario end to end through soc::run_scenario(): parse,
@@ -18,6 +18,10 @@
 // per-connection latency quantile table. --scheduler selects the kernel's
 // cycle loop: the default stride scheduler, or the per-cycle reference
 // loop whose reports and traces must be byte-identical (CI diffs them).
+// --shards N partitions the mesh into N bands of routers/NIs that tick and
+// commit on N threads inside the one simulation (stride scheduler only);
+// every shard count produces byte-identical reports and traces — CI diffs
+// --shards 1 against --shards 4 — so the flag only changes wall-clock time.
 // --fault-rate / --fault-plan enable deterministic fault injection on the
 // data and configuration links (see sim/fault.hpp for the plan grammar);
 // the report then carries a `health` section. --recover additionally arms
@@ -44,7 +48,7 @@ namespace {
 int usage() {
   std::cerr << "usage: daelite_sim <scenario file> [--vcd out.vcd] [--json out.json]\n"
                "                   [--trace out.trace.json] [--per-connection] [--quiet]\n"
-               "                   [--scheduler stride|reference]\n"
+               "                   [--scheduler stride|reference] [--shards N]\n"
                "                   [--fault-seed N] [--fault-rate R] [--fault-plan file]\n"
                "                   [--recover]\n"
                "see src/soc/scenario.hpp for the scenario grammar and\n"
@@ -62,6 +66,7 @@ int main(int argc, char** argv) {
   bool per_connection = false;
   bool quiet = false;
   sim::Scheduler scheduler = sim::Scheduler::kStride;
+  std::uint32_t shards = 1;
   sim::FaultPlan fault_plan;
   bool recover = false;
   for (int i = 1; i < argc; ++i) {
@@ -83,6 +88,12 @@ int main(int argc, char** argv) {
         scheduler = sim::Scheduler::kReference;
       } else {
         return usage();
+      }
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (shards == 0) {
+        std::cerr << "daelite_sim: --shards must be >= 1\n";
+        return 2;
       }
     } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
       fault_plan.seed = std::strtoull(argv[++i], nullptr, 10);
@@ -120,6 +131,7 @@ int main(int argc, char** argv) {
   spec.label = scenario_path;
   spec.scenario = *scenario;
   spec.scheduler = scheduler;
+  spec.shards = shards;
   spec.fault_plan = fault_plan;
   spec.recovery.enabled = recover;
 
