@@ -339,6 +339,31 @@ void DaeliteNetwork::assign_shards(std::uint32_t shards) {
   }
 }
 
+bool DaeliteNetwork::enable_soa() {
+  if (kernel_->scheduler() == sim::Scheduler::kReference) return false;
+  if (!engines_.empty()) return true;
+  const std::uint32_t bands = std::max<std::uint32_t>(1, kernel_->shards());
+  const std::size_t n = topo_->node_count();
+  // One engine per shard band, covering the same contiguous node-id range
+  // assign_shards() uses, so sharded SoA runs keep the band partition.
+  for (std::uint32_t b = 0; b < bands; ++b) {
+    auto engine =
+        std::make_unique<SlotEngine>(*kernel_, "soa" + std::to_string(b), options_.tdm);
+    for (topo::NodeId id = 0; id < n; ++id) {
+      if (static_cast<std::uint32_t>(static_cast<std::uint64_t>(id) * bands / n) != b) continue;
+      if (topo_->is_router(id)) {
+        engine->add_router(*routers_.at(id));
+      } else {
+        engine->add_ni(*nis_.at(id));
+      }
+    }
+    if (engine->element_count() == 0) continue;
+    engine->finalize(b);
+    engines_.push_back(std::move(engine));
+  }
+  return true;
+}
+
 // --- Fault injection -----------------------------------------------------------------
 
 namespace {

@@ -25,6 +25,7 @@
 #include "daelite/config_host.hpp"
 #include "daelite/ni.hpp"
 #include "daelite/router.hpp"
+#include "daelite/slot_engine.hpp"
 #include "sim/fault.hpp"
 #include "sim/kernel.hpp"
 #include "topology/graph.hpp"
@@ -140,6 +141,18 @@ class DaeliteNetwork {
   /// for every shard count; only wall-clock time changes.
   void assign_shards(std::uint32_t shards);
 
+  /// Switch the data path to batched SoA slot dispatch (hw::SlotEngine):
+  /// one engine per shard band (one total when unsharded) takes over
+  /// ticking and committing the band's routers and NIs over flat slot-
+  /// table pools, with idle elements skipped outright. Byte-identical
+  /// reports and traces; only wall-clock time changes. Call after
+  /// assign_shards() and before running traffic or attaching an
+  /// injector/monitor. Returns false (and changes nothing) under the
+  /// reference scheduler, which ignores suspension — the oracle stays
+  /// per-component. Idempotent.
+  bool enable_soa();
+  bool soa_enabled() const { return !engines_.empty(); }
+
   // --- Fault injection ---------------------------------------------------------
 
   /// Register every link of the selected classes (kData: data links in
@@ -165,6 +178,10 @@ class DaeliteNetwork {
   std::map<topo::NodeId, std::unique_ptr<Router>> routers_;
   std::map<topo::NodeId, std::unique_ptr<Ni>> nis_;
   std::unique_ptr<ConfigModule> config_module_;
+  /// Batched dispatch engines (enable_soa), one per shard band. Declared
+  /// after the elements so they are destroyed first — their slot-table
+  /// pools outlive every rebound table.
+  std::vector<std::unique_ptr<SlotEngine>> engines_;
 
   std::map<topo::NodeId, std::vector<bool>> tx_queue_used_;
   std::map<topo::NodeId, std::vector<bool>> rx_queue_used_;

@@ -76,7 +76,21 @@ bool Ni::quiescent() const {
 
 void Ni::tick() {
   if (!params_.tdm.is_slot_start(now())) return;
-  const tdm::Slot slot = params_.tdm.slot_of_cycle(now());
+  slot_tick(params_.tdm.slot_of_cycle(now()));
+}
+
+bool Ni::slot_quiet(tdm::Slot slot) const {
+  if (output_.get().valid) return false;
+  if (input_ != nullptr && input_->get().valid) return false;
+  const tdm::ChannelId tx_q = table_.tx_channel(slot);
+  if (tx_q == tdm::kNoChannel || tx_q >= tx_.size() || !tx_[tx_q].enabled) return true;
+  const TxChannel& ch = tx_[tx_q];
+  if (ch.queue.poppable() != 0) return false; // would send or count a stall
+  return ch.paired_rx == kCfgNoQueue || ch.paired_rx >= rx_.size() ||
+         rx_[ch.paired_rx].pending.get() == 0;
+}
+
+void Ni::slot_tick(tdm::Slot slot) {
   const std::uint32_t w = params_.tdm.words_per_slot;
 
   // ---- Departure side --------------------------------------------------------

@@ -113,6 +113,21 @@ class Ni : public sim::Component, public ConfigTarget {
   /// they drain through rx_pop, which reports an external write.)
   bool quiescent() const override;
 
+  // --- Batched dispatch (hw::SlotEngine) --------------------------------------
+
+  /// The slot-start body of tick(), callable directly by a batched engine
+  /// that has already established the slot. Reads committed state only,
+  /// exactly like tick().
+  void slot_tick(tdm::Slot slot);
+
+  /// True when slot_tick(slot) would change nothing observable — the
+  /// committed output is already invalid, no flit is arriving, and the
+  /// slot's tx channel (if any) has neither words nor credits to send —
+  /// so a batched engine may skip both the tick and the commit. External
+  /// queue writes are unaffected: they commit through the kernel's
+  /// touched pass.
+  bool slot_quiet(tdm::Slot slot) const;
+
   // --- ConfigTarget -----------------------------------------------------------
   std::uint16_t cfg_id() const override { return cfg_id_; }
   bool cfg_is_ni() const override { return true; }

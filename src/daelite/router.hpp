@@ -87,6 +87,11 @@ class Router : public sim::Component, public ConfigTarget {
   void cfg_bus_write(std::uint8_t, std::uint16_t) override { ++stats_.cfg_errors; }
 
  private:
+  /// The batched dispatcher inlines this router's forwarding loop over
+  /// pooled slot tables (see daelite/slot_engine.hpp), reading and
+  /// writing exactly the members tick() does.
+  friend class SlotEngine;
+
   std::uint16_t cfg_id_;
   tdm::TdmParams params_;
   tdm::RouterSlotTable table_;

@@ -155,6 +155,16 @@ class Component {
     return t != nullptr && t->enabled();
   }
 
+  /// For batched-dispatch engines (hw::SlotEngine): latch a suspended
+  /// element this engine drives, clearing its pending external-write mark
+  /// so the kernel's touched pass does not commit it a second time —
+  /// exactly the bookkeeping the kernel performs when the element commits
+  /// from a due list.
+  static void commit_on_behalf(Component& c) {
+    c.commit();
+    c.touch_pending_ = false;
+  }
+
  private:
   friend class Kernel;
 
@@ -164,6 +174,7 @@ class Component {
   Cadence cadence_;
   std::uint32_t index_ = 0;    ///< slot in the kernel's registry
   std::uint32_t shard_ = Kernel::kNoShard; ///< serial set unless assigned
+  std::uint32_t weight_ = 1;   ///< staged-path width contribution (elements covered)
   bool active_ = true;         ///< false while suspended/sleeping
   bool touch_pending_ = false; ///< external write awaiting end-of-cycle commit
   Cycle wake_at_ = kNoCycle;

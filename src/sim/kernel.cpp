@@ -142,8 +142,21 @@ void Kernel::rebuild_schedule() {
   // serially (their per-cycle residue check keeps them off the wide path);
   // a shard id beyond the current shard count folds in, so a partition
   // computed for more shards than configured still distributes evenly.
-  if (shards_ > 1) {
+  // The partition also exists at shards_ == 1 when a component is
+  // shard-assigned (a batched engine): its dispatch then runs inline
+  // before the serial set, the order the staged path guarantees.
+  bool any_assigned = shards_ > 1;
+  for (const Component* c : components_) {
+    if (any_assigned) break;
+    any_assigned = c != nullptr && c->active_ && c->shard_ != kNoShard;
+  }
+  has_partition_ = any_assigned;
+  if (has_partition_) {
+    if (stage_.size() != static_cast<std::size_t>(shards_) + 1) {
+      stage_.assign(static_cast<std::size_t>(shards_) + 1, {}); // + the serial buffer
+    }
     due_shard_.assign(static_cast<std::size_t>(period_) * shards_, {});
+    due_shard_weight_.assign(static_cast<std::size_t>(period_) * shards_, 0);
     due_serial_.assign(period_, {});
     for (Cycle r = 0; r < period_; ++r) {
       for (std::uint32_t i : due_[r]) {
@@ -151,7 +164,9 @@ void Kernel::rebuild_schedule() {
         if (s == kNoShard) {
           due_serial_[r].push_back(i);
         } else {
-          due_shard_[static_cast<std::size_t>(r) * shards_ + s % shards_].push_back(i);
+          const std::size_t slot = static_cast<std::size_t>(r) * shards_ + s % shards_;
+          due_shard_[slot].push_back(i);
+          due_shard_weight_[slot] += components_[i]->weight_;
         }
       }
     }
@@ -217,6 +232,35 @@ void Kernel::record_trace(const Component& c, Tracer& t, TraceEvent event, std::
     c.trace_owner_ = &t;
   }
   t.record(now_, c.trace_id_, event, arg0, arg1);
+}
+
+void Kernel::trace_as(const Component& as, TraceEvent event, std::uint64_t arg0,
+                      std::uint64_t arg1) {
+  Tracer* t = tracer_;
+  if (t == nullptr || !t->enabled()) return;
+  if (tls_dispatch.stage != nullptr) {
+    // Staged under the element's own registration index, not the key of
+    // the engine currently dispatching: the record merges exactly where
+    // the element's own trace() would have landed in a serial run.
+    tls_dispatch.stage->push_back({as.index_, &as, event, arg0, arg1});
+    return;
+  }
+  if (as.trace_owner_ != t) {
+    as.trace_id_ = t->intern(as.name_);
+    as.trace_owner_ = t;
+  }
+  t->record(now_, as.trace_id_, event, arg0, arg1);
+}
+
+void Kernel::set_stage_key(const Component& c) {
+  if (tls_dispatch.stage != nullptr) tls_dispatch.key = c.index_;
+}
+
+void Kernel::set_dispatch_weight(Component& c, std::uint32_t weight) {
+  const std::uint32_t w = std::max<std::uint32_t>(1, weight);
+  if (c.weight_ == w) return;
+  c.weight_ = w;
+  schedule_dirty_ = true;
 }
 
 void Kernel::flush_staged_traces() {
@@ -369,17 +413,19 @@ void Kernel::step_stride() {
 
   const std::size_t r = static_cast<std::size_t>(now_ % period_);
 
-  // Sharded cycles take the parallel path only when the wide TDM dispatch
-  // (the whole mesh due at a slot start) offers enough work per shard to
-  // amortize the round handshake; narrow cycles — config-phase agents,
-  // stragglers — run the plain serial loop below, which is byte-identical.
-  if (shards_ > 1) {
-    std::size_t sharded = 0;
+  // Any cycle with shard-assigned work due goes through the staged path
+  // (shard lists before the serial set — required for batched engines,
+  // byte-identical for plain sharded components). The worker pool engages
+  // only when the wide TDM dispatch (the whole mesh due at a slot start)
+  // offers enough weighted work per shard to amortize the round
+  // handshake; narrow cycles run the shard lists inline on the driver.
+  if (has_partition_) {
+    std::size_t weighted = 0;
     for (std::uint32_t s = 0; s < shards_; ++s) {
-      sharded += due_shard_[r * shards_ + s].size();
+      weighted += due_shard_weight_[r * shards_ + s];
     }
-    if (sharded >= static_cast<std::size_t>(shards_) * 2) {
-      step_stride_parallel(r);
+    if (weighted > 0) {
+      step_stride_staged(r, shards_ > 1 && weighted >= static_cast<std::size_t>(shards_) * 2);
       return;
     }
   }
@@ -424,17 +470,24 @@ void Kernel::step_stride() {
   ++now_;
 }
 
-void Kernel::step_stride_parallel(std::size_t r) {
-  start_workers();
-  round_lists_ = &due_shard_[r * shards_];
-
+void Kernel::step_stride_staged(std::size_t r, bool use_pool) {
   // Tick phase. Parallel ticks are safe because sharded components read
   // only state committed at the previous edge (nothing writes committed
   // state during tick) and write only their own next-state; serial ticks
   // run after the join, preserving every host-element/agent ordering the
   // single-threaded loop has (a serial agent mutating its sharded host is
   // observed by the host only next cycle, exactly as in index order).
-  run_parallel_round(0);
+  // Without the pool the same shard lists run inline on the driver —
+  // identical order and staging, no handshake.
+  if (use_pool) {
+    start_workers();
+    round_lists_ = &due_shard_[r * shards_];
+    run_parallel_round(0);
+  } else {
+    for (std::uint32_t s = 0; s < shards_; ++s) {
+      run_shard_list(due_shard_[r * shards_ + s], 0, &stage_[s]);
+    }
+  }
   const std::vector<std::uint32_t>& serial = due_serial_[r];
   tls_dispatch.stage = &stage_[shards_];
   for (std::uint32_t i : serial) {
@@ -459,7 +512,13 @@ void Kernel::step_stride_parallel(std::size_t r) {
   // corrupting committed link registers, the health monitor sampling them —
   // live in the serial set and run after the join, so they observe every
   // latch exactly as they do when they commit last in index order.
-  run_parallel_round(1);
+  if (use_pool) {
+    run_parallel_round(1);
+  } else {
+    for (std::uint32_t s = 0; s < shards_; ++s) {
+      run_shard_list(due_shard_[r * shards_ + s], 1, &stage_[s]);
+    }
+  }
   flush_staged_traces(); // default latches never trace: normally a no-op
   for (std::uint32_t i : serial) {
     Component* c = components_[i];

@@ -161,6 +161,32 @@ class Kernel {
   void set_tracer(Tracer* t) { tracer_ = t; }
   Tracer* tracer() const { return tracer_; }
 
+  // --- Batched-dispatch engine services (hw::SlotEngine) ---------------------
+  // A batched engine is one Component that ticks and commits a whole band
+  // of suspended elements itself. These three hooks keep its dispatch
+  // byte-identical to per-component dispatch: records it relays for an
+  // element carry the element's name and merge at the element's
+  // registration index, and the staged-path width threshold sees the
+  // band's true element count rather than "one component".
+
+  /// Record a trace as if `as` had emitted it from its own dispatch slot:
+  /// staged under as's registration index inside a staged phase, appended
+  /// directly otherwise. For engines that inline an element's tick and
+  /// must relay the records the element would have emitted.
+  void trace_as(const Component& as, TraceEvent event, std::uint64_t arg0 = 0,
+                std::uint64_t arg1 = 0);
+
+  /// Re-key staged records to component `c` for the rest of the current
+  /// dispatch (no-op outside a staged phase). For engines that call into
+  /// an element's own tick body, whose trace() calls would otherwise
+  /// stage under the engine's index.
+  void set_stage_key(const Component& c);
+
+  /// Weight of `c` in the staged-path width threshold (default 1). A
+  /// batched engine reports its band's element count so the pool
+  /// engages exactly where per-component dispatch would have.
+  void set_dispatch_weight(Component& c, std::uint32_t weight);
+
   /// One trace record emitted inside a staged dispatch phase, parked until
   /// the phase joins. `key` is the registration index of the *dispatched*
   /// component (an agent relaying into its host element stages under the
@@ -216,10 +242,15 @@ class Kernel {
   Cycle next_due_cycle(Cycle from, Cycle limit) const;
   void step_reference();
   void step_stride();
-  /// The wide-dispatch cycle body when shards_ > 1 and the residue-`r` due
-  /// lists carry enough sharded work: two parallel rounds (tick, commit)
-  /// bracketing the serial set, with staged-trace merges at the joins.
-  void step_stride_parallel(std::size_t r);
+  /// The cycle body when the residue-`r` due lists carry shard-assigned
+  /// work: shard lists run first (on the worker pool when `use_pool`,
+  /// inline on the driver otherwise), then the serial set, with
+  /// staged-trace merges at the joins. Shard-before-serial is the order
+  /// the serial loop already implies — every element registers before
+  /// its config agent, and the cross-component commits (injector,
+  /// monitor) live in the serial set — so both variants are
+  /// byte-identical to plain index-order dispatch.
+  void step_stride_staged(std::size_t r, bool use_pool);
   /// Shared by run()/run_until(): advance one dispatch point, either by
   /// executing the current cycle or by fast-forwarding to the next cycle
   /// (< end) where anything is due. Returns the kernel to a state where
@@ -255,12 +286,18 @@ class Kernel {
   std::size_t sleeping_count_ = 0;
   Cycle next_wake_ = kNoCycle;
 
-  // Shard partition of the due table (built only when shards_ > 1):
-  // due_shard_[r * shards_ + s] holds the shard-s subset of due_[r],
-  // due_serial_[r] the serial-set subset, both ascending.
+  // Shard partition of the due table (built when shards_ > 1 or any
+  // active component is shard-assigned — batched engines are assigned
+  // even single-threaded, so their band dispatch lands before the serial
+  // set): due_shard_[r * shards_ + s] holds the shard-s subset of
+  // due_[r], due_serial_[r] the serial-set subset, both ascending.
+  // due_shard_weight_[r * shards_ + s] is the summed dispatch weight of
+  // that list (elements covered, not components listed).
   std::uint32_t shards_ = 1;
+  bool has_partition_ = false;
   std::vector<std::vector<std::uint32_t>> due_shard_;
   std::vector<std::vector<std::uint32_t>> due_serial_;
+  std::vector<std::size_t> due_shard_weight_;
   std::vector<std::vector<StagedTrace>> stage_;   ///< per shard + one serial buffer
   bool staging_ = false;      ///< inside a parallel phase with a live tracer
   bool in_parallel_ = false;  ///< workers running (guards kernel services)

@@ -1,10 +1,18 @@
 #include "sim/stats.hpp"
 
+#include <bit>
 #include <cmath>
 
 #include "sim/json.hpp"
 
 namespace daelite::sim {
+
+void Histogram::grow_for(std::uint64_t v) {
+  if (v < buckets_.size() || v >= kMaxBuckets) return;
+  const std::size_t doubled = std::max<std::size_t>(1, buckets_.size() * 2);
+  const std::size_t covering = std::bit_ceil(static_cast<std::size_t>(v) + 1);
+  buckets_.resize(std::min(kMaxBuckets, std::max(doubled, covering)), 0);
+}
 
 std::uint64_t Histogram::quantile(double q) const {
   const std::uint64_t n = count();

@@ -81,14 +81,25 @@ class ScalarStat {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
-/// Integer histogram with unit-width buckets [0, capacity) plus an
-/// overflow bucket; supports exact quantile queries over recorded samples.
+/// Integer histogram with unit-width buckets plus an overflow bucket;
+/// supports exact quantile queries over recorded samples. The bucket
+/// array starts at the constructed capacity and grows geometrically (to
+/// the next power of two covering the sample, at least doubling) up to
+/// kMaxBuckets, so long-run latencies keep exact quantiles instead of
+/// saturating p50/p90/p99 at max() once samples pass the initial
+/// capacity. Only samples >= kMaxBuckets land in the overflow bucket.
 class Histogram {
  public:
+  /// Hard ceiling on bucket growth (8 MiB of counters) — samples at or
+  /// beyond this are counted in overflow_ and treated as +inf by
+  /// quantile().
+  static constexpr std::size_t kMaxBuckets = std::size_t{1} << 20;
+
   explicit Histogram(std::size_t capacity = 1024) : buckets_(capacity, 0) {}
 
   void add(std::uint64_t v) {
     scalar_.add(static_cast<double>(v));
+    if (v >= buckets_.size()) grow_for(v);
     if (v < buckets_.size()) {
       ++buckets_[static_cast<std::size_t>(v)];
     } else {
@@ -102,9 +113,16 @@ class Histogram {
     scalar_.reset();
   }
 
-  /// Fold another histogram into this one. Buckets beyond this histogram's
-  /// capacity land in the overflow bucket.
+  /// Fold another histogram into this one, growing first so no exact
+  /// sample degrades to overflow. Only counts already in o's overflow
+  /// bucket stay overflow.
   void merge(const Histogram& o) {
+    for (std::size_t i = o.buckets_.size(); i-- > buckets_.size();) {
+      if (o.buckets_[i] != 0) {
+        grow_for(static_cast<std::uint64_t>(i));
+        break;
+      }
+    }
     for (std::size_t i = 0; i < o.buckets_.size(); ++i) {
       if (o.buckets_[i] == 0) continue;
       if (i < buckets_.size()) {
@@ -130,6 +148,11 @@ class Histogram {
   std::uint64_t quantile(double q) const;
 
  private:
+  /// Grow the bucket array to cover sample v (next power of two past v,
+  /// at least doubling), capped at kMaxBuckets. No-op if v is already
+  /// covered or past the cap.
+  void grow_for(std::uint64_t v);
+
   std::vector<std::uint64_t> buckets_;
   std::uint64_t overflow_ = 0;
   ScalarStat scalar_;

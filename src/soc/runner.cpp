@@ -120,6 +120,10 @@ analysis::NetworkReport run_scenario(const RunSpec& spec) {
   opt.cfg_root = mesh.ni(sc.host.first, sc.host.second);
   hw::DaeliteNetwork net(kernel, mesh.topo, opt);
   if (spec.shards > 1) net.assign_shards(spec.shards);
+  // SoA after sharding (the engine bands follow the shard bands), before
+  // the on_network hook, injector and monitor — those must register after
+  // the engines so their serial commits still run last in the cycle.
+  if (spec.soa) net.enable_soa();
   if (spec.on_network) spec.on_network(kernel, net);
 
   // The injector is constructed after every network element so it commits

@@ -74,6 +74,11 @@ struct RunSpec {
   /// for every value — the shard count is deliberately NOT recorded in the
   /// report, so CI can diff --shards 1 against --shards N outputs.
   std::uint32_t shards = 1;
+  /// Batched SoA slot dispatch (DaeliteNetwork::enable_soa, stride
+  /// scheduler only — silently ignored under kReference). Like `shards`,
+  /// byte-identical output and deliberately NOT recorded in the report, so
+  /// CI can diff --soa runs against component-path outputs.
+  bool soa = false;
   /// Invoked once the network exists, before configuration — attach VCD
   /// probes or extra instrumentation here. Objects the hook creates must
   /// outlive the run_scenario() call.

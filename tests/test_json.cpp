@@ -117,10 +117,10 @@ TEST(StatsToJson, CounterAndScalarStat) {
 TEST(StatsToJson, HistogramQuantiles) {
   Histogram h(16);
   for (std::uint64_t i = 0; i < 10; ++i) h.add(i);
-  h.add(100); // overflow bucket
+  h.add(100); // beyond the initial span: the histogram grows, no overflow
   const JsonValue v = to_json(h);
   EXPECT_EQ(v.find("count")->as_number(), 11);
-  EXPECT_EQ(v.find("overflow")->as_number(), 1);
+  EXPECT_EQ(v.find("overflow")->as_number(), 0);
   EXPECT_EQ(v.find("p50")->as_number(), 5);
   EXPECT_EQ(v.find("max")->as_number(), 100);
 }

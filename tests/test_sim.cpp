@@ -405,12 +405,40 @@ TEST(Histogram, CountsAndQuantiles) {
   EXPECT_EQ(h.bucket(3), 1u);
 }
 
-TEST(Histogram, OverflowBucket) {
+TEST(Histogram, GrowsInsteadOfOverflowing) {
+  // Regression: a sample past the initial bucket span used to land in the
+  // overflow bucket, silently clamping every later quantile to max().
+  // The bucket array now grows geometrically, so the sample stays exact.
   Histogram h(4);
   h.add(100);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.bucket(100), 1u);
+  EXPECT_EQ(h.quantile(0.5), 100u);
+  EXPECT_EQ(h.max(), 100.0);
+}
+
+TEST(Histogram, QuantilesExactPastDefaultCapacity) {
+  // The latency-quantile saturation bug: a default histogram held 1024
+  // exact buckets, so any latency >= 1024 cycles pushed p50/p90/p99 to
+  // max(). Quantiles must stay exact well past that.
+  Histogram h;
+  for (std::uint64_t v = 2000; v < 3000; ++v) h.add(v);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 2499u);
+  EXPECT_EQ(h.quantile(0.9), 2899u);
+  EXPECT_EQ(h.quantile(0.99), 2989u);
+  EXPECT_EQ(h.quantile(1.0), 2999u);
+}
+
+TEST(Histogram, OverflowOnlyPastGrowthCap) {
+  // Growth is capped (kMaxBuckets); only samples beyond the cap overflow,
+  // and for those quantile() still falls back to max().
+  Histogram h(4);
+  h.add(std::uint64_t{1} << 20);
   EXPECT_EQ(h.overflow(), 1u);
   EXPECT_EQ(h.count(), 1u);
-  EXPECT_EQ(h.max(), 100.0);
+  EXPECT_EQ(h.quantile(0.5), std::uint64_t{1} << 20);
 }
 
 TEST(Histogram, QuantileZeroIsMinimum) {
@@ -424,18 +452,21 @@ TEST(Histogram, QuantileZeroIsMinimum) {
   EXPECT_EQ(h.quantile(1.0), 9u);
 }
 
-TEST(Histogram, MergeCombinesBucketsAndOverflow) {
+TEST(Histogram, MergeGrowsToCoverSource) {
   Histogram a(8);
   Histogram b(16);
   a.add(1);
   a.add(2);
   b.add(2);
-  b.add(12); // beyond a's capacity: must land in a's overflow
-  b.add(200);
+  b.add(12);  // beyond a's initial span: a must grow, not overflow
+  b.add(200); // beyond b's too — b grew on add, a grows on merge
   a.merge(b);
   EXPECT_EQ(a.count(), 5u);
   EXPECT_EQ(a.bucket(2), 2u);
-  EXPECT_EQ(a.overflow(), 2u);
+  EXPECT_EQ(a.bucket(12), 1u);
+  EXPECT_EQ(a.bucket(200), 1u);
+  EXPECT_EQ(a.overflow(), 0u);
+  EXPECT_EQ(a.quantile(1.0), 200u);
   EXPECT_EQ(a.min(), 1.0);
   EXPECT_EQ(a.max(), 200.0);
 }

@@ -13,6 +13,10 @@
 //                      composes with --jobs — N shard workers inside each
 //                      of the concurrently running jobs. Output is
 //                      byte-identical at any --shards value (CI diffs it)
+//   --soa              batched SoA slot dispatch inside every job
+//                      (hw::SlotEngine; stride scheduler only, ignored
+//                      under --scheduler reference). Byte-identical output,
+//                      like --shards — only wall-clock time changes
 //   --recover          arm the self-healing subsystem on every job (dead
 //                      links quarantined, connections re-routed mid-run;
 //                      reports carry a `recovery` section)
@@ -44,6 +48,7 @@
 #include "sim/parallel.hpp"
 #include "sim/trace_sink.hpp"
 #include "soc/runner.hpp"
+#include "cli_parse.hpp"
 
 using namespace daelite;
 
@@ -60,6 +65,7 @@ int usage() {
          "  --run-cycles C   override run length for every job\n"
          "  --scheduler S    kernel cycle loop: stride (default) | reference\n"
          "  --shards N       shard threads inside every job's simulation\n"
+         "  --soa            batched SoA slot dispatch inside every job (stride only)\n"
          "  --trace DIR      one Chrome trace_event file per job in DIR\n"
          "  --fault-seed N   seed for fault injection (with --fault-rate/plan)\n"
          "  --fault-rate R   per-word fault probability in [0,1] on every link\n"
@@ -109,15 +115,14 @@ bool make_stress_scenario(const std::string& spec, soc::Scenario* out, std::stri
     torus = true;
     dims.pop_back();
   }
+  // Strict WxH: both sides must be complete base-10 integers — "4x4garbage"
+  // or "4x" is a spec error, not a silently truncated 4x4 run.
   const auto x = dims.find('x');
   int w = 0, h = 0;
-  try {
-    w = std::stoi(dims.substr(0, x));
-    h = std::stoi(dims.substr(x + 1));
-  } catch (...) {
-    w = 0;
-  }
-  if (x == std::string::npos || w < 2 || h < 2) {
+  const bool parsed = x != std::string::npos &&
+                      tools::parse_int(std::string_view(dims).substr(0, x), &w) &&
+                      tools::parse_int(std::string_view(dims).substr(x + 1), &h);
+  if (!parsed || w < 2 || h < 2) {
     *err = "bad mesh spec '" + spec + "' (want WxH with W,H >= 2, optional 't')";
     return false;
   }
@@ -159,6 +164,7 @@ int main(int argc, char** argv) {
   std::optional<sim::Cycle> run_cycles;
   sim::Scheduler scheduler = sim::Scheduler::kStride;
   std::uint32_t shards = 1;
+  bool soa = false;
   sim::FaultPlan fault_plan;
   bool recover = false;
   std::string trace_dir;
@@ -175,10 +181,14 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
+    const auto bad_value = [](const char* flag, const char* what, const char* got) {
+      std::cerr << "daelite_batch: " << flag << " wants " << what << ", got '" << got << "'\n";
+      return 2;
+    };
     if (std::strcmp(argv[i], "--jobs") == 0) {
       const char* v = need("--jobs");
       if (!v) return usage();
-      jobs = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+      if (!tools::parse_int(v, &jobs)) return bad_value("--jobs", "an integer", v);
       if (jobs == 0) jobs = 1;
     } else if (std::strcmp(argv[i], "--out") == 0) {
       const char* v = need("--out");
@@ -188,17 +198,17 @@ int main(int argc, char** argv) {
       const char* v = need("--slots");
       if (!v) return usage();
       for (const std::string& tok : split_csv(v)) {
-        const auto s = std::strtoul(tok.c_str(), nullptr, 10);
-        if (s == 0) {
+        std::uint32_t s = 0;
+        if (!tools::parse_int(tok, &s) || s == 0) {
           std::cerr << "daelite_batch: bad slot count '" << tok << "'\n";
           return 2;
         }
-        slot_sweep.push_back(static_cast<std::uint32_t>(s));
+        slot_sweep.push_back(s);
       }
     } else if (std::strcmp(argv[i], "--seeds") == 0) {
       const char* v = need("--seeds");
       if (!v) return usage();
-      seeds = std::strtoull(v, nullptr, 10);
+      if (!tools::parse_int(v, &seeds)) return bad_value("--seeds", "an integer", v);
     } else if (std::strcmp(argv[i], "--mesh") == 0) {
       const char* v = need("--mesh");
       if (!v) return usage();
@@ -206,7 +216,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--run-cycles") == 0) {
       const char* v = need("--run-cycles");
       if (!v) return usage();
-      run_cycles = std::strtoull(v, nullptr, 10);
+      sim::Cycle c = 0;
+      if (!tools::parse_int(v, &c)) return bad_value("--run-cycles", "an integer", v);
+      run_cycles = c;
     } else if (std::strcmp(argv[i], "--scheduler") == 0) {
       const char* v = need("--scheduler");
       if (!v) return usage();
@@ -220,8 +232,10 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--shards") == 0) {
       const char* v = need("--shards");
       if (!v) return usage();
-      shards = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      if (!tools::parse_int(v, &shards)) return bad_value("--shards", "an integer", v);
       if (shards == 0) shards = 1;
+    } else if (std::strcmp(argv[i], "--soa") == 0) {
+      soa = true;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       const char* v = need("--trace");
       if (!v) return usage();
@@ -229,14 +243,13 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--fault-seed") == 0) {
       const char* v = need("--fault-seed");
       if (!v) return usage();
-      fault_plan.seed = std::strtoull(v, nullptr, 10);
+      if (!tools::parse_int(v, &fault_plan.seed)) return bad_value("--fault-seed", "an integer", v);
     } else if (std::strcmp(argv[i], "--fault-rate") == 0) {
       const char* v = need("--fault-rate");
       if (!v) return usage();
-      fault_plan.rate = std::strtod(v, nullptr);
-      if (fault_plan.rate < 0.0 || fault_plan.rate > 1.0) {
-        std::cerr << "daelite_batch: --fault-rate must be in [0,1]\n";
-        return 2;
+      if (!tools::parse_double(v, &fault_plan.rate) || fault_plan.rate < 0.0 ||
+          fault_plan.rate > 1.0) {
+        return bad_value("--fault-rate", "a number in [0,1]", v);
       }
     } else if (std::strcmp(argv[i], "--fault-plan") == 0) {
       const char* v = need("--fault-plan");
@@ -316,6 +329,7 @@ int main(int argc, char** argv) {
         spec.seed = seed;
         spec.scheduler = scheduler;
         spec.shards = shards;
+        spec.soa = soa;
         spec.fault_plan = fault_plan;
         spec.recovery.enabled = recover;
         std::string label = b.name;

@@ -2,7 +2,7 @@
 //
 //   daelite_sim <scenario file> [--vcd out.vcd] [--json out.json]
 //               [--trace out.trace.json] [--per-connection] [--quiet]
-//               [--scheduler stride|reference] [--shards N]
+//               [--scheduler stride|reference] [--shards N] [--soa]
 //               [--fault-seed N] [--fault-rate R] [--fault-plan file]
 //
 // Executes a scenario end to end through soc::run_scenario(): parse,
@@ -22,6 +22,11 @@
 // commit on N threads inside the one simulation (stride scheduler only);
 // every shard count produces byte-identical reports and traces — CI diffs
 // --shards 1 against --shards 4 — so the flag only changes wall-clock time.
+// --soa switches the data path to batched structure-of-arrays slot dispatch
+// (hw::SlotEngine): one engine per shard band forwards the whole slot for
+// all its routers/NIs over flat slot-table pools, skipping idle elements.
+// Like --shards it is byte-identical and stride-only (ignored with
+// --scheduler reference, which stays the per-component oracle).
 // --fault-rate / --fault-plan enable deterministic fault injection on the
 // data and configuration links (see sim/fault.hpp for the plan grammar);
 // the report then carries a `health` section. --recover additionally arms
@@ -40,6 +45,7 @@
 #include "sim/json.hpp"
 #include "sim/trace_sink.hpp"
 #include "soc/runner.hpp"
+#include "cli_parse.hpp"
 
 using namespace daelite;
 
@@ -48,7 +54,7 @@ namespace {
 int usage() {
   std::cerr << "usage: daelite_sim <scenario file> [--vcd out.vcd] [--json out.json]\n"
                "                   [--trace out.trace.json] [--per-connection] [--quiet]\n"
-               "                   [--scheduler stride|reference] [--shards N]\n"
+               "                   [--scheduler stride|reference] [--shards N] [--soa]\n"
                "                   [--fault-seed N] [--fault-rate R] [--fault-plan file]\n"
                "                   [--recover]\n"
                "see src/soc/scenario.hpp for the scenario grammar and\n"
@@ -67,6 +73,7 @@ int main(int argc, char** argv) {
   bool quiet = false;
   sim::Scheduler scheduler = sim::Scheduler::kStride;
   std::uint32_t shards = 1;
+  bool soa = false;
   sim::FaultPlan fault_plan;
   bool recover = false;
   for (int i = 1; i < argc; ++i) {
@@ -90,17 +97,22 @@ int main(int argc, char** argv) {
         return usage();
       }
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
-      shards = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
-      if (shards == 0) {
-        std::cerr << "daelite_sim: --shards must be >= 1\n";
+      if (!tools::parse_int(argv[++i], &shards) || shards == 0) {
+        std::cerr << "daelite_sim: --shards wants an integer >= 1, got '" << argv[i] << "'\n";
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--soa") == 0) {
+      soa = true;
     } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
-      fault_plan.seed = std::strtoull(argv[++i], nullptr, 10);
+      if (!tools::parse_int(argv[++i], &fault_plan.seed)) {
+        std::cerr << "daelite_sim: --fault-seed wants an integer, got '" << argv[i] << "'\n";
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--fault-rate") == 0 && i + 1 < argc) {
-      fault_plan.rate = std::strtod(argv[++i], nullptr);
-      if (fault_plan.rate < 0.0 || fault_plan.rate > 1.0) {
-        std::cerr << "daelite_sim: --fault-rate must be in [0,1]\n";
+      if (!tools::parse_double(argv[++i], &fault_plan.rate) || fault_plan.rate < 0.0 ||
+          fault_plan.rate > 1.0) {
+        std::cerr << "daelite_sim: --fault-rate wants a number in [0,1], got '" << argv[i]
+                  << "'\n";
         return 2;
       }
     } else if (std::strcmp(argv[i], "--fault-plan") == 0 && i + 1 < argc) {
@@ -132,6 +144,7 @@ int main(int argc, char** argv) {
   spec.scenario = *scenario;
   spec.scheduler = scheduler;
   spec.shards = shards;
+  spec.soa = soa;
   spec.fault_plan = fault_plan;
   spec.recovery.enabled = recover;
 
