@@ -8,10 +8,23 @@
 // tree) plus a set of injection slots q such that every tree link at depth
 // k is free in slot slot_at_link(q, k). The allocator searches candidate
 // paths (k-shortest) and picks injection slots by policy.
+//
+// Two usage modes share this class:
+//  * offline dimensioning (the historical front end): each request runs a
+//    fresh k-shortest search plus a per-slot scan of the schedule;
+//  * the online churn service (alloc/churn.hpp): `incremental = true`
+//    reuses prior search state — k-shortest results are memoized per
+//    (src, dst) pair until the quarantine set changes, and the injection
+//    slot scan is replaced by rotate-and-AND over per-link free-slot
+//    bitmasks maintained on every reserve/release. Both modes make
+//    byte-identical admit/reject decisions and pick identical routes; the
+//    incremental mode only removes redundant work (tests/test_churn.cpp
+//    pins the equivalence on replayed request logs).
 
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "alloc/route.hpp"
@@ -36,7 +49,20 @@ enum class SlotPolicy {
 struct AllocatorOptions {
   std::size_t path_candidates = 8; ///< k for the k-shortest path search
   SlotPolicy slot_policy = SlotPolicy::kSpread;
+  /// Reuse search state across requests: memoized k-shortest paths and
+  /// bitmask-based injection-slot search. Decision-identical to the
+  /// from-scratch mode; only the per-request cost changes.
+  bool incremental = false;
 };
+
+/// kSpread slot picking: `want` entries of `avail` (sorted ascending) at
+/// evenly spread positions, in integer arithmetic. Exposed as a free
+/// function so the churn property tests can drive it with arbitrary
+/// (avail, want) pairs. For want <= avail.size() the picked positions
+/// (i * avail.size()) / want are strictly increasing — the historical
+/// accumulated-double implementation (`pos += stride`) could repeat or
+/// overrun an index once rounding error built up.
+std::vector<tdm::Slot> spread_pick(const std::vector<tdm::Slot>& avail, std::uint32_t want);
 
 class SlotAllocator {
  public:
@@ -46,10 +72,11 @@ class SlotAllocator {
   const tdm::Schedule& schedule() const { return schedule_; }
   const tdm::TdmParams& params() const { return params_; }
   const topo::Topology& topology() const { return *topo_; }
+  const AllocatorOptions& options() const { return options_; }
 
   /// Allocate a channel (unicast or multicast). Returns the route with a
-  /// fresh ChannelId, or nullopt if the spec is invalid (see valid_spec)
-  /// or no path/slot combination fits.
+  /// fresh (possibly recycled) ChannelId, or nullopt if the spec is
+  /// invalid (see valid_spec) or no path/slot combination fits.
   std::optional<RouteTree> allocate(const ChannelSpec& spec);
 
   /// Allocate along a caller-chosen path (slots only). Used by tests and
@@ -63,23 +90,27 @@ class SlotAllocator {
   /// list contains no duplicates and not the source.
   bool valid_spec(const ChannelSpec& spec) const;
 
-  /// Free every reservation of the route's channel.
+  /// Free every reservation of the route's channel and recycle its
+  /// ChannelId (a later allocate() may hand the id out again). Releasing
+  /// an already-released route is a no-op.
   void release(const RouteTree& route);
 
   /// Reserve one raw (link, slot) pair for an externally-managed channel.
-  /// Used by tests and ablation studies to shape residual capacity.
-  bool reserve_raw(topo::LinkId link, tdm::Slot slot, tdm::ChannelId ch) {
-    return schedule_.reserve(link, slot, ch);
-  }
+  /// Used by tests and ablation studies to shape residual capacity. Raw
+  /// channel ids never enter the recycling free-list; callers should keep
+  /// them far from the allocator's own id range (which stays dense near
+  /// the peak live-channel count).
+  bool reserve_raw(topo::LinkId link, tdm::Slot slot, tdm::ChannelId ch);
 
   /// Re-reserve a previously released route exactly as it was (same
   /// channel id, same slots). Returns false and rolls back if any of its
   /// (link, slot) pairs has been taken in the meantime. Used by the
   /// use-case switching flow to restore state after a failed switch, and
   /// by the recovery runner to mirror the dimensioned allocation into a
-  /// live allocator — so it also advances the fresh-ChannelId watermark
-  /// past the restored channel (a later allocate() must never hand out an
-  /// id that would alias a restored route's reservations).
+  /// live allocator. A successful restore re-claims the route's ChannelId:
+  /// it is removed from the recycling free-list if it was waiting there,
+  /// and the fresh-id watermark advances past it — a later allocate() must
+  /// never hand out an id that would alias a restored route's reservations.
   bool restore(const RouteTree& route);
 
   // --- Link quarantine ---------------------------------------------------------
@@ -88,7 +119,7 @@ class SlotAllocator {
   /// the link drops or corrupts words). Existing reservations that cross
   /// the link are untouched — tearing the affected connections down and
   /// re-allocating them around the quarantine is the recovery runner's
-  /// job. Idempotent.
+  /// job. Idempotent. Invalidates the incremental path cache.
   void quarantine_link(topo::LinkId link);
   void clear_quarantine();
   bool is_quarantined(topo::LinkId link) const {
@@ -100,16 +131,49 @@ class SlotAllocator {
   /// Injection slots currently available for the given route tree shape.
   std::vector<tdm::Slot> free_inject_slots(const RouteTree& shape) const;
 
+  /// k-shortest candidate paths src -> dst under the current quarantine.
+  /// Incremental mode memoizes the answer until the quarantine changes;
+  /// from-scratch mode recomputes (identical result either way). Also used
+  /// by the churn service to diagnose fragmentation-caused rejections.
+  const std::vector<topo::Path>& candidate_paths(topo::NodeId src, topo::NodeId dst);
+
   std::size_t allocated_channels() const { return live_channels_; }
 
+  // --- Incremental-search summaries -------------------------------------------
+
+  /// Free slots on a link right now, from the maintained per-link bitmask
+  /// summary (O(1), exact mirror of the schedule).
+  std::uint32_t link_free_slots(topo::LinkId link) const;
+
+  /// Fraction of all (link, slot) pairs reserved — O(1) from the running
+  /// counter (Schedule::utilization() is the O(links x slots) oracle; the
+  /// two always agree).
+  double utilization() const;
+
+  // --- ChannelId recycling introspection (tests, fragmentation reports) --------
+
+  /// Ids currently waiting for reuse.
+  std::size_t free_id_count() const { return free_ids_.size(); }
+  /// Lowest id never handed out: the high-water mark of id consumption.
+  /// With recycling this tracks the peak live-channel count, not the total
+  /// number of allocations.
+  tdm::ChannelId channel_id_watermark() const { return next_channel_; }
+
  private:
-  tdm::ChannelId next_channel_id() { return next_channel_++; }
+  tdm::ChannelId next_channel_id();
+  void recycle_channel_id(tdm::ChannelId ch);
+  /// Drop `ch` from the free-list if present (restore() re-claims ids).
+  void unrecycle_channel_id(tdm::ChannelId ch);
 
   /// Pick `want` slots from `avail` (sorted) per the slot policy.
   std::vector<tdm::Slot> choose_slots(const std::vector<tdm::Slot>& avail, std::uint32_t want) const;
 
   /// Reserve all (link, slot) pairs of the route. Asserts availability.
   void commit(const RouteTree& route);
+
+  // Bitmask / counter bookkeeping around every schedule mutation.
+  void note_reserved(topo::LinkId link, tdm::Slot slot);
+  void note_released(topo::LinkId link, tdm::Slot slot);
 
   std::optional<RouteTree> allocate_unicast(const ChannelSpec& spec);
   std::optional<RouteTree> allocate_multicast(const ChannelSpec& spec);
@@ -127,6 +191,24 @@ class SlotAllocator {
   tdm::ChannelId next_channel_ = 0;
   std::size_t live_channels_ = 0;
   std::vector<bool> quarantined_; ///< empty until the first quarantine
+
+  // Per-link free-slot bitmasks (bit s set = slot s free) plus the global
+  // reservation counter. Maintained on every reserve/release so the
+  // incremental mode can answer free_inject_slots with |edges| word ops
+  // and utilization() in O(1).
+  std::vector<std::uint64_t> free_mask_;
+  std::uint64_t wheel_mask_ = 0;
+  std::size_t reserved_pairs_ = 0;
+
+  /// Released ChannelIds awaiting reuse, kept as a min-heap so the lowest
+  /// id is recycled first (deterministic, keeps the id space dense).
+  std::vector<tdm::ChannelId> free_ids_;
+
+  /// Memoized k-shortest results, keyed by (src << 32) | dst. Cleared
+  /// whenever the quarantine set changes (the only input besides the
+  /// static topology). Only consulted in incremental mode.
+  std::unordered_map<std::uint64_t, std::vector<topo::Path>> path_cache_;
+  std::vector<topo::Path> scratch_paths_; ///< from-scratch mode's return slot
 };
 
 } // namespace daelite::alloc

@@ -1,0 +1,401 @@
+#include "alloc/churn.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace daelite::alloc {
+
+std::uint64_t worst_case_latency_cycles(const RouteTree& route, const tdm::TdmParams& params) {
+  if (route.inject_slots.empty()) return 0;
+  // Longest circular gap between consecutive owned injection slots: a word
+  // that becomes ready just after an owned slot starts waits that many
+  // slots for the next one.
+  const auto& q = route.inject_slots; // sorted ascending
+  std::uint32_t max_gap = q.front() + params.num_slots - q.back();
+  for (std::size_t i = 0; i + 1 < q.size(); ++i) max_gap = std::max(max_gap, q[i + 1] - q[i]);
+  std::uint32_t max_depth = 0;
+  for (const RouteEdge& e : route.edges) max_depth = std::max(max_depth, e.depth);
+  // With n links to the deepest destination its NI is pipeline element n,
+  // acting n*shift slots (= n*hop_cycles cycles) after injection.
+  const std::uint64_t pipeline =
+      route.edges.empty() ? 0 : std::uint64_t(max_depth + 1) * params.hop_cycles;
+  return std::uint64_t(max_gap) * params.words_per_slot + pipeline;
+}
+
+ChurnService::ChurnService(SlotAllocator& alloc, AdmissionControl admission)
+    : alloc_(&alloc), admission_(admission) {}
+
+const AllocatedConnection* ChurnService::connection(std::uint64_t id) const {
+  auto it = conns_.find(id);
+  return it == conns_.end() ? nullptr : &it->second;
+}
+
+bool ChurnService::admit_route(const RouteTree& route) const {
+  if (admission_.max_path_hops != 0) {
+    std::uint32_t max_depth = 0;
+    for (const RouteEdge& e : route.edges) max_depth = std::max(max_depth, e.depth);
+    const std::uint32_t hops = route.edges.empty() ? 0 : max_depth + 1;
+    if (hops > admission_.max_path_hops) return false;
+  }
+  if (admission_.max_latency_cycles != 0 &&
+      worst_case_latency_cycles(route, alloc_->params()) > admission_.max_latency_cycles)
+    return false;
+  return true;
+}
+
+bool ChurnService::reject_was_fragmentation(const ChannelSpec& spec) {
+  // Capacity vs alignment: if some candidate path has >= slots_required
+  // free slots on *every* link yet the allocation failed, the slots exist
+  // but no injection slot lines them up — fragmentation, not exhaustion.
+  // (For multicast the trunk to the first destination is checked; branch
+  // links add further constraints, so this is a lower bound on the
+  // fragmentation count.)
+  for (const topo::Path& p : alloc_->candidate_paths(spec.src_ni, spec.dst_nis.front())) {
+    if (p.links.empty()) continue;
+    std::uint32_t min_free = std::numeric_limits<std::uint32_t>::max();
+    for (topo::LinkId l : p.links) min_free = std::min(min_free, alloc_->link_free_slots(l));
+    if (min_free >= spec.slots_required) return true;
+  }
+  return false;
+}
+
+ChurnService::Result ChurnService::allocate_connection(const ConnectionSpec& spec,
+                                                       AllocatedConnection* out) {
+  last_no_route_was_frag_ = false;
+  const bool multicast = spec.dst_nis.size() > 1;
+  const std::uint32_t resp_slots = multicast ? 0 : spec.response_slots;
+
+  if (admission_.max_request_slots != 0 && (spec.request_slots > admission_.max_request_slots ||
+                                            resp_slots > admission_.max_request_slots))
+    return {ChurnStatus::kRejectedAdmission, 0};
+  if (alloc_->utilization() > admission_.max_utilization)
+    return {ChurnStatus::kRejectedAdmission, 0};
+
+  ChannelSpec req;
+  req.src_ni = spec.src_ni;
+  req.dst_nis = spec.dst_nis;
+  req.slots_required = spec.request_slots;
+  auto r = alloc_->allocate(req);
+  if (!r) {
+    last_no_route_was_frag_ = reject_was_fragmentation(req);
+    return {ChurnStatus::kRejectedNoRoute, 0};
+  }
+  if (!admit_route(*r)) {
+    alloc_->release(*r);
+    return {ChurnStatus::kRejectedAdmission, 0};
+  }
+  out->spec = spec;
+  out->request = std::move(*r);
+  out->has_response = false;
+
+  if (resp_slots > 0) {
+    ChannelSpec resp;
+    resp.src_ni = spec.dst_nis.front();
+    resp.dst_nis = {spec.src_ni};
+    resp.slots_required = resp_slots;
+    auto rr = alloc_->allocate(resp);
+    if (!rr) {
+      // Classified *before* releasing the request: the response failed in
+      // the state that actually rejected it.
+      last_no_route_was_frag_ = reject_was_fragmentation(resp);
+      alloc_->release(out->request);
+      return {ChurnStatus::kRejectedNoRoute, 0};
+    }
+    if (!admit_route(*rr)) {
+      alloc_->release(*rr);
+      alloc_->release(out->request);
+      return {ChurnStatus::kRejectedAdmission, 0};
+    }
+    out->response = std::move(*rr);
+    out->has_response = true;
+  }
+  return {ChurnStatus::kAdmitted, 0};
+}
+
+ChurnService::Result ChurnService::set_up(const ConnectionSpec& spec) {
+  metrics_.setups.inc();
+  AllocatedConnection conn;
+  Result r = allocate_connection(spec, &conn);
+  switch (r.status) {
+    case ChurnStatus::kAdmitted: {
+      metrics_.admitted.inc();
+      metrics_.admitted_hops.add(conn.request.edges.size());
+      const std::uint64_t id = next_id_++;
+      conn.id = static_cast<tdm::ConnectionId>(id);
+      r.connection = id;
+      live_index_[id] = live_order_.size();
+      live_order_.push_back(id);
+      conns_.emplace(id, std::move(conn));
+      break;
+    }
+    case ChurnStatus::kRejectedAdmission:
+      metrics_.rejected_admission.inc();
+      break;
+    default:
+      metrics_.rejected_no_route.inc();
+      if (last_no_route_was_frag_) metrics_.rejected_fragmentation.inc();
+      break;
+  }
+  return r;
+}
+
+ChurnStatus ChurnService::tear_down(std::uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return ChurnStatus::kUnknownConnection;
+  metrics_.teardowns.inc();
+  alloc_->release(it->second.request);
+  if (it->second.has_response) alloc_->release(it->second.response);
+  unlink_live(id);
+  conns_.erase(it);
+  return ChurnStatus::kAdmitted;
+}
+
+ChurnService::Result ChurnService::modify(std::uint64_t id, std::uint32_t request_slots,
+                                          std::uint32_t response_slots) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return {ChurnStatus::kUnknownConnection, 0};
+  metrics_.modifies.inc();
+
+  // Transactional: release the old reservations, allocate the new
+  // bandwidth under admission control, restore exactly on failure.
+  const AllocatedConnection old = it->second;
+  alloc_->release(old.request);
+  if (old.has_response) alloc_->release(old.response);
+
+  ConnectionSpec spec = old.spec;
+  spec.request_slots = request_slots;
+  spec.response_slots = response_slots;
+
+  AllocatedConnection fresh;
+  Result r = allocate_connection(spec, &fresh);
+  if (r.status == ChurnStatus::kAdmitted) {
+    fresh.id = old.id;
+    it->second = std::move(fresh);
+    r.connection = id;
+    return r;
+  }
+  // Roll back: the failed allocation released its own partial state, so
+  // the old routes' slots are free again and restore cannot fail unless an
+  // external actor raced us. Request and response restore as a unit (the
+  // same order-safety rule the use-case switch roll-back follows).
+  bool restored = alloc_->restore(old.request);
+  if (restored && old.has_response && !alloc_->restore(old.response)) {
+    alloc_->release(old.request);
+    restored = false;
+  }
+  if (restored) {
+    metrics_.modify_failed_restored.inc();
+  } else {
+    // The connection is gone; dropping it from the live set keeps the
+    // bookkeeping truthful instead of leaving a dangling id.
+    metrics_.rollback_failures.inc();
+    unlink_live(id);
+    conns_.erase(it);
+  }
+  return r;
+}
+
+void ChurnService::unlink_live(std::uint64_t id) {
+  const std::size_t idx = live_index_.at(id);
+  const std::uint64_t last = live_order_.back();
+  live_order_[idx] = last;
+  live_index_[last] = idx;
+  live_order_.pop_back();
+  live_index_.erase(id);
+}
+
+double ChurnService::sample_fragmentation(const std::vector<topo::Path>& probes) {
+  double acc = 0.0;
+  std::size_t sampled = 0;
+  for (const topo::Path& p : probes) {
+    if (p.links.empty()) continue;
+    std::uint32_t min_free = std::numeric_limits<std::uint32_t>::max();
+    for (topo::LinkId l : p.links) min_free = std::min(min_free, alloc_->link_free_slots(l));
+    if (min_free == 0) continue; // no capacity left: exhaustion, not fragmentation
+    const RouteTree shape = RouteTree::from_path(alloc_->topology(), p, {});
+    const std::size_t aligned = alloc_->free_inject_slots(shape).size();
+    acc += 1.0 - double(std::min<std::size_t>(aligned, min_free)) / double(min_free);
+    ++sampled;
+  }
+  const double frag = sampled ? acc / double(sampled) : 0.0;
+  metrics_.fragmentation.set(frag);
+  metrics_.utilization.set(alloc_->utilization());
+  return frag;
+}
+
+// --- Open-loop workload ------------------------------------------------------
+
+ChurnWorkload::ChurnWorkload(std::vector<topo::NodeId> endpoints, ChurnWorkloadOptions options)
+    : endpoints_(std::move(endpoints)), opt_(options), rng_(options.seed) {
+  assert(endpoints_.size() >= 2 && "churn workload needs at least two NIs");
+  assert(opt_.arrival_rate > 0.0 && opt_.mean_hold_cycles > 0.0);
+  assert(opt_.min_slots >= 1 && opt_.min_slots <= opt_.max_slots);
+  next_arrival_ = -std::log(1.0 - rng_.uniform()) / opt_.arrival_rate;
+}
+
+ConnectionSpec ChurnWorkload::draw_spec() {
+  ConnectionSpec s;
+  s.name = "r" + std::to_string(seq_++);
+  s.src_ni = endpoints_[rng_.below(endpoints_.size())];
+  std::uint32_t fanout = 1;
+  if (opt_.max_fanout >= 2 && endpoints_.size() >= 3 && rng_.chance(opt_.multicast_fraction)) {
+    const auto cap = std::min<std::uint64_t>(opt_.max_fanout, endpoints_.size() - 1);
+    fanout = static_cast<std::uint32_t>(rng_.range(2, cap));
+  }
+  while (s.dst_nis.size() < fanout) {
+    const topo::NodeId d = endpoints_[rng_.below(endpoints_.size())];
+    if (d == s.src_ni) continue;
+    if (std::find(s.dst_nis.begin(), s.dst_nis.end(), d) != s.dst_nis.end()) continue;
+    s.dst_nis.push_back(d);
+  }
+  s.request_slots = static_cast<std::uint32_t>(rng_.range(opt_.min_slots, opt_.max_slots));
+  s.response_slots = fanout > 1 ? 0 : opt_.response_slots;
+  return s;
+}
+
+ChurnWorkload::Op ChurnWorkload::next(const ChurnService& service) {
+  // Expired connections tear down before the next arrival. Entries whose
+  // connection already died (a failed modify whose roll-back failed) are
+  // skipped — the heap holds the workload's view, the service's is truth.
+  while (!expiry_.empty() && expiry_.front().first <= next_arrival_) {
+    std::pop_heap(expiry_.begin(), expiry_.end(), std::greater<>{});
+    const auto [t, id] = expiry_.back();
+    expiry_.pop_back();
+    if (service.connection(id) == nullptr) continue;
+    now_ = t;
+    Op op;
+    op.kind = Op::Kind::kTearDown;
+    op.time = t;
+    op.connection = id;
+    return op;
+  }
+
+  now_ = next_arrival_;
+  next_arrival_ = now_ - std::log(1.0 - rng_.uniform()) / opt_.arrival_rate;
+
+  Op op;
+  op.time = now_;
+  if (service.live_connections() > 0 && rng_.chance(opt_.modify_fraction)) {
+    op.kind = Op::Kind::kModify;
+    op.connection = service.live_id_at(rng_.below(service.live_connections()));
+    op.request_slots = static_cast<std::uint32_t>(rng_.range(opt_.min_slots, opt_.max_slots));
+    op.response_slots = opt_.response_slots;
+    return op;
+  }
+  op.kind = Op::Kind::kSetUp;
+  op.spec = draw_spec();
+  pending_hold_ = -std::log(1.0 - rng_.uniform()) * opt_.mean_hold_cycles;
+  return op;
+}
+
+void ChurnWorkload::on_setup_result(const ChurnService::Result& r) {
+  if (pending_hold_ && r.status == ChurnStatus::kAdmitted) {
+    expiry_.emplace_back(now_ + *pending_hold_, r.connection);
+    std::push_heap(expiry_.begin(), expiry_.end(), std::greater<>{});
+  }
+  pending_hold_.reset();
+}
+
+// --- Replay harness ----------------------------------------------------------
+
+namespace {
+
+/// FNV-1a over the 8 bytes of v, little-endian.
+void fnv_mix(std::uint64_t& digest, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    digest ^= (v >> (8 * i)) & 0xff;
+    digest *= 1099511628211ull;
+  }
+}
+
+void fnv_mix_route(std::uint64_t& digest, const RouteTree& r) {
+  fnv_mix(digest, r.channel);
+  for (tdm::Slot s : r.inject_slots) fnv_mix(digest, s);
+}
+
+} // namespace
+
+ChurnReport run_churn(SlotAllocator& alloc, const ChurnRunOptions& options) {
+  using Clock = std::chrono::steady_clock;
+
+  ChurnReport report;
+  ChurnService service(alloc, options.admission);
+  const auto endpoints = alloc.topology().nodes_of_kind(topo::NodeKind::kNi);
+  ChurnWorkload workload(endpoints, options.workload);
+
+  // Probe paths for the fragmentation gauge: deterministic, drawn from a
+  // stream independent of the request workload's so changing the sample
+  // count never perturbs the decisions.
+  std::vector<topo::Path> probes;
+  if (endpoints.size() >= 2 && options.probe_paths > 0) {
+    sim::Xoshiro256 prng(options.workload.seed ^ 0x66726167676175ull); // "fraggau"
+    const topo::PathFinder finder(alloc.topology());
+    while (probes.size() < options.probe_paths) {
+      const topo::NodeId a = endpoints[prng.below(endpoints.size())];
+      const topo::NodeId b = endpoints[prng.below(endpoints.size())];
+      if (a == b) continue;
+      topo::Path p = finder.shortest(a, b);
+      if (!p.links.empty()) probes.push_back(std::move(p));
+    }
+  }
+
+  const std::uint64_t sample_every = std::max<std::uint64_t>(
+      1, options.requests / std::max<std::size_t>(1, options.fragmentation_samples));
+
+  std::uint64_t digest = 14695981039346656037ull;
+  const auto wall_start = Clock::now();
+
+  for (std::uint64_t i = 0; i < options.requests; ++i) {
+    const ChurnWorkload::Op op = workload.next(service);
+    const auto t0 = options.measure_latency ? Clock::now() : Clock::time_point{};
+
+    ChurnService::Result r;
+    switch (op.kind) {
+      case ChurnWorkload::Op::Kind::kSetUp:
+        r = service.set_up(op.spec);
+        workload.on_setup_result(r);
+        break;
+      case ChurnWorkload::Op::Kind::kTearDown:
+        r.status = service.tear_down(op.connection);
+        r.connection = op.connection;
+        break;
+      case ChurnWorkload::Op::Kind::kModify:
+        r = service.modify(op.connection, op.request_slots, op.response_slots);
+        break;
+    }
+
+    if (options.measure_latency) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0);
+      report.request_latency_ns.add(static_cast<std::uint64_t>(ns.count()));
+    }
+
+    fnv_mix(digest, static_cast<std::uint64_t>(op.kind));
+    fnv_mix(digest, static_cast<std::uint64_t>(r.status));
+    if (r.status == ChurnStatus::kAdmitted && op.kind != ChurnWorkload::Op::Kind::kTearDown) {
+      const AllocatedConnection* c = service.connection(r.connection);
+      assert(c != nullptr);
+      fnv_mix_route(digest, c->request);
+      if (c->has_response) fnv_mix_route(digest, c->response);
+      if (op.kind == ChurnWorkload::Op::Kind::kSetUp && options.on_admit) options.on_admit(*c);
+    }
+
+    if (i % sample_every == 0 || i + 1 == options.requests) {
+      const double frag = service.sample_fragmentation(probes);
+      report.frag_timeline.push_back({i, alloc.utilization(), frag});
+    }
+  }
+
+  report.wall_seconds = std::chrono::duration<double>(Clock::now() - wall_start).count();
+  report.metrics = service.metrics();
+  report.decision_digest = digest;
+  report.final_utilization = alloc.utilization();
+  report.final_live = service.live_connections();
+  report.channel_id_watermark = alloc.channel_id_watermark();
+  return report;
+}
+
+} // namespace daelite::alloc

@@ -49,11 +49,30 @@ std::optional<UseCaseAllocation> execute_use_case_switch(SlotAllocator& alloc,
   auto added = allocate_use_case(alloc, additions, failed);
 
   if (!added) {
-    // Transactional roll-back: restore the torn-down reservations exactly.
+    // Transactional roll-back. Order matters: allocate_use_case has rolled
+    // its partially-committed additions back before returning, so the
+    // torn-down reservations' slots are free again *unless an external
+    // actor claimed them in the meantime* (raw reservations, a concurrent
+    // mirror, or a caller whose `from` no longer matches the allocator).
+    // Restore each connection's request+response as a unit: a connection
+    // whose response cannot be restored must not keep its request
+    // committed — traffic would flow one way with no credit path and no
+    // owner left to release the request's slots.
+    std::string rollback_failed;
     for (const AllocatedConnection& conn : plan.tear_down) {
-      const bool ok = alloc.restore(conn.request) &&
-                      (!conn.has_response || alloc.restore(conn.response));
-      (void)ok; // cannot fail: we just released these exact slots
+      if (!alloc.restore(conn.request)) {
+        if (rollback_failed.empty()) rollback_failed = conn.spec.name;
+        continue;
+      }
+      if (conn.has_response && !alloc.restore(conn.response)) {
+        alloc.release(conn.request);
+        if (rollback_failed.empty()) rollback_failed = conn.spec.name;
+      }
+    }
+    if (!rollback_failed.empty() && failed) {
+      // Surface the incomplete roll-back instead of silently reporting
+      // "allocator restored to the pre-switch state".
+      *failed += " (rollback incomplete: " + rollback_failed + ")";
     }
     return std::nullopt;
   }

@@ -39,7 +39,14 @@ SwitchPlan plan_use_case_switch(const UseCaseAllocation& from, const UseCase& to
 /// allocation (kept connections keep their routes and channel ids). On
 /// failure returns nullopt with the allocator restored to the pre-switch
 /// state (including re-allocating the torn-down connections' original
-/// reservations) and `failed` naming the offending connection.
+/// reservations) and `failed` naming the offending connection. The
+/// roll-back restores only after the partially-committed additions are
+/// fully released (allocate_use_case's contract); if a torn-down
+/// connection still cannot be restored — an external actor claimed its
+/// slots mid-switch — no half-connection is left behind (a request whose
+/// response restore fails is released again) and `failed` gains a
+/// "(rollback incomplete: <name>)" suffix instead of the failure being
+/// swallowed.
 std::optional<UseCaseAllocation> execute_use_case_switch(SlotAllocator& alloc,
                                                          const UseCaseAllocation& from,
                                                          const UseCase& to,

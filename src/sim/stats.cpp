@@ -48,6 +48,16 @@ JsonValue to_json(const ScalarStat& s) {
   return v;
 }
 
+JsonValue to_json(const Gauge& g) {
+  JsonValue v = JsonValue::object();
+  v["last"] = g.last();
+  v["samples"] = g.samples();
+  v["mean"] = g.mean();
+  v["min"] = g.min();
+  v["max"] = g.max();
+  return v;
+}
+
 JsonValue to_json(const Histogram& h) {
   JsonValue v = JsonValue::object();
   v["count"] = h.count();

@@ -81,6 +81,32 @@ class ScalarStat {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
+/// A sampled instantaneous value (utilization, fragmentation, queue
+/// depth): remembers the most recent sample and accumulates the
+/// distribution of every sample seen via ScalarStat. Unlike a Counter it
+/// can move both ways; unlike a bare ScalarStat the "current" reading
+/// stays addressable for report gauges.
+class Gauge {
+ public:
+  void set(double v) {
+    last_ = v;
+    stat_.add(v);
+  }
+
+  void reset() { *this = Gauge{}; }
+
+  double last() const { return last_; }
+  std::uint64_t samples() const { return stat_.count(); }
+  double mean() const { return stat_.mean(); }
+  double min() const { return stat_.min(); }
+  double max() const { return stat_.max(); }
+  const ScalarStat& stat() const { return stat_; }
+
+ private:
+  double last_ = 0.0;
+  ScalarStat stat_;
+};
+
 /// Integer histogram with unit-width buckets plus an overflow bucket;
 /// supports exact quantile queries over recorded samples. The bucket
 /// array starts at the constructed capacity and grows geometrically (to
@@ -162,6 +188,8 @@ class Histogram {
 // to one object so batch runs and benches emit a uniform schema.
 JsonValue to_json(const Counter& c);
 JsonValue to_json(const ScalarStat& s);
+/// last/mean/min/max/samples of the gauge's sample stream.
+JsonValue to_json(const Gauge& g);
 /// Summary form: count/mean/min/max/overflow plus p50/p90/p99 quantiles
 /// (bucket contents are summarized, not dumped).
 JsonValue to_json(const Histogram& h);

@@ -1,0 +1,512 @@
+// Tests for the online allocation service under churn: ChannelId
+// recycling (no aliasing, bounded watermark, restore() re-claiming ids
+// from the free-list), the integer kSpread slot picking, transactional
+// modify and switch roll-back under forced partial-restore, and the
+// incremental-vs-from-scratch equivalence oracle on replayed request
+// streams.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "alloc/churn.hpp"
+#include "alloc/switching.hpp"
+#include "alloc/validate.hpp"
+#include "sim/random.hpp"
+#include "topology/generators.hpp"
+
+namespace {
+
+using namespace daelite;
+using namespace daelite::alloc;
+
+ChannelSpec unicast(topo::NodeId src, topo::NodeId dst, std::uint32_t slots) {
+  ChannelSpec s;
+  s.src_ni = src;
+  s.dst_nis = {dst};
+  s.slots_required = slots;
+  return s;
+}
+
+// --- ChannelId recycling -----------------------------------------------------
+
+// Pre-recycling, next_channel_ was a bare monotonic counter: 20k
+// allocate/release cycles consumed 20k ids. With the free-list, the id
+// space stays as dense as the peak live-channel count.
+TEST(ChannelIdRecycling, WatermarkBoundedByPeakLiveChannels) {
+  const auto m = topo::make_mesh(2, 2);
+  SlotAllocator alloc(m.topo, tdm::daelite_params(8));
+
+  constexpr int kCycles = 20000; // >> 8 slots x 8 links: many id-space laps
+  for (int i = 0; i < kCycles; ++i) {
+    auto a = alloc.allocate(unicast(m.ni(0, 0), m.ni(1, 1), 2));
+    auto b = alloc.allocate(unicast(m.ni(1, 0), m.ni(0, 1), 2));
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    alloc.release(*a);
+    alloc.release(*b);
+  }
+  EXPECT_EQ(alloc.allocated_channels(), 0u);
+  // At most two channels were ever live, so at most two ids were ever
+  // minted.
+  EXPECT_LE(alloc.channel_id_watermark(), 2u);
+  EXPECT_EQ(alloc.free_id_count(), alloc.channel_id_watermark());
+}
+
+// The recycling property test the issue asks for: many times the id-space
+// size in allocate/release cycles, under mixed churn, with the oracle
+// checking the schedule is exactly the union of the live routes (so a
+// recycled id can never alias a live one) and live_channels_ stays exact.
+TEST(ChannelIdRecycling, ChurnNeverAliasesLiveChannels) {
+  const auto m = topo::make_mesh(3, 3);
+  const tdm::TdmParams params = tdm::daelite_params(16);
+  SlotAllocator alloc(m.topo, params);
+  const auto nis = m.all_nis();
+  sim::Xoshiro256 rng(2024);
+
+  std::vector<RouteTree> live;
+  std::size_t peak_live = 0;
+  for (int step = 0; step < 12000; ++step) {
+    const bool do_alloc = live.empty() || rng.chance(0.55);
+    if (do_alloc) {
+      const auto src = nis[rng.below(nis.size())];
+      auto dst = nis[rng.below(nis.size())];
+      while (dst == src) dst = nis[rng.below(nis.size())];
+      auto r = alloc.allocate(unicast(src, dst, 1 + static_cast<std::uint32_t>(rng.below(3))));
+      if (r) live.push_back(std::move(*r));
+    } else {
+      const std::size_t idx = rng.below(live.size());
+      alloc.release(live[idx]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    peak_live = std::max(peak_live, live.size());
+    ASSERT_EQ(alloc.allocated_channels(), live.size());
+
+    // Live channel ids stay distinct even as ids recycle.
+    std::set<tdm::ChannelId> ids;
+    for (const RouteTree& r : live) ids.insert(r.channel);
+    ASSERT_EQ(ids.size(), live.size());
+
+    if (step % 500 == 0) {
+      ASSERT_EQ(validate_allocation(m.topo, params, alloc.schedule(), live), "");
+    }
+  }
+  ASSERT_EQ(validate_allocation(m.topo, params, alloc.schedule(), live), "");
+  // Ids were minted for concurrent channels only, never for the churn.
+  EXPECT_LE(alloc.channel_id_watermark(), peak_live);
+}
+
+// restore() must pull a recycled id back out of the free-list: if the id
+// stayed there, a later allocate() would mint a channel aliasing the
+// restored route's reservations.
+TEST(ChannelIdRecycling, RestoreReclaimsIdFromFreeList) {
+  const auto m = topo::make_mesh(3, 3);
+  const tdm::TdmParams params = tdm::daelite_params(16);
+  SlotAllocator alloc(m.topo, params);
+
+  auto r1 = alloc.allocate(unicast(m.ni(0, 0), m.ni(2, 2), 2));
+  auto r2 = alloc.allocate(unicast(m.ni(0, 2), m.ni(2, 0), 2));
+  ASSERT_TRUE(r1.has_value());
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r1->channel, 0u);
+  EXPECT_EQ(r2->channel, 1u);
+
+  alloc.release(*r1);
+  EXPECT_EQ(alloc.free_id_count(), 1u); // id 0 waiting for reuse
+  ASSERT_TRUE(alloc.restore(*r1));      // ...but r1 takes it back
+  EXPECT_EQ(alloc.free_id_count(), 0u);
+
+  // A fresh allocation must NOT be handed id 0 (alias with restored r1).
+  auto r3 = alloc.allocate(unicast(m.ni(1, 0), m.ni(1, 2), 2));
+  ASSERT_TRUE(r3.has_value());
+  EXPECT_EQ(r3->channel, 2u);
+
+  const RouteTree routes[] = {*r1, *r2, *r3};
+  EXPECT_EQ(validate_allocation(m.topo, params, alloc.schedule(), routes), "");
+}
+
+// Restoring a route whose id is past the watermark (a dimensioned
+// allocation mirrored into a fresh allocator, as the recovery runner
+// does) must advance the watermark so fresh ids cannot collide with it.
+TEST(ChannelIdRecycling, RestoreAdvancesWatermarkPastForeignIds) {
+  const auto m = topo::make_mesh(3, 3);
+  const tdm::TdmParams params = tdm::daelite_params(16);
+  SlotAllocator a(m.topo, params);
+  SlotAllocator b(m.topo, params);
+
+  auto r1 = a.allocate(unicast(m.ni(0, 0), m.ni(2, 2), 2));
+  auto r2 = a.allocate(unicast(m.ni(0, 2), m.ni(2, 0), 2));
+  ASSERT_TRUE(r1.has_value());
+  ASSERT_TRUE(r2.has_value());
+
+  ASSERT_TRUE(b.restore(*r2)); // id 1 lands in a fresh allocator
+  auto fresh = b.allocate(unicast(m.ni(1, 0), m.ni(1, 2), 1));
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_EQ(fresh->channel, 2u); // not 0: watermark jumped past the restored id 1
+
+  // Double-release stays idempotent with recycling in play: releasing r2
+  // twice must not recycle its id twice (which would mint duplicates).
+  b.release(*r2);
+  b.release(*r2);
+  auto x = b.allocate(unicast(m.ni(0, 1), m.ni(2, 1), 1));
+  auto y = b.allocate(unicast(m.ni(1, 2), m.ni(1, 0), 1));
+  ASSERT_TRUE(x.has_value());
+  ASSERT_TRUE(y.has_value());
+  EXPECT_NE(x->channel, y->channel);
+}
+
+// --- Integer kSpread slot picking --------------------------------------------
+
+// Property test over random (avail, want): the picked indices
+// (i * avail.size()) / want are strictly increasing, in range, and the
+// result is a sorted subset of avail of exactly `want` entries. The
+// historical accumulated-double implementation could repeat or skip an
+// index once rounding error built up.
+TEST(SpreadPick, IntegerIndexingProperty) {
+  sim::Xoshiro256 rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::size_t n = 1 + rng.below(64);
+    std::vector<tdm::Slot> avail;
+    tdm::Slot v = static_cast<tdm::Slot>(rng.below(3));
+    for (std::size_t i = 0; i < n; ++i) {
+      avail.push_back(v);
+      v += 1 + static_cast<tdm::Slot>(rng.below(4)); // sorted, strictly increasing
+    }
+    const auto want = static_cast<std::uint32_t>(1 + rng.below(n));
+
+    const auto picked = spread_pick(avail, want);
+    ASSERT_EQ(picked.size(), want);
+    // Strictly increasing (no duplicate picks) and a subset of avail.
+    for (std::size_t i = 0; i + 1 < picked.size(); ++i) ASSERT_LT(picked[i], picked[i + 1]);
+    for (std::uint32_t i = 0; i < want; ++i) {
+      const std::size_t idx = (static_cast<std::size_t>(i) * n) / want;
+      ASSERT_LT(idx, n);
+      ASSERT_EQ(picked[i], avail[idx]); // matches the documented formula
+    }
+  }
+}
+
+TEST(SpreadPick, WantEqualsAvailTakesEverything) {
+  const std::vector<tdm::Slot> avail{1, 4, 9, 11};
+  EXPECT_EQ(spread_pick(avail, 4), avail);
+  EXPECT_TRUE(spread_pick(avail, 0).empty());
+}
+
+// --- Switch roll-back under forced partial restore ---------------------------
+
+// Force the path the old code swallowed with `(void)ok; // cannot fail`:
+// a torn-down connection whose response channel cannot be restored. The
+// fix must (a) not leave the request half-committed, and (b) surface the
+// incomplete roll-back through `failed`.
+TEST(SwitchRollback, PartialRestoreFailurePropagates) {
+  const auto m = topo::make_mesh(3, 3);
+  const tdm::TdmParams params = tdm::daelite_params(16);
+  SlotAllocator alloc(m.topo, params);
+
+  UseCase a;
+  a.name = "A";
+  a.connections.push_back({"cam", m.ni(0, 0), {m.ni(2, 2)}, 2, 2});
+  auto from = allocate_use_case(alloc, a);
+  ASSERT_TRUE(from.has_value());
+  const AllocatedConnection conn = from->connections[0];
+  ASSERT_TRUE(conn.has_response);
+
+  // External actor steals one of the response's (link, slot) pairs while
+  // the channel is torn down mid-switch: release the response directly,
+  // park a foreign raw reservation on it, and make the switch's additions
+  // infeasible so execution reaches the roll-back.
+  alloc.release(conn.response);
+  const RouteEdge e = conn.response.edges.front();
+  ASSERT_TRUE(
+      alloc.reserve_raw(e.link, params.slot_at_link(conn.response.inject_slots[0], e.depth), 999));
+
+  UseCase b;
+  b.name = "B";
+  // 17 slots on a 16-slot wheel can never be allocated: the switch fails
+  // after tearing everything down, forcing the restore path.
+  b.connections.push_back({"hog", m.ni(0, 2), {m.ni(2, 0)}, 17, 0});
+
+  std::string failed;
+  auto result = execute_use_case_switch(alloc, *from, b, nullptr, &failed);
+  EXPECT_FALSE(result.has_value());
+  EXPECT_NE(failed.find("hog"), std::string::npos);
+  EXPECT_NE(failed.find("rollback incomplete: cam"), std::string::npos)
+      << "failed = " << failed;
+
+  // No half-connection: the request channel whose partner could not be
+  // restored must not stay committed.
+  EXPECT_EQ(alloc.schedule().reservations_of(conn.request.channel), 0u);
+  EXPECT_EQ(alloc.schedule().reservations_of(conn.response.channel), 0u);
+}
+
+// The normal roll-back (no external interference) stays silent and exact.
+TEST(SwitchRollback, CleanRollbackRestoresEverything) {
+  const auto m = topo::make_mesh(3, 3);
+  const tdm::TdmParams params = tdm::daelite_params(16);
+  SlotAllocator alloc(m.topo, params);
+
+  UseCase a;
+  a.name = "A";
+  a.connections.push_back({"cam", m.ni(0, 0), {m.ni(2, 2)}, 2, 2});
+  auto from = allocate_use_case(alloc, a);
+  ASSERT_TRUE(from.has_value());
+  const auto util_before = alloc.utilization();
+
+  UseCase b;
+  b.name = "B";
+  b.connections.push_back({"hog", m.ni(0, 2), {m.ni(2, 0)}, 17, 0});
+  std::string failed;
+  EXPECT_FALSE(execute_use_case_switch(alloc, *from, b, nullptr, &failed).has_value());
+  EXPECT_EQ(failed, "hog"); // no "(rollback incomplete)" suffix
+  EXPECT_EQ(alloc.utilization(), util_before);
+  EXPECT_EQ(alloc.allocated_channels(), 2u);
+}
+
+// --- Churn service -----------------------------------------------------------
+
+struct ChurnFixture : ::testing::Test {
+  topo::Mesh mesh = topo::make_mesh(3, 3);
+  tdm::TdmParams params = tdm::daelite_params(16);
+  SlotAllocator alloc{mesh.topo, params};
+  ChurnService service{alloc};
+};
+
+TEST_F(ChurnFixture, SetUpTearDownRoundTrip) {
+  ConnectionSpec spec{"c", mesh.ni(0, 0), {mesh.ni(2, 2)}, 2, 1};
+  const auto r = service.set_up(spec);
+  ASSERT_EQ(r.status, ChurnStatus::kAdmitted);
+  EXPECT_EQ(service.live_connections(), 1u);
+  EXPECT_EQ(alloc.allocated_channels(), 2u); // request + response
+
+  EXPECT_EQ(service.tear_down(r.connection), ChurnStatus::kAdmitted);
+  EXPECT_EQ(service.live_connections(), 0u);
+  EXPECT_EQ(alloc.allocated_channels(), 0u);
+  EXPECT_EQ(alloc.utilization(), 0.0);
+  EXPECT_EQ(service.tear_down(r.connection), ChurnStatus::kUnknownConnection);
+}
+
+TEST_F(ChurnFixture, AdmissionControlBoundsRequests) {
+  AdmissionControl ac;
+  ac.max_request_slots = 2;
+  ChurnService strict(alloc, ac);
+  ConnectionSpec big{"big", mesh.ni(0, 0), {mesh.ni(2, 2)}, 3, 1};
+  EXPECT_EQ(strict.set_up(big).status, ChurnStatus::kRejectedAdmission);
+  EXPECT_EQ(strict.metrics().rejected_admission.value(), 1u);
+  EXPECT_EQ(alloc.allocated_channels(), 0u);
+
+  ConnectionSpec ok{"ok", mesh.ni(0, 0), {mesh.ni(2, 2)}, 2, 1};
+  EXPECT_EQ(strict.set_up(ok).status, ChurnStatus::kAdmitted);
+}
+
+TEST_F(ChurnFixture, AdmissionLatencyBoundRejectsLongRoutes) {
+  AdmissionControl ac;
+  // One slot on a 16-slot wheel waits up to a full wheel (32 cycles); any
+  // positive path depth pushes past 33.
+  ac.max_latency_cycles = 33;
+  ChurnService strict(alloc, ac);
+  ConnectionSpec far{"far", mesh.ni(0, 0), {mesh.ni(2, 2)}, 1, 0};
+  EXPECT_EQ(strict.set_up(far).status, ChurnStatus::kRejectedAdmission);
+  // The rejected route was released, not leaked.
+  EXPECT_EQ(alloc.allocated_channels(), 0u);
+  EXPECT_EQ(alloc.utilization(), 0.0);
+
+  AdmissionControl loose;
+  loose.max_latency_cycles = 1000;
+  ChurnService lenient(alloc, loose);
+  EXPECT_EQ(lenient.set_up(far).status, ChurnStatus::kAdmitted);
+}
+
+TEST_F(ChurnFixture, ModifyIsTransactional) {
+  ConnectionSpec spec{"c", mesh.ni(0, 0), {mesh.ni(2, 2)}, 2, 1};
+  const auto r = service.set_up(spec);
+  ASSERT_EQ(r.status, ChurnStatus::kAdmitted);
+  const RouteTree old_request = service.connection(r.connection)->request;
+
+  // Feasible modify: more bandwidth, same connection id.
+  EXPECT_EQ(service.modify(r.connection, 4, 1).status, ChurnStatus::kAdmitted);
+  EXPECT_EQ(service.connection(r.connection)->request.slot_count(), 4u);
+
+  // Infeasible modify: more slots than the wheel has. The old reservations
+  // come back exactly (same channel ids, same slot count).
+  const RouteTree before = service.connection(r.connection)->request;
+  EXPECT_EQ(service.modify(r.connection, 17, 1).status, ChurnStatus::kRejectedNoRoute);
+  const AllocatedConnection* after = service.connection(r.connection);
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->request.channel, before.channel);
+  EXPECT_EQ(after->request.slot_count(), before.slot_count());
+  EXPECT_EQ(after->request.inject_slots, before.inject_slots);
+  EXPECT_EQ(service.metrics().modify_failed_restored.value(), 1u);
+  EXPECT_EQ(service.metrics().rollback_failures.value(), 0u);
+  (void)old_request;
+}
+
+TEST_F(ChurnFixture, WorstCaseLatencyMatchesHandComputation) {
+  // 3x3 mesh, NI(0,0) -> NI(1,0): 3 links. Inject slots {2, 10} on a
+  // 16-slot wheel: max circular gap is 8 slots = 16 cycles; pipeline is
+  // 3 links * 2 cycles = 6. Total 22.
+  const auto p = topo::PathFinder(mesh.topo).shortest(mesh.ni(0, 0), mesh.ni(1, 0));
+  const RouteTree r = RouteTree::from_path(mesh.topo, p, {2, 10});
+  EXPECT_EQ(worst_case_latency_cycles(r, params), 22u);
+}
+
+// Long interleaving of service ops plus allocator-level quarantine events:
+// leak-free (teardown-all returns utilization to zero, live count exact,
+// watermark bounded by peak concurrency).
+TEST_F(ChurnFixture, LongInterleavingIsLeakFree) {
+  const auto nis = mesh.all_nis();
+  sim::Xoshiro256 rng(99);
+  std::vector<std::uint64_t> ids;
+  std::size_t peak = 0;
+
+  for (int step = 0; step < 4000; ++step) {
+    const double roll = rng.uniform();
+    if (roll < 0.5 || ids.empty()) {
+      const auto src = nis[rng.below(nis.size())];
+      auto dst = nis[rng.below(nis.size())];
+      while (dst == src) dst = nis[rng.below(nis.size())];
+      ConnectionSpec s{"c", src, {dst}, 1 + static_cast<std::uint32_t>(rng.below(3)), 1};
+      const auto r = service.set_up(s);
+      if (r.status == ChurnStatus::kAdmitted) ids.push_back(r.connection);
+    } else if (roll < 0.8) {
+      const std::size_t i = rng.below(ids.size());
+      EXPECT_EQ(service.tear_down(ids[i]), ChurnStatus::kAdmitted);
+      ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(i));
+    } else if (roll < 0.95) {
+      const std::size_t i = rng.below(ids.size());
+      (void)service.modify(ids[i], 1 + static_cast<std::uint32_t>(rng.below(4)), 1);
+      if (service.connection(ids[i]) == nullptr)
+        ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(i));
+    } else if (rng.chance(0.5)) {
+      alloc.quarantine_link(static_cast<topo::LinkId>(rng.below(mesh.topo.link_count())));
+    } else {
+      alloc.clear_quarantine();
+    }
+    peak = std::max(peak, ids.size());
+    ASSERT_EQ(service.live_connections(), ids.size());
+  }
+  EXPECT_EQ(service.metrics().rollback_failures.value(), 0u);
+
+  for (const std::uint64_t id : ids) EXPECT_EQ(service.tear_down(id), ChurnStatus::kAdmitted);
+  EXPECT_EQ(service.live_connections(), 0u);
+  EXPECT_EQ(alloc.allocated_channels(), 0u);
+  EXPECT_EQ(alloc.utilization(), 0.0);
+  // Each connection holds at most 2 channels (request + response).
+  EXPECT_LE(alloc.channel_id_watermark(), 2 * peak);
+}
+
+// --- Incremental vs from-scratch equivalence (the oracle) --------------------
+
+// Replay the same generated request log against both allocator modes and
+// require identical admit/reject decisions, routes/slot counts (via the
+// decision digest, which hashes channel ids and inject slots), metrics
+// and utilization — including across quarantine changes, which invalidate
+// the incremental path cache.
+TEST(ChurnOracle, IncrementalMatchesFromScratch) {
+  const auto m = topo::make_mesh(4, 4);
+  const tdm::TdmParams params = tdm::daelite_params(32);
+
+  for (const std::uint64_t seed : {1ull, 17ull, 300ull}) {
+    alloc::ChurnRunOptions run;
+    run.requests = 3000;
+    run.workload.seed = seed;
+    run.workload.mean_hold_cycles = 400000.0;
+
+    AllocatorOptions inc_opt;
+    inc_opt.incremental = true;
+    SlotAllocator inc_alloc(m.topo, params, inc_opt);
+    const ChurnReport inc = run_churn(inc_alloc, run);
+
+    SlotAllocator scr_alloc(m.topo, params, {});
+    const ChurnReport scr = run_churn(scr_alloc, run);
+
+    EXPECT_EQ(inc.decision_digest, scr.decision_digest) << "seed " << seed;
+    EXPECT_EQ(inc.metrics.admitted.value(), scr.metrics.admitted.value());
+    EXPECT_EQ(inc.metrics.rejected_no_route.value(), scr.metrics.rejected_no_route.value());
+    EXPECT_EQ(inc.metrics.rejected_fragmentation.value(),
+              scr.metrics.rejected_fragmentation.value());
+    EXPECT_EQ(inc.metrics.teardowns.value(), scr.metrics.teardowns.value());
+    EXPECT_EQ(inc.metrics.modifies.value(), scr.metrics.modifies.value());
+    EXPECT_EQ(inc.final_utilization, scr.final_utilization);
+    EXPECT_EQ(inc.final_live, scr.final_live);
+    EXPECT_EQ(inc.channel_id_watermark, scr.channel_id_watermark);
+    ASSERT_EQ(inc.frag_timeline.size(), scr.frag_timeline.size());
+    for (std::size_t i = 0; i < inc.frag_timeline.size(); ++i) {
+      EXPECT_EQ(inc.frag_timeline[i].utilization, scr.frag_timeline[i].utilization);
+      EXPECT_EQ(inc.frag_timeline[i].fragmentation, scr.frag_timeline[i].fragmentation);
+    }
+  }
+}
+
+// Same equivalence with quarantine interleavings applied to both
+// allocators mid-stream (exercises the path-cache invalidation).
+TEST(ChurnOracle, EquivalenceSurvivesQuarantineChanges) {
+  const auto m = topo::make_mesh(3, 3);
+  const tdm::TdmParams params = tdm::daelite_params(16);
+
+  AllocatorOptions inc_opt;
+  inc_opt.incremental = true;
+  SlotAllocator ia(m.topo, params, inc_opt);
+  SlotAllocator sa(m.topo, params, {});
+  ChurnService is(ia), ss(sa);
+
+  const auto nis = m.all_nis();
+  sim::Xoshiro256 rng(5);
+  std::vector<std::uint64_t> ids; // identical in both services by construction
+
+  for (int step = 0; step < 1500; ++step) {
+    const double roll = rng.uniform();
+    if (roll < 0.05) {
+      const auto link = static_cast<topo::LinkId>(rng.below(m.topo.link_count()));
+      ia.quarantine_link(link);
+      sa.quarantine_link(link);
+    } else if (roll < 0.08) {
+      ia.clear_quarantine();
+      sa.clear_quarantine();
+    } else if (roll < 0.6 || ids.empty()) {
+      const auto src = nis[rng.below(nis.size())];
+      auto dst = nis[rng.below(nis.size())];
+      while (dst == src) dst = nis[rng.below(nis.size())];
+      ConnectionSpec spec{"c", src, {dst}, 1 + static_cast<std::uint32_t>(rng.below(3)), 1};
+      const auto ri = is.set_up(spec);
+      const auto rs = ss.set_up(spec);
+      ASSERT_EQ(ri.status, rs.status) << "step " << step;
+      if (ri.status == ChurnStatus::kAdmitted) {
+        ASSERT_EQ(ri.connection, rs.connection);
+        const auto* ci = is.connection(ri.connection);
+        const auto* cs = ss.connection(rs.connection);
+        ASSERT_EQ(ci->request.channel, cs->request.channel);
+        ASSERT_EQ(ci->request.inject_slots, cs->request.inject_slots);
+        ASSERT_EQ(ci->request.edges, cs->request.edges);
+        ids.push_back(ri.connection);
+      }
+    } else {
+      const std::size_t i = rng.below(ids.size());
+      ASSERT_EQ(is.tear_down(ids[i]), ss.tear_down(ids[i]));
+      ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    ASSERT_EQ(ia.utilization(), sa.utilization()) << "step " << step;
+  }
+}
+
+// --- Gauge primitive ---------------------------------------------------------
+
+TEST(Gauge, TracksLastAndDistribution) {
+  sim::Gauge g;
+  EXPECT_EQ(g.samples(), 0u);
+  EXPECT_EQ(g.last(), 0.0);
+  g.set(2.0);
+  g.set(6.0);
+  g.set(4.0);
+  EXPECT_EQ(g.last(), 4.0);
+  EXPECT_EQ(g.samples(), 3u);
+  EXPECT_EQ(g.mean(), 4.0);
+  EXPECT_EQ(g.min(), 2.0);
+  EXPECT_EQ(g.max(), 6.0);
+  g.reset();
+  EXPECT_EQ(g.samples(), 0u);
+  EXPECT_EQ(g.last(), 0.0);
+}
+
+} // namespace

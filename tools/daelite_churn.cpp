@@ -1,0 +1,281 @@
+// daelite_churn — drive the online allocation service (alloc/churn.hpp)
+// with an open-loop set-up / tear-down / modify stream and emit a
+// deterministic JSON report.
+//
+//   daelite_churn [options]
+//   --mesh WxH[t]      topology (t = torus), default 8x8
+//   --slots S          TDM wheel size, default 32
+//   --requests N       operations to field, default 100000
+//   --seed X           workload seed, default 1
+//   --arrival-rate R   set-ups per simulated cycle, default 0.001
+//   --hold C           mean connection lifetime in cycles, default 200000
+//   --modify-frac F    fraction of arrivals that modify, default 0.1
+//   --multicast-frac F fraction of set-ups with >1 destination, default 0.1
+//   --min-slots / --max-slots   requested bandwidth range, default 1..4
+//   --max-hops H       admission: longest admissible route (0 = none)
+//   --max-latency C    admission: worst-case latency bound (0 = none)
+//   --max-util U       admission: refuse set-ups past this utilization
+//   --mode M           incremental | scratch | both (default incremental);
+//                      `both` replays the same stream against a fresh
+//                      from-scratch allocator and fails (exit 1) unless the
+//                      decision digests match — the equivalence oracle.
+//   --json PATH        write the report document to PATH
+//   --quick            small preset (4x4, 5000 requests) for CI smoke
+//   --quiet            suppress the text summary
+//
+// The report contains no wall-clock data: the same invocation is
+// byte-identical run to run (CI pins this with cmp), and identical
+// between --mode incremental and --mode scratch.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "alloc/churn.hpp"
+#include "sim/json.hpp"
+#include "cli_parse.hpp"
+#include "topology/generators.hpp"
+
+namespace {
+
+using namespace daelite;
+
+int usage() {
+  std::cerr << "usage: daelite_churn [--mesh WxH[t]] [--slots S] [--requests N] [--seed X]\n"
+               "                     [--arrival-rate R] [--hold C] [--modify-frac F]\n"
+               "                     [--multicast-frac F] [--min-slots A] [--max-slots B]\n"
+               "                     [--max-hops H] [--max-latency C] [--max-util U]\n"
+               "                     [--mode incremental|scratch|both] [--json PATH]\n"
+               "                     [--quick] [--quiet]\n";
+  return 2;
+}
+
+struct MeshSpec {
+  int w = 8, h = 8;
+  bool torus = false;
+};
+
+bool parse_mesh(const std::string& spec, MeshSpec* out) {
+  std::string dims = spec;
+  out->torus = false;
+  if (!dims.empty() && (dims.back() == 't' || dims.back() == 'T')) {
+    out->torus = true;
+    dims.pop_back();
+  }
+  const auto x = dims.find('x');
+  return x != std::string::npos &&
+         tools::parse_int(std::string_view(dims).substr(0, x), &out->w) &&
+         tools::parse_int(std::string_view(dims).substr(x + 1), &out->h) && out->w >= 2 &&
+         out->h >= 2;
+}
+
+sim::JsonValue report_to_json(const alloc::ChurnReport& r) {
+  sim::JsonValue doc = sim::JsonValue::object();
+  sim::JsonValue m = sim::JsonValue::object();
+  m["setups"] = r.metrics.setups.value();
+  m["admitted"] = r.metrics.admitted.value();
+  m["rejected_admission"] = r.metrics.rejected_admission.value();
+  m["rejected_no_route"] = r.metrics.rejected_no_route.value();
+  m["rejected_fragmentation"] = r.metrics.rejected_fragmentation.value();
+  m["teardowns"] = r.metrics.teardowns.value();
+  m["modifies"] = r.metrics.modifies.value();
+  m["modify_failed_restored"] = r.metrics.modify_failed_restored.value();
+  m["rollback_failures"] = r.metrics.rollback_failures.value();
+  m["utilization"] = to_json(r.metrics.utilization);
+  m["fragmentation"] = to_json(r.metrics.fragmentation);
+  m["admitted_hops"] = to_json(r.metrics.admitted_hops);
+  doc["metrics"] = m;
+  // Hex so the digest survives JSON number-precision round trips.
+  char digest[19];
+  std::snprintf(digest, sizeof digest, "0x%016llx",
+                static_cast<unsigned long long>(r.decision_digest));
+  doc["decision_digest"] = std::string(digest);
+  doc["final_utilization"] = r.final_utilization;
+  doc["final_live"] = static_cast<std::uint64_t>(r.final_live);
+  doc["channel_id_watermark"] = static_cast<std::uint64_t>(r.channel_id_watermark);
+  sim::JsonValue timeline = sim::JsonValue::array();
+  for (const alloc::FragSample& s : r.frag_timeline) {
+    sim::JsonValue e = sim::JsonValue::object();
+    e["at_request"] = s.at_request;
+    e["utilization"] = s.utilization;
+    e["fragmentation"] = s.fragmentation;
+    timeline.push_back(std::move(e));
+  }
+  doc["frag_timeline"] = std::move(timeline);
+  return doc;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  MeshSpec mesh;
+  std::uint32_t slots = 32;
+  alloc::ChurnRunOptions run;
+  alloc::AdmissionControl admission;
+  std::string mode = "incremental";
+  std::string json_path;
+  bool quick = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "daelite_churn: " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const auto bad_value = [](const char* flag, const char* what, const char* got) {
+      std::cerr << "daelite_churn: " << flag << " wants " << what << ", got '" << got << "'\n";
+      return 2;
+    };
+    if (std::strcmp(argv[i], "--mesh") == 0) {
+      const char* v = need("--mesh");
+      if (!v) return usage();
+      if (!parse_mesh(v, &mesh)) return bad_value("--mesh", "WxH[t] with W,H >= 2", v);
+    } else if (std::strcmp(argv[i], "--slots") == 0) {
+      const char* v = need("--slots");
+      if (!v) return usage();
+      if (!tools::parse_int(v, &slots) || slots == 0 || slots > tdm::TdmParams::kMaxSlots)
+        return bad_value("--slots", "an integer in [1,64]", v);
+    } else if (std::strcmp(argv[i], "--requests") == 0) {
+      const char* v = need("--requests");
+      if (!v) return usage();
+      if (!tools::parse_int(v, &run.requests)) return bad_value("--requests", "an integer", v);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      const char* v = need("--seed");
+      if (!v) return usage();
+      if (!tools::parse_int(v, &run.workload.seed)) return bad_value("--seed", "an integer", v);
+    } else if (std::strcmp(argv[i], "--arrival-rate") == 0) {
+      const char* v = need("--arrival-rate");
+      if (!v) return usage();
+      if (!tools::parse_double(v, &run.workload.arrival_rate) || run.workload.arrival_rate <= 0.0)
+        return bad_value("--arrival-rate", "a positive number", v);
+    } else if (std::strcmp(argv[i], "--hold") == 0) {
+      const char* v = need("--hold");
+      if (!v) return usage();
+      if (!tools::parse_double(v, &run.workload.mean_hold_cycles) ||
+          run.workload.mean_hold_cycles <= 0.0)
+        return bad_value("--hold", "a positive number", v);
+    } else if (std::strcmp(argv[i], "--modify-frac") == 0) {
+      const char* v = need("--modify-frac");
+      if (!v) return usage();
+      if (!tools::parse_double(v, &run.workload.modify_fraction) ||
+          run.workload.modify_fraction < 0.0 || run.workload.modify_fraction > 1.0)
+        return bad_value("--modify-frac", "a number in [0,1]", v);
+    } else if (std::strcmp(argv[i], "--multicast-frac") == 0) {
+      const char* v = need("--multicast-frac");
+      if (!v) return usage();
+      if (!tools::parse_double(v, &run.workload.multicast_fraction) ||
+          run.workload.multicast_fraction < 0.0 || run.workload.multicast_fraction > 1.0)
+        return bad_value("--multicast-frac", "a number in [0,1]", v);
+    } else if (std::strcmp(argv[i], "--min-slots") == 0) {
+      const char* v = need("--min-slots");
+      if (!v) return usage();
+      if (!tools::parse_int(v, &run.workload.min_slots) || run.workload.min_slots == 0)
+        return bad_value("--min-slots", "a positive integer", v);
+    } else if (std::strcmp(argv[i], "--max-slots") == 0) {
+      const char* v = need("--max-slots");
+      if (!v) return usage();
+      if (!tools::parse_int(v, &run.workload.max_slots) || run.workload.max_slots == 0)
+        return bad_value("--max-slots", "a positive integer", v);
+    } else if (std::strcmp(argv[i], "--max-hops") == 0) {
+      const char* v = need("--max-hops");
+      if (!v) return usage();
+      if (!tools::parse_int(v, &admission.max_path_hops)) return bad_value("--max-hops", "an integer", v);
+    } else if (std::strcmp(argv[i], "--max-latency") == 0) {
+      const char* v = need("--max-latency");
+      if (!v) return usage();
+      if (!tools::parse_int(v, &admission.max_latency_cycles))
+        return bad_value("--max-latency", "an integer", v);
+    } else if (std::strcmp(argv[i], "--max-util") == 0) {
+      const char* v = need("--max-util");
+      if (!v) return usage();
+      if (!tools::parse_double(v, &admission.max_utilization) || admission.max_utilization <= 0.0 ||
+          admission.max_utilization > 1.0)
+        return bad_value("--max-util", "a number in (0,1]", v);
+    } else if (std::strcmp(argv[i], "--mode") == 0) {
+      const char* v = need("--mode");
+      if (!v) return usage();
+      mode = v;
+      if (mode != "incremental" && mode != "scratch" && mode != "both")
+        return bad_value("--mode", "incremental|scratch|both", v);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      const char* v = need("--json");
+      if (!v) return usage();
+      json_path = v;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else {
+      std::cerr << "daelite_churn: unknown argument '" << argv[i] << "'\n";
+      return usage();
+    }
+  }
+  if (run.workload.min_slots > run.workload.max_slots) {
+    std::cerr << "daelite_churn: --min-slots must be <= --max-slots\n";
+    return 2;
+  }
+  if (quick) {
+    mesh = {4, 4, false};
+    run.requests = 5000;
+    run.fragmentation_samples = 16;
+  }
+  run.admission = admission;
+
+  const topo::Mesh m = topo::make_mesh(mesh.w, mesh.h, 1, mesh.torus);
+  const tdm::TdmParams params = tdm::daelite_params(slots);
+
+  const auto run_mode = [&](bool incremental) {
+    alloc::AllocatorOptions ao;
+    ao.incremental = incremental;
+    alloc::SlotAllocator sa(m.topo, params, ao);
+    return alloc::run_churn(sa, run);
+  };
+
+  alloc::ChurnReport report = run_mode(mode != "scratch");
+  if (mode == "both") {
+    const alloc::ChurnReport scratch = run_mode(false);
+    if (scratch.decision_digest != report.decision_digest) {
+      std::cerr << "daelite_churn: decision digest mismatch between incremental and scratch "
+                   "allocators — the modes are supposed to be decision-identical\n";
+      return 1;
+    }
+  }
+
+  if (!quiet) {
+    const auto& mm = report.metrics;
+    std::cout << "churn: " << run.requests << " ops on " << mesh.w << "x" << mesh.h
+              << (mesh.torus ? " torus" : " mesh") << ", " << slots << " slots, mode " << mode
+              << "\n  setups " << mm.setups.value() << " (admitted " << mm.admitted.value()
+              << ", admission-reject " << mm.rejected_admission.value() << ", no-route "
+              << mm.rejected_no_route.value() << " of which fragmentation "
+              << mm.rejected_fragmentation.value() << ")\n  teardowns " << mm.teardowns.value()
+              << ", modifies " << mm.modifies.value() << " (restored-after-failure "
+              << mm.modify_failed_restored.value() << ", rollback failures "
+              << mm.rollback_failures.value() << ")\n  final util " << report.final_utilization
+              << ", live " << report.final_live << ", id watermark "
+              << report.channel_id_watermark << ", fragmentation last "
+              << mm.fragmentation.last() << " mean " << mm.fragmentation.mean() << "\n";
+  }
+
+  if (!json_path.empty()) {
+    sim::JsonValue doc = report_to_json(report);
+    doc["tool"] = "daelite_churn";
+    doc["mode"] = mode;
+    doc["requests"] = run.requests;
+    doc["seed"] = run.workload.seed;
+    doc["slots"] = slots;
+    std::ofstream os(json_path);
+    if (!os) {
+      std::cerr << "daelite_churn: cannot open " << json_path << "\n";
+      return 1;
+    }
+    os << doc.dump(2) << "\n";
+  }
+  return 0;
+}
