@@ -29,6 +29,10 @@ int main() {
   for (auto r : replicas) plat.add_memory(r);
 
   auto port = plat.connect_multicast(directory, replicas, /*slots=*/4, 0x0000, 0x10000);
+  if (!port) {
+    std::printf("multicast tree did not fit the schedule\n");
+    return 1;
+  }
   const sim::Cycle cfg = plat.configure();
   std::printf("multicast tree to %zu replicas configured in %llu cycles\n\n", replicas.size(),
               static_cast<unsigned long long>(cfg));
@@ -40,7 +44,7 @@ int main() {
     t.addr = 0x100 + i * 2;
     t.wdata = {i, ~i};
     t.burst_len = 2;
-    port.port->submit(t);
+    port->port->submit(t);
   }
   kernel.run_until(
       [&] {

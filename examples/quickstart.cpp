@@ -32,6 +32,10 @@ int main() {
   //    contention-free schedule and streams the set-up packets through
   //    the 7-bit configuration tree.
   auto port = plat.connect(mesh.ni(0, 0), mesh.ni(1, 1), 2, 1, /*addr=*/0x0000, /*size=*/0x1000);
+  if (!port) {
+    std::printf("connection did not fit the schedule\n");
+    return 1;
+  }
   const sim::Cycle setup_cycles = plat.configure();
   std::printf("connection configured in %llu cycles\n",
               static_cast<unsigned long long>(setup_cycles));
@@ -42,7 +46,7 @@ int main() {
   wr.addr = 0x10;
   wr.wdata = {0xDEAD, 0xBEEF, 0xCAFE};
   wr.burst_len = 3;
-  port.port->submit(wr);
+  port->port->submit(wr);
 
   kernel.run_until([&] { return mem.writes() >= 3; }, 10000);
   std::printf("memory now holds 0x%X 0x%X 0x%X at 0x10\n", mem.read(0x10), mem.read(0x11),
@@ -52,13 +56,13 @@ int main() {
   rd.is_write = false;
   rd.addr = 0x10;
   rd.burst_len = 3;
-  port.port->submit(rd);
+  port->port->submit(rd);
 
   std::optional<soc::Response> resp;
   kernel.run_until(
       [&] {
-        if (!resp) resp = port.port->take_response(); // drains the write ack first
-        if (resp && resp->is_write) resp = port.port->take_response();
+        if (!resp) resp = port->port->take_response(); // drains the write ack first
+        if (resp && resp->is_write) resp = port->port->take_response();
         return resp && !resp->is_write;
       },
       20000);
@@ -68,7 +72,7 @@ int main() {
   }
   std::printf("read back      0x%X 0x%X 0x%X (over %zu-hop guaranteed-service path)\n",
               resp->rdata[0], resp->rdata[1], resp->rdata[2],
-              port.handle.conn.request.edges.size());
+              port->handle.conn.request.edges.size());
   std::printf("network drops: %llu (contention-free by construction)\n",
               static_cast<unsigned long long>(plat.total_network_drops()));
   return 0;

@@ -32,6 +32,10 @@ int main() {
   // Connections with different QoS contracts.
   auto cam_port = plat.connect(camera, memory, /*req=*/6, /*resp=*/1, 0x0000, 0x8000);
   auto cpu_port = plat.connect(cpu, memory, /*req=*/1, /*resp=*/1, 0x0000, 0x8000);
+  if (!cam_port || !cpu_port) {
+    std::printf("a connection did not fit the schedule\n");
+    return 1;
+  }
   const sim::Cycle cfg = plat.configure();
   std::printf("two QoS connections configured in %llu cycles\n\n",
               static_cast<unsigned long long>(cfg));
@@ -51,11 +55,11 @@ int main() {
   cpu_params.base_addr = 0x0100;
   cpu_params.addr_range = 0x100;
   cpu_params.max_outstanding = 1;
-  soc::ReaderIp cpu_ip(kernel, "cpu", *cpu_port.port, cpu_params);
+  soc::ReaderIp cpu_ip(kernel, "cpu", *cpu_port->port, cpu_params);
 
   constexpr sim::Cycle kRun = 20000;
   kernel.run(kRun);
-  while (cam_port.port->take_response()) { // drain write acks
+  while (cam_port->port->take_response()) { // drain write acks
   }
 
   const auto& mem = plat.memory(memory);

@@ -30,6 +30,14 @@ struct PhysicalConnectionSpec {
   double bandwidth_mbytes_per_s = 1.0;   ///< payload demand, request direction
   double response_bandwidth_mbytes_per_s = 0.0; ///< 0 = minimal (1 slot)
   double max_latency_ns = std::numeric_limits<double>::infinity();
+  /// Traffic shape (scenario `stream` lines). Dimensioning ignores these;
+  /// the runner paces the source instead of saturating it. period == 0:
+  /// saturated (the default). period > 0: an open-loop source offering
+  /// `burst` words every `period` cycles; bursty_seed != 0 additionally
+  /// gates the periods through a seeded geometric on/off process.
+  std::uint32_t stream_period = 0;
+  std::uint32_t stream_burst = 1;
+  std::uint64_t bursty_seed = 0;
 };
 
 struct NocClocking {

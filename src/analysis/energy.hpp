@@ -1,0 +1,52 @@
+#pragma once
+// Interconnect energy model, following the NoC cost model of the
+// SET-ISCA2023 exemplar (SNIPPETS.md): a static per-hop cost for every
+// word that crosses a link, a per-access cost for every word entering or
+// leaving a DRAM-port NI, and — daelite-specific — a per-word cost for
+// the configuration stream (set-up, tear-down and use-case switches ride
+// the broadcast tree, so reconfiguration has an energy price too).
+//
+// The model is deliberately an accounting layer: the runner reads the
+// counters the hardware elements already maintain (router per-output
+// forwarding counters, NI link/word counters, config-module words) and
+// multiplies. Nothing here ticks; reports stay byte-identical when the
+// model is disabled.
+
+#include <cstdint>
+
+namespace daelite::analysis {
+
+/// Energy coefficients, in picojoules. Defaults are round numbers in the
+/// range the literature reports for ~32-bit links at 65-90nm; scenarios
+/// override them with the `energy` directive.
+struct EnergyModel {
+  bool enabled = false;
+  double hop_energy_pj = 1.0;          ///< per word-link-crossing
+  double dram_access_energy_pj = 12.0; ///< per word at a DRAM-port NI
+  double config_energy_pj = 2.0;       ///< per configuration word sent
+};
+
+/// Accumulated energy of one run: raw event counts plus the model that
+/// prices them. Emitted as the report's `energy` JSON object only when a
+/// model was enabled, so runs without one stay byte-identical to older
+/// builds.
+struct EnergySummary {
+  bool enabled = false;
+  EnergyModel model;
+  std::uint64_t link_flit_hops = 0; ///< valid flits that crossed any data link
+  std::uint64_t dram_words = 0;     ///< words sent/received by DRAM-port NIs
+  std::uint64_t config_words = 0;   ///< configuration words streamed
+
+  double hop_pj() const { return static_cast<double>(link_flit_hops) * model.hop_energy_pj; }
+  double dram_pj() const {
+    return static_cast<double>(dram_words) * model.dram_access_energy_pj;
+  }
+  double config_pj() const {
+    return static_cast<double>(config_words) * model.config_energy_pj;
+  }
+  double total_pj() const { return hop_pj() + dram_pj() + config_pj(); }
+
+  bool should_emit() const { return enabled; }
+};
+
+} // namespace daelite::analysis

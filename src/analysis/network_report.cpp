@@ -88,6 +88,42 @@ sim::JsonValue NetworkReport::to_json() const {
     h["lost_words"] = health.lost_words;
     v["health"] = std::move(h);
   }
+  if (energy.should_emit()) {
+    JsonValue e = JsonValue::object();
+    e["hop_energy_pj"] = energy.model.hop_energy_pj;
+    e["dram_access_energy_pj"] = energy.model.dram_access_energy_pj;
+    e["config_energy_pj"] = energy.model.config_energy_pj;
+    e["link_flit_hops"] = energy.link_flit_hops;
+    e["dram_words"] = energy.dram_words;
+    e["config_words"] = energy.config_words;
+    e["hop_pj"] = energy.hop_pj();
+    e["dram_pj"] = energy.dram_pj();
+    e["config_pj"] = energy.config_pj();
+    e["total_pj"] = energy.total_pj();
+    v["energy"] = std::move(e);
+  }
+  if (workload.should_emit()) {
+    JsonValue w = JsonValue::object();
+    w["tiles"] = workload.tiles;
+    w["dram_ports"] = workload.dram_ports;
+    w["connections_per_layer"] = workload.connections_per_layer;
+    w["total_cycles"] = workload.total_cycles;
+    JsonValue layers = JsonValue::array();
+    for (const WorkloadLayerOutcome& l : workload.layers) {
+      JsonValue jl = JsonValue::object();
+      jl["name"] = l.name;
+      jl["switch_cycles"] = l.switch_cycles;
+      jl["stream_cycles"] = l.stream_cycles;
+      jl["kept"] = l.kept;
+      jl["torn_down"] = l.torn_down;
+      jl["set_up"] = l.set_up;
+      jl["words_delivered"] = l.words_delivered;
+      jl["completed"] = l.completed;
+      layers.push_back(std::move(jl));
+    }
+    w["layers"] = std::move(layers);
+    v["workload"] = std::move(w);
+  }
   if (recovery.should_emit()) {
     JsonValue r = JsonValue::object();
     r["missing_flits"] = recovery.missing_flits;
@@ -131,16 +167,37 @@ void print_report(std::ostream& os, const NetworkReport& r, std::size_t top_link
     return;
   }
   os << "wheel: " << r.slots << " slots, utilization " << pct(r.schedule_utilization) << "\n";
-  os << "configured " << r.connections.size() << " connections in " << r.cfg_cycles
-     << " cycles\n";
-  TextTable t("connection results (" + std::to_string(r.run_cycles) +
-              " cycles, saturated sources)");
-  t.set_header({"connection", "slots", "contract MB/s", "measured MB/s", "verdict"});
-  for (const ConnectionOutcome& c : r.connections) {
-    t.add_row({c.name, std::to_string(c.request_slots), fmt(c.contract_mbps, 0),
-               fmt(c.measured_mbps, 0), c.met ? "met" : "VIOLATED"});
+  if (r.workload.should_emit()) {
+    os << "workload: " << r.workload.tiles << " tiles, " << r.workload.dram_ports
+       << " DRAM ports, " << r.workload.connections_per_layer << " connections/layer\n";
+    TextTable wt("layer phases (" + std::to_string(r.workload.total_cycles) + " cycles total)");
+    wt.set_header({"layer", "switch cycles", "stream cycles", "kept", "torn", "set up", "words",
+                   "verdict"});
+    for (const WorkloadLayerOutcome& l : r.workload.layers) {
+      wt.add_row({l.name, std::to_string(l.switch_cycles), std::to_string(l.stream_cycles),
+                  std::to_string(l.kept), std::to_string(l.torn_down), std::to_string(l.set_up),
+                  std::to_string(l.words_delivered), l.completed ? "completed" : "INCOMPLETE"});
+    }
+    wt.print(os);
+  } else {
+    os << "configured " << r.connections.size() << " connections in " << r.cfg_cycles
+       << " cycles\n";
+    TextTable t("connection results (" + std::to_string(r.run_cycles) +
+                " cycles, saturated sources)");
+    t.set_header({"connection", "slots", "contract MB/s", "measured MB/s", "verdict"});
+    for (const ConnectionOutcome& c : r.connections) {
+      t.add_row({c.name, std::to_string(c.request_slots), fmt(c.contract_mbps, 0),
+                 fmt(c.measured_mbps, 0), c.met ? "met" : "VIOLATED"});
+    }
+    t.print(os);
   }
-  t.print(os);
+  if (r.energy.should_emit()) {
+    os << "energy: " << fmt(r.energy.total_pj() / 1e6, 3) << " uJ total ("
+       << fmt(r.energy.hop_pj() / 1e6, 3) << " link, " << fmt(r.energy.dram_pj() / 1e6, 3)
+       << " DRAM, " << fmt(r.energy.config_pj() / 1e6, 3) << " config; "
+       << r.energy.link_flit_hops << " flit-hops, " << r.energy.dram_words << " DRAM words, "
+       << r.energy.config_words << " config words)\n";
+  }
   os << "router drops: " << r.router_drops << ", NI drops: " << r.ni_drops
      << ", rx overflow: " << r.rx_overflow << "\n";
   if (r.health.should_emit()) {

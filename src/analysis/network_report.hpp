@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/energy.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 #include "tdm/schedule.hpp"
@@ -147,6 +148,33 @@ struct RecoverySummary {
   bool should_emit() const { return enabled; }
 };
 
+/// One layer phase of a DNN workload run: the cost of switching into the
+/// layer's use case (configuration-stream drain through the broadcast
+/// tree) and of streaming its transfer volumes to completion.
+struct WorkloadLayerOutcome {
+  std::string name;
+  sim::Cycle switch_cycles = 0; ///< use-case switch into this layer (layer 0: initial set-up)
+  sim::Cycle stream_cycles = 0; ///< cycles until every transfer completed (or the budget ran out)
+  std::size_t kept = 0;         ///< connections carried across the switch untouched
+  std::size_t torn_down = 0;
+  std::size_t set_up = 0;
+  std::uint64_t words_delivered = 0; ///< sum over every connection and destination
+  bool completed = false;
+};
+
+/// The report's `workload` section — emitted only for runs driven by a
+/// `dnn` schedule, so plain scenario reports stay byte-identical.
+struct WorkloadSummary {
+  bool enabled = false;
+  std::uint32_t tiles = 0;
+  std::uint32_t dram_ports = 0;
+  std::uint32_t connections_per_layer = 0;
+  sim::Cycle total_cycles = 0;
+  std::vector<WorkloadLayerOutcome> layers;
+
+  bool should_emit() const { return enabled; }
+};
+
 /// Everything one scenario run produced, in machine-readable form — the
 /// unit of output of soc::run_scenario() and the element type of a
 /// daelite_batch results document. A failed run (parse / dimensioning /
@@ -169,6 +197,8 @@ struct NetworkReport {
   std::uint64_t rx_overflow = 0;
   HealthSummary health;
   RecoverySummary recovery;
+  EnergySummary energy;
+  WorkloadSummary workload;
   bool ok = false; ///< all contracts met, nothing dropped, config converged
 
   sim::JsonValue to_json() const;

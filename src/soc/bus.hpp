@@ -21,6 +21,10 @@ class InitiatorPort {
   virtual ~InitiatorPort() = default;
   virtual void submit(const Transaction& t) = 0;
   virtual std::optional<Response> take_response() = 0;
+  /// Backpressure: false means the port cannot accept a submission this
+  /// cycle (e.g. the shell's admission queue is full). Default: always
+  /// ready, so ports without an admission policy behave as before.
+  virtual bool ready() const { return true; }
 };
 
 template <typename ShellT>
@@ -29,6 +33,7 @@ class ShellPort final : public InitiatorPort {
   explicit ShellPort(ShellT& shell) : shell_(&shell) {}
   void submit(const Transaction& t) override { shell_->submit(t); }
   std::optional<Response> take_response() override { return shell_->take_response(); }
+  bool ready() const override { return shell_->ready(); }
   ShellT& shell() { return *shell_; }
 
  private:
@@ -48,11 +53,17 @@ class LocalBus {
     ranges_.push_back(Range{base, size, &port});
   }
 
-  /// Demultiplex a transaction to the matching port. Returns false (and
-  /// counts the error) when no range matches.
+  /// Demultiplex a transaction to the matching port. Returns false when no
+  /// range matches (counted in unrouted()) or the matching port is not
+  /// ready this cycle (counted in busy() — the caller may retry later;
+  /// would_route() distinguishes the two cases).
   bool submit(const Transaction& t) {
     for (const Range& r : ranges_) {
       if (t.addr >= r.base && t.addr < r.base + r.size) {
+        if (!r.port->ready()) {
+          ++busy_;
+          return false;
+        }
         r.port->submit(t);
         ++routed_;
         return true;
@@ -62,14 +73,24 @@ class LocalBus {
     return false;
   }
 
+  /// True when some range maps the address — a failed submit for a
+  /// routable address is transient backpressure, not a decode error.
+  bool would_route(std::uint32_t addr) const {
+    for (const Range& r : ranges_)
+      if (addr >= r.base && addr < r.base + r.size) return true;
+    return false;
+  }
+
   std::uint64_t routed() const { return routed_; }
   std::uint64_t unrouted() const { return unrouted_; }
+  std::uint64_t busy() const { return busy_; }
   std::size_t range_count() const { return ranges_.size(); }
 
  private:
   std::vector<Range> ranges_;
   std::uint64_t routed_ = 0;
   std::uint64_t unrouted_ = 0;
+  std::uint64_t busy_ = 0;
 };
 
 } // namespace daelite::soc

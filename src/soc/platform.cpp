@@ -1,6 +1,5 @@
 #include "soc/platform.hpp"
 
-#include <cassert>
 #include <string>
 
 #include "alloc/usecase.hpp"
@@ -25,15 +24,19 @@ LocalBus& Platform::bus(topo::NodeId ni) {
   return *it->second;
 }
 
-Platform::PortHandle Platform::connect(topo::NodeId src_ni, topo::NodeId dst_ni,
-                                       std::uint32_t request_slots, std::uint32_t response_slots,
-                                       std::uint32_t addr_base, std::uint32_t addr_size) {
-  assert(memories_.count(dst_ni) != 0 && "add_memory(dst) before connecting to it");
+std::optional<Platform::PortHandle> Platform::connect(topo::NodeId src_ni, topo::NodeId dst_ni,
+                                                      std::uint32_t request_slots,
+                                                      std::uint32_t response_slots,
+                                                      std::uint32_t addr_base,
+                                                      std::uint32_t addr_size) {
+  if (memories_.count(dst_ni) == 0) return std::nullopt; // add_memory(dst) first
 
   alloc::UseCase uc;
   uc.connections.push_back({"mmio", src_ni, {dst_ni}, request_slots, response_slots});
   auto allocation = alloc::allocate_use_case(*alloc_, uc);
-  assert(allocation.has_value() && "connection does not fit the schedule");
+  // The schedule may simply be full: report it instead of dereferencing an
+  // empty optional (which an assert only caught in debug builds).
+  if (!allocation) return std::nullopt;
 
   const alloc::AllocatedConnection& conn = allocation->connections[0];
   hw::ConnectionHandle h = net_->open_connection(conn);
@@ -58,18 +61,19 @@ Platform::PortHandle Platform::connect(topo::NodeId src_ni, topo::NodeId dst_ni,
   return out;
 }
 
-Platform::PortHandle Platform::connect_multicast(topo::NodeId src_ni,
-                                                 const std::vector<topo::NodeId>& dst_nis,
-                                                 std::uint32_t request_slots,
-                                                 std::uint32_t addr_base,
-                                                 std::uint32_t addr_size) {
-  for ([[maybe_unused]] topo::NodeId d : dst_nis)
-    assert(memories_.count(d) != 0 && "add_memory(dst) before connecting to it");
+std::optional<Platform::PortHandle> Platform::connect_multicast(
+    topo::NodeId src_ni, const std::vector<topo::NodeId>& dst_nis, std::uint32_t request_slots,
+    std::uint32_t addr_base, std::uint32_t addr_size) {
+  if (dst_nis.empty()) return std::nullopt;
+  for (topo::NodeId d : dst_nis)
+    if (memories_.count(d) == 0) return std::nullopt; // add_memory(dst) first
 
   alloc::UseCase uc;
   uc.connections.push_back({"mcast", src_ni, dst_nis, request_slots, /*response=*/0});
   auto allocation = alloc::allocate_use_case(*alloc_, uc);
-  assert(allocation.has_value() && "multicast tree does not fit the schedule");
+  // Multicast trees over-subscribe easily (every branch reserves the same
+  // slots); the failure must surface in NDEBUG builds too.
+  if (!allocation) return std::nullopt;
 
   const alloc::AllocatedConnection& conn = allocation->connections[0];
   hw::ConnectionHandle h = net_->open_connection(conn);

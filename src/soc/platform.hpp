@@ -9,6 +9,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "alloc/allocator.hpp"
@@ -48,18 +49,25 @@ class Platform {
   /// to the memory at `dst_ni`, create the shells, and map
   /// [addr_base, addr_base+addr_size) on the source bus. Configuration
   /// packets are enqueued; call configure() to run them to completion.
-  PortHandle connect(topo::NodeId src_ni, topo::NodeId dst_ni, std::uint32_t request_slots,
-                     std::uint32_t response_slots, std::uint32_t addr_base,
-                     std::uint32_t addr_size);
+  /// Returns nullopt — with the allocator untouched — when the connection
+  /// does not fit the schedule or no memory was declared at `dst_ni`
+  /// (this used to be an assert, i.e. undefined behaviour in NDEBUG
+  /// builds when an over-subscribed schedule rejected the allocation).
+  std::optional<PortHandle> connect(topo::NodeId src_ni, topo::NodeId dst_ni,
+                                    std::uint32_t request_slots, std::uint32_t response_slots,
+                                    std::uint32_t addr_base, std::uint32_t addr_size);
 
   /// Multicast connection: posted writes from the IP at `src_ni` land in
   /// the memories behind every `dst_ni` simultaneously (paper §IV: "All
   /// multicast destination shells will receive the same stream of
   /// messages and will translate them into the same write commands").
   /// There is no response channel and reads are rejected by the shell.
-  PortHandle connect_multicast(topo::NodeId src_ni, const std::vector<topo::NodeId>& dst_nis,
-                               std::uint32_t request_slots, std::uint32_t addr_base,
-                               std::uint32_t addr_size);
+  /// Returns nullopt when the multicast tree does not fit the schedule or
+  /// a destination has no memory (same hardening as connect()).
+  std::optional<PortHandle> connect_multicast(topo::NodeId src_ni,
+                                              const std::vector<topo::NodeId>& dst_nis,
+                                              std::uint32_t request_slots,
+                                              std::uint32_t addr_base, std::uint32_t addr_size);
 
   /// Run the kernel until the configuration network is idle.
   sim::Cycle configure() { return net_->run_config(); }

@@ -1,14 +1,17 @@
 #include "soc/runner.hpp"
 
 #include <algorithm>
+#include <map>
 #include <optional>
 #include <vector>
 
 #include "alloc/dimension.hpp"
+#include "alloc/switching.hpp"
 #include "daelite/network.hpp"
 #include "sim/random.hpp"
 #include "sim/trace.hpp"
 #include "soc/health.hpp"
+#include "workload/dnn.hpp"
 
 namespace daelite::soc {
 
@@ -47,6 +50,272 @@ std::string topology_name(const Scenario& sc) {
       return "ring " + std::to_string(sc.width);
   }
   return "?";
+}
+
+/// Price the run from the hardware counters: word-link-crossings (the
+/// upstream element's per-output counter — NI link counter for the first
+/// hop, router forwarded_on for the rest), words through the declared
+/// DRAM-port NIs, and configuration words streamed. No-op unless the
+/// scenario enabled a model, keeping older reports byte-identical.
+void accumulate_energy(analysis::NetworkReport& report, const Scenario& sc,
+                       const topo::Mesh& mesh, hw::DaeliteNetwork& net) {
+  if (!sc.energy.enabled) return;
+  report.energy.enabled = true;
+  report.energy.model = sc.energy;
+  for (topo::LinkId l = 0; l < mesh.topo.link_count(); ++l) {
+    const topo::Link& link = mesh.topo.link(l);
+    report.energy.link_flit_hops += mesh.topo.is_router(link.src)
+                                        ? net.router(link.src).forwarded_on(link.src_port)
+                                        : net.ni(link.src).stats().link_busy_slots;
+  }
+  for (const auto& d : sc.dram) {
+    const hw::Ni& ni = net.ni(mesh.ni(d.first, d.second));
+    for (std::size_t q = 0; q < net.options().ni_channels; ++q) {
+      report.energy.dram_words += ni.tx_stats(q).words_sent;
+      report.energy.dram_words += ni.rx_stats(q).words_received;
+    }
+  }
+  report.energy.config_words = net.config_module().words_sent();
+}
+
+/// Execute a compiled DNN schedule: open layer 0, then per layer a
+/// use-case switch through the broadcast tree (layer-invariant weight
+/// broadcasts are kept streaming; rotating ifmap/ofmap connections are
+/// torn down and set up) followed by a bounded streaming phase that
+/// drives the layer's word volumes to completion.
+void run_dnn_scenario(const RunSpec& spec, Scenario& sc, topo::Mesh& mesh,
+                      analysis::NetworkReport& report) {
+  if (spec.fault_plan.enabled() || spec.recovery.enabled) {
+    report.error = "dnn scenarios do not support fault injection or recovery";
+    return;
+  }
+  std::string why;
+  auto wl = workload::compile(*sc.dnn, mesh, sc.dram, &why);
+  if (!wl) {
+    report.error = "dnn compile failed: " + why;
+    return;
+  }
+
+  // Like the connection shuffle of plain scenarios: a nonzero seed permutes
+  // the order each layer's connections reach the allocator. use_case() is
+  // derived from traffic order, so the shuffle moves slot assignment but
+  // never desynchronizes the volume bookkeeping.
+  if (spec.seed != 0) {
+    sim::Xoshiro256 rng(spec.seed);
+    for (workload::CompiledLayer& layer : wl->layers)
+      for (std::size_t i = layer.traffic.size() - 1; i > 0; --i)
+        std::swap(layer.traffic[i], layer.traffic[rng.below(i + 1)]);
+  }
+
+  // Wheel-size probe: the whole layer SEQUENCE must fit — layer 0 plus
+  // every switch, since kept connections pin their slots across switches —
+  // so the probe replays the chain on a scratch allocator.
+  const std::vector<std::uint32_t> candidates =
+      sc.slots ? std::vector<std::uint32_t>{*sc.slots} : std::vector<std::uint32_t>{8, 16, 32};
+  std::optional<tdm::TdmParams> params;
+  for (std::uint32_t s : candidates) {
+    const tdm::TdmParams p = tdm::daelite_params(s);
+    alloc::SlotAllocator probe(mesh.topo, p);
+    auto cur = alloc::allocate_use_case(probe, wl->layers[0].use_case(), &why);
+    bool fits = cur.has_value();
+    for (std::size_t l = 1; fits && l < wl->layers.size(); ++l) {
+      auto next =
+          alloc::execute_use_case_switch(probe, *cur, wl->layers[l].use_case(), nullptr, &why);
+      if (next)
+        cur = std::move(*next);
+      else
+        fits = false;
+    }
+    if (fits) {
+      params = p;
+      break;
+    }
+  }
+  if (!params) {
+    report.error = "dnn dimensioning failed: " + why;
+    return;
+  }
+  report.slots = params->num_slots;
+
+  // Per-NI queue demand peaks within one layer (tear-down frees its queues
+  // before set-up allocates): size the NI channel count to the worst layer.
+  std::size_t channels = 0;
+  {
+    std::map<topo::NodeId, std::size_t> tx, rx;
+    for (const workload::CompiledLayer& layer : wl->layers) {
+      tx.clear();
+      rx.clear();
+      for (const workload::CompiledConnection& c : layer.traffic) {
+        ++tx[c.spec.src_ni];
+        for (topo::NodeId d : c.spec.dst_nis) ++rx[d];
+      }
+      for (const auto& [n, k] : tx) channels = std::max(channels, k);
+      for (const auto& [n, k] : rx) channels = std::max(channels, k);
+    }
+  }
+
+  sim::Kernel kernel(spec.scheduler);
+  kernel.set_tracer(spec.tracer);
+  hw::DaeliteNetwork::Options opt;
+  opt.tdm = *params;
+  opt.cfg_root = mesh.ni(sc.host.first, sc.host.second);
+  opt.ni_channels = std::max(opt.ni_channels, channels);
+  hw::DaeliteNetwork net(kernel, mesh.topo, opt);
+  if (spec.shards > 1) net.assign_shards(spec.shards);
+  if (spec.soa) net.enable_soa();
+  if (spec.on_network) spec.on_network(kernel, net);
+
+  sim::Tracer* tr = (spec.tracer != nullptr && spec.tracer->enabled()) ? spec.tracer : nullptr;
+  const std::uint32_t scen_id = tr ? tr->intern("scenario") : 0;
+  const auto phase_mark = [&](sim::TraceEvent e, std::string_view label) {
+    if (tr) tr->record(kernel.now(), scen_id, e, tr->intern(label));
+  };
+
+  alloc::SlotAllocator allocator(mesh.topo, *params);
+  auto cur = alloc::allocate_use_case(allocator, wl->layers[0].use_case(), &why);
+  if (!cur) { // the probe admitted this chain; never dereference blind anyway
+    report.error = "dnn allocation diverged from the probe: " + why;
+    return;
+  }
+
+  std::map<std::string, hw::ConnectionHandle> open;
+  const auto run_switch = [&](sim::Cycle* cycles) {
+    sim::Cycle c = net.run_config();
+    if (c == sim::kNoCycle) {
+      report.health.config_ok = false;
+      c = kernel.now();
+    }
+    *cycles = c;
+  };
+
+  report.workload.enabled = true;
+  report.workload.tiles = static_cast<std::uint32_t>(wl->tiles.size());
+  report.workload.dram_ports = static_cast<std::uint32_t>(wl->dram_nis.size());
+  report.workload.connections_per_layer =
+      static_cast<std::uint32_t>(wl->layers[0].traffic.size());
+
+  // One streaming phase: drive every connection's word budget, draining
+  // the sinks each cycle, until every volume arrived at every destination
+  // or the per-layer budget (the scenario's `run` cycles) expires.
+  const auto stream_layer = [&](const workload::CompiledLayer& layer,
+                                analysis::WorkloadLayerOutcome* out) {
+    const sim::Cycle start = kernel.now();
+    std::vector<std::uint64_t> pushed(layer.traffic.size(), 0);
+    std::vector<std::vector<std::uint64_t>> got(layer.traffic.size());
+    for (std::size_t i = 0; i < layer.traffic.size(); ++i)
+      got[i].assign(layer.traffic[i].spec.dst_nis.size(), 0);
+    const auto done = [&] {
+      for (std::size_t i = 0; i < layer.traffic.size(); ++i)
+        for (std::uint64_t words : got[i])
+          if (words < layer.traffic[i].words) return false;
+      return true;
+    };
+    while (!done() && kernel.now() - start < sc.run_cycles) {
+      for (std::size_t i = 0; i < layer.traffic.size(); ++i) {
+        const workload::CompiledConnection& c = layer.traffic[i];
+        const hw::ConnectionHandle& h = open.at(c.spec.name);
+        hw::Ni& src = net.ni(c.spec.src_ni);
+        while (pushed[i] < c.words &&
+               src.tx_push(h.src_tx_q, static_cast<std::uint32_t>(pushed[i] + 1)))
+          ++pushed[i];
+        for (std::size_t d = 0; d < h.dst_rx_qs.size(); ++d) {
+          hw::Ni& dst = net.ni(c.spec.dst_nis[d]);
+          while (dst.rx_pop(h.dst_rx_qs[d])) ++got[i][d];
+        }
+      }
+      kernel.step();
+    }
+    out->stream_cycles = kernel.now() - start;
+    out->completed = done();
+    for (const auto& per_dst : got)
+      for (std::uint64_t words : per_dst) out->words_delivered += words;
+  };
+
+  phase_mark(sim::TraceEvent::kPhaseBegin, "configure");
+  for (const alloc::AllocatedConnection& c : cur->connections)
+    open.emplace(c.spec.name, net.open_connection(c));
+  {
+    analysis::WorkloadLayerOutcome out;
+    out.name = wl->layers[0].name;
+    out.set_up = cur->connections.size();
+    run_switch(&out.switch_cycles);
+    report.cfg_cycles = out.switch_cycles;
+    phase_mark(sim::TraceEvent::kPhaseEnd, "configure");
+    phase_mark(sim::TraceEvent::kPhaseBegin, "traffic");
+    stream_layer(wl->layers[0], &out);
+    report.workload.layers.push_back(std::move(out));
+  }
+
+  for (std::size_t l = 1; l < wl->layers.size(); ++l) {
+    analysis::WorkloadLayerOutcome out;
+    out.name = wl->layers[l].name;
+    alloc::SwitchPlan plan;
+    auto next =
+        alloc::execute_use_case_switch(allocator, *cur, wl->layers[l].use_case(), &plan, &why);
+    if (!next) {
+      report.error = "use-case switch into '" + wl->layers[l].name + "' failed: " + why;
+      return;
+    }
+    cur = std::move(*next);
+    out.kept = plan.keep.size();
+    out.torn_down = plan.tear_down.size();
+    out.set_up = plan.set_up.size();
+    // Tear down first so the freed NI queues are available for the new
+    // connections (a re-routed "i3" reuses its name with a new source).
+    for (const alloc::AllocatedConnection& t : plan.tear_down) {
+      net.close_connection(open.at(t.spec.name));
+      open.erase(t.spec.name);
+    }
+    for (const alloc::AllocatedConnection& c : cur->connections)
+      if (open.find(c.spec.name) == open.end()) open.emplace(c.spec.name, net.open_connection(c));
+    run_switch(&out.switch_cycles);
+    stream_layer(wl->layers[l], &out);
+    report.workload.layers.push_back(std::move(out));
+  }
+  phase_mark(sim::TraceEvent::kPhaseEnd, "traffic");
+
+  report.workload.total_cycles = kernel.now();
+  report.schedule_utilization = cur->schedule_utilization;
+  report.schedule = analysis::summarize_schedule(mesh.topo, allocator.schedule());
+  report.links = analysis::link_usage(mesh.topo, allocator.schedule());
+  report.links.erase(std::find_if(report.links.begin(), report.links.end(),
+                                  [](const analysis::LinkUsage& u) { return u.reserved == 0; }),
+                     report.links.end());
+  const std::uint64_t slots_elapsed = kernel.now() / params->words_per_slot;
+  for (analysis::LinkUsage& u : report.links) {
+    const topo::Link& link = mesh.topo.link(u.link);
+    u.busy_slots = mesh.topo.is_router(link.src)
+                       ? net.router(link.src).forwarded_on(link.src_port)
+                       : net.ni(link.src).stats().link_busy_slots;
+    u.slots_elapsed = slots_elapsed;
+  }
+
+  report.router_drops = net.total_router_drops();
+  report.ni_drops = net.total_ni_drops();
+  report.rx_overflow = net.total_rx_overflow();
+  report.health.protocol_errors = net.total_protocol_errors();
+  report.health.cfg_errors = net.total_cfg_errors();
+  report.health.timeouts = net.config_module().timeouts();
+  report.health.retries = net.config_module().retries();
+  report.health.aborted = net.config_module().aborted();
+  for (topo::NodeId n = 0; n < mesh.topo.node_count(); ++n) {
+    if (!mesh.topo.is_ni(n)) continue;
+    const hw::Ni& ni = net.ni(n);
+    for (std::size_t q = 0; q < net.options().ni_channels; ++q) {
+      report.health.words_sent += ni.tx_stats(q).words_sent;
+      report.health.words_delivered += ni.rx_stats(q).words_received;
+    }
+  }
+  report.health.corrupt_words = net.total_corrupt_words();
+  report.health.lost_words = net.total_lost_words();
+
+  accumulate_energy(report, sc, mesh, net);
+
+  bool all_done = true;
+  for (const analysis::WorkloadLayerOutcome& lo : report.workload.layers)
+    all_done = all_done && lo.completed;
+  report.ok = all_done && report.router_drops == 0 && report.ni_drops == 0 &&
+              report.rx_overflow == 0 && report.health.config_ok && report.health.aborted == 0;
 }
 
 } // namespace
@@ -89,8 +358,19 @@ analysis::NetworkReport run_scenario(const RunSpec& spec) {
       }
     }
   }
+  for (const auto& d : sc.dram) {
+    if (!in_grid(d)) {
+      coord_error("dram port", d);
+      return report;
+    }
+  }
 
   topo::Mesh mesh = sc.build();
+
+  if (sc.dnn) {
+    run_dnn_scenario(spec, sc, mesh, report);
+    return report;
+  }
 
   // A nonzero seed permutes the order connections reach the allocator
   // (Fisher–Yates over the spec list) — slot assignment is greedy and
@@ -189,6 +469,31 @@ analysis::NetworkReport run_scenario(const RunSpec& spec) {
     for (const auto& c : dim->allocation.connections) {
       live->restore(c.request);
       if (c.has_response) live->restore(c.response);
+    }
+  }
+
+  // Open-loop pacing for `stream` connections: offer `burst` words every
+  // `period` cycles (optionally gated through a seeded on/off process like
+  // BurstyWriter) instead of saturating the source. period == 0 keeps the
+  // saturated loop, so legacy scenarios stay byte-identical.
+  struct Pacer {
+    std::uint32_t period = 0;
+    std::uint32_t burst = 1;
+    bool bursty = false;
+    bool on = true;
+    sim::Xoshiro256 rng;
+    std::uint64_t owed = 0;    ///< offered but not yet accepted by the NI
+    std::uint64_t offered = 0; ///< total words the source wanted to send
+  };
+  std::vector<Pacer> pacers(handles.size());
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const alloc::PhysicalConnectionSpec& ps = dim->connections[i].spec;
+    pacers[i].period = ps.stream_period;
+    pacers[i].burst = ps.stream_burst;
+    if (ps.bursty_seed != 0) {
+      pacers[i].bursty = true;
+      pacers[i].on = false;
+      pacers[i].rng.reseed(ps.bursty_seed);
     }
   }
 
@@ -358,7 +663,25 @@ analysis::NetworkReport run_scenario(const RunSpec& spec) {
     for (std::size_t i = 0; i < handles.size(); ++i) {
       if (rec[i].phase == ConnRecovery::Phase::kDead) continue; // queues freed
       hw::Ni& src = net.ni(handles[i].conn.request.src_ni);
-      while (src.tx_push(handles[i].src_tx_q, 1)) {
+      Pacer& p = pacers[i];
+      if (p.period == 0) {
+        while (src.tx_push(handles[i].src_tx_q, 1)) {
+        }
+      } else {
+        if (c % p.period == 0) {
+          if (p.bursty) {
+            if (p.on) {
+              if (p.rng.chance(0.10)) p.on = false; // BurstyWriter's p_stop
+            } else if (p.rng.chance(0.05)) {
+              p.on = true; // BurstyWriter's p_start
+            }
+          }
+          if (p.on) {
+            p.owed += p.burst;
+            p.offered += p.burst;
+          }
+        }
+        while (p.owed > 0 && src.tx_push(handles[i].src_tx_q, 1)) --p.owed;
       }
       for (std::size_t d = 0; d < delivered[i].size(); ++d) {
         hw::Ni& dst = net.ni(handles[i].conn.request.dst_nis[d]);
@@ -383,7 +706,14 @@ analysis::NetworkReport run_scenario(const RunSpec& spec) {
     out.contract_mbps = dim->connections[i].spec.bandwidth_mbytes_per_s;
     out.measured_mbps = mbps;
     out.worst_latency_ns = dim->connections[i].worst_latency_ns;
-    out.met = mbps + 1.0 >= out.contract_mbps;
+    if (pacers[i].period == 0) {
+      out.met = mbps + 1.0 >= out.contract_mbps;
+    } else {
+      // Open-loop source: met when everything offered arrived at every
+      // destination, up to the in-flight slack of the NI queues plus one
+      // burst still propagating when the run ends.
+      out.met = min_words + 64 + pacers[i].burst >= pacers[i].offered;
+    }
     all_met = all_met && out.met;
     // Per-connection integrity verdicts; integrity_total() accounts for
     // queue re-binding across repairs (a plain sum would double-count
@@ -473,6 +803,8 @@ analysis::NetworkReport run_scenario(const RunSpec& spec) {
   }
   report.health.corrupt_words = net.total_corrupt_words();
   report.health.lost_words = net.total_lost_words();
+
+  accumulate_energy(report, sc, mesh, net);
 
   report.recovery.enabled = spec.recovery.enabled;
   if (monitor) {

@@ -1,5 +1,6 @@
 #include "soc/scenario.hpp"
 
+#include <charconv>
 #include <fstream>
 #include <sstream>
 
@@ -17,6 +18,48 @@ bool parse_coord(const std::string& tok, std::pair<int, int>* out) {
     return false;
   }
   return out->first >= 0 && out->second >= 0;
+}
+
+// Strict numeric parsing for the newer directives (stream/dram/energy/
+// dnn/layer) — the tools/cli_parse.hpp policy: the ENTIRE token must be
+// the number, so "16x" or "1e3junk" is a diagnostic instead of a silently
+// different experiment.
+template <typename T>
+bool parse_strict_int(const std::string& tok, T* out) {
+  if (tok.empty()) return false;
+  T v{};
+  const char* const last = tok.data() + tok.size();
+  const auto [ptr, ec] = std::from_chars(tok.data(), last, v, 10);
+  if (ec != std::errc{} || ptr != last) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_strict_double(const std::string& tok, double* out) {
+  if (tok.empty()) return false;
+  double v = 0.0;
+  const char* const last = tok.data() + tok.size();
+  const auto [ptr, ec] = std::from_chars(tok.data(), last, v, std::chars_format::fixed);
+  if (ec != std::errc{} || ptr != last) return false;
+  *out = v;
+  return true;
+}
+
+/// Strict "x,y" with non-negative whole-token components.
+bool parse_strict_coord(const std::string& tok, std::pair<int, int>* out) {
+  const auto comma = tok.find(',');
+  if (comma == std::string::npos) return false;
+  return parse_strict_int(tok.substr(0, comma), &out->first) &&
+         parse_strict_int(tok.substr(comma + 1), &out->second) && out->first >= 0 &&
+         out->second >= 0;
+}
+
+/// Strict "WxH" with positive whole-token components.
+bool parse_strict_extent(const std::string& tok, int* w, int* h) {
+  const auto x = tok.find('x');
+  if (x == std::string::npos) return false;
+  return parse_strict_int(tok.substr(0, x), w) && parse_strict_int(tok.substr(x + 1), h) &&
+         *w >= 1 && *h >= 1;
 }
 
 std::vector<std::string> tokenize(const std::string& line) {
@@ -141,11 +184,123 @@ std::optional<Scenario> parse_scenario(std::istream& in, std::string* error) {
         return fail("bad multicast bandwidth");
       }
       sc.raw.push_back(std::move(c));
+    } else if (cmd == "stream") {
+      // stream <name> <src> <dst> <MB/s> period <cycles> burst <words>
+      //        [bursty <seed>] [resp <MB/s>]
+      if (toks.size() < 5) return fail("stream needs <name> <src> <dst> <MB/s>");
+      Scenario::RawConnection c;
+      c.name = toks[1];
+      std::pair<int, int> dst;
+      if (!parse_strict_coord(toks[2], &c.src) || !parse_strict_coord(toks[3], &dst))
+        return fail("bad coordinates in stream");
+      c.dsts.push_back(dst);
+      if (!parse_strict_double(toks[4], &c.bandwidth) || c.bandwidth <= 0.0)
+        return fail("bad stream bandwidth '" + toks[4] + "'");
+      bool saw_period = false;
+      bool saw_burst = false;
+      std::size_t i = 5;
+      while (i < toks.size()) {
+        if (i + 1 >= toks.size()) return fail(toks[i] + " needs a value");
+        const std::string& val = toks[i + 1];
+        if (toks[i] == "period") {
+          if (!parse_strict_int(val, &c.stream_period) || c.stream_period == 0)
+            return fail("bad stream period '" + val + "'");
+          saw_period = true;
+        } else if (toks[i] == "burst") {
+          if (!parse_strict_int(val, &c.stream_burst) || c.stream_burst == 0)
+            return fail("bad stream burst '" + val + "'");
+          saw_burst = true;
+        } else if (toks[i] == "bursty") {
+          if (!parse_strict_int(val, &c.bursty_seed) || c.bursty_seed == 0)
+            return fail("bad bursty seed '" + val + "' (must be a non-zero integer)");
+        } else if (toks[i] == "resp") {
+          if (!parse_strict_double(val, &c.response_bandwidth) || c.response_bandwidth < 0.0)
+            return fail("bad stream resp bandwidth '" + val + "'");
+        } else {
+          return fail("unknown stream option '" + toks[i] + "'");
+        }
+        i += 2;
+      }
+      if (!saw_period || !saw_burst)
+        return fail("stream needs period <cycles> and burst <words>");
+      sc.raw.push_back(std::move(c));
+    } else if (cmd == "dram") {
+      if (toks.size() < 2) return fail("dram needs at least one <x,y>");
+      for (std::size_t i = 1; i < toks.size(); ++i) {
+        std::pair<int, int> p;
+        if (!parse_strict_coord(toks[i], &p)) return fail("bad dram port '" + toks[i] + "'");
+        sc.dram.push_back(p);
+      }
+    } else if (cmd == "energy") {
+      sc.energy.enabled = true;
+      std::size_t i = 1;
+      while (i < toks.size()) {
+        if (i + 1 >= toks.size()) return fail(toks[i] + " needs a value");
+        double* slot = nullptr;
+        if (toks[i] == "hop") slot = &sc.energy.hop_energy_pj;
+        else if (toks[i] == "dram") slot = &sc.energy.dram_access_energy_pj;
+        else if (toks[i] == "config") slot = &sc.energy.config_energy_pj;
+        else return fail("unknown energy option '" + toks[i] + "'");
+        if (!parse_strict_double(toks[i + 1], slot) || *slot < 0.0)
+          return fail("bad energy value '" + toks[i + 1] + "'");
+        i += 2;
+      }
+    } else if (cmd == "dnn") {
+      // dnn grid <x,y> <WxH> [weights <slots>] [ifmap <slots>] [ofmap <slots>]
+      if (sc.dnn) return fail("duplicate dnn directive");
+      if (toks.size() < 4 || toks[1] != "grid") return fail("dnn needs grid <x,y> <WxH>");
+      workload::DnnSchedule d;
+      std::pair<int, int> origin;
+      if (!parse_strict_coord(toks[2], &origin)) return fail("bad dnn grid origin '" + toks[2] + "'");
+      d.grid_x = origin.first;
+      d.grid_y = origin.second;
+      if (!parse_strict_extent(toks[3], &d.grid_w, &d.grid_h))
+        return fail("bad dnn grid extent '" + toks[3] + "' (want WxH)");
+      std::size_t i = 4;
+      while (i < toks.size()) {
+        if (i + 1 >= toks.size()) return fail(toks[i] + " needs a value");
+        std::uint32_t* slot = nullptr;
+        if (toks[i] == "weights") slot = &d.weight_slots;
+        else if (toks[i] == "ifmap") slot = &d.ifmap_slots;
+        else if (toks[i] == "ofmap") slot = &d.ofmap_slots;
+        else return fail("unknown dnn option '" + toks[i] + "'");
+        if (!parse_strict_int(toks[i + 1], slot) || *slot == 0)
+          return fail("bad dnn slot count '" + toks[i + 1] + "'");
+        i += 2;
+      }
+      sc.dnn = std::move(d);
+    } else if (cmd == "layer") {
+      // layer <name> weights <words> ifmap <words> ofmap <words>
+      if (!sc.dnn) return fail("layer before dnn directive");
+      if (toks.size() != 8 || toks[2] != "weights" || toks[4] != "ifmap" || toks[6] != "ofmap")
+        return fail("layer needs <name> weights <words> ifmap <words> ofmap <words>");
+      workload::LayerSpec l;
+      l.name = toks[1];
+      if (!parse_strict_int(toks[3], &l.weight_words) || l.weight_words == 0)
+        return fail("bad layer weight words '" + toks[3] + "'");
+      if (!parse_strict_int(toks[5], &l.ifmap_words))
+        return fail("bad layer ifmap words '" + toks[5] + "'");
+      if (!parse_strict_int(toks[7], &l.ofmap_words))
+        return fail("bad layer ofmap words '" + toks[7] + "'");
+      sc.dnn->layers.push_back(std::move(l));
     } else {
       return fail("unknown directive '" + cmd + "'");
     }
   }
-  if (sc.raw.empty()) {
+  if (sc.dnn) {
+    if (!sc.raw.empty()) {
+      if (error) *error = "dnn scenario cannot also declare connection/multicast/stream lines";
+      return std::nullopt;
+    }
+    if (sc.dnn->layers.empty()) {
+      if (error) *error = "dnn scenario declares no layers";
+      return std::nullopt;
+    }
+    if (sc.dram.empty()) {
+      if (error) *error = "dnn scenario needs at least one dram port";
+      return std::nullopt;
+    }
+  } else if (sc.raw.empty()) {
     if (error) *error = "scenario declares no connections";
     return std::nullopt;
   }
@@ -183,6 +338,9 @@ topo::Mesh Scenario::build() {
     p.bandwidth_mbytes_per_s = c.bandwidth;
     p.response_bandwidth_mbytes_per_s = c.response_bandwidth;
     p.max_latency_ns = c.max_latency_ns;
+    p.stream_period = c.stream_period;
+    p.stream_burst = c.stream_burst;
+    p.bursty_seed = c.bursty_seed;
     connections.push_back(std::move(p));
   }
   return mesh;

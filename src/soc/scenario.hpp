@@ -15,17 +15,31 @@
 //   host <x,y>                     # NI of the configuration host
 //   connection <name> <src x,y> <dst x,y> <MB/s> [latency <ns>] [resp <MB/s>]
 //   multicast  <name> <src x,y> <dst x,y> <dst x,y>... bw <MB/s>
-//   run <cycles>
+//   stream <name> <src x,y> <dst x,y> <MB/s> period <cycles> burst <words>
+//          [bursty <seed>] [resp <MB/s>]
+//   dram <x,y> [<x,y>...]          # DRAM-port NIs (energy accounting, dnn)
+//   energy [hop <pJ>] [dram <pJ>] [config <pJ>]   # enable the energy model
+//   dnn grid <x,y> <WxH> [weights <slots>] [ifmap <slots>] [ofmap <slots>]
+//   layer <name> weights <words> ifmap <words> ofmap <words>
+//   run <cycles>                   # dnn: per-layer streaming budget
 //
-// Coordinates are NI grid positions.
+// Coordinates are NI grid positions. A `dnn` scenario (tile grid + layer
+// lines, fed from the `dram` ports) generates its own traffic and cannot
+// also declare connection/multicast/stream lines. The dnn/stream/energy/
+// dram directives parse strictly (std::from_chars, whole token — the
+// tools/cli_parse.hpp policy): trailing junk is a diagnostic, not a
+// silently different experiment.
 
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "alloc/dimension.hpp"
+#include "analysis/energy.hpp"
 #include "topology/generators.hpp"
+#include "workload/dnn.hpp"
 
 namespace daelite::soc {
 
@@ -40,6 +54,18 @@ struct Scenario {
   std::vector<alloc::PhysicalConnectionSpec> connections; ///< filled after build()
   sim::Cycle run_cycles = 10000;
 
+  /// DRAM-port NIs (`dram` directive): the nodes whose word traffic is
+  /// priced as DRAM accesses by the energy model, and the feed points of a
+  /// `dnn` schedule.
+  std::vector<std::pair<int, int>> dram;
+  /// Energy model (`energy` directive); disabled unless declared, so
+  /// reports without it are byte-identical to older builds.
+  analysis::EnergyModel energy;
+  /// DNN workload (`dnn` + `layer` directives). When set, the runner
+  /// compiles the schedule into per-layer traffic instead of driving the
+  /// declared connections.
+  std::optional<workload::DnnSchedule> dnn;
+
   // Raw (coordinate) form, resolved against the topology by build().
   struct RawConnection {
     std::string name;
@@ -48,6 +74,10 @@ struct Scenario {
     double bandwidth = 100.0;
     double response_bandwidth = 0.0;
     double max_latency_ns = std::numeric_limits<double>::infinity();
+    // Traffic shape (`stream` lines); see PhysicalConnectionSpec.
+    std::uint32_t stream_period = 0;
+    std::uint32_t stream_burst = 1;
+    std::uint64_t bursty_seed = 0;
   };
   std::vector<RawConnection> raw;
 

@@ -34,9 +34,12 @@ class InitiatorShell : public sim::Component {
                  bool posted = false)
       : sim::Component(k, std::move(name)), ni_(&ni), tx_q_(tx_q), rx_q_(rx_q), posted_(posted) {}
 
-  /// Queue a transaction for transmission. Unbounded software queue (the
-  /// IP models its own admission policy). Reads on a posted (multicast)
-  /// shell are rejected and counted.
+  /// Queue a transaction for transmission. By default the software queue
+  /// is unbounded (the IP models its own admission policy); an admission
+  /// limit turns the shell into a backpressuring port (ready() goes false
+  /// when the limit is reached, and buses refuse the submission instead of
+  /// letting the queue grow). Reads on a posted (multicast) shell are
+  /// rejected and counted.
   void submit(const Transaction& t) {
     if (posted_ && !t.is_write) {
       ++rejected_reads_;
@@ -45,6 +48,10 @@ class InitiatorShell : public sim::Component {
     pending_.push_back(t);
     pending_issue_cycle_.push_back(now());
   }
+
+  /// Cap the pending (not yet streamed) transaction queue. 0 = unbounded.
+  void set_admission_limit(std::size_t limit) { admission_limit_ = limit; }
+  bool ready() const { return admission_limit_ == 0 || pending_.size() < admission_limit_; }
 
   std::uint64_t rejected_reads() const { return rejected_reads_; }
 
@@ -102,6 +109,9 @@ class InitiatorShell : public sim::Component {
   std::size_t rx_q_;
   bool posted_ = false;
   std::uint64_t rejected_reads_ = 0;
+  std::size_t admission_limit_ = 0; ///< 0: unbounded
+
+
 
   std::deque<Transaction> pending_;
   std::deque<sim::Cycle> pending_issue_cycle_;

@@ -67,8 +67,23 @@ TraceIp::TraceIp(sim::Kernel& k, std::string name, LocalBus& bus,
 
 void TraceIp::tick() {
   while (index_ < trace_.size() && trace_[index_].first <= now()) {
-    if (bus_->submit(trace_[index_].second)) ++submitted_;
-    ++index_;
+    const Transaction& t = trace_[index_].second;
+    if (bus_->submit(t)) {
+      ++submitted_;
+      ++index_;
+      continue;
+    }
+    if (!bus_->would_route(t.addr)) {
+      // No range will ever accept this address: a decode error, not
+      // backpressure. Skip it so the rest of the trace still replays.
+      ++dropped_;
+      ++index_;
+      continue;
+    }
+    // Transient backpressure: stop here and retry the same transaction
+    // next tick, keeping the trace order intact.
+    ++deferred_;
+    break;
   }
 }
 

@@ -103,13 +103,18 @@ class ReaderIp : public sim::Component {
   std::uint64_t words_read_ = 0;
 };
 
-/// Replays an explicit (cycle, transaction) trace.
+/// Replays an explicit (cycle, transaction) trace. A transaction refused
+/// by the bus under backpressure (the target port was not ready) is
+/// retried on subsequent ticks, preserving trace order; only transactions
+/// no bus range can ever route are dropped (and counted).
 class TraceIp : public sim::Component {
  public:
   TraceIp(sim::Kernel& k, std::string name, LocalBus& bus,
           std::vector<std::pair<sim::Cycle, Transaction>> trace);
 
   std::uint64_t submitted() const { return submitted_; }
+  std::uint64_t dropped() const { return dropped_; }   ///< unroutable, skipped for good
+  std::uint64_t deferred() const { return deferred_; } ///< backpressure retries scheduled
   bool done() const { return index_ >= trace_.size(); }
 
   void tick() override;
@@ -119,6 +124,8 @@ class TraceIp : public sim::Component {
   std::vector<std::pair<sim::Cycle, Transaction>> trace_;
   std::size_t index_ = 0;
   std::uint64_t submitted_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t deferred_ = 0;
 };
 
 } // namespace daelite::soc

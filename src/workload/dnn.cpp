@@ -1,0 +1,114 @@
+#include "workload/dnn.hpp"
+
+#include <algorithm>
+
+namespace daelite::workload {
+
+namespace {
+
+bool set_error(std::string* error, std::string msg) {
+  if (error) *error = std::move(msg);
+  return false;
+}
+
+} // namespace
+
+std::optional<CompiledWorkload> compile(const DnnSchedule& sched, const topo::Mesh& mesh,
+                                        const std::vector<std::pair<int, int>>& dram,
+                                        std::string* error) {
+  if (sched.layers.empty()) {
+    set_error(error, "schedule has no layers");
+    return std::nullopt;
+  }
+  if (dram.empty()) {
+    set_error(error, "schedule has no DRAM ports");
+    return std::nullopt;
+  }
+  if (sched.grid_w < 1 || sched.grid_h < 1) {
+    set_error(error, "tile grid is empty");
+    return std::nullopt;
+  }
+  if (sched.grid_x < 0 || sched.grid_y < 0 || sched.grid_x + sched.grid_w > mesh.width ||
+      sched.grid_y + sched.grid_h > mesh.height) {
+    set_error(error, "tile grid leaves the mesh");
+    return std::nullopt;
+  }
+
+  CompiledWorkload out;
+  for (int y = sched.grid_y; y < sched.grid_y + sched.grid_h; ++y)
+    for (int x = sched.grid_x; x < sched.grid_x + sched.grid_w; ++x)
+      out.tiles.push_back(mesh.ni(x, y));
+
+  for (const auto& [x, y] : dram) {
+    if (x < 0 || y < 0 || x >= mesh.width || y >= mesh.height) {
+      set_error(error, "DRAM port " + std::to_string(x) + "," + std::to_string(y) +
+                           " outside the mesh");
+      return std::nullopt;
+    }
+    const topo::NodeId ni = mesh.ni(x, y);
+    if (std::find(out.tiles.begin(), out.tiles.end(), ni) != out.tiles.end()) {
+      set_error(error, "DRAM port " + std::to_string(x) + "," + std::to_string(y) +
+                           " sits inside the tile grid");
+      return std::nullopt;
+    }
+    if (std::find(out.dram_nis.begin(), out.dram_nis.end(), ni) != out.dram_nis.end()) {
+      set_error(error, "duplicate DRAM port " + std::to_string(x) + "," + std::to_string(y));
+      return std::nullopt;
+    }
+    out.dram_nis.push_back(ni);
+  }
+
+  const std::size_t ports = out.dram_nis.size();
+  const std::size_t tiles = out.tiles.size();
+  for (std::size_t l = 0; l < sched.layers.size(); ++l) {
+    const LayerSpec& layer = sched.layers[l];
+    CompiledLayer cl;
+    cl.name = layer.name;
+
+    // Weight broadcast: each port multicasts its ceil-share of the weight
+    // words to every tile. The spec is layer-invariant, so use-case
+    // switches keep these connections streaming.
+    for (std::size_t p = 0; p < ports; ++p) {
+      CompiledConnection c;
+      c.spec.name = "w" + std::to_string(p);
+      c.spec.src_ni = out.dram_nis[p];
+      c.spec.dst_nis = out.tiles;
+      c.spec.request_slots = sched.weight_slots;
+      c.spec.response_slots = 0;
+      c.words = (layer.weight_words + ports - 1) / ports;
+      cl.traffic.push_back(std::move(c));
+    }
+
+    // Per-tile feature-map transfers, interleaved over the DRAM ports with
+    // a per-layer rotation: the source/destination port of tile t in layer
+    // l is (t + l) % P, so each switch really tears down and sets up the
+    // ifmap/ofmap connections (when P > 1) while balancing port bandwidth.
+    for (std::size_t t = 0; t < tiles; ++t) {
+      const topo::NodeId port_ni = out.dram_nis[(t + l) % ports];
+      if (layer.ifmap_words > 0) {
+        CompiledConnection c;
+        c.spec.name = "i" + std::to_string(t);
+        c.spec.src_ni = port_ni;
+        c.spec.dst_nis = {out.tiles[t]};
+        c.spec.request_slots = sched.ifmap_slots;
+        c.spec.response_slots = 0;
+        c.words = layer.ifmap_words;
+        cl.traffic.push_back(std::move(c));
+      }
+      if (layer.ofmap_words > 0) {
+        CompiledConnection c;
+        c.spec.name = "o" + std::to_string(t);
+        c.spec.src_ni = out.tiles[t];
+        c.spec.dst_nis = {port_ni};
+        c.spec.request_slots = sched.ofmap_slots;
+        c.spec.response_slots = 0;
+        c.words = layer.ofmap_words;
+        cl.traffic.push_back(std::move(c));
+      }
+    }
+    out.layers.push_back(std::move(cl));
+  }
+  return out;
+}
+
+} // namespace daelite::workload

@@ -1,0 +1,94 @@
+#pragma once
+// DNN-accelerator workload front end: compile a tiled layer schedule into
+// daelite traffic.
+//
+// The accelerator is a rectangular grid of compute tiles placed on the
+// mesh, fed by one or more DRAM-port NIs. Each layer runs in three
+// logical flows, all expressed as ordinary daelite connections:
+//
+//  * weights — every tile needs the full (tiled) weight set, so each DRAM
+//    port multicasts its share of the weight words to ALL tiles (the
+//    paper's multicast tree: the source link is used once regardless of
+//    the tile count);
+//  * ifmaps — per-tile input feature-map slices, unicast from a DRAM port
+//    chosen by interleaving (tile + layer) across the ports, so the DRAM
+//    bandwidth is load-balanced and the sources ROTATE from layer to
+//    layer;
+//  * ofmaps — per-tile output slices, unicast from the tile back to its
+//    interleaved DRAM port.
+//
+// All flows are posted (no response channel; cf. "there is no
+// corresponding multi-destination read"). Because the weight-broadcast
+// specs are identical in every layer, a use-case switch keeps them
+// streaming, while the rotating ifmap/ofmap connections are torn down and
+// set up each layer — exactly the fast-reconfiguration traffic the paper
+// argues daelite wins on.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "alloc/usecase.hpp"
+#include "topology/generators.hpp"
+
+namespace daelite::workload {
+
+/// One layer's transfer volumes, in 32-bit words.
+struct LayerSpec {
+  std::string name;
+  std::uint64_t weight_words = 0; ///< total weights, broadcast to every tile
+  std::uint64_t ifmap_words = 0;  ///< input feature-map words PER TILE
+  std::uint64_t ofmap_words = 0;  ///< output feature-map words PER TILE
+};
+
+/// Placement and slot budget of the accelerator, plus the layer sequence.
+/// DRAM-port coordinates are supplied separately (the scenario's `dram`
+/// directive) so the same ports also feed the energy accounting.
+struct DnnSchedule {
+  int grid_x = 0; ///< origin of the tile grid (NI coordinates)
+  int grid_y = 0;
+  int grid_w = 1;
+  int grid_h = 1;
+  std::uint32_t weight_slots = 2; ///< slots/wheel of each weight broadcast
+  std::uint32_t ifmap_slots = 1;  ///< slots/wheel of each per-tile ifmap feed
+  std::uint32_t ofmap_slots = 1;  ///< slots/wheel of each per-tile ofmap drain
+  std::vector<LayerSpec> layers;
+};
+
+/// One connection of a compiled layer: the allocator-level spec plus the
+/// number of request words this phase must deliver to every destination.
+struct CompiledConnection {
+  alloc::ConnectionSpec spec;
+  std::uint64_t words = 0;
+};
+
+struct CompiledLayer {
+  std::string name;
+  std::vector<CompiledConnection> traffic;
+
+  /// The layer as a use case (specs in traffic order) — the unit the
+  /// allocator and the use-case switch consume.
+  alloc::UseCase use_case() const {
+    alloc::UseCase uc;
+    uc.name = name;
+    for (const CompiledConnection& c : traffic) uc.connections.push_back(c.spec);
+    return uc;
+  }
+};
+
+struct CompiledWorkload {
+  std::vector<topo::NodeId> tiles;    ///< row-major over the grid
+  std::vector<topo::NodeId> dram_nis; ///< in declaration order
+  std::vector<CompiledLayer> layers;
+};
+
+/// Compile a schedule against a mesh. `dram` are DRAM-port NI coordinates.
+/// Fails (with a message in `error`) when the grid leaves the mesh, a DRAM
+/// port sits inside the grid, or the schedule has no layers/ports.
+std::optional<CompiledWorkload> compile(const DnnSchedule& sched, const topo::Mesh& mesh,
+                                        const std::vector<std::pair<int, int>>& dram,
+                                        std::string* error = nullptr);
+
+} // namespace daelite::workload

@@ -99,6 +99,7 @@ struct PlatformFixture : ::testing::Test {
 TEST_F(PlatformFixture, WriteTransactionLandsInRemoteMemory) {
   plat->add_memory(mesh.ni(2, 2));
   auto port = plat->connect(mesh.ni(0, 0), mesh.ni(2, 2), 2, 1, 0x0000, 0x10000);
+  ASSERT_TRUE(port.has_value());
   plat->configure();
 
   Transaction t;
@@ -106,7 +107,7 @@ TEST_F(PlatformFixture, WriteTransactionLandsInRemoteMemory) {
   t.addr = 0x40;
   t.wdata = {0xAA, 0xBB, 0xCC};
   t.burst_len = 3;
-  port.port->submit(t);
+  port->port->submit(t);
 
   ASSERT_TRUE(kernel.run_until(
       [&] { return plat->memory(mesh.ni(2, 2)).writes() >= 3; }, 5000));
@@ -114,7 +115,7 @@ TEST_F(PlatformFixture, WriteTransactionLandsInRemoteMemory) {
   EXPECT_EQ(plat->memory(mesh.ni(2, 2)).read(0x42), 0xCCu);
 
   // The write ack comes back on the response channel.
-  ASSERT_TRUE(kernel.run_until([&] { return port.port->take_response().has_value(); }, 5000));
+  ASSERT_TRUE(kernel.run_until([&] { return port->port->take_response().has_value(); }, 5000));
   EXPECT_EQ(plat->total_network_drops(), 0u);
 }
 
@@ -123,18 +124,19 @@ TEST_F(PlatformFixture, ReadReturnsWrittenData) {
   mem.write(0x10, 111);
   mem.write(0x11, 222);
   auto port = plat->connect(mesh.ni(2, 0), mesh.ni(1, 2), 2, 2, 0x0000, 0x10000);
+  ASSERT_TRUE(port.has_value());
   plat->configure();
 
   Transaction t;
   t.is_write = false;
   t.addr = 0x10;
   t.burst_len = 2;
-  port.port->submit(t);
+  port->port->submit(t);
 
   std::optional<Response> r;
   ASSERT_TRUE(kernel.run_until(
       [&] {
-        r = port.port->take_response();
+        r = port->port->take_response();
         return r.has_value();
       },
       10000));
@@ -146,6 +148,7 @@ TEST_F(PlatformFixture, ReadReturnsWrittenData) {
 TEST_F(PlatformFixture, CbrWriterStreamsToMemory) {
   plat->add_memory(mesh.ni(2, 2));
   auto port = plat->connect(mesh.ni(0, 1), mesh.ni(2, 2), 3, 1, 0x0000, 0x10000);
+  ASSERT_TRUE(port.has_value());
   plat->configure();
 
   CbrWriter::Params p;
@@ -160,7 +163,7 @@ TEST_F(PlatformFixture, CbrWriterStreamsToMemory) {
   EXPECT_GE(plat->memory(mesh.ni(2, 2)).writes(), 4u * 16u);
   EXPECT_EQ(plat->total_network_drops(), 0u);
   // Drain acks so they do not pile up.
-  while (port.port->take_response()) {
+  while (port->port->take_response()) {
   }
 }
 
@@ -168,13 +171,14 @@ TEST_F(PlatformFixture, ReaderIpRoundTrips) {
   Memory& mem = plat->add_memory(mesh.ni(0, 2));
   for (std::uint32_t a = 0; a < 64; ++a) mem.write(a, a * 3);
   auto port = plat->connect(mesh.ni(2, 1), mesh.ni(0, 2), 2, 2, 0x0000, 0x10000);
+  ASSERT_TRUE(port.has_value());
   plat->configure();
 
   ReaderIp::Params p;
   p.period = 64;
   p.burst = 4;
   p.addr_range = 64;
-  ReaderIp reader(kernel, "rd", *port.port, p);
+  ReaderIp reader(kernel, "rd", *port->port, p);
 
   kernel.run(64 * 24);
   EXPECT_GE(reader.returned(), 16u);
@@ -185,7 +189,9 @@ TEST_F(PlatformFixture, TwoIpsShareTheNetworkWithoutInterference) {
   plat->add_memory(mesh.ni(2, 2));
   plat->add_memory(mesh.ni(2, 0));
   auto p1 = plat->connect(mesh.ni(0, 0), mesh.ni(2, 2), 2, 1, 0x0000, 0x10000);
+  ASSERT_TRUE(p1.has_value());
   auto p2 = plat->connect(mesh.ni(0, 2), mesh.ni(2, 0), 2, 1, 0x0000, 0x10000);
+  ASSERT_TRUE(p2.has_value());
   plat->configure();
 
   CbrWriter::Params p;
@@ -199,9 +205,9 @@ TEST_F(PlatformFixture, TwoIpsShareTheNetworkWithoutInterference) {
   EXPECT_GT(plat->memory(mesh.ni(2, 2)).writes(), 0u);
   EXPECT_GT(plat->memory(mesh.ni(2, 0)).writes(), 0u);
   EXPECT_EQ(plat->total_network_drops(), 0u);
-  while (p1.port->take_response()) {
+  while (p1->port->take_response()) {
   }
-  while (p2.port->take_response()) {
+  while (p2->port->take_response()) {
   }
 }
 
@@ -209,6 +215,7 @@ TEST_F(PlatformFixture, MulticastWriteLandsInAllMemories) {
   const std::vector<topo::NodeId> dsts = {mesh.ni(2, 0), mesh.ni(0, 2), mesh.ni(2, 2)};
   for (auto d : dsts) plat->add_memory(d);
   auto port = plat->connect_multicast(mesh.ni(0, 0), dsts, 4, 0x0000, 0x10000);
+  ASSERT_TRUE(port.has_value());
   plat->configure();
 
   Transaction t;
@@ -216,7 +223,7 @@ TEST_F(PlatformFixture, MulticastWriteLandsInAllMemories) {
   t.addr = 0x20;
   t.wdata = {0x11, 0x22};
   t.burst_len = 2;
-  port.port->submit(t);
+  port->port->submit(t);
 
   ASSERT_TRUE(kernel.run_until(
       [&] {
@@ -236,16 +243,49 @@ TEST_F(PlatformFixture, MulticastRejectsReads) {
   const std::vector<topo::NodeId> dsts = {mesh.ni(2, 0), mesh.ni(0, 2)};
   for (auto d : dsts) plat->add_memory(d);
   auto port = plat->connect_multicast(mesh.ni(0, 0), dsts, 2, 0x0000, 0x10000);
+  ASSERT_TRUE(port.has_value());
   plat->configure();
 
   Transaction rd;
   rd.is_write = false;
   rd.addr = 0;
   rd.burst_len = 1;
-  port.port->submit(rd); // paper: "There is no corresponding multi-destination read"
+  port->port->submit(rd); // paper: "There is no corresponding multi-destination read"
   kernel.run(500);
   for (auto d : dsts) EXPECT_EQ(plat->memory(d).reads(), 0u);
-  EXPECT_FALSE(port.port->take_response().has_value());
+  EXPECT_FALSE(port->port->take_response().has_value());
+}
+
+TEST_F(PlatformFixture, OverSubscribedConnectReportsFailureInsteadOfUb) {
+  plat->add_memory(mesh.ni(2, 2));
+  // More slots than the wheel has: the allocation must fail cleanly in
+  // every build type (this used to be assert-then-dereference, i.e.
+  // undefined behaviour under NDEBUG).
+  auto bad = plat->connect(mesh.ni(0, 0), mesh.ni(2, 2), 99, 1, 0x0000, 0x1000);
+  EXPECT_FALSE(bad.has_value());
+  // No memory declared behind the destination NI.
+  auto nomem = plat->connect(mesh.ni(0, 0), mesh.ni(1, 1), 1, 1, 0x0000, 0x1000);
+  EXPECT_FALSE(nomem.has_value());
+  // Multicast trees over-subscribe fastest: every branch reserves the
+  // same slots, so 6 slots x 2 destinations cannot fit an 8-slot wheel
+  // alongside anything.
+  auto wide = plat->connect_multicast(mesh.ni(0, 0), {mesh.ni(2, 2), mesh.ni(1, 1)}, 99, 0x0000,
+                                      0x1000);
+  EXPECT_FALSE(wide.has_value());
+  auto empty = plat->connect_multicast(mesh.ni(0, 0), {}, 2, 0x0000, 0x1000);
+  EXPECT_FALSE(empty.has_value());
+  // The failed attempts left the allocator untouched: a reasonable
+  // connection still fits and works end to end.
+  auto good = plat->connect(mesh.ni(0, 0), mesh.ni(2, 2), 2, 1, 0x0000, 0x1000);
+  ASSERT_TRUE(good.has_value());
+  plat->configure();
+  Transaction t;
+  t.is_write = true;
+  t.addr = 0x10;
+  t.wdata = {7};
+  t.burst_len = 1;
+  good->port->submit(t);
+  ASSERT_TRUE(kernel.run_until([&] { return plat->memory(mesh.ni(2, 2)).writes() >= 1; }, 5000));
 }
 
 TEST(TraceIpTest, ReplaysAtScheduledCycles) {
@@ -271,6 +311,81 @@ TEST(TraceIpTest, ReplaysAtScheduledCycles) {
   k.run(5);
   EXPECT_EQ(port.n, 3);
   EXPECT_TRUE(ip.done());
+}
+
+TEST(TraceIpTest, RetriesUnderBackpressurePreservingOrder) {
+  sim::Kernel k;
+  LocalBus bus;
+  // A port that refuses submissions until released — a saturated shell's
+  // admission queue as seen through LocalBus::submit.
+  struct StallPort : InitiatorPort {
+    void submit(const Transaction& t) override { order.push_back(t.addr); }
+    std::optional<Response> take_response() override { return std::nullopt; }
+    bool ready() const override { return released; }
+    std::vector<std::uint32_t> order;
+    bool released = false;
+  } port;
+  bus.map(0, 0x1000, port);
+
+  const auto wr = [](std::uint32_t addr) {
+    Transaction t;
+    t.is_write = true;
+    t.addr = addr;
+    t.wdata = {1};
+    t.burst_len = 1;
+    return t;
+  };
+  // The third entry targets an address no range maps: it must be dropped
+  // (and counted), not wedge the ordered retry of everything behind it.
+  TraceIp ip(k, "trace", bus, {{2, wr(1)}, {3, wr(2)}, {3, wr(0x2000)}, {4, wr(3)}});
+  k.run(10);
+  // Backpressured the whole time: nothing submitted, nothing skipped —
+  // the old behaviour silently dropped the head each cycle.
+  EXPECT_TRUE(port.order.empty());
+  EXPECT_FALSE(ip.done());
+  EXPECT_EQ(ip.submitted(), 0u);
+  EXPECT_EQ(ip.dropped(), 0u);
+  EXPECT_GE(ip.deferred(), 8u);
+  EXPECT_GE(bus.busy(), 8u);
+
+  port.released = true;
+  k.run(3);
+  EXPECT_TRUE(ip.done());
+  EXPECT_EQ(ip.submitted(), 3u);
+  EXPECT_EQ(ip.dropped(), 1u); // only the unroutable address
+  ASSERT_EQ(port.order.size(), 3u);
+  EXPECT_EQ(port.order[0], 1u);
+  EXPECT_EQ(port.order[1], 2u);
+  EXPECT_EQ(port.order[2], 3u);
+}
+
+TEST(InitiatorShellAdmission, BoundedQueueBackpressuresTheBus) {
+  sim::Kernel k;
+  // An NI whose tx queue never accepts — a fully saturated network as seen
+  // by the shell. With an admission limit the shell's pending queue fills,
+  // ready() goes false, and LocalBus::submit starts refusing.
+  struct SaturatedNi {
+    bool tx_push(std::size_t, std::uint32_t) { return false; }
+    std::optional<std::uint32_t> rx_pop(std::size_t) { return std::nullopt; }
+  } ni;
+  InitiatorShell<SaturatedNi> shell(k, "shell", ni, 0, 0);
+  shell.set_admission_limit(4);
+  ShellPort<InitiatorShell<SaturatedNi>> sp(shell);
+  LocalBus bus;
+  bus.map(0, 0x1000, sp);
+
+  Transaction t;
+  t.is_write = true;
+  t.addr = 0x20;
+  t.wdata = {1};
+  t.burst_len = 1;
+  TraceIp ip(k, "trace", bus, {{1, t}, {1, t}, {1, t}, {1, t}, {1, t}, {1, t}});
+  k.run(50);
+  EXPECT_EQ(ip.submitted(), 4u); // exactly the admission limit
+  EXPECT_EQ(ip.dropped(), 0u);   // the rest wait, they are not lost
+  EXPECT_FALSE(ip.done());
+  EXPECT_GT(bus.busy(), 0u);
+  EXPECT_EQ(shell.outstanding(), 4u);
 }
 
 TEST(BurstyWriterTest, GeneratesBurstyButBoundedTraffic) {

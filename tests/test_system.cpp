@@ -30,12 +30,17 @@ TEST(System, MixedWorkloadLongRun) {
 
   // Point-to-point connections from the left column.
   auto p0 = plat.connect(mesh.ni(0, 0), mems[0], 3, 1, 0x0000, 0x10000);
+  ASSERT_TRUE(p0.has_value());
   auto p1 = plat.connect(mesh.ni(0, 2), mems[1], 2, 1, 0x0000, 0x10000);
+  ASSERT_TRUE(p1.has_value());
   auto p2 = plat.connect(mesh.ni(0, 4), mems[2], 2, 2, 0x0000, 0x10000);
+  ASSERT_TRUE(p2.has_value());
   auto p3 = plat.connect(mesh.ni(1, 0), mems[3], 1, 1, 0x0000, 0x10000);
+  ASSERT_TRUE(p3.has_value());
 
   // Multicast broadcaster in the middle.
   auto mc = plat.connect_multicast(mesh.ni(2, 0), {mems[1], mems[3]}, 2, 0x0000, 0x10000);
+  ASSERT_TRUE(mc.has_value());
 
   const sim::Cycle cfg = plat.configure();
   EXPECT_GT(cfg, 0u);
@@ -58,7 +63,7 @@ TEST(System, MixedWorkloadLongRun) {
   rd.period = 128;
   rd.burst = 4;
   rd.addr_range = 0x400;
-  ReaderIp r2(kernel, "r2", *p2.port, rd);
+  ReaderIp r2(kernel, "r2", *p2->port, rd);
 
   CbrWriter::Params mcp;
   mcp.period = 64;
@@ -69,11 +74,11 @@ TEST(System, MixedWorkloadLongRun) {
 
   // Long run.
   kernel.run(40000);
-  while (p0.port->take_response()) {
+  while (p0->port->take_response()) {
   }
-  while (p1.port->take_response()) {
+  while (p1->port->take_response()) {
   }
-  while (p3.port->take_response()) {
+  while (p3->port->take_response()) {
   }
 
   // Global invariants: no drops, no overflow, no config errors anywhere.
