@@ -1,0 +1,299 @@
+// QoS-aware graceful degradation: what the service-class machinery buys
+// when the network is both overloaded and losing links.
+//
+// One open-loop churn configuration (guaranteed/standard/best-effort mix,
+// class quotas, preemptive healing, bounded retry queue, background slot
+// compaction) is swept over an escalating kill-fault schedule: 0, 2 and 4
+// links quarantined mid-run. Every point replays the identical stream
+// against the incremental and the from-scratch allocator and hard-fails
+// on any decision-digest divergence — preemption, compaction and
+// quarantine flips are all inside the oracle.
+//
+// Full-run floors (quick mode checks only the digests):
+//  * guaranteed traffic survives: zero admission rejects, zero sheds, and
+//    every guaranteed set-up eventually admitted (retries count), with
+//    the fault-free point settling past 0.6 schedule utilization — while
+//    best-effort sheds under the same load;
+//  * compaction measurably lowers the fragmentation gauge: the same
+//    worst-fault point re-run without background compaction must end with
+//    a strictly higher fragmentation reading;
+//  * the degraded service's own churn (preemption victims re-arriving,
+//    retry replays) is priced on both networks: daelite's broadcast-tree
+//    set-up stays cheaper than aelite's serialized MMIO mirror (Table
+//    III's ordering holds under degradation too).
+//
+// --quick shrinks the mesh/stream for CI smoke and skips the floors
+// (timing-independent, but small meshes saturate differently).
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "aelite/config_model.hpp"
+#include "alloc/churn.hpp"
+#include "analysis/report.hpp"
+#include "analysis/setup_time.hpp"
+#include "common.hpp"
+
+using namespace daelite;
+using analysis::TextTable;
+using analysis::fmt;
+
+namespace {
+
+struct FaultPoint {
+  const char* label;
+  std::size_t kills; ///< links quarantined over the run
+};
+
+alloc::ChurnReport run_mode(const topo::Topology& topo, const tdm::TdmParams& params,
+                            const alloc::ChurnRunOptions& run, bool incremental) {
+  alloc::AllocatorOptions ao;
+  ao.incremental = incremental;
+  alloc::SlotAllocator sa(topo, params, ao);
+  return alloc::run_churn(sa, run);
+}
+
+const alloc::ClassStats& cls(const alloc::ChurnReport& r, alloc::ServiceClass c) {
+  return r.per_class[static_cast<std::size_t>(c)];
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+
+  const int dim = quick ? 4 : 8;
+  const std::uint32_t slots = 64;
+  const std::uint64_t requests = quick ? 4000 : 20000;
+  const topo::Mesh mesh = topo::make_mesh(dim, dim);
+  const tdm::TdmParams params = tdm::daelite_params(slots);
+
+  // The operating point: ~10% guaranteed / ~10% standard / ~80%
+  // best-effort, class quotas leaving guaranteed traffic headroom above
+  // the standard/best-effort ceiling, preemption and the retry queue
+  // armed, a compaction pass every 500 requests. Load is tuned so the
+  // fault-free full run settles past 0.6 mean utilization.
+  const auto make_run = [&](std::size_t kills, bool compact) {
+    alloc::ChurnRunOptions run;
+    run.requests = requests;
+    run.workload.seed = 1;
+    run.workload.arrival_rate = 0.009;
+    run.workload.mean_hold_cycles = 300000.0;
+    run.workload.multicast_fraction = 0.0;
+    run.workload.min_slots = 1;
+    run.workload.max_slots = 2;
+    run.workload.guaranteed_fraction = 0.1;
+    run.workload.best_effort_fraction = 0.8;
+    run.admission.max_utilization = 0.95;
+    run.admission.quota[static_cast<std::size_t>(alloc::ServiceClass::kStandard)]
+        .max_utilization = 0.7;
+    run.admission.quota[static_cast<std::size_t>(alloc::ServiceClass::kBestEffort)]
+        .max_utilization = 0.7;
+    run.admission.preempt_best_effort = true;
+    run.overload.enabled = true;
+    run.overload.max_attempts = 8;
+    run.compaction.every = compact ? 500 : 0;
+    run.compaction.after_quarantine = compact;
+    // Kill router-router links spread over the mesh, staggered through the
+    // run's middle. NI access links are spared — quarantining a node's
+    // only ingress would make its guaranteed traffic unroutable by
+    // construction, which is a topology property, not a scheduling one.
+    std::vector<topo::LinkId> routable;
+    for (topo::LinkId l = 0; l < mesh.topo.link_count(); ++l) {
+      const topo::Link& lk = mesh.topo.link(l);
+      if (mesh.topo.is_router(lk.src) && mesh.topo.is_router(lk.dst)) routable.push_back(l);
+    }
+    for (std::size_t k = 0; k < kills; ++k) {
+      alloc::QuarantineEvent qe;
+      qe.at_request = requests / 4 + k * (requests / (2 * (kills + 1)));
+      qe.link = routable[(k + 1) * routable.size() / (kills + 1) - 1];
+      run.quarantine_events.push_back(qe);
+    }
+    return run;
+  };
+
+  const FaultPoint points[] = {{"none", 0}, {"few", 2}, {"many", 4}};
+
+  using sim::JsonValue;
+  JsonValue jpoints = JsonValue::array();
+
+  TextTable t("Graceful degradation: guaranteed survival vs kill faults (" +
+              std::to_string(requests) + " requests, " + std::to_string(dim) + "x" +
+              std::to_string(dim) + " mesh, S=" + std::to_string(slots) + ")");
+  t.set_header({"faults", "mean util", "GT admit %", "GT shed", "BE admit %", "BE shed",
+                "preempted", "compact moves", "frag last"});
+
+  const alloc::ChurnReport* fault_free = nullptr;
+  std::vector<alloc::ChurnReport> reports;
+  reports.reserve(std::size(points));
+
+  for (const FaultPoint& p : points) {
+    const alloc::ChurnRunOptions run = make_run(p.kills, true);
+    alloc::ChurnReport inc = run_mode(mesh.topo, params, run, true);
+    const alloc::ChurnReport scr = run_mode(mesh.topo, params, run, false);
+    if (inc.decision_digest != scr.decision_digest) {
+      std::cerr << "error: decision digest mismatch at fault point '" << p.label
+                << "' — incremental and from-scratch allocators diverged\n";
+      return 1;
+    }
+    if (inc.metrics.rollback_failures.value() != 0) {
+      std::cerr << "error: transactional roll-back failed during degradation churn\n";
+      return 1;
+    }
+
+    const auto& gt = cls(inc, alloc::ServiceClass::kGuaranteed);
+    const auto& be = cls(inc, alloc::ServiceClass::kBestEffort);
+    const auto pct = [](std::uint64_t num, std::uint64_t den) {
+      return den ? 100.0 * static_cast<double>(num) / static_cast<double>(den) : 0.0;
+    };
+    t.add_row({p.label, fmt(inc.metrics.utilization.mean(), 3),
+               fmt(pct(gt.admitted, gt.setups), 1), std::to_string(gt.shed),
+               fmt(pct(be.admitted, be.setups), 1), std::to_string(be.shed),
+               std::to_string(inc.preempted_connections), std::to_string(inc.compaction_moves),
+               fmt(inc.metrics.fragmentation.last(), 3)});
+
+    JsonValue row = JsonValue::object();
+    row["faults"] = p.label;
+    row["kills"] = static_cast<std::uint64_t>(p.kills);
+    row["mean_utilization"] = inc.metrics.utilization.mean();
+    row["fragmentation_mean"] = inc.metrics.fragmentation.mean();
+    row["fragmentation_last"] = inc.metrics.fragmentation.last();
+    row["shed_total"] = inc.shed_total;
+    row["retry_attempts"] = inc.retry_attempts;
+    row["preempted_connections"] = inc.preempted_connections;
+    row["compaction_passes"] = inc.compaction_passes;
+    row["compaction_moves"] = inc.compaction_moves;
+    JsonValue classes = JsonValue::object();
+    for (std::size_t c = 0; c < alloc::kServiceClassCount; ++c) {
+      const alloc::ClassStats& s = inc.per_class[c];
+      JsonValue jc = JsonValue::object();
+      jc["setups"] = s.setups;
+      jc["admitted"] = s.admitted;
+      jc["rejected_admission"] = s.rejected_admission;
+      jc["rejected_no_route"] = s.rejected_no_route;
+      jc["shed"] = s.shed;
+      jc["retries"] = s.retries;
+      jc["preempted"] = s.preempted;
+      classes[std::string(alloc::service_class_name(static_cast<alloc::ServiceClass>(c)))] =
+          std::move(jc);
+    }
+    row["per_class"] = std::move(classes);
+    row["digest_match"] = true;
+    jpoints.push_back(std::move(row));
+    reports.push_back(std::move(inc));
+  }
+  fault_free = &reports.front();
+  t.print(std::cout);
+  std::cout << "Class quotas cap standard/best-effort occupancy, preemption and the retry\n"
+               "queue soak up what the quarantines break; guaranteed traffic keeps its\n"
+               "admission rate while best-effort absorbs the shedding.\n\n";
+
+  if (!quick) {
+    for (std::size_t i = 0; i < std::size(points); ++i) {
+      const auto& gt = cls(reports[i], alloc::ServiceClass::kGuaranteed);
+      if (gt.rejected_admission != 0 || gt.shed != 0 || gt.admitted < gt.setups) {
+        std::cerr << "error: guaranteed traffic degraded at fault point '" << points[i].label
+                  << "' (admission rejects " << gt.rejected_admission << ", shed " << gt.shed
+                  << ", admitted " << gt.admitted << " of " << gt.setups << ")\n";
+        return 1;
+      }
+    }
+    if (fault_free->final_utilization < 0.6) {
+      std::cerr << "error: fault-free point settled at utilization "
+                << fault_free->final_utilization
+                << " (< 0.6) — the overload regime was not reached\n";
+      return 1;
+    }
+    if (cls(*fault_free, alloc::ServiceClass::kBestEffort).shed == 0) {
+      std::cerr << "error: best-effort shed nothing — the load point is not actually "
+                   "overloaded, so guaranteed survival proves nothing\n";
+      return 1;
+    }
+  }
+
+  // --- Compaction ablation: worst fault point without background passes ------
+  const alloc::ChurnReport& with = reports.back();
+  const alloc::ChurnReport without =
+      run_mode(mesh.topo, params, make_run(points[std::size(points) - 1].kills, false), true);
+  TextTable c("\nCompaction ablation (fault point '" +
+              std::string(points[std::size(points) - 1].label) + "')");
+  c.set_header({"compaction", "frag last", "frag mean", "shed total", "moves"});
+  c.add_row({"on", fmt(with.metrics.fragmentation.last(), 3),
+             fmt(with.metrics.fragmentation.mean(), 3), std::to_string(with.shed_total),
+             std::to_string(with.compaction_moves)});
+  c.add_row({"off", fmt(without.metrics.fragmentation.last(), 3),
+             fmt(without.metrics.fragmentation.mean(), 3), std::to_string(without.shed_total),
+             "0"});
+  c.print(std::cout);
+  if (!quick && with.metrics.fragmentation.last() >= without.metrics.fragmentation.last()) {
+    std::cerr << "error: background compaction did not lower the fragmentation gauge ("
+              << with.metrics.fragmentation.last() << " vs "
+              << without.metrics.fragmentation.last() << " without)\n";
+    return 1;
+  }
+
+  // --- Set-up pricing of the degraded service's churn, daelite vs aelite -----
+  // Preemption victims re-arriving and retry replays multiply the set-up
+  // count; price every admitted connection on both networks' cost models.
+  sim::Histogram d_setup(4096), a_setup(65536);
+  sim::Kernel akernel;
+  aelite::AeliteConfigHost ahost(akernel, "cfg", mesh.topo, mesh.ni(0, 0),
+                                 {tdm::aelite_params(slots), 0});
+  const std::uint32_t cool_down = hw::DaeliteNetwork::Options{}.cool_down_cycles;
+  {
+    alloc::ChurnRunOptions run = make_run(2, true);
+    run.on_admit = [&](const alloc::AllocatedConnection& conn) {
+      d_setup.add(
+          analysis::daelite_ideal_connection_setup_cycles(mesh.topo, params, conn, cool_down));
+      aelite::AeliteConfigHost::SetupRequest req;
+      req.src_ni = conn.spec.src_ni; // same mesh shape, same node ids
+      req.dst_ni = conn.spec.dst_nis[0];
+      req.request_slots = conn.request.slot_count();
+      req.response_slots = conn.has_response ? conn.response.slot_count() : 0;
+      req.with_readback = true;
+      a_setup.add(ahost.ideal_setup_cycles(req));
+    };
+    (void)run_mode(mesh.topo, params, run, true);
+  }
+  TextTable s("\nSet-up cost of the degraded service's churn (ideal cycles)");
+  s.set_header({"network", "set-ups", "mean", "p50", "p99"});
+  s.add_row({"daelite", std::to_string(d_setup.count()), fmt(d_setup.mean(), 0),
+             std::to_string(d_setup.quantile(0.5)), std::to_string(d_setup.quantile(0.99))});
+  s.add_row({"aelite", std::to_string(a_setup.count()), fmt(a_setup.mean(), 0),
+             std::to_string(a_setup.quantile(0.5)), std::to_string(a_setup.quantile(0.99))});
+  s.print(std::cout);
+  if (!quick && a_setup.count() > 0 && a_setup.mean() <= d_setup.mean()) {
+    std::cerr << "error: aelite mean set-up cost (" << a_setup.mean()
+              << ") did not exceed daelite's (" << d_setup.mean()
+              << ") — Table III's ordering should hold under degradation\n";
+    return 1;
+  }
+
+  const std::string json_path = bench::json_out_path(argc, argv, "degradation");
+  if (!json_path.empty()) {
+    JsonValue doc = JsonValue::object();
+    doc["quick"] = quick;
+    doc["mesh"] = std::to_string(dim) + "x" + std::to_string(dim);
+    doc["slots"] = slots;
+    doc["requests"] = requests;
+    doc["fault_points"] = std::move(jpoints);
+    JsonValue abl = JsonValue::object();
+    abl["with_fragmentation_last"] = with.metrics.fragmentation.last();
+    abl["without_fragmentation_last"] = without.metrics.fragmentation.last();
+    abl["with_fragmentation_mean"] = with.metrics.fragmentation.mean();
+    abl["without_fragmentation_mean"] = without.metrics.fragmentation.mean();
+    abl["with_shed_total"] = with.shed_total;
+    abl["without_shed_total"] = without.shed_total;
+    doc["compaction_ablation"] = std::move(abl);
+    JsonValue setup = JsonValue::object();
+    setup["daelite_ideal_cycles"] = to_json(d_setup);
+    setup["aelite_ideal_cycles"] = to_json(a_setup);
+    doc["setup_cost"] = std::move(setup);
+    if (!bench::write_bench_json(json_path, "degradation", std::move(doc))) return 1;
+  }
+  return 0;
+}

@@ -23,6 +23,15 @@ std::uint64_t rotate_slots_right(std::uint64_t mask, std::uint32_t d, std::uint3
 
 } // namespace
 
+std::string_view service_class_name(ServiceClass c) {
+  switch (c) {
+    case ServiceClass::kGuaranteed: return "guaranteed";
+    case ServiceClass::kStandard: return "standard";
+    case ServiceClass::kBestEffort: return "best_effort";
+  }
+  return "?";
+}
+
 std::vector<tdm::Slot> spread_pick(const std::vector<tdm::Slot>& avail, std::uint32_t want) {
   std::vector<tdm::Slot> picked;
   if (avail.size() < want) return picked;
@@ -288,6 +297,82 @@ void SlotAllocator::release(const RouteTree& route) {
     // owner of the id would alias the first).
     recycle_channel_id(route.channel);
   }
+}
+
+std::optional<SlotAllocator::PreemptionPlan> SlotAllocator::plan_preemption(
+    const ChannelSpec& spec, const std::function<bool(tdm::ChannelId)>& preemptable) {
+  if (!valid_spec(spec) || spec.dst_nis.size() != 1 || !preemptable) return std::nullopt;
+
+  std::optional<PreemptionPlan> best;
+  const auto& paths = candidate_paths(spec.src_ni, spec.dst_nis[0]);
+  for (std::size_t pi = 0; pi < paths.size(); ++pi) {
+    const topo::Path& p = paths[pi];
+    if (p.empty()) continue;
+    const RouteTree shape = RouteTree::from_path(*topo_, p, {}, tdm::kNoChannel);
+
+    // Feasible injection slots under "free OR preemptable" occupancy, each
+    // with the channels that would have to go.
+    struct SlotChoice {
+      tdm::Slot q = 0;
+      std::vector<tdm::ChannelId> victims; ///< sorted, unique
+    };
+    std::vector<SlotChoice> feasible;
+    for (tdm::Slot q = 0; q < params_.num_slots; ++q) {
+      SlotChoice c;
+      c.q = q;
+      bool ok = true;
+      for (const RouteEdge& e : shape.edges) {
+        const tdm::Slot s = params_.slot_at_link(q, e.depth);
+        const tdm::ChannelId owner = schedule_.owner(e.link, s);
+        if (owner == tdm::kNoChannel) continue;
+        if (!preemptable(owner)) {
+          ok = false;
+          break;
+        }
+        const auto it = std::lower_bound(c.victims.begin(), c.victims.end(), owner);
+        if (it == c.victims.end() || *it != owner) c.victims.insert(it, owner);
+      }
+      if (ok) feasible.push_back(std::move(c));
+    }
+    if (feasible.size() < spec.slots_required) continue;
+
+    // Greedy min-victims cover: repeatedly take the unchosen slot adding the
+    // fewest channels not already condemned (ties: lowest slot).
+    std::vector<tdm::ChannelId> condemned;
+    std::vector<bool> chosen(feasible.size(), false);
+    const auto new_victims = [&](const SlotChoice& c) {
+      std::size_t n = 0;
+      for (tdm::ChannelId v : c.victims)
+        if (!std::binary_search(condemned.begin(), condemned.end(), v)) ++n;
+      return n;
+    };
+    for (std::uint32_t picked = 0; picked < spec.slots_required; ++picked) {
+      std::size_t best_i = feasible.size();
+      std::size_t best_add = std::numeric_limits<std::size_t>::max();
+      for (std::size_t i = 0; i < feasible.size(); ++i) {
+        if (chosen[i]) continue;
+        const std::size_t add = new_victims(feasible[i]);
+        if (add < best_add) {
+          best_add = add;
+          best_i = i;
+        }
+      }
+      chosen[best_i] = true;
+      for (tdm::ChannelId v : feasible[best_i].victims) {
+        const auto it = std::lower_bound(condemned.begin(), condemned.end(), v);
+        if (it == condemned.end() || *it != v) condemned.insert(it, v);
+      }
+    }
+
+    if (!best || condemned.size() < best->victims.size()) {
+      best.emplace();
+      best->path = p;
+      best->path_index = pi;
+      best->victims = std::move(condemned);
+      if (best->victims.empty()) break; // cannot beat a free path
+    }
+  }
+  return best;
 }
 
 void SlotAllocator::quarantine_link(topo::LinkId link) {

@@ -22,8 +22,10 @@
 //    pins the equivalence on replayed request logs).
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -35,10 +37,24 @@
 
 namespace daelite::alloc {
 
+/// QoS service class of a channel / connection — the degradation order
+/// every robustness path honors: guaranteed-throughput traffic keeps its
+/// reservations at the expense of best-effort traffic (preemption,
+/// admission quotas, overload shedding), standard traffic sits between.
+/// The numeric values are stable: they enter decision digests and reports.
+enum class ServiceClass : std::uint8_t {
+  kGuaranteed = 0, ///< never shed, never preempted; may preempt best-effort
+  kStandard = 1,   ///< default; shed under overload after best-effort
+  kBestEffort = 2, ///< first to shed, only class eligible for preemption
+};
+inline constexpr std::size_t kServiceClassCount = 3;
+std::string_view service_class_name(ServiceClass c);
+
 struct ChannelSpec {
   topo::NodeId src_ni = topo::kInvalidNode;
   std::vector<topo::NodeId> dst_nis;
   std::uint32_t slots_required = 1; ///< bandwidth, in slots per wheel
+  ServiceClass service_class = ServiceClass::kStandard;
 };
 
 enum class SlotPolicy {
@@ -73,6 +89,11 @@ class SlotAllocator {
   const tdm::TdmParams& params() const { return params_; }
   const topo::Topology& topology() const { return *topo_; }
   const AllocatorOptions& options() const { return options_; }
+
+  /// Switch the slot-picking policy mid-life. The compaction pass re-packs
+  /// live connections under kFirstFit regardless of the service's steady-
+  /// state policy, then restores the original.
+  void set_slot_policy(SlotPolicy p) { options_.slot_policy = p; }
 
   /// Allocate a channel (unicast or multicast). Returns the route with a
   /// fresh (possibly recycled) ChannelId, or nullopt if the spec is
@@ -112,6 +133,30 @@ class SlotAllocator {
   /// and the fresh-id watermark advances past it — a later allocate() must
   /// never hand out an id that would alias a restored route's reservations.
   bool restore(const RouteTree& route);
+
+  // --- Preemptive healing ------------------------------------------------------
+
+  /// What tearing down a set of channels would buy a (guaranteed) request
+  /// that allocate() rejected: a candidate path plus the minimal set of
+  /// preemptable channels whose release makes >= slots_required injection
+  /// slots feasible on it. The caller releases the victims' routes (it
+  /// owns the ChannelId -> route mapping) and re-runs allocate().
+  struct PreemptionPlan {
+    topo::Path path;              ///< candidate path the plan frees up
+    std::size_t path_index = 0;   ///< its index among candidate_paths()
+    std::vector<tdm::ChannelId> victims; ///< channels to release, ascending
+  };
+
+  /// Min-victims scoring pass over the candidate paths of a unicast spec:
+  /// per path, every injection slot whose (link, slot) pairs are each free
+  /// or owned by a channel `preemptable` approves is feasible; slots are
+  /// chosen greedily to add the fewest new victims; the path with the
+  /// smallest victim set wins (ties: lower path index). Returns nullopt
+  /// for multicast specs or when no path can be freed even with every
+  /// preemptable channel gone. Deterministic and read-only on the
+  /// schedule; identical between incremental and from-scratch modes.
+  std::optional<PreemptionPlan> plan_preemption(
+      const ChannelSpec& spec, const std::function<bool(tdm::ChannelId)>& preemptable);
 
   // --- Link quarantine ---------------------------------------------------------
 

@@ -9,6 +9,23 @@
 
 namespace daelite::alloc {
 
+namespace {
+
+/// FNV-1a over the 8 bytes of v, little-endian.
+void fnv_mix(std::uint64_t& digest, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    digest ^= (v >> (8 * i)) & 0xff;
+    digest *= 1099511628211ull;
+  }
+}
+
+void fnv_mix_route(std::uint64_t& digest, const RouteTree& r) {
+  fnv_mix(digest, r.channel);
+  for (tdm::Slot s : r.inject_slots) fnv_mix(digest, s);
+}
+
+} // namespace
+
 std::uint64_t worst_case_latency_cycles(const RouteTree& route, const tdm::TdmParams& params) {
   if (route.inject_slots.empty()) return 0;
   // Longest circular gap between consecutive owned injection slots: a word
@@ -64,7 +81,8 @@ bool ChurnService::reject_was_fragmentation(const ChannelSpec& spec) {
 }
 
 ChurnService::Result ChurnService::allocate_connection(const ConnectionSpec& spec,
-                                                       AllocatedConnection* out) {
+                                                       AllocatedConnection* out,
+                                                       bool new_connection) {
   last_no_route_was_frag_ = false;
   const bool multicast = spec.dst_nis.size() > 1;
   const std::uint32_t resp_slots = multicast ? 0 : spec.response_slots;
@@ -74,11 +92,20 @@ ChurnService::Result ChurnService::allocate_connection(const ConnectionSpec& spe
     return {ChurnStatus::kRejectedAdmission, 0};
   if (alloc_->utilization() > admission_.max_utilization)
     return {ChurnStatus::kRejectedAdmission, 0};
+  if (new_connection) {
+    // Per-class quota: modify/compact re-admissions skip it — the class
+    // population does not grow there.
+    const auto& q = admission_.quota[static_cast<std::size_t>(spec.service_class)];
+    if (q.max_live != 0 && live_of_class(spec.service_class) >= q.max_live)
+      return {ChurnStatus::kRejectedAdmission, 0};
+    if (alloc_->utilization() > q.max_utilization) return {ChurnStatus::kRejectedAdmission, 0};
+  }
 
   ChannelSpec req;
   req.src_ni = spec.src_ni;
   req.dst_nis = spec.dst_nis;
   req.slots_required = spec.request_slots;
+  req.service_class = spec.service_class;
   auto r = alloc_->allocate(req);
   if (!r) {
     last_no_route_was_frag_ = reject_was_fragmentation(req);
@@ -97,6 +124,7 @@ ChurnService::Result ChurnService::allocate_connection(const ConnectionSpec& spe
     resp.src_ni = spec.dst_nis.front();
     resp.dst_nis = {spec.src_ni};
     resp.slots_required = resp_slots;
+    resp.service_class = spec.service_class;
     auto rr = alloc_->allocate(resp);
     if (!rr) {
       // Classified *before* releasing the request: the response failed in
@@ -116,10 +144,73 @@ ChurnService::Result ChurnService::allocate_connection(const ConnectionSpec& spe
   return {ChurnStatus::kAdmitted, 0};
 }
 
+ChurnService::Result ChurnService::preempt_and_retry(const ConnectionSpec& spec,
+                                                     AllocatedConnection* out) {
+  Result r{ChurnStatus::kRejectedNoRoute, 0};
+  const bool multicast = spec.dst_nis.size() > 1;
+  if (multicast) return r; // plan_preemption is unicast-only
+  const auto preemptable = [&](tdm::ChannelId ch) {
+    const auto it = channel_owner_.find(ch);
+    if (it == channel_owner_.end()) return false;
+    return conns_.at(it->second).spec.service_class == ServiceClass::kBestEffort;
+  };
+  // Two rounds: the request channel may need one pass, then the response
+  // channel another (each retry re-diagnoses which one still fails).
+  for (int round = 0; round < 2; ++round) {
+    ChannelSpec req{spec.src_ni, spec.dst_nis, spec.request_slots, spec.service_class};
+    auto plan = alloc_->plan_preemption(req, preemptable);
+    if ((!plan || plan->victims.empty()) && spec.response_slots > 0) {
+      ChannelSpec resp{spec.dst_nis.front(),
+                       {spec.src_ni},
+                       spec.response_slots,
+                       spec.service_class};
+      plan = alloc_->plan_preemption(resp, preemptable);
+    }
+    if (!plan || plan->victims.empty()) break; // preemption cannot help
+
+    // Victim channels -> owning connections, ascending and unique (two
+    // channels of one connection may both be condemned).
+    std::vector<std::uint64_t> victims;
+    for (tdm::ChannelId ch : plan->victims) {
+      const std::uint64_t id = channel_owner_.at(ch);
+      const auto it = std::lower_bound(victims.begin(), victims.end(), id);
+      if (it == victims.end() || *it != id) victims.insert(it, id);
+    }
+    for (std::uint64_t id : victims) preempt_connection(id);
+
+    r = allocate_connection(spec, out);
+    if (r.status != ChurnStatus::kRejectedNoRoute) break;
+  }
+  return r;
+}
+
+void ChurnService::preempt_connection(std::uint64_t id) {
+  const auto it = conns_.find(id);
+  assert(it != conns_.end());
+  metrics_.preemptions.inc();
+  channel_owner_.erase(it->second.request.channel);
+  alloc_->release(it->second.request);
+  if (it->second.has_response) {
+    channel_owner_.erase(it->second.response.channel);
+    alloc_->release(it->second.response);
+  }
+  const std::size_t idx = static_cast<std::size_t>(it->second.spec.service_class);
+  assert(live_by_class_[idx] > 0);
+  --live_by_class_[idx];
+  last_preempted_.push_back(id);
+  unlink_live(id);
+  conns_.erase(it);
+}
+
 ChurnService::Result ChurnService::set_up(const ConnectionSpec& spec) {
+  last_preempted_.clear();
   metrics_.setups.inc();
   AllocatedConnection conn;
   Result r = allocate_connection(spec, &conn);
+  if (r.status == ChurnStatus::kRejectedNoRoute && admission_.preempt_best_effort &&
+      spec.service_class == ServiceClass::kGuaranteed) {
+    r = preempt_and_retry(spec, &conn);
+  }
   switch (r.status) {
     case ChurnStatus::kAdmitted: {
       metrics_.admitted.inc();
@@ -129,6 +220,9 @@ ChurnService::Result ChurnService::set_up(const ConnectionSpec& spec) {
       r.connection = id;
       live_index_[id] = live_order_.size();
       live_order_.push_back(id);
+      channel_owner_[conn.request.channel] = id;
+      if (conn.has_response) channel_owner_[conn.response.channel] = id;
+      ++live_by_class_[static_cast<std::size_t>(spec.service_class)];
       conns_.emplace(id, std::move(conn));
       break;
     }
@@ -147,8 +241,15 @@ ChurnStatus ChurnService::tear_down(std::uint64_t id) {
   auto it = conns_.find(id);
   if (it == conns_.end()) return ChurnStatus::kUnknownConnection;
   metrics_.teardowns.inc();
+  channel_owner_.erase(it->second.request.channel);
   alloc_->release(it->second.request);
-  if (it->second.has_response) alloc_->release(it->second.response);
+  if (it->second.has_response) {
+    channel_owner_.erase(it->second.response.channel);
+    alloc_->release(it->second.response);
+  }
+  const std::size_t idx = static_cast<std::size_t>(it->second.spec.service_class);
+  assert(live_by_class_[idx] > 0);
+  --live_by_class_[idx];
   unlink_live(id);
   conns_.erase(it);
   return ChurnStatus::kAdmitted;
@@ -163,17 +264,23 @@ ChurnService::Result ChurnService::modify(std::uint64_t id, std::uint32_t reques
   // Transactional: release the old reservations, allocate the new
   // bandwidth under admission control, restore exactly on failure.
   const AllocatedConnection old = it->second;
+  channel_owner_.erase(old.request.channel);
   alloc_->release(old.request);
-  if (old.has_response) alloc_->release(old.response);
+  if (old.has_response) {
+    channel_owner_.erase(old.response.channel);
+    alloc_->release(old.response);
+  }
 
   ConnectionSpec spec = old.spec;
   spec.request_slots = request_slots;
   spec.response_slots = response_slots;
 
   AllocatedConnection fresh;
-  Result r = allocate_connection(spec, &fresh);
+  Result r = allocate_connection(spec, &fresh, /*new_connection=*/false);
   if (r.status == ChurnStatus::kAdmitted) {
     fresh.id = old.id;
+    channel_owner_[fresh.request.channel] = id;
+    if (fresh.has_response) channel_owner_[fresh.response.channel] = id;
     it->second = std::move(fresh);
     r.connection = id;
     return r;
@@ -189,10 +296,14 @@ ChurnService::Result ChurnService::modify(std::uint64_t id, std::uint32_t reques
   }
   if (restored) {
     metrics_.modify_failed_restored.inc();
+    channel_owner_[old.request.channel] = id;
+    if (old.has_response) channel_owner_[old.response.channel] = id;
   } else {
     // The connection is gone; dropping it from the live set keeps the
     // bookkeeping truthful instead of leaving a dangling id.
     metrics_.rollback_failures.inc();
+    const std::size_t idx = static_cast<std::size_t>(old.spec.service_class);
+    if (live_by_class_[idx] > 0) --live_by_class_[idx];
     unlink_live(id);
     conns_.erase(it);
   }
@@ -227,6 +338,89 @@ double ChurnService::sample_fragmentation(const std::vector<topo::Path>& probes)
   return frag;
 }
 
+namespace {
+
+/// Packing score of an allocated connection: (highest inject slot over
+/// both channels, total route depth). Compaction accepts a move only when
+/// this strictly decreases — re-packing toward low slot offsets frees
+/// contiguous high-slot capacity for future alignment.
+std::pair<std::uint32_t, std::size_t> packing_score(const AllocatedConnection& c) {
+  std::uint32_t high = c.request.inject_slots.empty() ? 0 : c.request.inject_slots.back();
+  std::size_t depth = c.request.edges.size();
+  if (c.has_response) {
+    if (!c.response.inject_slots.empty())
+      high = std::max<std::uint32_t>(high, c.response.inject_slots.back());
+    depth += c.response.edges.size();
+  }
+  return {high, depth};
+}
+
+} // namespace
+
+ChurnService::CompactionResult ChurnService::compact(std::size_t max_moves) {
+  CompactionResult res;
+  // Deterministic walk order regardless of swap-remove history.
+  std::vector<std::uint64_t> ids = live_order_;
+  std::sort(ids.begin(), ids.end());
+  const SlotPolicy saved = alloc_->options().slot_policy;
+  alloc_->set_slot_policy(SlotPolicy::kFirstFit);
+  for (std::uint64_t id : ids) {
+    if (res.moved >= max_moves) break;
+    const auto it = conns_.find(id);
+    assert(it != conns_.end());
+    if (it->second.spec.service_class == ServiceClass::kGuaranteed) continue; // never mid-stream
+    ++res.examined;
+    const AllocatedConnection old = it->second;
+
+    // Close-before-open at the allocator level: free the old reservations,
+    // re-allocate first-fit, keep only a strict improvement.
+    channel_owner_.erase(old.request.channel);
+    alloc_->release(old.request);
+    if (old.has_response) {
+      channel_owner_.erase(old.response.channel);
+      alloc_->release(old.response);
+    }
+    AllocatedConnection fresh;
+    const Result r = allocate_connection(old.spec, &fresh, /*new_connection=*/false);
+    if (r.status == ChurnStatus::kAdmitted && packing_score(fresh) < packing_score(old)) {
+      fresh.id = old.id;
+      channel_owner_[fresh.request.channel] = id;
+      if (fresh.has_response) channel_owner_[fresh.response.channel] = id;
+      // Audit trail: who moved, from which slots to which slots.
+      fnv_mix(res.digest, id);
+      fnv_mix_route(res.digest, old.request);
+      fnv_mix_route(res.digest, fresh.request);
+      if (old.has_response) fnv_mix_route(res.digest, old.response);
+      if (fresh.has_response) fnv_mix_route(res.digest, fresh.response);
+      it->second = std::move(fresh);
+      ++res.moved;
+      continue;
+    }
+    if (r.status == ChurnStatus::kAdmitted) {
+      alloc_->release(fresh.request);
+      if (fresh.has_response) alloc_->release(fresh.response);
+    }
+    // Its own slots are free again, so the restore cannot fail.
+    bool restored = alloc_->restore(old.request);
+    if (restored && old.has_response && !alloc_->restore(old.response)) {
+      alloc_->release(old.request);
+      restored = false;
+    }
+    if (restored) {
+      channel_owner_[old.request.channel] = id;
+      if (old.has_response) channel_owner_[old.response.channel] = id;
+    } else {
+      metrics_.rollback_failures.inc();
+      const std::size_t idx = static_cast<std::size_t>(old.spec.service_class);
+      if (live_by_class_[idx] > 0) --live_by_class_[idx];
+      unlink_live(id);
+      conns_.erase(it);
+    }
+  }
+  alloc_->set_slot_policy(saved);
+  return res;
+}
+
 // --- Open-loop workload ------------------------------------------------------
 
 ChurnWorkload::ChurnWorkload(std::vector<topo::NodeId> endpoints, ChurnWorkloadOptions options)
@@ -254,6 +448,17 @@ ConnectionSpec ChurnWorkload::draw_spec() {
   }
   s.request_slots = static_cast<std::uint32_t>(rng_.range(opt_.min_slots, opt_.max_slots));
   s.response_slots = fanout > 1 ? 0 : opt_.response_slots;
+  // Service-class draw only when a mix is configured: an all-standard
+  // workload must consume the exact RNG stream of pre-class builds so
+  // legacy decision digests survive.
+  if (opt_.guaranteed_fraction > 0.0 || opt_.best_effort_fraction > 0.0) {
+    const double u = rng_.uniform();
+    if (u < opt_.guaranteed_fraction) {
+      s.service_class = ServiceClass::kGuaranteed;
+    } else if (u < opt_.guaranteed_fraction + opt_.best_effort_fraction) {
+      s.service_class = ServiceClass::kBestEffort;
+    }
+  }
   return s;
 }
 
@@ -293,31 +498,17 @@ ChurnWorkload::Op ChurnWorkload::next(const ChurnService& service) {
 }
 
 void ChurnWorkload::on_setup_result(const ChurnService::Result& r) {
-  if (pending_hold_ && r.status == ChurnStatus::kAdmitted) {
-    expiry_.emplace_back(now_ + *pending_hold_, r.connection);
-    std::push_heap(expiry_.begin(), expiry_.end(), std::greater<>{});
-  }
+  if (pending_hold_ && r.status == ChurnStatus::kAdmitted)
+    schedule_expiry(now_ + *pending_hold_, r.connection);
   pending_hold_.reset();
 }
 
+void ChurnWorkload::schedule_expiry(double at, std::uint64_t connection) {
+  expiry_.emplace_back(at, connection);
+  std::push_heap(expiry_.begin(), expiry_.end(), std::greater<>{});
+}
+
 // --- Replay harness ----------------------------------------------------------
-
-namespace {
-
-/// FNV-1a over the 8 bytes of v, little-endian.
-void fnv_mix(std::uint64_t& digest, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    digest ^= (v >> (8 * i)) & 0xff;
-    digest *= 1099511628211ull;
-  }
-}
-
-void fnv_mix_route(std::uint64_t& digest, const RouteTree& r) {
-  fnv_mix(digest, r.channel);
-  for (tdm::Slot s : r.inject_slots) fnv_mix(digest, s);
-}
-
-} // namespace
 
 ChurnReport run_churn(SlotAllocator& alloc, const ChurnRunOptions& options) {
   using Clock = std::chrono::steady_clock;
@@ -347,15 +538,143 @@ ChurnReport run_churn(SlotAllocator& alloc, const ChurnRunOptions& options) {
       1, options.requests / std::max<std::size_t>(1, options.fragmentation_samples));
 
   std::uint64_t digest = 14695981039346656037ull;
+
+  report.qos_enabled = options.overload.enabled || options.compaction.every > 0 ||
+                       !options.quarantine_events.empty() ||
+                       options.admission.preempt_best_effort ||
+                       options.workload.guaranteed_fraction > 0.0 ||
+                       options.workload.best_effort_fraction > 0.0;
+
+  const auto cls = [](const ConnectionSpec& s) {
+    return static_cast<std::size_t>(s.service_class);
+  };
+
+  // Overload-control retry queue: min-heap on (ready, seq), jitter and
+  // re-admission holds drawn from a stream independent of the workload's.
+  struct Pending {
+    double ready = 0.0;
+    std::uint64_t seq = 0;
+    std::uint32_t attempts = 1; ///< tries already made
+    ConnectionSpec spec;
+  };
+  const auto pending_after = [](const Pending& a, const Pending& b) {
+    return a.ready > b.ready || (a.ready == b.ready && a.seq > b.seq);
+  };
+  std::vector<Pending> pending;
+  std::uint64_t pending_seq = 0;
+  sim::Xoshiro256 retry_rng(options.workload.seed ^ 0x6f6c7265747279ull); // "olretry"
+
+  const auto note_admitted = [&](const ConnectionSpec& spec, const ChurnService::Result& rr) {
+    ClassStats& cs = report.per_class[cls(spec)];
+    ++cs.admitted;
+    const AllocatedConnection* c = service.connection(rr.connection);
+    cs.latency_cycles.add(worst_case_latency_cycles(c->request, alloc.params()));
+  };
+  const auto note_preemptions = [&]() {
+    if (service.last_preempted().empty()) return;
+    fnv_mix(digest, 0x505245454d5054ull); // "PREEMPT"
+    for (std::uint64_t id : service.last_preempted()) fnv_mix(digest, id);
+    report.preempted_connections += service.last_preempted().size();
+    report.per_class[static_cast<std::size_t>(ServiceClass::kBestEffort)].preempted +=
+        service.last_preempted().size();
+  };
+  const auto shed = [&](const ConnectionSpec& spec) {
+    ++report.shed_total;
+    ++report.per_class[cls(spec)].shed;
+  };
+  /// Queue a retry after `attempts` failed tries, the latest at time `at`.
+  const auto enqueue_retry = [&](ConnectionSpec spec, std::uint32_t attempts, double at) {
+    if (attempts >= options.overload.max_attempts) {
+      shed(spec);
+      return;
+    }
+    const double scale = double(1ull << std::min<std::uint32_t>(attempts - 1, 20));
+    const double delay = options.overload.backoff_cycles * scale *
+                         (1.0 + options.overload.jitter * retry_rng.uniform());
+    Pending p{at + delay, pending_seq++, attempts, std::move(spec)};
+    if (pending.size() >= options.overload.pending_capacity) {
+      // Class-aware shedding: the least important waiter (then the one
+      // furthest from service) goes first — evict it only if the arrival
+      // strictly outranks it, else drop the arrival.
+      const auto demote_key = [](const Pending& q) {
+        return std::make_tuple(static_cast<std::uint8_t>(q.spec.service_class), q.ready, q.seq);
+      };
+      std::size_t worst = 0;
+      for (std::size_t k = 1; k < pending.size(); ++k)
+        if (demote_key(pending[k]) > demote_key(pending[worst])) worst = k;
+      if (static_cast<std::uint8_t>(p.spec.service_class) <
+          static_cast<std::uint8_t>(pending[worst].spec.service_class)) {
+        shed(pending[worst].spec);
+        pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(worst));
+        std::make_heap(pending.begin(), pending.end(), pending_after);
+      } else {
+        shed(p.spec);
+        return;
+      }
+    }
+    pending.push_back(std::move(p));
+    std::push_heap(pending.begin(), pending.end(), pending_after);
+  };
+  const auto run_compaction = [&]() {
+    const ChurnService::CompactionResult cr = service.compact(options.compaction.max_moves);
+    ++report.compaction_passes;
+    report.compaction_moves += cr.moved;
+    fnv_mix(report.compaction_digest, cr.digest);
+    fnv_mix(digest, 0x434f4d50414354ull); // "COMPACT"
+    fnv_mix(digest, cr.moved);
+    fnv_mix(digest, cr.digest);
+  };
+
   const auto wall_start = Clock::now();
 
   for (std::uint64_t i = 0; i < options.requests; ++i) {
+    for (const QuarantineEvent& qe : options.quarantine_events) {
+      if (qe.at_request != i) continue;
+      if (qe.clear) {
+        alloc.clear_quarantine();
+      } else {
+        alloc.quarantine_link(qe.link);
+      }
+      fnv_mix(digest, 0x5155415241ull); // "QUARA"
+      fnv_mix(digest, qe.clear ? ~0ull : std::uint64_t(qe.link));
+      if (options.compaction.after_quarantine &&
+          (options.compaction.every > 0 || options.compaction.max_moves > 0))
+        run_compaction();
+    }
+
     const ChurnWorkload::Op op = workload.next(service);
+
+    // Pending retries whose backoff expired fire before this operation.
+    while (options.overload.enabled && !pending.empty() && pending.front().ready <= op.time) {
+      std::pop_heap(pending.begin(), pending.end(), pending_after);
+      Pending p = std::move(pending.back());
+      pending.pop_back();
+      ++report.retry_attempts;
+      ++report.per_class[cls(p.spec)].retries;
+      const ChurnService::Result rr = service.set_up(p.spec);
+      fnv_mix(digest, 0x5245545259ull); // "RETRY"
+      fnv_mix(digest, static_cast<std::uint64_t>(rr.status));
+      if (rr.status == ChurnStatus::kAdmitted) {
+        const AllocatedConnection* c = service.connection(rr.connection);
+        fnv_mix_route(digest, c->request);
+        if (c->has_response) fnv_mix_route(digest, c->response);
+        note_admitted(p.spec, rr);
+        const double hold =
+            -std::log(1.0 - retry_rng.uniform()) * options.workload.mean_hold_cycles;
+        workload.schedule_expiry(p.ready + hold, rr.connection);
+        if (options.on_admit) options.on_admit(*c);
+      } else {
+        enqueue_retry(std::move(p.spec), p.attempts + 1, p.ready);
+      }
+      note_preemptions();
+    }
+
     const auto t0 = options.measure_latency ? Clock::now() : Clock::time_point{};
 
     ChurnService::Result r;
     switch (op.kind) {
       case ChurnWorkload::Op::Kind::kSetUp:
+        ++report.per_class[cls(op.spec)].setups;
         r = service.set_up(op.spec);
         workload.on_setup_result(r);
         break;
@@ -382,6 +701,28 @@ ChurnReport run_churn(SlotAllocator& alloc, const ChurnRunOptions& options) {
       if (c->has_response) fnv_mix_route(digest, c->response);
       if (op.kind == ChurnWorkload::Op::Kind::kSetUp && options.on_admit) options.on_admit(*c);
     }
+
+    if (op.kind == ChurnWorkload::Op::Kind::kSetUp) {
+      switch (r.status) {
+        case ChurnStatus::kAdmitted:
+          note_admitted(op.spec, r);
+          break;
+        case ChurnStatus::kRejectedAdmission:
+          ++report.per_class[cls(op.spec)].rejected_admission;
+          if (options.overload.enabled) enqueue_retry(op.spec, 1, op.time);
+          break;
+        case ChurnStatus::kRejectedNoRoute:
+          ++report.per_class[cls(op.spec)].rejected_no_route;
+          if (options.overload.enabled) enqueue_retry(op.spec, 1, op.time);
+          break;
+        default:
+          break;
+      }
+      note_preemptions();
+    }
+
+    if (options.compaction.every > 0 && (i + 1) % options.compaction.every == 0)
+      run_compaction();
 
     if (i % sample_every == 0 || i + 1 == options.requests) {
       const double frag = service.sample_fragmentation(probes);

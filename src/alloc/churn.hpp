@@ -24,6 +24,7 @@
 // for a given (options, allocator mode) pair, and the digest is identical
 // between incremental and from-scratch allocators — the oracle CI pins.
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -44,6 +45,21 @@ struct AdmissionControl {
   std::uint32_t max_path_hops = 0;      ///< longest admissible route, in links (0 = none)
   std::uint64_t max_latency_cycles = 0; ///< worst-case scheduling+path latency (0 = none)
   double max_utilization = 1.0;         ///< refuse set-ups once the schedule is this full
+
+  /// Per-service-class quota layered under the global bounds (multi-tenant
+  /// quotas): indexed by ServiceClass value. The defaults keep every class
+  /// unbounded, i.e. behaviour and digests identical to pre-class builds.
+  struct ClassQuota {
+    std::uint64_t max_live = 0;   ///< live connections of this class (0 = unbounded)
+    double max_utilization = 1.0; ///< refuse this class's set-ups above this occupancy
+  };
+  std::array<ClassQuota, kServiceClassCount> quota{};
+
+  /// Allow a guaranteed set-up that found no route to tear down best-effort
+  /// connections along a candidate path (SlotAllocator::plan_preemption,
+  /// min-victims). Off by default: preemption changes decisions, so it must
+  /// be an explicit policy choice.
+  bool preempt_best_effort = false;
 };
 
 enum class ChurnStatus : std::uint8_t {
@@ -69,9 +85,24 @@ struct ChurnMetrics {
   sim::Counter modifies;
   sim::Counter modify_failed_restored; ///< failed modifies whose old route was restored
   sim::Counter rollback_failures;      ///< restores that failed (must stay 0)
+  sim::Counter preemptions;            ///< best-effort connections torn down for guaranteed set-ups
   sim::Gauge utilization;              ///< sampled schedule occupancy
   sim::Gauge fragmentation;            ///< sampled misalignment gauge (see sample_fragmentation)
   sim::Histogram admitted_hops{64};    ///< request-route depth of admitted connections
+};
+
+/// Per-service-class slice of a churn run (ChurnReport::per_class, indexed
+/// by ServiceClass value). `setups` counts first attempts only; retries of
+/// the overload queue are counted separately, and `admitted` counts both.
+struct ClassStats {
+  std::uint64_t setups = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_admission = 0;
+  std::uint64_t rejected_no_route = 0;
+  std::uint64_t shed = 0;     ///< dropped by overload control (queue full / retries spent)
+  std::uint64_t retries = 0;  ///< re-attempts the overload queue replayed
+  std::uint64_t preempted = 0; ///< live connections torn down for guaranteed traffic
+  sim::Histogram latency_cycles{64}; ///< worst-case latency of admitted request routes
 };
 
 /// A long-running connection-request service over one live allocator.
@@ -113,6 +144,30 @@ class ChurnService {
   const ChurnMetrics& metrics() const { return metrics_; }
   SlotAllocator& allocator() { return *alloc_; }
 
+  /// Live connections of one service class (quota bookkeeping).
+  std::uint64_t live_of_class(ServiceClass c) const {
+    return live_by_class_[static_cast<std::size_t>(c)];
+  }
+
+  /// Service ids the most recent set_up() preempted (ascending; victims are
+  /// best-effort by construction). Cleared on every set_up — the replay
+  /// harness folds them into the decision digest.
+  const std::vector<std::uint64_t>& last_preempted() const { return last_preempted_; }
+
+  /// One background compaction pass: walk live non-guaranteed connections
+  /// in id order and re-allocate each under kFirstFit (close-before-open at
+  /// the allocator level), keeping a move only when it strictly lowers the
+  /// (highest inject slot, route depth) packing score; otherwise the old
+  /// reservations are restored exactly (same ChannelIds). Guaranteed
+  /// channels are never touched mid-stream. Deterministic; the digest over
+  /// every accepted move is the audit trail CI compares across modes.
+  struct CompactionResult {
+    std::size_t examined = 0;
+    std::size_t moved = 0;
+    std::uint64_t digest = 14695981039346656037ull; ///< FNV-1a over the moves
+  };
+  CompactionResult compact(std::size_t max_moves);
+
   /// Sample the fragmentation gauge over probe paths: for each path with
   /// min-free capacity > 0, the fraction of that capacity no injection
   /// slot can actually use (1 - aligned/min_free), averaged. 0 = every
@@ -121,9 +176,17 @@ class ChurnService {
   double sample_fragmentation(const std::vector<topo::Path>& probes);
 
  private:
-  /// Allocate request (+response) under admission control; used by both
-  /// set_up and modify. Does not touch connection bookkeeping.
-  Result allocate_connection(const ConnectionSpec& spec, AllocatedConnection* out);
+  /// Allocate request (+response) under admission control; used by set_up,
+  /// modify and compact. Does not touch connection bookkeeping.
+  /// `new_connection = false` (modify / compact re-admission) skips the
+  /// per-class quota checks — the class population does not grow.
+  Result allocate_connection(const ConnectionSpec& spec, AllocatedConnection* out,
+                             bool new_connection = true);
+  /// Guaranteed set-up fallback: plan a min-victims preemption for the
+  /// failing channel, tear the victims down, retry. Bounded rounds.
+  Result preempt_and_retry(const ConnectionSpec& spec, AllocatedConnection* out);
+  /// Tear a victim connection down on behalf of a guaranteed set-up.
+  void preempt_connection(std::uint64_t id);
   bool admit_route(const RouteTree& route) const;
   /// After a no-route reject: did any candidate path have enough free
   /// slots on every link (capacity) without enough aligned injection
@@ -142,6 +205,10 @@ class ChurnService {
   std::unordered_map<std::uint64_t, AllocatedConnection> conns_;
   std::unordered_map<std::uint64_t, std::size_t> live_index_; ///< id -> slot in live_order_
   std::vector<std::uint64_t> live_order_;
+  /// ChannelId -> owning service id, for preemption victim lookup.
+  std::unordered_map<tdm::ChannelId, std::uint64_t> channel_owner_;
+  std::array<std::uint64_t, kServiceClassCount> live_by_class_{};
+  std::vector<std::uint64_t> last_preempted_;
 };
 
 // --- Open-loop workload ------------------------------------------------------
@@ -160,6 +227,11 @@ struct ChurnWorkloadOptions {
   std::uint32_t min_slots = 1;
   std::uint32_t max_slots = 4;
   std::uint32_t response_slots = 1; ///< 0 = unidirectional connections
+  /// Service-class mix of generated set-ups; the remainder after the two
+  /// fractions is standard. Both zero (the default) skips the class draw
+  /// entirely, keeping the RNG stream — and every legacy digest — intact.
+  double guaranteed_fraction = 0.0;
+  double best_effort_fraction = 0.0;
 };
 
 /// Deterministic request generator. Draws sources/destinations uniformly
@@ -186,6 +258,11 @@ class ChurnWorkload {
   /// schedule the connection's expiry.
   void on_setup_result(const ChurnService::Result& r);
 
+  /// Schedule an expiry for a connection admitted outside the normal
+  /// set-up flow (the overload queue's retried set-ups). `at` is absolute
+  /// simulated time.
+  void schedule_expiry(double at, std::uint64_t connection);
+
   double now() const { return now_; }
 
  private:
@@ -204,10 +281,45 @@ class ChurnWorkload {
 
 // --- Replay harness ----------------------------------------------------------
 
+/// Overload control for rejected set-ups: a bounded pending queue replays
+/// them with exponential backoff and deterministic seeded jitter; when the
+/// queue is full, shedding is class-aware — a more important arrival
+/// evicts the least important waiter, so open-loop overload degrades
+/// best-effort first.
+struct OverloadControl {
+  bool enabled = false;
+  std::size_t pending_capacity = 64; ///< retry-queue bound
+  std::uint32_t max_attempts = 3;    ///< total tries including the first
+  double backoff_cycles = 2000.0;    ///< first retry delay; doubles per attempt
+  double jitter = 0.5;               ///< uniform extra fraction of the delay
+};
+
+/// Mid-run quarantine schedule: flip links in and out of quarantine before
+/// the given request index. Exercises the incremental path-cache
+/// invalidation on both add and clear under the decision digest, and
+/// creates the fragmentation churn a compaction pass cleans up.
+struct QuarantineEvent {
+  std::uint64_t at_request = 0;
+  topo::LinkId link = 0;
+  bool clear = false; ///< true: clear the whole quarantine set (link ignored)
+};
+
+/// Background slot compaction: a ChurnService::compact pass every `every`
+/// requests (0 = never) and after every quarantine event when
+/// `after_quarantine`.
+struct CompactionOptions {
+  std::uint64_t every = 0;
+  std::size_t max_moves = 256;
+  bool after_quarantine = true;
+};
+
 struct ChurnRunOptions {
   std::uint64_t requests = 100000; ///< total operations to field
   ChurnWorkloadOptions workload;
   AdmissionControl admission;
+  OverloadControl overload;
+  CompactionOptions compaction;
+  std::vector<QuarantineEvent> quarantine_events;
   std::size_t fragmentation_samples = 64; ///< gauge samples over the run
   std::size_t probe_paths = 32;           ///< probe paths per gauge sample
   /// Called with every admitted connection (bench hooks: set-up cost
@@ -234,6 +346,20 @@ struct ChurnReport {
   std::size_t final_live = 0;
   tdm::ChannelId channel_id_watermark = 0;
   std::vector<FragSample> frag_timeline;
+  /// True when any QoS feature shaped the run (class mix, quotas,
+  /// preemption, overload control, compaction, quarantine events) — the
+  /// tools gate the per-class report sections on this so legacy outputs
+  /// stay byte-identical.
+  bool qos_enabled = false;
+  std::array<ClassStats, kServiceClassCount> per_class{}; ///< indexed by ServiceClass
+  std::uint64_t shed_total = 0;      ///< set-ups dropped by overload control
+  std::uint64_t retry_attempts = 0;  ///< replays the overload queue performed
+  std::uint64_t preempted_connections = 0;
+  std::uint64_t compaction_passes = 0;
+  std::uint64_t compaction_moves = 0;
+  /// FNV-1a over every accepted compaction move — the digest-checked
+  /// decision trail (also folded into decision_digest).
+  std::uint64_t compaction_digest = 0;
   /// Wall-clock nanoseconds per request, only if measure_latency.
   sim::Histogram request_latency_ns{1024};
   double wall_seconds = 0.0; ///< wall time of the whole drive loop

@@ -68,7 +68,7 @@ std::optional<DimensionResult> dimension_network(const topo::Topology& topo,
                              ? 0
                              : slots_for_bandwidth(ps.response_bandwidth_mbytes_per_s, s, clk);
       uc.connections.push_back({ps.name, ps.src_ni, ps.dst_nis, d.request_slots,
-                                d.response_slots});
+                                d.response_slots, ps.service_class});
       dims.push_back(std::move(d));
     }
 

@@ -38,6 +38,10 @@ struct PhysicalConnectionSpec {
   std::uint32_t stream_period = 0;
   std::uint32_t stream_burst = 1;
   std::uint64_t bursty_seed = 0;
+  /// QoS class (scenario `class` token). Dimensioning passes it through to
+  /// the allocated ConnectionSpec; the recovery runner preempts and
+  /// compacts by it.
+  ServiceClass service_class = ServiceClass::kStandard;
 };
 
 struct NocClocking {

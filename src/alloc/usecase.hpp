@@ -27,6 +27,9 @@ struct ConnectionSpec {
   std::vector<topo::NodeId> dst_nis;   ///< >1 destinations = multicast
   std::uint32_t request_slots = 1;     ///< slots/wheel for src -> dst data
   std::uint32_t response_slots = 1;    ///< slots/wheel for dst -> src data (unicast only)
+  /// QoS class: degradation order under overload, faults and compaction
+  /// (alloc/allocator.hpp). kStandard keeps legacy behaviour.
+  ServiceClass service_class = ServiceClass::kStandard;
 };
 
 struct AllocatedConnection {

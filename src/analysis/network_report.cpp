@@ -45,6 +45,7 @@ sim::JsonValue NetworkReport::to_json() const {
       jc["corrupt_words"] = c.corrupt_words;
       jc["lost_words"] = c.lost_words;
     }
+    if (service.should_emit()) jc["class"] = c.service_class;
     jc["latency_cycles"] = sim::to_json(c.latency);
     conns.push_back(std::move(jc));
   }
@@ -158,6 +159,26 @@ sim::JsonValue NetworkReport::to_json() const {
     r["events"] = std::move(evs);
     v["recovery"] = std::move(r);
   }
+  if (service.should_emit()) {
+    static const char* const kClassNames[3] = {"guaranteed", "standard", "best_effort"};
+    JsonValue s = JsonValue::object();
+    s["preemption_events"] = service.preemption_events;
+    s["compaction_passes"] = service.compaction_passes;
+    s["compaction_moves"] = service.compaction_moves;
+    s["compaction_digest"] = service.compaction_digest;
+    JsonValue pc = JsonValue::object();
+    for (std::size_t i = 0; i < service.per_class.size(); ++i) {
+      const ServiceClassOutcome& o = service.per_class[i];
+      JsonValue jo = JsonValue::object();
+      jo["connections"] = o.connections;
+      jo["preempted"] = o.preempted;
+      jo["recovered"] = o.recovered;
+      jo["dead"] = o.dead;
+      pc[kClassNames[i]] = std::move(jo);
+    }
+    s["per_class"] = std::move(pc);
+    v["service"] = std::move(s);
+  }
   return v;
 }
 
@@ -225,6 +246,12 @@ void print_report(std::ostream& os, const NetworkReport& r, std::size_t top_link
       }
     }
     os << "\n";
+  }
+  if (r.service.should_emit()) {
+    os << "service: " << r.service.preemption_events << " preemption events, "
+       << r.service.per_class[2].preempted << " best-effort connections preempted, "
+       << r.service.compaction_moves << " compaction moves in " << r.service.compaction_passes
+       << " passes\n";
   }
   os << "\n";
   TextTable lt("Busiest links (reserved slots / wheel)");

@@ -4,6 +4,7 @@
 // dimensioning flow prints after allocation, and a simulation prints
 // after a run.
 
+#include <array>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -73,6 +74,9 @@ struct ConnectionOutcome {
   /// End-to-end word latency (cycles) across all of the connection's
   /// destination queues — per-connection quantiles in the JSON report.
   sim::Histogram latency{1024};
+  /// QoS class name ("guaranteed"/"standard"/"best_effort"), emitted only
+  /// when the service section is.
+  std::string service_class;
 };
 
 /// Fault/recovery accounting for one run: detection counters (config-agent
@@ -148,6 +152,30 @@ struct RecoverySummary {
   bool should_emit() const { return enabled; }
 };
 
+/// Per-service-class accounting of a QoS-aware degraded run. Indexed by
+/// the numeric alloc::ServiceClass values (0 guaranteed, 1 standard,
+/// 2 best_effort) — mirrored here without an alloc dependency.
+struct ServiceClassOutcome {
+  std::uint64_t connections = 0; ///< declared with this class
+  std::uint64_t preempted = 0;   ///< torn down in favor of guaranteed traffic
+  std::uint64_t recovered = 0;   ///< repair/compaction events that restored delivery
+  std::uint64_t dead = 0;        ///< abandoned (failed repair or preemption)
+};
+
+/// The report's `service` section — emitted only when the runner saw a
+/// non-default service class or ran with preemption/compaction enabled, so
+/// legacy reports stay byte-identical.
+struct ServiceSummary {
+  bool enabled = false;
+  std::uint64_t preemption_events = 0; ///< guaranteed set-ups that preempted
+  std::uint64_t compaction_passes = 0;
+  std::uint64_t compaction_moves = 0;
+  std::uint64_t compaction_digest = 0; ///< FNV-1a trail over accepted moves
+  std::array<ServiceClassOutcome, 3> per_class{};
+
+  bool should_emit() const { return enabled; }
+};
+
 /// One layer phase of a DNN workload run: the cost of switching into the
 /// layer's use case (configuration-stream drain through the broadcast
 /// tree) and of streaming its transfer volumes to completion.
@@ -197,6 +225,7 @@ struct NetworkReport {
   std::uint64_t rx_overflow = 0;
   HealthSummary health;
   RecoverySummary recovery;
+  ServiceSummary service;
   EnergySummary energy;
   WorkloadSummary workload;
   bool ok = false; ///< all contracts met, nothing dropped, config converged

@@ -1,5 +1,6 @@
 #include "daelite/network.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace daelite::hw {
@@ -50,9 +51,12 @@ DaeliteNetwork::DaeliteNetwork(sim::Kernel& k, const topo::Topology& topo, Optio
   if (options_.cfg_watchdog) {
     // A read response round-trips in ~4*depth+6 cycles after the request's
     // last word; the derived default adds slack for the host-write padding.
-    cfg_params.response_timeout_cycles = options_.cfg_response_timeout != 0
-                                             ? options_.cfg_response_timeout
-                                             : 4 * cfg_tree_.max_depth() + 16;
+    cfg_params.response_timeout_cycles =
+        options_.cfg_response_timeout != 0
+            ? options_.cfg_response_timeout
+            : std::max<std::uint32_t>(
+                  1, static_cast<std::uint32_t>((4 * cfg_tree_.max_depth() + 16) *
+                                                std::max(0.0, options_.cfg_timeout_mult)));
     cfg_params.max_retries = options_.cfg_max_retries;
     cfg_params.retry_cool_down_cycles = options_.cool_down_cycles;
   }

@@ -58,6 +58,11 @@ class DaeliteNetwork {
     bool cfg_watchdog = true;
     std::uint32_t cfg_response_timeout = 0; ///< 0: derive from tree depth
     std::uint32_t cfg_max_retries = 3;
+    /// Scale on the depth-derived timeout (ignored when
+    /// cfg_response_timeout is set explicitly). Values > 1 trade slower
+    /// loss detection for robustness on congested trees; the product is
+    /// clamped to at least one cycle.
+    double cfg_timeout_mult = 1.0;
   };
 
   DaeliteNetwork(sim::Kernel& k, const topo::Topology& topo, Options options);

@@ -32,6 +32,8 @@ std::string_view trace_event_name(TraceEvent e) {
     case TraceEvent::kLinkDead: return "link.dead";
     case TraceEvent::kRecoveryBegin:
     case TraceEvent::kRecoveryEnd: return "recovery";
+    case TraceEvent::kPreemptBegin: return "preempt";
+    case TraceEvent::kCompactionPass: return "compaction";
   }
   return "?";
 }

@@ -64,6 +64,10 @@ enum class TraceEvent : std::uint16_t {
   kLinkDead,       ///< health monitor verdict: arg0 = link id, arg1 = evidence
   kRecoveryBegin,  ///< connection re-route span: arg0 = event seq, arg1 = link id
   kRecoveryEnd,    ///< arg0 = event seq, arg1 = detection-to-restored cycles
+  // Graceful-degradation events appended later (keep enum values stable).
+  kPreemptBegin,   ///< best-effort victims torn down for a guaranteed
+                   ///< connection: arg0 = beneficiary seq, arg1 = victims
+  kCompactionPass, ///< background slot compaction: arg0 = moves, arg1 = digest
 };
 
 /// Short stable tag for an event ("inject", "setup", ...). Begin/End pairs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 #include <optional>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "alloc/dimension.hpp"
@@ -160,6 +162,8 @@ void run_dnn_scenario(const RunSpec& spec, Scenario& sc, topo::Mesh& mesh,
   opt.tdm = *params;
   opt.cfg_root = mesh.ni(sc.host.first, sc.host.second);
   opt.ni_channels = std::max(opt.ni_channels, channels);
+  if (spec.watchdog_retries) opt.cfg_max_retries = *spec.watchdog_retries;
+  opt.cfg_timeout_mult = spec.watchdog_timeout_mult;
   hw::DaeliteNetwork net(kernel, mesh.topo, opt);
   if (spec.shards > 1) net.assign_shards(spec.shards);
   if (spec.soa) net.enable_soa();
@@ -393,11 +397,25 @@ analysis::NetworkReport run_scenario(const RunSpec& spec) {
   report.slots = dim->params.num_slots;
   report.schedule_utilization = dim->schedule_utilization;
 
+  // The `service` section exists only for QoS-aware runs: a declared
+  // non-default class, or recovery running with preemption/compaction.
+  // Everything else stays byte-identical to pre-service builds.
+  bool any_class = false;
+  for (const alloc::DimensionedConnection& d : dim->connections)
+    any_class = any_class || d.spec.service_class != alloc::ServiceClass::kStandard;
+  report.service.enabled =
+      any_class || (spec.recovery.enabled && (spec.recovery.preempt_best_effort ||
+                                              spec.recovery.compact_after_recovery));
+  for (const alloc::DimensionedConnection& d : dim->connections)
+    ++report.service.per_class[static_cast<std::size_t>(d.spec.service_class)].connections;
+
   sim::Kernel kernel(spec.scheduler);
   kernel.set_tracer(spec.tracer);
   hw::DaeliteNetwork::Options opt;
   opt.tdm = dim->params;
   opt.cfg_root = mesh.ni(sc.host.first, sc.host.second);
+  if (spec.watchdog_retries) opt.cfg_max_retries = *spec.watchdog_retries;
+  opt.cfg_timeout_mult = spec.watchdog_timeout_mult;
   hw::DaeliteNetwork net(kernel, mesh.topo, opt);
   if (spec.shards > 1) net.assign_shards(spec.shards);
   // SoA after sharding (the engine bands follow the shard bands), before
@@ -530,6 +548,26 @@ analysis::NetworkReport run_scenario(const RunSpec& spec) {
   };
   const std::uint32_t rec_id = tr ? tr->intern("recovery") : 0;
 
+  // Drain and account a dying incarnation, then close it at the hardware
+  // level: stale words must not fake a "restored" verdict, and the freed
+  // queues' integrity counters survive into the per-connection totals.
+  // Allocator bookkeeping (release) is the caller's job.
+  const auto retire_incarnation = [&](std::size_t j) {
+    ConnRecovery& stj = rec[j];
+    for (std::size_t d = 0; d < delivered[j].size(); ++d) {
+      hw::Ni& dst = net.ni(handles[j].conn.request.dst_nis[d]);
+      while (dst.rx_pop(handles[j].dst_rx_qs[d])) ++delivered[j][d];
+      const auto& rs = dst.rx_stats(handles[j].dst_rx_qs[d]);
+      stj.saved_corrupt += rs.corrupt_words - stj.base_corrupt[d];
+      stj.saved_lost += rs.lost_words - stj.base_lost[d];
+    }
+    net.close_connection(handles[j]);
+  };
+
+  // A recovery wave ran: run one compaction pass once the config stream is
+  // idle again (only with compact_after_recovery).
+  bool compact_pending = false;
+
   // Tear the connection down and re-set it up around the quarantine while
   // traffic keeps flowing: the set-up stream rides the broadcast tree, so
   // repair cost scales with path length, not slot count (the paper's
@@ -537,6 +575,7 @@ analysis::NetworkReport run_scenario(const RunSpec& spec) {
   const auto start_recovery = [&](std::size_t i, topo::LinkId link, const char* trigger,
                                   sim::Cycle detect_cycle) {
     ConnRecovery& st = rec[i];
+    if (spec.recovery.compact_after_recovery) compact_pending = true;
     analysis::RecoveryEvent ev;
     ev.connection = dim->connections[i].spec.name;
     ev.link = link;
@@ -544,31 +583,71 @@ analysis::NetworkReport run_scenario(const RunSpec& spec) {
     ev.detected_cycle = detect_cycle;
     ev.hops_before = static_cast<std::uint32_t>(handles[i].conn.request.edges.size());
 
-    // Drain and account the dying incarnation: stale words must not fake a
-    // "restored" verdict, and the freed queues' integrity counters survive
-    // into the per-connection totals.
-    for (std::size_t d = 0; d < delivered[i].size(); ++d) {
-      hw::Ni& dst = net.ni(handles[i].conn.request.dst_nis[d]);
-      while (dst.rx_pop(handles[i].dst_rx_qs[d])) ++delivered[i][d];
-      const auto& rs = dst.rx_stats(handles[i].dst_rx_qs[d]);
-      st.saved_corrupt += rs.corrupt_words - rec[i].base_corrupt[d];
-      st.saved_lost += rs.lost_words - rec[i].base_lost[d];
-    }
-    net.close_connection(handles[i]);
+    retire_incarnation(i);
     live->release(handles[i].conn.request);
     if (handles[i].conn.has_response) live->release(handles[i].conn.response);
 
     const alloc::ConnectionSpec& cs = handles[i].conn.spec;
     const bool want_resp = handles[i].conn.has_response;
-    auto new_req = live->allocate({cs.src_ni, cs.dst_nis, cs.request_slots});
+    const auto try_allocate = [&](std::optional<alloc::RouteTree>* req,
+                                  std::optional<alloc::RouteTree>* resp) {
+      *req = live->allocate({cs.src_ni, cs.dst_nis, cs.request_slots, cs.service_class});
+      if (*req && want_resp) {
+        *resp = live->allocate({cs.dst_nis[0], {cs.src_ni}, cs.response_slots, cs.service_class});
+        if (!*resp) {
+          live->release(**req);
+          req->reset();
+        }
+      }
+    };
+    std::optional<alloc::RouteTree> new_req;
     std::optional<alloc::RouteTree> new_resp;
-    if (new_req && want_resp) {
-      new_resp = live->allocate({cs.dst_nis[0], {cs.src_ni}, cs.response_slots});
-      if (!new_resp) {
-        live->release(*new_req);
-        new_req.reset();
+    try_allocate(&new_req, &new_resp);
+
+    // Preemptive healing: a guaranteed connection squeezed out by the
+    // quarantine may tear down best-effort traffic along a min-victims
+    // candidate path instead of going dead.
+    if (!new_req && spec.recovery.preempt_best_effort && cs.dst_nis.size() == 1 &&
+        cs.service_class == alloc::ServiceClass::kGuaranteed) {
+      std::unordered_map<tdm::ChannelId, std::size_t> owner;
+      for (std::size_t j = 0; j < handles.size(); ++j) {
+        if (j == i || rec[j].phase != ConnRecovery::Phase::kHealthy) continue;
+        if (handles[j].conn.spec.service_class != alloc::ServiceClass::kBestEffort) continue;
+        owner.emplace(handles[j].conn.request.channel, j);
+        if (handles[j].conn.has_response) owner.emplace(handles[j].conn.response.channel, j);
+      }
+      const auto preemptable = [&](tdm::ChannelId ch) { return owner.count(ch) != 0; };
+      // Two rounds: the request channel's plan may leave the response
+      // channel still blocked.
+      for (int round = 0; round < 2 && !new_req; ++round) {
+        auto plan = live->plan_preemption(
+            {cs.src_ni, cs.dst_nis, cs.request_slots, cs.service_class}, preemptable);
+        if ((!plan || plan->victims.empty()) && want_resp)
+          plan = live->plan_preemption(
+              {cs.dst_nis[0], {cs.src_ni}, cs.response_slots, cs.service_class}, preemptable);
+        if (!plan || plan->victims.empty()) break;
+        std::vector<std::size_t> victims;
+        for (tdm::ChannelId ch : plan->victims) victims.push_back(owner.at(ch));
+        std::sort(victims.begin(), victims.end());
+        victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
+        for (std::size_t j : victims) {
+          retire_incarnation(j);
+          live->release(handles[j].conn.request);
+          if (handles[j].conn.has_response) live->release(handles[j].conn.response);
+          owner.erase(handles[j].conn.request.channel);
+          if (handles[j].conn.has_response) owner.erase(handles[j].conn.response.channel);
+          rec[j].phase = ConnRecovery::Phase::kDead;
+          ++report.service.per_class[static_cast<std::size_t>(alloc::ServiceClass::kBestEffort)]
+                .preempted;
+        }
+        ++report.service.preemption_events;
+        if (tr)
+          tr->record(kernel.now(), rec_id, sim::TraceEvent::kPreemptBegin,
+                     report.recovery.events.size(), victims.size());
+        try_allocate(&new_req, &new_resp);
       }
     }
+
     st.event = report.recovery.events.size();
     st.detected = detect_cycle;
     st.alarm_base = st.saved_corrupt + st.saved_lost;
@@ -596,6 +675,97 @@ analysis::NetworkReport run_scenario(const RunSpec& spec) {
     st.abort_base = net.config_module().aborted();
     if (tr) tr->record(kernel.now(), rec_id, sim::TraceEvent::kRecoveryBegin, st.event, link);
     report.recovery.events.push_back(std::move(ev));
+  };
+
+  // Slot compaction after a recovery wave: re-pack live standard and
+  // best-effort connections under kFirstFit, keeping a move only when it
+  // strictly lowers the (highest inject slot, route edges) packing score.
+  // Close-before-open at both the allocator and the hardware level — an
+  // accepted move rides the same reconfigure/wait machinery as a repair
+  // (trigger "compaction"); guaranteed channels are never touched.
+  const auto packing_score = [](const alloc::RouteTree& req, const alloc::RouteTree* resp) {
+    std::uint32_t hi = 0;
+    std::size_t edges = req.edges.size();
+    for (tdm::Slot s : req.inject_slots) hi = std::max<std::uint32_t>(hi, s);
+    if (resp) {
+      for (tdm::Slot s : resp->inject_slots) hi = std::max<std::uint32_t>(hi, s);
+      edges += resp->edges.size();
+    }
+    return std::make_pair(hi, edges);
+  };
+  const auto fnv = [](std::uint64_t& h, std::uint64_t x) { h = (h ^ x) * 1099511628211ull; };
+  const auto compaction_pass = [&]() {
+    const alloc::SlotPolicy saved_policy = live->options().slot_policy;
+    live->set_slot_policy(alloc::SlotPolicy::kFirstFit);
+    std::uint64_t moves = 0;
+    std::uint64_t pass_digest = 14695981039346656037ull;
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      if (rec[i].phase != ConnRecovery::Phase::kHealthy) continue;
+      const alloc::ConnectionSpec& cs = handles[i].conn.spec;
+      if (cs.service_class == alloc::ServiceClass::kGuaranteed) continue;
+      const alloc::RouteTree old_req = handles[i].conn.request;
+      const bool want_resp = handles[i].conn.has_response;
+      const alloc::RouteTree old_resp = handles[i].conn.response;
+      // Allocator-only trial first, so rejected moves never touch the
+      // hardware (close + identical reopen would cost config-stream time).
+      live->release(old_req);
+      if (want_resp) live->release(old_resp);
+      auto new_req = live->allocate({cs.src_ni, cs.dst_nis, cs.request_slots, cs.service_class});
+      std::optional<alloc::RouteTree> new_resp;
+      if (new_req && want_resp) {
+        new_resp = live->allocate({cs.dst_nis[0], {cs.src_ni}, cs.response_slots, cs.service_class});
+        if (!new_resp) {
+          live->release(*new_req);
+          new_req.reset();
+        }
+      }
+      const bool better = new_req && packing_score(*new_req, new_resp ? &*new_resp : nullptr) <
+                                         packing_score(old_req, want_resp ? &old_resp : nullptr);
+      if (!better) {
+        if (new_resp) live->release(*new_resp);
+        if (new_req) live->release(*new_req);
+        // The old slots were just freed, so restore cannot fail.
+        live->restore(old_req);
+        if (want_resp) live->restore(old_resp);
+        continue;
+      }
+      retire_incarnation(i);
+      alloc::AllocatedConnection nc;
+      nc.id = handles[i].conn.id;
+      nc.spec = cs;
+      nc.request = std::move(*new_req);
+      nc.has_response = want_resp;
+      if (want_resp) nc.response = std::move(*new_resp);
+      analysis::RecoveryEvent ev;
+      ev.connection = dim->connections[i].spec.name;
+      ev.trigger = "compaction";
+      ev.detected_cycle = kernel.now();
+      ev.hops_before = static_cast<std::uint32_t>(old_req.edges.size());
+      ev.hops_after = static_cast<std::uint32_t>(nc.request.edges.size());
+      ConnRecovery& st = rec[i];
+      st.event = report.recovery.events.size();
+      st.detected = kernel.now();
+      st.abort_base = net.config_module().aborted();
+      handles[i] = net.open_connection(nc);
+      for (std::size_t d = 0; d < delivered[i].size(); ++d) {
+        const auto& rs =
+            net.ni(handles[i].conn.request.dst_nis[d]).rx_stats(handles[i].dst_rx_qs[d]);
+        st.base_corrupt[d] = rs.corrupt_words;
+        st.base_lost[d] = rs.lost_words;
+      }
+      st.phase = ConnRecovery::Phase::kReconfiguring;
+      report.recovery.events.push_back(std::move(ev));
+      ++moves;
+      fnv(pass_digest, i);
+      for (tdm::Slot s : old_req.inject_slots) fnv(pass_digest, s);
+      for (tdm::Slot s : handles[i].conn.request.inject_slots) fnv(pass_digest, s);
+    }
+    live->set_slot_policy(saved_policy);
+    ++report.service.compaction_passes;
+    report.service.compaction_moves += moves;
+    fnv(report.service.compaction_digest, pass_digest);
+    if (tr)
+      tr->record(kernel.now(), rec_id, sim::TraceEvent::kCompactionPass, moves, pass_digest);
   };
 
   // Post-step recovery poll: collect verdicts, quarantine, repair, and
@@ -689,7 +859,21 @@ analysis::NetworkReport run_scenario(const RunSpec& spec) {
       }
     }
     kernel.step();
-    if (monitor) poll_recovery();
+    if (monitor) {
+      poll_recovery();
+      if (compact_pending) {
+        // Wait for every in-flight repair to settle and the config stream
+        // to drain, so the pass sees a stable allocator and an idle tree.
+        bool busy = !net.config_idle();
+        for (const ConnRecovery& st : rec)
+          busy = busy || st.phase == ConnRecovery::Phase::kReconfiguring ||
+                 st.phase == ConnRecovery::Phase::kWaiting;
+        if (!busy) {
+          compact_pending = false;
+          compaction_pass();
+        }
+      }
+    }
   }
   phase_mark(sim::TraceEvent::kPhaseEnd, "traffic");
 
@@ -703,6 +887,12 @@ analysis::NetworkReport run_scenario(const RunSpec& spec) {
     out.name = dim->connections[i].spec.name;
     out.request_slots = dim->connections[i].request_slots;
     out.response_slots = dim->connections[i].response_slots;
+    if (report.service.enabled) {
+      const alloc::ServiceClass sc_class = dim->connections[i].spec.service_class;
+      out.service_class = std::string(alloc::service_class_name(sc_class));
+      if (spec.recovery.enabled && rec[i].phase == ConnRecovery::Phase::kDead)
+        ++report.service.per_class[static_cast<std::size_t>(sc_class)].dead;
+    }
     out.contract_mbps = dim->connections[i].spec.bandwidth_mbytes_per_s;
     out.measured_mbps = mbps;
     out.worst_latency_ns = dim->connections[i].worst_latency_ns;
@@ -811,6 +1001,13 @@ analysis::NetworkReport run_scenario(const RunSpec& spec) {
     report.recovery.missing_flits = monitor->total_missing();
     report.recovery.parity_errors = monitor->total_parity_errors();
     for (topo::LinkId l : live->quarantined_links()) report.recovery.quarantined.push_back(l);
+  }
+  if (report.service.enabled && spec.recovery.enabled) {
+    std::unordered_map<std::string, std::size_t> class_of;
+    for (const alloc::DimensionedConnection& d : dim->connections)
+      class_of.emplace(d.spec.name, static_cast<std::size_t>(d.spec.service_class));
+    for (const analysis::RecoveryEvent& e : report.recovery.events)
+      if (e.restored) ++report.service.per_class[class_of.at(e.connection)].recovered;
   }
 
   report.ok = all_met && report.router_drops == 0 && report.ni_drops == 0 &&

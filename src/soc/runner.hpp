@@ -51,6 +51,18 @@ struct RecoveryOptions {
   /// Give up on a repair whose tear-down/set-up stream has not drained
   /// after this many cycles (or when the config watchdog aborts it).
   sim::Cycle reconfig_timeout = 100000;
+  /// Preemptive healing: when re-allocation around a quarantine finds no
+  /// capacity for a guaranteed connection, tear down best-effort
+  /// connections along a min-victims candidate path
+  /// (SlotAllocator::plan_preemption) and retry, instead of declaring the
+  /// guaranteed connection dead. Victims are counted per class in the
+  /// report's `service` section and traced as kPreemptBegin.
+  bool preempt_best_effort = false;
+  /// Slot compaction after every recovery wave: re-pack live non-guaranteed
+  /// connections onto lower injection slots (ChurnService::compact
+  /// semantics, allocator-level only — slot tables in flight are not
+  /// rewritten), traced as kCompactionPass with the move digest.
+  bool compact_after_recovery = false;
 };
 
 struct RunSpec {
@@ -95,6 +107,12 @@ struct RunSpec {
   sim::FaultPlan fault_plan;
   /// Self-healing: see RecoveryOptions.
   RecoveryOptions recovery;
+  /// ConfigModule watchdog overrides (daelite/network.hpp Options): the
+  /// retry budget for a timed-out request, and a scale on the
+  /// depth-derived response timeout. Defaults keep the network's own
+  /// derivation, so existing runs are untouched.
+  std::optional<std::uint32_t> watchdog_retries;
+  double watchdog_timeout_mult = 1.0;
 };
 
 /// Execute one spec to completion. Never throws on scenario-level problems:

@@ -62,6 +62,15 @@ bool parse_strict_extent(const std::string& tok, int* w, int* h) {
          *w >= 1 && *h >= 1;
 }
 
+/// Strict service-class token ("guaranteed" / "standard" / "best_effort").
+bool parse_service_class(const std::string& tok, alloc::ServiceClass* out) {
+  if (tok == "guaranteed") *out = alloc::ServiceClass::kGuaranteed;
+  else if (tok == "standard") *out = alloc::ServiceClass::kStandard;
+  else if (tok == "best_effort") *out = alloc::ServiceClass::kBestEffort;
+  else return false;
+  return true;
+}
+
 std::vector<std::string> tokenize(const std::string& line) {
   std::vector<std::string> toks;
   std::istringstream is(line);
@@ -155,6 +164,10 @@ std::optional<Scenario> parse_scenario(std::istream& in, std::string* error) {
             c.max_latency_ns = std::stod(toks[i + 1]);
           } else if (toks[i] == "resp") {
             c.response_bandwidth = std::stod(toks[i + 1]);
+          } else if (toks[i] == "class") {
+            if (!parse_service_class(toks[i + 1], &c.service_class))
+              return fail("unknown service class '" + toks[i + 1] +
+                          "' (want guaranteed|standard|best_effort)");
           } else {
             return fail("unknown connection option '" + toks[i] + "'");
           }
@@ -216,6 +229,10 @@ std::optional<Scenario> parse_scenario(std::istream& in, std::string* error) {
         } else if (toks[i] == "resp") {
           if (!parse_strict_double(val, &c.response_bandwidth) || c.response_bandwidth < 0.0)
             return fail("bad stream resp bandwidth '" + val + "'");
+        } else if (toks[i] == "class") {
+          if (!parse_service_class(val, &c.service_class))
+            return fail("unknown service class '" + val +
+                        "' (want guaranteed|standard|best_effort)");
         } else {
           return fail("unknown stream option '" + toks[i] + "'");
         }
@@ -341,6 +358,7 @@ topo::Mesh Scenario::build() {
     p.stream_period = c.stream_period;
     p.stream_burst = c.stream_burst;
     p.bursty_seed = c.bursty_seed;
+    p.service_class = c.service_class;
     connections.push_back(std::move(p));
   }
   return mesh;

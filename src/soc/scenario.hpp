@@ -14,9 +14,10 @@
 //   clock <MHz>
 //   host <x,y>                     # NI of the configuration host
 //   connection <name> <src x,y> <dst x,y> <MB/s> [latency <ns>] [resp <MB/s>]
+//              [class guaranteed|standard|best_effort]
 //   multicast  <name> <src x,y> <dst x,y> <dst x,y>... bw <MB/s>
 //   stream <name> <src x,y> <dst x,y> <MB/s> period <cycles> burst <words>
-//          [bursty <seed>] [resp <MB/s>]
+//          [bursty <seed>] [resp <MB/s>] [class guaranteed|standard|best_effort]
 //   dram <x,y> [<x,y>...]          # DRAM-port NIs (energy accounting, dnn)
 //   energy [hop <pJ>] [dram <pJ>] [config <pJ>]   # enable the energy model
 //   dnn grid <x,y> <WxH> [weights <slots>] [ifmap <slots>] [ofmap <slots>]
@@ -78,6 +79,7 @@ struct Scenario {
     std::uint32_t stream_period = 0;
     std::uint32_t stream_burst = 1;
     std::uint64_t bursty_seed = 0;
+    alloc::ServiceClass service_class = alloc::ServiceClass::kStandard;
   };
   std::vector<RawConnection> raw;
 

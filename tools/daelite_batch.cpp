@@ -71,6 +71,10 @@ int usage() {
          "  --fault-rate R   per-word fault probability in [0,1] on every link\n"
          "  --fault-plan F   fault-plan file (see src/sim/fault.hpp)\n"
          "  --recover        arm the self-healing subsystem on every job\n"
+         "  --preempt        let guaranteed repairs preempt best-effort connections\n"
+         "  --compact        re-pack non-guaranteed slots after every recovery wave\n"
+         "  --watchdog-retries N       config-watchdog retry budget\n"
+         "  --watchdog-timeout-mult X  scale on the derived watchdog timeout (> 0)\n"
          "  --per-connection per-job connection latency tables on stderr\n"
          "  --list           print the expanded job list and exit\n"
          "  --quiet          no per-job progress on stderr\n";
@@ -167,6 +171,10 @@ int main(int argc, char** argv) {
   bool soa = false;
   sim::FaultPlan fault_plan;
   bool recover = false;
+  bool preempt = false;
+  bool compact = false;
+  std::optional<std::uint32_t> watchdog_retries;
+  double watchdog_timeout_mult = 1.0;
   std::string trace_dir;
   bool per_connection = false;
   bool list_only = false;
@@ -261,6 +269,22 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--recover") == 0) {
       recover = true;
+    } else if (std::strcmp(argv[i], "--preempt") == 0) {
+      preempt = true;
+    } else if (std::strcmp(argv[i], "--compact") == 0) {
+      compact = true;
+    } else if (std::strcmp(argv[i], "--watchdog-retries") == 0) {
+      const char* v = need("--watchdog-retries");
+      if (!v) return usage();
+      std::uint32_t n = 0;
+      if (!tools::parse_int(v, &n)) return bad_value("--watchdog-retries", "an integer >= 0", v);
+      watchdog_retries = n;
+    } else if (std::strcmp(argv[i], "--watchdog-timeout-mult") == 0) {
+      const char* v = need("--watchdog-timeout-mult");
+      if (!v) return usage();
+      if (!tools::parse_double(v, &watchdog_timeout_mult) || watchdog_timeout_mult <= 0.0) {
+        return bad_value("--watchdog-timeout-mult", "a number > 0", v);
+      }
     } else if (std::strcmp(argv[i], "--per-connection") == 0) {
       per_connection = true;
     } else if (std::strcmp(argv[i], "--list") == 0) {
@@ -332,6 +356,10 @@ int main(int argc, char** argv) {
         spec.soa = soa;
         spec.fault_plan = fault_plan;
         spec.recovery.enabled = recover;
+        spec.recovery.preempt_best_effort = preempt;
+        spec.recovery.compact_after_recovery = compact;
+        spec.watchdog_retries = watchdog_retries;
+        spec.watchdog_timeout_mult = watchdog_timeout_mult;
         std::string label = b.name;
         if (slots) label += "[slots=" + std::to_string(*slots) + "]";
         if (seed) label += "[seed=" + std::to_string(seed) + "]";

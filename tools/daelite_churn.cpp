@@ -23,6 +23,24 @@
 //   --quick            small preset (4x4, 5000 requests) for CI smoke
 //   --quiet            suppress the text summary
 //
+// QoS / graceful-degradation options (any of these marks the report
+// qos_enabled and adds the per-class sections):
+//   --gt-frac F        fraction of set-ups that are guaranteed, default 0
+//   --be-frac F        fraction of set-ups that are best-effort, default 0
+//   --preempt          guaranteed set-ups may preempt best-effort victims
+//   --quota C:N[:U]    per-class quota (C = guaranteed|standard|best_effort,
+//                      N = max live, 0 = unbounded; U = max utilization);
+//                      repeatable, one class per flag
+//   --overload         arm the bounded retry queue for rejected set-ups
+//   --pending N        retry-queue capacity, default 64
+//   --max-attempts N   total tries per set-up including the first, default 3
+//   --backoff C        first retry delay in cycles, default 2000
+//   --jitter F         uniform extra fraction of the delay, default 0.5
+//   --compact-every N  background compaction pass every N requests (0 = off)
+//   --compact-moves N  move budget per compaction pass, default 256
+//   --quarantine A:L   quarantine link L before request index A; repeatable.
+//                      `--quarantine A:clear` clears the whole set at A.
+//
 // The report contains no wall-clock data: the same invocation is
 // byte-identical run to run (CI pins this with cmp), and identical
 // between --mode incremental and --mode scratch.
@@ -49,6 +67,11 @@ int usage() {
                "                     [--multicast-frac F] [--min-slots A] [--max-slots B]\n"
                "                     [--max-hops H] [--max-latency C] [--max-util U]\n"
                "                     [--mode incremental|scratch|both] [--json PATH]\n"
+               "                     [--gt-frac F] [--be-frac F] [--preempt] [--quota C:N[:U]]\n"
+               "                     [--overload] [--pending N] [--max-attempts N]\n"
+               "                     [--backoff C] [--jitter F]\n"
+               "                     [--compact-every N] [--compact-moves N]\n"
+               "                     [--quarantine A:L | --quarantine A:clear]\n"
                "                     [--quick] [--quiet]\n";
   return 2;
 }
@@ -57,6 +80,55 @@ struct MeshSpec {
   int w = 8, h = 8;
   bool torus = false;
 };
+
+bool parse_class(std::string_view token, alloc::ServiceClass* out) {
+  if (token == "guaranteed") {
+    *out = alloc::ServiceClass::kGuaranteed;
+  } else if (token == "standard") {
+    *out = alloc::ServiceClass::kStandard;
+  } else if (token == "best_effort") {
+    *out = alloc::ServiceClass::kBestEffort;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// `C:N[:U]` — class, max live, optional max utilization.
+bool parse_quota(const std::string& spec, alloc::AdmissionControl* admission) {
+  const auto c1 = spec.find(':');
+  if (c1 == std::string::npos) return false;
+  alloc::ServiceClass cls;
+  if (!parse_class(std::string_view(spec).substr(0, c1), &cls)) return false;
+  const auto c2 = spec.find(':', c1 + 1);
+  auto& q = admission->quota[static_cast<std::size_t>(cls)];
+  if (!tools::parse_int(std::string_view(spec).substr(c1 + 1, c2 == std::string::npos
+                                                                  ? std::string::npos
+                                                                  : c2 - c1 - 1),
+                        &q.max_live))
+    return false;
+  if (c2 != std::string::npos) {
+    if (!tools::parse_double(std::string_view(spec).substr(c2 + 1), &q.max_utilization) ||
+        q.max_utilization <= 0.0 || q.max_utilization > 1.0)
+      return false;
+  }
+  return true;
+}
+
+/// `A:L` (quarantine link L before request A) or `A:clear`.
+bool parse_quarantine(const std::string& spec, alloc::QuarantineEvent* out) {
+  const auto c = spec.find(':');
+  if (c == std::string::npos) return false;
+  if (!tools::parse_int(std::string_view(spec).substr(0, c), &out->at_request)) return false;
+  const std::string_view rest = std::string_view(spec).substr(c + 1);
+  if (rest == "clear") {
+    out->clear = true;
+    out->link = 0;
+    return true;
+  }
+  out->clear = false;
+  return tools::parse_int(rest, &out->link);
+}
 
 bool parse_mesh(const std::string& spec, MeshSpec* out) {
   std::string dims = spec;
@@ -105,6 +177,37 @@ sim::JsonValue report_to_json(const alloc::ChurnReport& r) {
     timeline.push_back(std::move(e));
   }
   doc["frag_timeline"] = std::move(timeline);
+  // QoS sections only when a QoS feature shaped the run, so legacy
+  // invocations keep byte-identical documents.
+  if (r.qos_enabled) {
+    sim::JsonValue svc = sim::JsonValue::object();
+    svc["shed_total"] = r.shed_total;
+    svc["retry_attempts"] = r.retry_attempts;
+    svc["preempted_connections"] = r.preempted_connections;
+    svc["compaction_passes"] = r.compaction_passes;
+    svc["compaction_moves"] = r.compaction_moves;
+    char cdigest[19];
+    std::snprintf(cdigest, sizeof cdigest, "0x%016llx",
+                  static_cast<unsigned long long>(r.compaction_digest));
+    svc["compaction_digest"] = std::string(cdigest);
+    sim::JsonValue classes = sim::JsonValue::object();
+    for (std::size_t c = 0; c < alloc::kServiceClassCount; ++c) {
+      const alloc::ClassStats& s = r.per_class[c];
+      sim::JsonValue jc = sim::JsonValue::object();
+      jc["setups"] = s.setups;
+      jc["admitted"] = s.admitted;
+      jc["rejected_admission"] = s.rejected_admission;
+      jc["rejected_no_route"] = s.rejected_no_route;
+      jc["shed"] = s.shed;
+      jc["retries"] = s.retries;
+      jc["preempted"] = s.preempted;
+      jc["latency_cycles"] = to_json(s.latency_cycles);
+      classes[std::string(alloc::service_class_name(static_cast<alloc::ServiceClass>(c)))] =
+          std::move(jc);
+    }
+    svc["per_class"] = std::move(classes);
+    doc["service"] = std::move(svc);
+  }
   return doc;
 }
 
@@ -197,6 +300,62 @@ int main(int argc, char** argv) {
       if (!tools::parse_double(v, &admission.max_utilization) || admission.max_utilization <= 0.0 ||
           admission.max_utilization > 1.0)
         return bad_value("--max-util", "a number in (0,1]", v);
+    } else if (std::strcmp(argv[i], "--gt-frac") == 0) {
+      const char* v = need("--gt-frac");
+      if (!v) return usage();
+      if (!tools::parse_double(v, &run.workload.guaranteed_fraction) ||
+          run.workload.guaranteed_fraction < 0.0 || run.workload.guaranteed_fraction > 1.0)
+        return bad_value("--gt-frac", "a number in [0,1]", v);
+    } else if (std::strcmp(argv[i], "--be-frac") == 0) {
+      const char* v = need("--be-frac");
+      if (!v) return usage();
+      if (!tools::parse_double(v, &run.workload.best_effort_fraction) ||
+          run.workload.best_effort_fraction < 0.0 || run.workload.best_effort_fraction > 1.0)
+        return bad_value("--be-frac", "a number in [0,1]", v);
+    } else if (std::strcmp(argv[i], "--preempt") == 0) {
+      admission.preempt_best_effort = true;
+    } else if (std::strcmp(argv[i], "--quota") == 0) {
+      const char* v = need("--quota");
+      if (!v) return usage();
+      if (!parse_quota(v, &admission))
+        return bad_value("--quota", "guaranteed|standard|best_effort:N[:U]", v);
+    } else if (std::strcmp(argv[i], "--overload") == 0) {
+      run.overload.enabled = true;
+    } else if (std::strcmp(argv[i], "--pending") == 0) {
+      const char* v = need("--pending");
+      if (!v) return usage();
+      if (!tools::parse_int(v, &run.overload.pending_capacity) || run.overload.pending_capacity == 0)
+        return bad_value("--pending", "a positive integer", v);
+    } else if (std::strcmp(argv[i], "--max-attempts") == 0) {
+      const char* v = need("--max-attempts");
+      if (!v) return usage();
+      if (!tools::parse_int(v, &run.overload.max_attempts) || run.overload.max_attempts == 0)
+        return bad_value("--max-attempts", "a positive integer", v);
+    } else if (std::strcmp(argv[i], "--backoff") == 0) {
+      const char* v = need("--backoff");
+      if (!v) return usage();
+      if (!tools::parse_double(v, &run.overload.backoff_cycles) || run.overload.backoff_cycles <= 0.0)
+        return bad_value("--backoff", "a positive number", v);
+    } else if (std::strcmp(argv[i], "--jitter") == 0) {
+      const char* v = need("--jitter");
+      if (!v) return usage();
+      if (!tools::parse_double(v, &run.overload.jitter) || run.overload.jitter < 0.0)
+        return bad_value("--jitter", "a number >= 0", v);
+    } else if (std::strcmp(argv[i], "--compact-every") == 0) {
+      const char* v = need("--compact-every");
+      if (!v) return usage();
+      if (!tools::parse_int(v, &run.compaction.every)) return bad_value("--compact-every", "an integer", v);
+    } else if (std::strcmp(argv[i], "--compact-moves") == 0) {
+      const char* v = need("--compact-moves");
+      if (!v) return usage();
+      if (!tools::parse_int(v, &run.compaction.max_moves) || run.compaction.max_moves == 0)
+        return bad_value("--compact-moves", "a positive integer", v);
+    } else if (std::strcmp(argv[i], "--quarantine") == 0) {
+      const char* v = need("--quarantine");
+      if (!v) return usage();
+      alloc::QuarantineEvent qe;
+      if (!parse_quarantine(v, &qe)) return bad_value("--quarantine", "A:L or A:clear", v);
+      run.quarantine_events.push_back(qe);
     } else if (std::strcmp(argv[i], "--mode") == 0) {
       const char* v = need("--mode");
       if (!v) return usage();
@@ -218,6 +377,10 @@ int main(int argc, char** argv) {
   }
   if (run.workload.min_slots > run.workload.max_slots) {
     std::cerr << "daelite_churn: --min-slots must be <= --max-slots\n";
+    return 2;
+  }
+  if (run.workload.guaranteed_fraction + run.workload.best_effort_fraction > 1.0) {
+    std::cerr << "daelite_churn: --gt-frac + --be-frac must be <= 1\n";
     return 2;
   }
   if (quick) {
@@ -261,6 +424,21 @@ int main(int argc, char** argv) {
               << ", live " << report.final_live << ", id watermark "
               << report.channel_id_watermark << ", fragmentation last "
               << mm.fragmentation.last() << " mean " << mm.fragmentation.mean() << "\n";
+    if (report.qos_enabled) {
+      std::cout << "  qos: shed " << report.shed_total << ", retries " << report.retry_attempts
+                << ", preempted " << report.preempted_connections << ", compaction "
+                << report.compaction_moves << " moves in " << report.compaction_passes
+                << " passes\n";
+      for (std::size_t c = 0; c < alloc::kServiceClassCount; ++c) {
+        const alloc::ClassStats& s = report.per_class[c];
+        if (s.setups == 0 && s.admitted == 0 && s.shed == 0 && s.preempted == 0) continue;
+        std::cout << "    " << alloc::service_class_name(static_cast<alloc::ServiceClass>(c))
+                  << ": setups " << s.setups << ", admitted " << s.admitted
+                  << ", admission-reject " << s.rejected_admission << ", no-route "
+                  << s.rejected_no_route << ", shed " << s.shed << ", retries " << s.retries
+                  << ", preempted " << s.preempted << "\n";
+      }
+    }
   }
 
   if (!json_path.empty()) {

@@ -33,13 +33,20 @@
 // the self-healing subsystem (soc/health.hpp + runner recovery): links the
 // health monitor declares dead are quarantined and the affected
 // connections are torn down and re-set up on a new route mid-run; the
-// report then carries a `recovery` section.
+// report then carries a `recovery` section. --preempt lets a guaranteed
+// connection that recovery cannot re-route tear down best-effort
+// connections (min-victims plan); --compact re-packs standard/best-effort
+// connections onto lower injection slots after every recovery wave; both
+// add a `service` section with per-class outcomes. --watchdog-retries and
+// --watchdog-timeout-mult tune the config module's response watchdog
+// (retry budget, and a scale on the depth-derived timeout).
 
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 
 #include "daelite/vcd_probes.hpp"
 #include "sim/json.hpp"
@@ -56,7 +63,8 @@ int usage() {
                "                   [--trace out.trace.json] [--per-connection] [--quiet]\n"
                "                   [--scheduler stride|reference] [--shards N] [--soa]\n"
                "                   [--fault-seed N] [--fault-rate R] [--fault-plan file]\n"
-               "                   [--recover]\n"
+               "                   [--recover] [--preempt] [--compact]\n"
+               "                   [--watchdog-retries N] [--watchdog-timeout-mult X]\n"
                "see src/soc/scenario.hpp for the scenario grammar and\n"
                "src/sim/fault.hpp for the fault-plan grammar\n";
   return 2;
@@ -76,6 +84,10 @@ int main(int argc, char** argv) {
   bool soa = false;
   sim::FaultPlan fault_plan;
   bool recover = false;
+  bool preempt = false;
+  bool compact = false;
+  std::optional<std::uint32_t> watchdog_retries;
+  double watchdog_timeout_mult = 1.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--vcd") == 0 && i + 1 < argc) {
       vcd_path = argv[++i];
@@ -124,6 +136,25 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--recover") == 0) {
       recover = true;
+    } else if (std::strcmp(argv[i], "--preempt") == 0) {
+      preempt = true;
+    } else if (std::strcmp(argv[i], "--compact") == 0) {
+      compact = true;
+    } else if (std::strcmp(argv[i], "--watchdog-retries") == 0 && i + 1 < argc) {
+      std::uint32_t n = 0;
+      if (!tools::parse_int(argv[++i], &n)) {
+        std::cerr << "daelite_sim: --watchdog-retries wants an integer >= 0, got '" << argv[i]
+                  << "'\n";
+        return 2;
+      }
+      watchdog_retries = n;
+    } else if (std::strcmp(argv[i], "--watchdog-timeout-mult") == 0 && i + 1 < argc) {
+      if (!tools::parse_double(argv[++i], &watchdog_timeout_mult) ||
+          watchdog_timeout_mult <= 0.0) {
+        std::cerr << "daelite_sim: --watchdog-timeout-mult wants a number > 0, got '" << argv[i]
+                  << "'\n";
+        return 2;
+      }
     } else if (argv[i][0] == '-') {
       return usage();
     } else {
@@ -147,6 +178,10 @@ int main(int argc, char** argv) {
   spec.soa = soa;
   spec.fault_plan = fault_plan;
   spec.recovery.enabled = recover;
+  spec.recovery.preempt_best_effort = preempt;
+  spec.recovery.compact_after_recovery = compact;
+  spec.watchdog_retries = watchdog_retries;
+  spec.watchdog_timeout_mult = watchdog_timeout_mult;
 
   std::unique_ptr<sim::Tracer> tracer;
   if (!trace_path.empty()) {
